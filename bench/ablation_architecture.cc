@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Architecture ablations for the design choices DESIGN.md calls out:
+ *  1. INT4 vs FP32 screening datapath on ENMC (heterogeneity benefit);
+ *  2. dual-module overlap vs serialized phases;
+ *  3. weight-tile prefetch depth (DDR command pipelining);
+ *  4. partial-sum spill on the TensorDIMM baseline (buffer sizing);
+ *  5. candidate-budget sweep (latency vs accuracy budget).
+ */
+
+#include "bench_common.h"
+#include "runtime/compiler.h"
+
+using namespace enmc;
+using namespace enmc::bench;
+
+namespace {
+
+arch::RankTask
+baseTask(uint64_t cands = 300)
+{
+    // One rank's slice of XMLCNN-670K.
+    arch::RankTask t;
+    t.categories = 10471;
+    t.hidden = 512;
+    t.reduced = 128;
+    t.batch = 1;
+    t.expected_candidates = cands;
+    t.class_weight_base = 1ull << 24;
+    t.bias_base = 1ull << 25;
+    t.feature_base = 1ull << 26;
+    t.output_base = 1ull << 27;
+    t.sigmoid = true;
+    return t;
+}
+
+Cycles
+runEnmc(const arch::EnmcConfig &cfg, const arch::RankTask &task)
+{
+    arch::EnmcRank rank(cfg,
+                        dram::Organization::paperTable3().singleRankView(),
+                        dram::Timing::ddr4_2400());
+    const auto job = runtime::compileClassification(task, cfg);
+    return rank.run(job.program, task).cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Ablation 1: screening datapath precision (ENMC rank)");
+    printRow({"precision", "cycles", "norm"});
+    {
+        arch::EnmcConfig cfg;
+        arch::RankTask int4 = baseTask();
+        arch::RankTask int8 = baseTask();
+        int8.quant = tensor::QuantBits::Int8;
+        arch::RankTask fp32 = baseTask();
+        fp32.quant = tensor::QuantBits::Fp32;
+        const Cycles c4 = runEnmc(cfg, int4);
+        const Cycles c8 = runEnmc(cfg, int8);
+        const Cycles c32 = runEnmc(cfg, fp32);
+        printRow({"INT4", fmt(double(c4), "%.0f"), "1.00"});
+        printRow({"INT8", fmt(double(c8), "%.0f"),
+                  fmt(double(c8) / c4, "%.2f")});
+        printRow({"FP32", fmt(double(c32), "%.0f"),
+                  fmt(double(c32) / c4, "%.2f")});
+        std::printf("-> the INT4 Screener datapath is the dominant term in\n"
+                    "   ENMC's advantage over homogeneous-FP32 baselines.\n");
+    }
+
+    printHeader("Ablation 2: dual-module overlap");
+    printRow({"config", "cycles", "norm"});
+    {
+        // Overlap pays when one module is compute-bound while the other
+        // streams: throttle the FP32 array so candidate compute matches
+        // the screening stream time, then compare against running the
+        // two phases back-to-back (what a single shared unit would do).
+        arch::EnmcConfig cfg;
+        cfg.fp32_macs = 1;
+        const arch::RankTask both = baseTask(28);
+        arch::RankTask screen_only = baseTask(1);
+        arch::RankTask exec_heavy = baseTask(28);
+        exec_heavy.categories = 64; // negligible screening
+        const Cycles c_both = runEnmc(cfg, both);
+        const Cycles c_screen = runEnmc(cfg, screen_only);
+        const Cycles c_exec = runEnmc(cfg, exec_heavy);
+        printRow({"overlapped", fmt(double(c_both), "%.0f"), "1.00"});
+        printRow({"serialized*", fmt(double(c_screen + c_exec), "%.0f"),
+                  fmt(double(c_screen + c_exec) / c_both, "%.2f")});
+        std::printf("(*) screening-only + executor-only runs back-to-back.\n"
+                    "-> parallel Screener/Executor hides one module's time\n"
+                    "   under the other; with balanced phases the gain\n"
+                    "   approaches 2x. When both phases are bus-limited the\n"
+                    "   shared rank bus caps the gain (streams serialize on\n"
+                    "   the data bus either way).\n");
+    }
+
+    printHeader("Ablation 3: weight-tile prefetch depth");
+    printRow({"depth", "cycles", "norm"});
+    {
+        Cycles base = 0;
+        for (size_t depth : {1, 2, 4, 8, 16}) {
+            arch::EnmcConfig cfg;
+            cfg.prefetch_tiles = depth;
+            const Cycles c = runEnmc(cfg, baseTask());
+            if (depth == 1)
+                base = c;
+            printRow({std::to_string(depth), fmt(double(c), "%.0f"),
+                      fmt(double(c) / base, "%.2f")});
+        }
+        std::printf("-> shallow prefetch leaves the rank latency-bound;\n"
+                    "   ~8 tiles suffice to hide the CAS latency.\n");
+    }
+
+    printHeader("Ablation 4: TensorDIMM partial-sum spill (batch 4)");
+    printRow({"buffers", "cycles", "spill-bytes", "norm"});
+    {
+        const dram::Organization org =
+            dram::Organization::paperTable3().singleRankView();
+        nmp::EngineConfig spill = nmp::EngineConfig::tensorDimm();
+        nmp::EngineConfig big = spill;
+        big.buffer_bytes = 1 << 20; // large enough: no spill
+        arch::RankTask t = baseTask();
+        t.batch = 4; // psum working set = l x batch x 4 B
+        nmp::NmpEngine e_spill(spill, org, dram::Timing::ddr4_2400());
+        nmp::NmpEngine e_big(big, org, dram::Timing::ddr4_2400());
+        const auto r_spill = e_spill.run(t);
+        const auto r_big = e_big.run(t);
+        printRow({"512B*3 (spills)", fmt(double(r_spill.cycles), "%.0f"),
+                  fmt(double(r_spill.screen_bytes - r_big.screen_bytes),
+                      "%.0f"),
+                  fmt(double(r_spill.cycles) / r_big.cycles, "%.2f")});
+        printRow({"1MB (no spill)", fmt(double(r_big.cycles), "%.0f"), "0",
+                  "1.00"});
+        std::printf(
+            "-> the psum round trip the paper attributes to the baselines'\n"
+            "   small buffers. For *screening* the spill is a modest share\n"
+            "   of traffic (psums are l*batch*4B vs l*k*4B weights); the\n"
+            "   dominant baseline deficits remain FP32 screening traffic\n"
+            "   (ablation 1) and the lack of an on-the-fly FILTER.\n");
+    }
+
+    printHeader("Ablation 5: candidate budget sweep (ENMC rank)");
+    printRow({"candidates", "cycles", "us"});
+    {
+        arch::EnmcConfig cfg;
+        for (uint64_t m : {16ull, 64ull, 277ull, 1000ull, 4000ull}) {
+            const Cycles c = runEnmc(cfg, baseTask(m));
+            printRow({std::to_string(m), fmt(double(c), "%.0f"),
+                      fmt(cyclesToSeconds(c, 1200e6) * 1e6, "%.1f")});
+        }
+        std::printf("-> latency is flat until candidate traffic overtakes\n"
+                    "   screening traffic, then grows linearly.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: table
+ * formatting and the standard workload -> engine plumbing used by the
+ * architecture-level experiments.
+ */
+
+#ifndef ENMC_BENCH_BENCH_COMMON_H
+#define ENMC_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nmp/cpu.h"
+#include "nmp/engine.h"
+#include "runtime/system.h"
+#include "workloads/registry.h"
+
+namespace enmc::bench {
+
+/** Print a row of fixed-width columns. */
+inline void
+printRow(const std::vector<std::string> &cells, int width = 14)
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, const char *spec = "%.3g")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return buf;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * Convert a registry workload to a timing JobSpec.
+ * @param nmp_budget Use the tightened Fig. 13/15 candidate budget (the
+ *                   NMP/ENMC operating point) instead of the Fig. 11 one.
+ */
+inline runtime::JobSpec
+jobSpecFor(const workloads::Workload &w, uint64_t batch,
+           bool nmp_budget = false)
+{
+    runtime::JobSpec spec;
+    spec.categories = w.categories;
+    spec.hidden = w.hidden;
+    spec.reduced = std::max<uint64_t>(1, w.hidden / 4); // scale 0.25
+    spec.batch = batch;
+    spec.candidates = nmp_budget ? w.nmpCandidates() : w.candidates;
+    spec.sigmoid = w.normalization == nn::Normalization::Sigmoid;
+    return spec;
+}
+
+/** Seconds for one baseline NMP engine on a job (one rank slice). */
+inline double
+nmpSeconds(const nmp::EngineConfig &cfg, const runtime::JobSpec &spec,
+           arch::RankResult *result_out = nullptr)
+{
+    runtime::EnmcSystem sys{runtime::SystemConfig{}};
+    arch::RankTask task = sys.makeRankTask(spec);
+    // Scale very large slices the same way the ENMC path does: simulate a
+    // truncated slice and extrapolate linearly (tile-homogeneous).
+    const uint64_t max_rows = 64 * 1024;
+    double scale = 1.0;
+    if (task.categories > max_rows) {
+        scale = static_cast<double>(task.categories) / max_rows;
+        task.expected_candidates = std::max<uint64_t>(
+            1, static_cast<uint64_t>(task.expected_candidates / scale));
+        task.categories = max_rows;
+    }
+    nmp::NmpEngine engine(cfg,
+                          dram::Organization::paperTable3().singleRankView(),
+                          dram::Timing::ddr4_2400());
+    arch::RankResult r = engine.run(task);
+    if (result_out) {
+        *result_out = r;
+        result_out->cycles = static_cast<Cycles>(r.cycles * scale);
+        result_out->screen_bytes =
+            static_cast<uint64_t>(r.screen_bytes * scale);
+        result_out->exec_bytes = static_cast<uint64_t>(r.exec_bytes * scale);
+        result_out->dram_reads =
+            static_cast<uint64_t>(r.dram_reads * scale);
+        result_out->dram_writes =
+            static_cast<uint64_t>(r.dram_writes * scale);
+        result_out->dram_acts = static_cast<uint64_t>(r.dram_acts * scale);
+        result_out->dram_refs = static_cast<uint64_t>(r.dram_refs * scale);
+    }
+    return cyclesToSeconds(static_cast<Cycles>(r.cycles * scale),
+                           dram::Timing::ddr4_2400().freq_hz);
+}
+
+/** Seconds for the ENMC system on a job. */
+inline double
+enmcSeconds(const runtime::JobSpec &spec,
+            runtime::TimingResult *result_out = nullptr)
+{
+    runtime::EnmcSystem sys{runtime::SystemConfig{}};
+    const runtime::TimingResult r = sys.runTiming(spec);
+    if (result_out)
+        *result_out = r;
+    return r.seconds;
+}
+
+/** CPU full-classification seconds for a job. */
+inline double
+cpuFullSeconds(const runtime::JobSpec &spec)
+{
+    nmp::CpuConfig cpu;
+    return nmp::cpuFullClassificationTime(cpu, spec.categories, spec.hidden,
+                                          spec.batch);
+}
+
+/** CPU + approximate-screening seconds for a job. */
+inline double
+cpuScreenSeconds(const runtime::JobSpec &spec)
+{
+    nmp::CpuConfig cpu;
+    return nmp::cpuScreeningTime(cpu, spec.categories, spec.hidden,
+                                 spec.reduced, spec.candidates, spec.batch,
+                                 spec.quant);
+}
+
+} // namespace enmc::bench
+
+#endif // ENMC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Reproduces paper Fig. 11: quality vs speedup trade-off of Approximate
+ * Screening (AS) against SVD-softmax and FGD on the four Table 2
+ * workloads.
+ *
+ * Quality is measured at functional scale (synthetic models with the
+ * registry's reduced dimensions) as agreement with exact full
+ * classification — the quantity BLEU / perplexity / P@1 are monotone in.
+ * Speedup is the algorithmic cost-model speedup over CPU full
+ * classification computed at *full* workload scale, with each method's
+ * swept parameter mapped proportionally.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/fgd.h"
+#include "baselines/svd_softmax.h"
+#include "bench_common.h"
+#include "screening/metrics.h"
+#include "screening/trainer.h"
+#include "tensor/topk.h"
+#include "workloads/synthetic.h"
+
+using namespace enmc;
+using namespace enmc::bench;
+
+namespace {
+
+struct Eval
+{
+    workloads::SyntheticModel model;
+    std::vector<tensor::Vector> train;
+    std::vector<tensor::Vector> eval;
+
+    explicit Eval(const workloads::Workload &w)
+        : model(w.functionalConfig())
+    {
+        Rng rng = model.makeRng(1);
+        train = model.sampleHiddenBatch(rng, 256);
+        eval = model.sampleHiddenBatch(rng, 64);
+    }
+
+    struct Quality
+    {
+        double top1 = 0.0; //!< argmax agreement (accuracy-style metrics)
+        double dist = 0.0; //!< 1 - total variation (perplexity-style)
+    };
+
+    Quality
+    quality(const std::function<tensor::Vector(const tensor::Vector &)>
+                &approx_logits) const
+    {
+        Quality q;
+        for (const auto &h : eval) {
+            const auto ref = model.classifier().logits(h);
+            const auto approx = approx_logits(h);
+            q.top1 += (tensor::argmax(approx) == tensor::argmax(ref));
+            const auto p_ref = tensor::softmax(ref);
+            const auto p_approx = tensor::softmax(approx);
+            double tv = 0.0;
+            for (size_t i = 0; i < p_ref.size(); ++i)
+                tv += std::fabs(p_ref[i] - p_approx[i]);
+            q.dist += 1.0 - 0.5 * tv;
+        }
+        q.top1 /= eval.size();
+        q.dist /= eval.size();
+        return q;
+    }
+};
+
+/** Full-scale cost-model speedup of AS at candidate fraction `frac`. */
+double
+asSpeedup(const workloads::Workload &w, double frac)
+{
+    const double l = double(w.categories);
+    const double d = double(w.hidden);
+    const double k = d / 4.0;
+    const double full = l * d * 4.0;
+    const double screen = l * k * 0.5 + l * 4.0 + k * d * 0.25;
+    const double cand = frac * l * d * 4.0;
+    return full / (screen + cand);
+}
+
+/** Full-scale cost-model speedup of SVD-softmax. */
+double
+svdSpeedup(const workloads::Workload &w, double window_frac,
+           double refine_frac)
+{
+    const double l = double(w.categories);
+    const double d = double(w.hidden);
+    const double win = window_frac * d;
+    const double full = l * d * 4.0;
+    const double cost = d * d * 4.0 + l * win * 4.0 +
+                        refine_frac * l * (d - win) * 4.0;
+    return full / cost;
+}
+
+/**
+ * Full-scale cost-model speedup of FGD. Graph search visits an absolute
+ * node count that grows ~logarithmically with l, so the functional-scale
+ * visit count is scaled by the log ratio rather than kept proportional.
+ */
+double
+fgdSpeedup(const workloads::Workload &w, double visited_functional,
+           double l_functional, size_t degree)
+{
+    const double l = double(w.categories);
+    const double d = double(w.hidden);
+    const double visited =
+        visited_functional * std::log(l) / std::log(l_functional);
+    const double full = l * d * 4.0;
+    const double cost = visited * (d * 4.0 + degree * 4.0);
+    return full / cost;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 11: quality vs speedup (AS / SVD / FGD)");
+
+    for (const auto &w : workloads::table2Workloads()) {
+        std::printf("\n-- %s (functional l=%llu d=%llu; full l=%llu d=%llu)"
+                    " --\n",
+                    w.abbr.c_str(),
+                    static_cast<unsigned long long>(w.functional_categories),
+                    static_cast<unsigned long long>(
+                        w.functionalConfig().hidden),
+                    static_cast<unsigned long long>(w.categories),
+                    static_cast<unsigned long long>(w.hidden));
+        printRow({"method", "param", "top1%", "dist%", "speedup-x"});
+        Eval ev(w);
+        const size_t l_f = ev.model.classifier().categories();
+        const size_t d_f = ev.model.classifier().hidden();
+
+        // --- Approximate Screening: sweep candidate fraction ---
+        screening::ScreenerConfig scfg;
+        scfg.categories = l_f;
+        scfg.hidden = d_f;
+        scfg.reduction_scale = 0.25;
+        Rng srng(42);
+        screening::Screener screener(scfg, srng);
+        screening::Trainer trainer(ev.model.classifier(), screener,
+                                   screening::TrainerConfig{});
+        trainer.train(ev.train, {});
+        screener.freezeQuantized();
+
+        for (double frac : {0.005, 0.01, 0.025, 0.05, 0.10, 0.15}) {
+            const size_t m =
+                std::max<size_t>(1, static_cast<size_t>(frac * l_f));
+            screener.setSelection(screening::SelectionMode::TopM, m, 0.0f);
+            screening::Pipeline pipe(ev.model.classifier(), screener);
+            const auto q = ev.quality([&](const tensor::Vector &h) {
+                return pipe.infer(h).logits;
+            });
+            printRow({"AS", fmt(100 * frac, "m=%.1f%%"),
+                      fmt(100 * q.top1, "%.1f"), fmt(100 * q.dist, "%.1f"),
+                      fmt(asSpeedup(w, frac), "%.1f")});
+        }
+
+        // --- SVD-softmax: sweep preview window ---
+        for (double wf : {1.0 / 16, 1.0 / 8, 1.0 / 4}) {
+            baselines::SvdSoftmaxConfig vcfg;
+            vcfg.window = std::max<size_t>(1, size_t(wf * d_f));
+            vcfg.top_n = std::max<size_t>(1, l_f / 40);
+            baselines::SvdSoftmax svd(ev.model.classifier(), vcfg);
+            const auto q = ev.quality([&](const tensor::Vector &h) {
+                return svd.infer(h).logits;
+            });
+            printRow({"SVD", fmt(wf * 100, "w=%.1f%%d"),
+                      fmt(100 * q.top1, "%.1f"), fmt(100 * q.dist, "%.1f"),
+                      fmt(svdSpeedup(w, wf, 0.025), "%.1f")});
+        }
+
+        // --- FGD: sweep search beam ---
+        for (size_t ef : {32, 64, 128}) {
+            baselines::FgdConfig fcfg;
+            fcfg.ef_search = ef;
+            fcfg.top_n = std::max<size_t>(1, l_f / 40);
+            baselines::Fgd fgd(ev.model.classifier(), fcfg);
+            const auto q = ev.quality([&](const tensor::Vector &h) {
+                return fgd.infer(h).logits;
+            });
+            printRow({"FGD", "ef=" + std::to_string(ef),
+                      fmt(100 * q.top1, "%.1f"), fmt(100 * q.dist, "%.1f"),
+                      fmt(fgdSpeedup(w, fgd.avgVisited(), double(l_f),
+                                     fcfg.degree),
+                          "%.1f")});
+        }
+    }
+
+    std::printf(
+        "\nPaper shape (Fig. 11): AS reaches ~lossless quality at 5.7-17.4x\n"
+        "speedup depending on the workload; at matched quality, AS offers a\n"
+        "better speedup than both SVD-softmax (FP32 preview, ~4x costlier)\n"
+        "and FGD (graph search with no approximate tail).\n");
+    return 0;
+}

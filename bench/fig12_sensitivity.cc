@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: sensitivity of Approximate Screening to
+ *  (a) the screener parameter-reduction scale (vs the full classifier) —
+ *      the paper picks 0.25 as the quality-preserving point;
+ *  (b) the quantization level of the screening module — 4-bit fixed point
+ *      maintains approximation quality comparable to FP32.
+ */
+
+#include "bench_common.h"
+#include "screening/metrics.h"
+#include "screening/trainer.h"
+#include "workloads/synthetic.h"
+
+using namespace enmc;
+using namespace enmc::bench;
+
+namespace {
+
+struct Result
+{
+    double recall;
+    double top1;
+    double mse;
+};
+
+Result
+evaluate(const workloads::SyntheticModel &model,
+         const std::vector<tensor::Vector> &train,
+         const std::vector<tensor::Vector> &eval, double scale,
+         tensor::QuantBits quant)
+{
+    screening::ScreenerConfig cfg;
+    cfg.categories = model.classifier().categories();
+    cfg.hidden = model.classifier().hidden();
+    cfg.reduction_scale = scale;
+    cfg.quant = quant;
+    cfg.selection = screening::SelectionMode::TopM;
+    cfg.top_m = cfg.categories / 32;
+    Rng rng(42);
+    screening::Screener screener(cfg, rng);
+    screening::Trainer trainer(model.classifier(), screener,
+                               screening::TrainerConfig{});
+    const auto report = trainer.train(train, {});
+    screener.freezeQuantized();
+    screening::Pipeline pipe(model.classifier(), screener);
+    const auto q = screening::evaluateQuality(pipe, eval, 5);
+    return {q.candidate_recall, q.top1_agreement, report.final_val_mse};
+}
+
+} // namespace
+
+int
+main()
+{
+    const workloads::Workload w =
+        workloads::findWorkload("Transformer-W268K");
+    workloads::SyntheticModel model(w.functionalConfig());
+    Rng rng = model.makeRng(1);
+    const auto train = model.sampleHiddenBatch(rng, 256);
+    const auto eval = model.sampleHiddenBatch(rng, 64);
+
+    printHeader("Figure 12(a): parameter reduction scale sweep (INT4)");
+    printRow({"scale", "screener-MB*", "recall%", "top1%", "train-mse"});
+    for (double scale : {0.0625, 0.125, 0.25, 0.5}) {
+        const Result r = evaluate(model, train, eval, scale,
+                                  tensor::QuantBits::Int4);
+        // Full-scale screener footprint at this scale (INT4).
+        const double mb =
+            double(w.categories) * (w.hidden * scale) * 0.5 / 1e6;
+        printRow({fmt(scale, "%.4f"), fmt(mb, "%.1f"),
+                  fmt(100 * r.recall, "%.1f"), fmt(100 * r.top1, "%.1f"),
+                  fmt(r.mse, "%.3f")});
+    }
+    std::printf("(*) projected full-scale screener weight footprint.\n");
+
+    printHeader("Figure 12(b): quantization level sweep (scale 0.25)");
+    printRow({"precision", "bytes/elem", "recall%", "top1%", "train-mse"});
+    struct Level
+    {
+        const char *name;
+        tensor::QuantBits bits;
+        double bytes;
+    };
+    for (const Level lv : {Level{"FP32", tensor::QuantBits::Fp32, 4.0},
+                           Level{"INT8", tensor::QuantBits::Int8, 1.0},
+                           Level{"INT4", tensor::QuantBits::Int4, 0.5},
+                           Level{"INT2", tensor::QuantBits::Int2, 0.25}}) {
+        const Result r = evaluate(model, train, eval, 0.25, lv.bits);
+        printRow({lv.name, fmt(lv.bytes, "%.2f"),
+                  fmt(100 * r.recall, "%.1f"), fmt(100 * r.top1, "%.1f"),
+                  fmt(r.mse, "%.3f")});
+    }
+
+    std::printf(
+        "\nPaper shape (Fig. 12): quality saturates by scale 0.25, and INT4\n"
+        "matches FP32 approximation quality while INT2 degrades — the\n"
+        "basis for the paper's 0.25 / INT4 operating point.\n");
+    return 0;
+}

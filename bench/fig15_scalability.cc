@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: end-to-end performance scalability on the
+ * synthetic S1M / S10M / S100M datasets (plus XMLCNN-670K as the anchor),
+ * all with the XMLCNN front-end, for TensorDIMM, TensorDIMM-Large and
+ * ENMC, normalized to the CPU baseline.
+ *
+ * End-to-end = front-end feature extraction on the host (compute-bound,
+ * identical across schemes) + classification on the evaluated scheme.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace enmc;
+using namespace enmc::bench;
+
+int
+main()
+{
+    printHeader("Figure 15: end-to-end scalability (normalized to CPU)");
+    printRow({"dataset", "TensorDIMM", "TD-Large", "ENMC", "ENMC/TD",
+              "ENMC/TDL"});
+
+    nmp::CpuConfig cpu;
+    double geo_td = 0.0, geo_tdl = 0.0;
+    int n = 0;
+
+    std::vector<workloads::Workload> sets;
+    sets.push_back(workloads::findWorkload("XMLCNN-670K"));
+    for (auto &w : workloads::scalabilityWorkloads())
+        sets.push_back(w);
+
+    for (const auto &w : sets) {
+        // Baselines select candidates host-side at the conservative
+        // budget; ENMC's FILTER applies the tightened one.
+        const runtime::JobSpec spec = jobSpecFor(w, 1);
+        const runtime::JobSpec enmc_spec = jobSpecFor(w, 1, true);
+        // Front-end time on the host (runs in every configuration): the
+        // XMLCNN conv stack slides over a whole document (~512 token
+        // positions) before one classification, so the end-to-end number
+        // carries a fixed front-end cost that amortizes as the
+        // classification side scales — the source of Fig. 15's growth.
+        const uint64_t doc_positions = 512;
+        const double fe_seconds =
+            2.0 * w.frontend.hiddenParams() * doc_positions /
+            cpu.peakFlops();
+
+        const double cpu_e2e = fe_seconds + cpuFullSeconds(spec);
+        const double td_e2e =
+            fe_seconds + nmpSeconds(nmp::EngineConfig::tensorDimm(), spec);
+        const double tdl_e2e =
+            fe_seconds +
+            nmpSeconds(nmp::EngineConfig::tensorDimmLarge(), spec);
+        const double enmc_e2e = fe_seconds + enmcSeconds(enmc_spec);
+
+        printRow({w.abbr, fmt(cpu_e2e / td_e2e, "%.1f"),
+                  fmt(cpu_e2e / tdl_e2e, "%.1f"),
+                  fmt(cpu_e2e / enmc_e2e, "%.1f"),
+                  fmt(td_e2e / enmc_e2e, "%.2f"),
+                  fmt(tdl_e2e / enmc_e2e, "%.2f")});
+        geo_td += std::log(td_e2e / enmc_e2e);
+        geo_tdl += std::log(tdl_e2e / enmc_e2e);
+        ++n;
+    }
+
+    std::printf("\ngeomean ENMC advantage: %.1fx vs TensorDIMM (paper 4.7x),"
+                " %.1fx vs TensorDIMM-Large (paper 2.9x)\n",
+                std::exp(geo_td / n), std::exp(geo_tdl / n));
+    std::printf(
+        "\nPaper shape (Fig. 15): ENMC's lead over TensorDIMM(-Large) grows\n"
+        "with category count (paper: 2.2x/1.6x on the smaller datasets ->\n"
+        "7.1x/4.2x on the largest) because ENMC streams the lightweight\n"
+        "classification without buffering intermediates back to DRAM.\n");
+    return 0;
+}

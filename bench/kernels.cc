@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the numeric kernels the library is
+ * built on: full GEMV, quantized GEMV, sparse projection, top-k selection
+ * and the SFU-style Taylor softmax. These are the host-side costs of the
+ * algorithm-level experiments (Fig. 11/12).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/projection.h"
+#include "tensor/quantize.h"
+#include "tensor/topk.h"
+
+using namespace enmc;
+using namespace enmc::tensor;
+
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(rng.normal());
+    return m;
+}
+
+Vector
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    return v;
+}
+
+void
+BM_GemvFp32(benchmark::State &state)
+{
+    const size_t l = state.range(0);
+    const size_t d = 128;
+    const Matrix w = randomMatrix(l, d, 1);
+    const Vector h = randomVector(d, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gemv(w, h));
+    state.SetBytesProcessed(int64_t(state.iterations()) * l * d * 4);
+}
+BENCHMARK(BM_GemvFp32)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void
+BM_GemvInt4(benchmark::State &state)
+{
+    const size_t l = state.range(0);
+    const size_t d = 128;
+    const QuantizedMatrix wq = quantize(randomMatrix(l, d, 3),
+                                        QuantBits::Int4);
+    const QuantizedVector hq = quantize(randomVector(d, 4),
+                                        QuantBits::Int4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gemvQuantized(wq, hq, {}));
+    state.SetItemsProcessed(int64_t(state.iterations()) * l * d);
+}
+BENCHMARK(BM_GemvInt4)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void
+BM_SparseProjection(benchmark::State &state)
+{
+    const size_t d = state.range(0);
+    const size_t k = d / 4;
+    Rng rng(5);
+    const SparseProjection p(k, d, rng);
+    const Vector h = randomVector(d, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.apply(h));
+    state.SetItemsProcessed(int64_t(state.iterations()) * p.nonZeros());
+}
+BENCHMARK(BM_SparseProjection)->Arg(512)->Arg(1024)->Arg(1536);
+
+void
+BM_TopK(benchmark::State &state)
+{
+    const size_t l = state.range(0);
+    const Vector z = randomVector(l, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(topkIndices(z, 64));
+    state.SetItemsProcessed(int64_t(state.iterations()) * l);
+}
+BENCHMARK(BM_TopK)->Arg(8192)->Arg(65536)->Arg(262144);
+
+void
+BM_ThresholdFilter(benchmark::State &state)
+{
+    const size_t l = state.range(0);
+    const Vector z = randomVector(l, 8);
+    const float cut = thresholdForCount(z, 64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(thresholdIndices(z, cut));
+    state.SetItemsProcessed(int64_t(state.iterations()) * l);
+}
+BENCHMARK(BM_ThresholdFilter)->Arg(8192)->Arg(65536)->Arg(262144);
+
+void
+BM_SoftmaxExact(benchmark::State &state)
+{
+    const Vector z = randomVector(state.range(0), 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(softmax(z));
+    state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SoftmaxExact)->Arg(8192)->Arg(65536);
+
+void
+BM_SoftmaxTaylor(benchmark::State &state)
+{
+    const Vector z = randomVector(state.range(0), 10);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(softmaxTaylor(z));
+    state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SoftmaxTaylor)->Arg(8192)->Arg(65536);
+
+void
+BM_Quantize(benchmark::State &state)
+{
+    const Matrix w = randomMatrix(state.range(0), 128, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quantize(w, QuantBits::Int4));
+    state.SetItemsProcessed(int64_t(state.iterations()) * w.size());
+}
+BENCHMARK(BM_Quantize)->Arg(1024)->Arg(16384);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces paper Table 5: area and power breakdown of the ENMC logic
+ * (TSMC 28nm @ 400 MHz), with the share analysis quoted in Section 7.2.
+ */
+
+#include "bench_common.h"
+#include "energy/model.h"
+
+using namespace enmc;
+using namespace enmc::bench;
+
+int
+main()
+{
+    printHeader("Table 5: ENMC area & power estimation");
+    printRow({"block", "area-mm2", "power-mW", "area%", "power%"}, 18);
+
+    const auto blocks = energy::enmcLogicBlocks();
+    const double total_area = energy::enmcLogicArea();
+    const double total_power = energy::enmcLogicPower();
+    for (const auto &b : blocks) {
+        printRow({b.name, fmt(b.area_mm2, "%.3f"), fmt(b.power_mw, "%.1f"),
+                  fmt(100 * b.area_mm2 / total_area, "%.1f"),
+                  fmt(100 * b.power_mw / total_power, "%.1f")},
+                 18);
+    }
+    printRow({"Total", fmt(total_area, "%.3f"), fmt(total_power, "%.1f"),
+              "100.0", "100.0"},
+             18);
+
+    // The shares the paper calls out.
+    const double compute_area = blocks[0].area_mm2 + blocks[1].area_mm2;
+    const double compute_power = blocks[0].power_mw + blocks[1].power_mw;
+    const double buffer_area = blocks[2].area_mm2 + blocks[3].area_mm2;
+    const double buffer_power = blocks[2].power_mw + blocks[3].power_mw;
+    std::printf("\ncompute units: %.1f%% area, %.1f%% power"
+                " (paper: 40.8%% area [of core], 25%% power)\n",
+                100 * compute_area / total_area,
+                100 * compute_power / total_power);
+    std::printf("buffers:       %.1f%% area, %.1f%% power"
+                " (paper: 23.5%% area, 32.2%% power)\n",
+                100 * buffer_area / total_area,
+                100 * buffer_power / total_power);
+    std::printf("controllers:   ENMC ctrl %.1f%%/%.1f%%, DRAM ctrl"
+                " %.1f%%/%.1f%% (paper: 9.0/12.4 and 34.8/29.5)\n",
+                100 * blocks[4].area_mm2 / total_area,
+                100 * blocks[4].power_mw / total_power,
+                100 * blocks[5].area_mm2 / total_area,
+                100 * blocks[5].power_mw / total_power);
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Neural machine translation scenario (the paper's GNMT-E32K workload):
+ * beam-search decoding where every step's next-word distribution comes
+ * from extreme classification over the target vocabulary.
+ *
+ * The example decodes the same synthetic "sentences" twice — once with
+ * exact full classification, once with approximate screening — and
+ * reports how often the translations match, plus the per-step cost
+ * reduction. This is the paper's motivating use case: beam search needs
+ * only the top-K words to be accurate.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <cstdio>
+
+#include "nn/beam.h"
+#include "screening/metrics.h"
+#include "screening/pipeline.h"
+#include "screening/trainer.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+#include "workloads/synthetic.h"
+
+using namespace enmc;
+
+namespace {
+
+/**
+ * A synthetic decoder. Real decoder states produce *sharp* next-word
+ * distributions (one or a few words far above the tail) — the property
+ * both beam search and screening rely on. The transition therefore maps
+ * (state, emitted token) deterministically to a fresh hidden vector with
+ * the model's calibrated top-word structure: the same token prefix always
+ * yields the same state, so the exact and screened decoders are
+ * comparable step by step, exactly as in teacher-forced evaluation.
+ */
+struct SyntheticDecoder
+{
+    const workloads::SyntheticModel &model;
+    tensor::Vector h0;
+
+    SyntheticDecoder(const workloads::SyntheticModel &m, Rng &rng)
+        : model(m), h0(m.sampleHidden(rng))
+    {
+    }
+
+    static uint64_t
+    mixState(const tensor::Vector &h, uint32_t token)
+    {
+        uint64_t seed = 0x9e3779b97f4a7c15ull + token;
+        for (size_t i = 0; i < 4 && i < h.size(); ++i) {
+            uint32_t bits;
+            std::memcpy(&bits, &h[i], sizeof(bits));
+            seed = (seed ^ bits) * 0xbf58476d1ce4e5b9ull;
+        }
+        return seed;
+    }
+
+    tensor::Vector
+    advance(const tensor::Vector &h, uint32_t token) const
+    {
+        Rng step_rng(mixState(h, token));
+        return model.sampleHidden(step_rng);
+    }
+};
+
+tensor::Vector
+toLogProbs(tensor::Vector logits)
+{
+    const double lse = tensor::logSumExp(logits);
+    for (auto &v : logits)
+        v = static_cast<float>(v - lse);
+    return logits;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Target vocabulary ~ GNMT-E32K at functional scale.
+    workloads::SyntheticConfig cfg;
+    cfg.categories = 8192;
+    cfg.hidden = 96;
+    workloads::SyntheticModel model(cfg);
+    Rng rng = model.makeRng(11);
+
+    // Train the screener once, offline.
+    screening::ScreenerConfig scfg;
+    scfg.categories = cfg.categories;
+    scfg.hidden = cfg.hidden;
+    scfg.selection = screening::SelectionMode::TopM;
+    scfg.top_m = 256;
+    screening::Screener screener(scfg, rng);
+    SyntheticDecoder decoder(model, rng);
+
+    // Distill the screener on the decode-state distribution (Algorithm 1).
+    screening::Trainer trainer(model.classifier(), screener,
+                               screening::TrainerConfig{});
+    trainer.train(model.sampleHiddenBatch(rng, 256), {});
+    screener.freezeQuantized();
+    screening::Pipeline pipeline(model.classifier(), screener);
+
+    // Exact and screened scoring functions for the beam search.
+    uint64_t full_steps = 0, as_steps = 0;
+    screening::Cost full_cost{}, as_cost{};
+    nn::DecoderInterface exact;
+    exact.initial_state = [&] { return decoder.h0; };
+    exact.advance = [&](const tensor::Vector &h, uint32_t t) {
+        return decoder.advance(h, t);
+    };
+    exact.log_probs = [&](const tensor::Vector &h) {
+        ++full_steps;
+        const auto r = pipeline.inferFull(h);
+        full_cost += r.cost;
+        return toLogProbs(r.logits);
+    };
+
+    nn::DecoderInterface screened = exact;
+    screened.log_probs = [&](const tensor::Vector &h) {
+        ++as_steps;
+        auto r = pipeline.infer(h);
+        as_cost += r.cost;
+        // Beam expansion chooses among the *accurately computed*
+        // candidates; the approximate tail only feeds the softmax
+        // normalizer (the paper's top-K usage: only top probabilities
+        // need to be accurate).
+        tensor::Vector masked(r.logits.size(), -1e30f);
+        for (uint32_t c : r.candidates)
+            masked[c] = r.logits[c];
+        const double lse = tensor::logSumExp(r.logits);
+        for (auto &v : masked)
+            if (v > -1e29f)
+                v = static_cast<float>(v - lse);
+        return masked;
+    };
+
+    nn::BeamConfig bc;
+    bc.beam_width = 4;
+    bc.max_steps = 12;
+    bc.eos_token = 0;
+    bc.length_penalty = 0.6;
+
+    // Decode with the exact model, then replay the winning state sequence
+    // and ask the screened classifier for its choice at every step —
+    // teacher-forced next-token agreement, the step-level quantity BLEU
+    // is monotone in. (Free-running decode comparison is uninformative in
+    // a synthetic decoder: one early tie flips the entire chaotic suffix.)
+    int sentences = 8;
+    uint64_t steps = 0, top1_match = 0;
+    double beam_recall = 0.0;
+    for (int s = 0; s < sentences; ++s) {
+        decoder.h0 = model.sampleHidden(rng);
+        const auto ref = nn::beamSearch(exact, bc);
+        tensor::Vector state = decoder.h0;
+        for (uint32_t tok : ref.front().tokens) {
+            const auto exact_lp = exact.log_probs(state);
+            const auto screened_lp = screened.log_probs(state);
+            const auto exact_top = tensor::topkIndices(exact_lp, 4);
+            const auto screened_top = tensor::topkIndices(screened_lp, 4);
+            top1_match += (exact_top[0] == screened_top[0]);
+            beam_recall += tensor::recall(screened_top, exact_top);
+            ++steps;
+            if (tok == bc.eos_token)
+                break;
+            state = decoder.advance(state, tok);
+        }
+        std::printf("sentence %d: %zu tokens decoded\n", s,
+                    ref.front().tokens.size());
+    }
+
+    // Per-step cost comparison (the two paths executed different step
+    // counts, so normalize before comparing).
+    screening::Cost full_per_step = full_cost;
+    screening::Cost as_per_step = as_cost;
+    full_per_step.flops /= std::max<uint64_t>(full_steps, 1);
+    full_per_step.bytes_read /= std::max<uint64_t>(full_steps, 1);
+    as_per_step.flops /= std::max<uint64_t>(as_steps, 1);
+    as_per_step.bytes_read /= std::max<uint64_t>(as_steps, 1);
+    const double speedup =
+        screening::costSpeedup(full_per_step, as_per_step);
+    std::printf("\nteacher-forced agreement over %llu decode steps:\n",
+                static_cast<unsigned long long>(steps));
+    std::printf("  next-token (top-1) match: %.1f%%\n",
+                100.0 * top1_match / steps);
+    std::printf("  beam-set (top-4) recall:  %.1f%%\n",
+                100.0 * beam_recall / steps);
+    std::printf("per-step classification cost reduced %.1fx "
+                "(bytes/step: %.2f MB -> %.2f MB)\n",
+                speedup, full_per_step.bytes_read / 1e6,
+                as_per_step.bytes_read / 1e6);
+    std::printf("\n(The paper's Fig. 11(a): 11.8x speedup on GNMT with no "
+                "BLEU loss.)\n");
+    return 0;
+}

@@ -1,0 +1,228 @@
+#include "baselines/fgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace enmc::baselines {
+
+namespace {
+
+/** (score, node) pairs for the search heaps. */
+struct Scored
+{
+    float score;
+    uint32_t node;
+};
+
+struct ScoreLess
+{
+    bool operator()(const Scored &a, const Scored &b) const
+    {
+        return a.score < b.score;
+    }
+};
+
+struct ScoreGreater
+{
+    bool operator()(const Scored &a, const Scored &b) const
+    {
+        return a.score > b.score;
+    }
+};
+
+} // namespace
+
+Fgd::Fgd(const nn::Classifier &classifier, const FgdConfig &cfg)
+    : classifier_(classifier), cfg_(cfg)
+{
+    const size_t l = classifier.categories();
+    ENMC_ASSERT(l >= 2, "FGD needs at least two categories");
+    ENMC_ASSERT(cfg.degree >= 2, "FGD degree too small");
+    neighbors_.assign(l * cfg_.degree, UINT32_MAX);
+
+    // Row norms for cosine similarity during construction.
+    std::vector<float> norms(l);
+    for (size_t r = 0; r < l; ++r)
+        norms[r] = static_cast<float>(
+            std::max(tensor::norm2(classifier.weights().row(r)), 1e-12));
+
+    auto cosine = [&](uint32_t a, uint32_t b) {
+        return tensor::dot(classifier_.weights().row(a),
+                           classifier_.weights().row(b)) /
+               (norms[a] * norms[b]);
+    };
+
+    // Incremental NSW construction: greedy-search the partial graph for
+    // each new node's nearest neighbors, then connect bidirectionally with
+    // degree-bounded pruning.
+    Rng rng(cfg.seed);
+    auto neighborSpan = [&](uint32_t n) {
+        return std::span<uint32_t>(neighbors_.data() + n * cfg_.degree,
+                                   cfg_.degree);
+    };
+    auto connect = [&](uint32_t from, uint32_t to) {
+        auto nb = neighborSpan(from);
+        // Fill an empty slot, or replace the least-similar neighbor.
+        uint32_t worst = 0;
+        float worst_sim = std::numeric_limits<float>::infinity();
+        for (uint32_t s = 0; s < cfg_.degree; ++s) {
+            if (nb[s] == UINT32_MAX) {
+                nb[s] = to;
+                return;
+            }
+            if (nb[s] == to)
+                return;
+            const float sim = cosine(from, nb[s]);
+            if (sim < worst_sim) {
+                worst_sim = sim;
+                worst = s;
+            }
+        }
+        if (cosine(from, to) > worst_sim)
+            nb[worst] = to;
+    };
+
+    for (uint32_t node = 1; node < l; ++node) {
+        // Greedy search among already-inserted nodes [0, node).
+        std::unordered_set<uint32_t> visited;
+        std::priority_queue<Scored, std::vector<Scored>, ScoreLess> frontier;
+        std::priority_queue<Scored, std::vector<Scored>, ScoreGreater> best;
+        auto consider = [&](uint32_t cand) {
+            if (!visited.insert(cand).second)
+                return;
+            const float sim = cosine(node, cand);
+            if (best.size() < cfg_.build_ef || sim > best.top().score) {
+                frontier.push({sim, cand});
+                best.push({sim, cand});
+                if (best.size() > cfg_.build_ef)
+                    best.pop();
+            }
+        };
+        consider(entry_);
+        // A random restart improves connectivity of early clusters.
+        consider(static_cast<uint32_t>(rng.uniformInt(0, node - 1)));
+        while (!frontier.empty()) {
+            const Scored cur = frontier.top();
+            frontier.pop();
+            if (best.size() == cfg_.build_ef && cur.score < best.top().score)
+                break;
+            for (uint32_t nb : neighborSpan(cur.node)) {
+                if (nb != UINT32_MAX && nb < node)
+                    consider(nb);
+            }
+        }
+        std::vector<Scored> found;
+        while (!best.empty()) {
+            found.push_back(best.top());
+            best.pop();
+        }
+        std::sort(found.begin(), found.end(),
+                  [](const Scored &a, const Scored &b) {
+                      return a.score > b.score;
+                  });
+        const size_t links = std::min<size_t>(cfg_.degree, found.size());
+        for (size_t i = 0; i < links; ++i) {
+            connect(node, found[i].node);
+            connect(found[i].node, node);
+        }
+    }
+}
+
+float
+Fgd::score(uint32_t r, std::span<const float> h) const
+{
+    return classifier_.logit(r, h);
+}
+
+std::vector<uint32_t>
+Fgd::search(std::span<const float> h, size_t top_n, uint64_t *visited_out)
+    const
+{
+    std::unordered_set<uint32_t> visited;
+    std::priority_queue<Scored, std::vector<Scored>, ScoreLess> frontier;
+    std::priority_queue<Scored, std::vector<Scored>, ScoreGreater> best;
+    const size_t ef = std::max(cfg_.ef_search, top_n);
+
+    auto consider = [&](uint32_t cand) {
+        if (!visited.insert(cand).second)
+            return;
+        const float s = score(cand, h);
+        if (best.size() < ef || s > best.top().score) {
+            frontier.push({s, cand});
+            best.push({s, cand});
+            if (best.size() > ef)
+                best.pop();
+        }
+    };
+    consider(entry_);
+    while (!frontier.empty()) {
+        const Scored cur = frontier.top();
+        frontier.pop();
+        if (best.size() == ef && cur.score < best.top().score)
+            break;
+        const uint32_t *nb = neighbors_.data() +
+                             static_cast<size_t>(cur.node) * cfg_.degree;
+        for (uint32_t s = 0; s < cfg_.degree; ++s)
+            if (nb[s] != UINT32_MAX)
+                consider(nb[s]);
+    }
+
+    std::vector<Scored> found;
+    while (!best.empty()) {
+        found.push_back(best.top());
+        best.pop();
+    }
+    std::sort(found.begin(), found.end(),
+              [](const Scored &a, const Scored &b) {
+                  return a.score > b.score;
+              });
+    if (found.size() > top_n)
+        found.resize(top_n);
+    std::vector<uint32_t> out;
+    out.reserve(found.size());
+    for (const auto &f : found)
+        out.push_back(f.node);
+
+    total_visited_ += visited.size();
+    ++queries_;
+    if (visited_out)
+        *visited_out = visited.size();
+    return out;
+}
+
+screening::PipelineResult
+Fgd::infer(std::span<const float> h) const
+{
+    const size_t l = classifier_.categories();
+    screening::PipelineResult res;
+    // Tail categories keep the bias prior (FGD computes nothing for them).
+    res.logits.assign(classifier_.bias().begin(), classifier_.bias().end());
+    uint64_t visited = 0;
+    res.candidates = search(h, cfg_.top_n, &visited);
+    for (uint32_t c : res.candidates)
+        res.logits[c] = classifier_.logit(c, h);
+    res.probabilities =
+        classifier_.normalization() == nn::Normalization::Softmax
+            ? tensor::softmax(res.logits)
+            : tensor::sigmoid(res.logits);
+    const size_t d = classifier_.hidden();
+    res.cost.flops = 2ull * visited * d;
+    // Graph search touches weight rows + adjacency lists of visited nodes.
+    res.cost.bytes_read =
+        visited * (d * sizeof(float) + cfg_.degree * sizeof(uint32_t));
+    (void)l;
+    return res;
+}
+
+double
+Fgd::avgVisited() const
+{
+    return queries_ ? static_cast<double>(total_visited_) / queries_ : 0.0;
+}
+
+} // namespace enmc::baselines

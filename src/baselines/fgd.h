@@ -1,0 +1,70 @@
+/**
+ * @file
+ * FGD baseline (Zhang et al., NeurIPS 2018 — paper reference [48]):
+ * fast softmax decoding via graph-based nearest-neighbor search.
+ *
+ * The classifier rows are organized into a navigable small-world graph
+ * under the maximum-inner-product metric (rows augmented to unit norm via
+ * the standard MIPS->cosine reduction). At inference, a greedy best-first
+ * search with beam `ef` visits a small fraction of rows, computing exact
+ * inner products only for visited nodes, and returns the top-N. Unvisited
+ * categories get no refined logit — FGD, unlike AS, produces no cheap
+ * approximation for the tail, so their logits fall back to the bias prior.
+ */
+
+#ifndef ENMC_BASELINES_FGD_H
+#define ENMC_BASELINES_FGD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/classifier.h"
+#include "screening/pipeline.h"
+
+namespace enmc::baselines {
+
+/** Small-world-graph hyperparameters. */
+struct FgdConfig
+{
+    size_t degree = 16;      //!< out-degree M of each node
+    size_t ef_search = 64;   //!< search beam width
+    size_t top_n = 16;       //!< refined candidates returned
+    size_t build_ef = 32;    //!< beam width during construction
+    uint64_t seed = 7;
+};
+
+/** Graph-based approximate top-N classifier. */
+class Fgd
+{
+  public:
+    /** Builds the search graph over the classifier rows (offline). */
+    Fgd(const nn::Classifier &classifier, const FgdConfig &cfg);
+
+    /** Approximate inference; tail categories keep the bias prior. */
+    screening::PipelineResult infer(std::span<const float> h) const;
+
+    /** Search for the top-N rows by inner product with h. */
+    std::vector<uint32_t> search(std::span<const float> h,
+                                 size_t top_n, uint64_t *visited) const;
+
+    size_t degree() const { return cfg_.degree; }
+
+    /** Average nodes visited per query (filled after queries ran). */
+    double avgVisited() const;
+
+  private:
+    /** Inner product of classifier row r with the query. */
+    float score(uint32_t r, std::span<const float> h) const;
+
+    const nn::Classifier &classifier_;
+    FgdConfig cfg_;
+    std::vector<uint32_t> neighbors_;   //!< flat adjacency, degree per node
+    uint32_t entry_ = 0;
+    mutable uint64_t total_visited_ = 0;
+    mutable uint64_t queries_ = 0;
+};
+
+} // namespace enmc::baselines
+
+#endif // ENMC_BASELINES_FGD_H

@@ -1,0 +1,72 @@
+#include "baselines/svd_softmax.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+
+namespace enmc::baselines {
+
+SvdSoftmax::SvdSoftmax(const nn::Classifier &classifier,
+                       const SvdSoftmaxConfig &cfg)
+    : classifier_(classifier), cfg_(cfg)
+{
+    const size_t d = classifier.hidden();
+    window_ = cfg.window ? cfg.window : d / 4;
+    ENMC_ASSERT(window_ >= 1 && window_ <= d, "bad SVD-softmax window");
+    const tensor::SvdResult svd = tensor::thinSvd(classifier.weights());
+    b_ = svd.uSigma();
+    vt_ = tensor::transpose(svd.v);
+}
+
+screening::PipelineResult
+SvdSoftmax::infer(std::span<const float> h) const
+{
+    const size_t l = classifier_.categories();
+    const size_t d = classifier_.hidden();
+    const tensor::Vector &bias = classifier_.bias();
+
+    // One rotation: h~ = Vᵀ h.
+    const tensor::Vector ht = tensor::gemv(vt_, h);
+
+    // Preview over the leading `window` singular directions.
+    screening::PipelineResult res;
+    res.logits.resize(l);
+    std::span<const float> ht_win(ht.data(), window_);
+    for (size_t r = 0; r < l; ++r) {
+        std::span<const float> row(b_.row(r).data(), window_);
+        res.logits[r] = tensor::dot(row, ht_win) + bias[r];
+    }
+
+    // Refine the top-N previews with the remaining columns.
+    res.candidates = tensor::topkIndices(res.logits, cfg_.top_n);
+    for (uint32_t c : res.candidates) {
+        std::span<const float> rest(b_.row(c).data() + window_,
+                                    d - window_);
+        std::span<const float> ht_rest(ht.data() + window_, d - window_);
+        res.logits[c] += tensor::dot(rest, ht_rest);
+    }
+
+    res.probabilities =
+        classifier_.normalization() == nn::Normalization::Softmax
+            ? tensor::softmax(res.logits)
+            : tensor::sigmoid(res.logits);
+    res.cost = inferenceCost();
+    return res;
+}
+
+screening::Cost
+SvdSoftmax::inferenceCost() const
+{
+    const size_t l = classifier_.categories();
+    const size_t d = classifier_.hidden();
+    screening::Cost c;
+    // Rotation (2 d^2) + preview (2 l w) + refinement (2 N (d - w)).
+    c.flops = 2ull * d * d + 2ull * l * window_ +
+              2ull * cfg_.top_n * (d - window_);
+    // FP32 traffic: Vᵀ once, preview columns of B, refined row remainders.
+    c.bytes_read = (d * d + l * window_ + cfg_.top_n * (d - window_)) *
+                   sizeof(float);
+    return c;
+}
+
+} // namespace enmc::baselines

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SVD-softmax baseline (Shim et al., NeurIPS 2017 — paper reference [37]).
+ *
+ * Offline, the classifier weight W is decomposed as W = U Σ Vᵀ and the
+ * preview matrix B = U Σ is stored with columns ordered by singular value.
+ * Online, the hidden vector is rotated once (h~ = Vᵀ h), a *preview* logit
+ * is computed for every category from only the first `window` columns of B
+ * (the most significant singular directions), the top-N categories by
+ * preview are refined with full-width dot products, and the outputs are
+ * mixed exactly like approximate screening.
+ *
+ * The key contrast with AS (paper Section 7.1): the preview runs in FP32
+ * over `window` columns, so at the same preview dimension its compute and
+ * traffic are ~4x AS's INT4 screening, and quality depends on W actually
+ * being low-rank.
+ */
+
+#ifndef ENMC_BASELINES_SVD_SOFTMAX_H
+#define ENMC_BASELINES_SVD_SOFTMAX_H
+
+#include <cstdint>
+
+#include "nn/classifier.h"
+#include "screening/pipeline.h"
+#include "tensor/svd.h"
+
+namespace enmc::baselines {
+
+/** SVD-softmax hyperparameters. */
+struct SvdSoftmaxConfig
+{
+    /** Preview window: number of leading singular directions used. */
+    size_t window = 0;      //!< 0 -> d / 4
+    /** Number of rows refined with full-precision dot products. */
+    size_t top_n = 16;
+};
+
+/** SVD-softmax approximate classifier. */
+class SvdSoftmax
+{
+  public:
+    /** Decomposes the classifier's weights (offline phase). */
+    SvdSoftmax(const nn::Classifier &classifier,
+               const SvdSoftmaxConfig &cfg);
+
+    /** Approximate inference with mixed preview/refined logits. */
+    screening::PipelineResult infer(std::span<const float> h) const;
+
+    size_t window() const { return window_; }
+    size_t topN() const { return cfg_.top_n; }
+
+    /** Cost of one inference (rotation + preview + refinement). */
+    screening::Cost inferenceCost() const;
+
+  private:
+    const nn::Classifier &classifier_;
+    SvdSoftmaxConfig cfg_;
+    size_t window_;
+    tensor::Matrix b_;     //!< U Σ (l x d), columns by descending sigma
+    tensor::Matrix vt_;    //!< Vᵀ (d x d)
+};
+
+} // namespace enmc::baselines
+
+#endif // ENMC_BASELINES_SVD_SOFTMAX_H

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace enmc {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::emit(LogLevel level, std::string_view tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(level_))
+        return;
+    std::fprintf(stderr, "[%.*s] %s\n", static_cast<int>(tag.size()),
+                 tag.data(), msg.c_str());
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace enmc

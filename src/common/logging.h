@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Logging and error-reporting utilities.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (simulator bugs), fatal() for user/configuration errors, warn()/inform()
+ * for non-fatal status messages.
+ */
+
+#ifndef ENMC_COMMON_LOGGING_H
+#define ENMC_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace enmc {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel {
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/**
+ * Global logging controls. A single process-wide instance keeps the
+ * interface trivial for simulator components.
+ */
+class Logger
+{
+  public:
+    /** Access the process-wide logger. */
+    static Logger &instance();
+
+    /** Set the verbosity threshold below which messages are dropped. */
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /** Emit a message at the given level to stderr. */
+    void emit(LogLevel level, std::string_view tag, const std::string &msg);
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::Warn;
+};
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort the process because an internal invariant was violated. Use for
+ * conditions that indicate a bug in the simulator itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *file, int line, Args &&...args)
+{
+    detail::panicImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Exit the process because of a user-caused error (bad configuration,
+ * invalid arguments). Not a simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *file, int line, Args &&...args)
+{
+    detail::fatalImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a warning: something may be wrong but simulation continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    Logger::instance().emit(LogLevel::Warn, "warn",
+                            detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    Logger::instance().emit(LogLevel::Inform, "info",
+                            detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace enmc
+
+#define ENMC_PANIC(...) ::enmc::panic(__FILE__, __LINE__, __VA_ARGS__)
+#define ENMC_FATAL(...) ::enmc::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an invariant with a formatted message; active in all builds. */
+#define ENMC_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::enmc::panic(__FILE__, __LINE__, "assertion failed: " #cond " ",\
+                          ##__VA_ARGS__);                                    \
+        }                                                                    \
+    } while (0)
+
+#endif // ENMC_COMMON_LOGGING_H

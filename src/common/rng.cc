@@ -1,0 +1,158 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enmc {
+
+namespace {
+
+/** splitmix64 step, used only for seeding. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    ENMC_ASSERT(lo <= hi, "bad uniformInt range");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>((*this)());
+    // Modulo bias is < 2^-40 for all spans used here; acceptable.
+    return lo + static_cast<int64_t>((*this)() % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareNormal_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareNormal_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+int
+Rng::projectionEntry()
+{
+    const uint64_t draw = (*this)() % 6;
+    if (draw == 0)
+        return 1;
+    if (draw == 1)
+        return -1;
+    return 0;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha)
+{
+    ENMC_ASSERT(n >= 1, "ZipfSampler needs n >= 1");
+    ENMC_ASSERT(alpha > 0.0 && alpha != 1.0,
+                "alpha must be > 0 and != 1 (use 1.0001 for ~1)");
+    hx0_ = h(0.5) - 1.0;
+    hxm_ = h(static_cast<double>(n_) + 0.5);
+    hx1_ = h(1.5) - 1.0;
+    s_ = 1.0 - hInv(h(1.5) - std::pow(2.0, -alpha_));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-alpha.
+    return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+}
+
+uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    while (true) {
+        const double u = hxm_ + rng.uniform() * (hx0_ - hxm_);
+        const double x = hInv(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ || u >= h(kd + 0.5) - std::pow(kd, -alpha_))
+            return k - 1;
+    }
+}
+
+} // namespace enmc

@@ -1,0 +1,142 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+#include "common/logging.h"
+
+namespace enmc {
+
+void
+ScalarStat::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+ScalarStat::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    ENMC_ASSERT(hi > lo && bins > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        const double width = (hi_ - lo_) / bins_.size();
+        size_t idx = static_cast<size_t>((v - lo_) / width);
+        if (idx >= bins_.size())
+            idx = bins_.size() - 1;
+        ++bins_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : bins_)
+        b = 0;
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + i * (hi_ - lo_) / bins_.size();
+}
+
+double
+Histogram::binHi(size_t i) const
+{
+    return binLo(i + 1);
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = counters_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.value;
+}
+
+ScalarStat &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = scalars_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.value;
+}
+
+const Counter &
+StatGroup::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        ENMC_PANIC("unknown counter ", name_, ".", name);
+    return it->second.value;
+}
+
+const ScalarStat &
+StatGroup::scalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        ENMC_PANIC("unknown scalar ", name_, ".", name);
+    return it->second.value;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, c] : counters_)
+        c.value.reset();
+    for (auto &[name, s] : scalars_)
+        s.value.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_) {
+        os << std::left << std::setw(40) << (name_ + "." + name)
+           << std::right << std::setw(16) << c.value.value()
+           << "  # " << c.desc << "\n";
+    }
+    for (const auto &[name, s] : scalars_) {
+        os << std::left << std::setw(40) << (name_ + "." + name)
+           << std::right << std::setw(16) << s.value.mean()
+           << "  # mean of " << s.value.count() << " samples; " << s.desc
+           << "\n";
+    }
+}
+
+} // namespace enmc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight statistics package for simulator components.
+ *
+ * Components register named counters/scalars/histograms with a StatGroup;
+ * benches dump groups as aligned text tables. Modeled loosely on gem5's
+ * stats package, reduced to what ENMC needs.
+ */
+
+#ifndef ENMC_COMMON_STATS_H
+#define ENMC_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace enmc {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(uint64_t n) { value_ += n; return *this; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A scalar sample accumulator tracking sum / min / max / count. */
+class ScalarStat
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A fixed-width linear histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void sample(double v);
+    void reset();
+
+    uint64_t total() const { return total_; }
+    uint64_t bin(size_t i) const { return bins_.at(i); }
+    size_t numBins() const { return bins_.size(); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    double binLo(size_t i) const;
+    double binHi(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> bins_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of statistics owned by one simulator component.
+ * Pointers handed out by the add* methods remain valid for the group's
+ * lifetime (values are stored in node-stable maps).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &addCounter(const std::string &name, const std::string &desc);
+    ScalarStat &addScalar(const std::string &name, const std::string &desc);
+
+    /** Look up a counter by name; panics if missing. */
+    const Counter &counter(const std::string &name) const;
+    const ScalarStat &scalar(const std::string &name) const;
+    bool hasCounter(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Reset every stat in the group to zero. */
+    void reset();
+
+    /** Dump all stats as "<group>.<name> <value> # desc" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    struct NamedCounter { Counter value; std::string desc; };
+    struct NamedScalar { ScalarStat value; std::string desc; };
+
+    std::string name_;
+    std::map<std::string, NamedCounter> counters_;
+    std::map<std::string, NamedScalar> scalars_;
+};
+
+} // namespace enmc
+
+#endif // ENMC_COMMON_STATS_H

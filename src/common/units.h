@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit helpers: sizes, frequencies, cycle/time conversions.
+ */
+
+#ifndef ENMC_COMMON_UNITS_H
+#define ENMC_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace enmc {
+
+/** Simulation tick / cycle count. */
+using Cycles = uint64_t;
+
+/** Byte address inside a memory channel. */
+using Addr = uint64_t;
+
+constexpr uint64_t KiB = 1024ull;
+constexpr uint64_t MiB = 1024ull * KiB;
+constexpr uint64_t GiB = 1024ull * MiB;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+/** Convert cycles at a clock frequency (Hz) to seconds. */
+constexpr double
+cyclesToSeconds(Cycles cycles, double freq_hz)
+{
+    return static_cast<double>(cycles) / freq_hz;
+}
+
+/** Convert seconds to (rounded-up) cycles at a clock frequency (Hz). */
+constexpr Cycles
+secondsToCycles(double seconds, double freq_hz)
+{
+    const double c = seconds * freq_hz;
+    const Cycles whole = static_cast<Cycles>(c);
+    return (static_cast<double>(whole) < c) ? whole + 1 : whole;
+}
+
+/**
+ * Cross a cycle count from one clock domain to another, rounding up
+ * (a transfer that finishes mid-cycle in the destination domain is visible
+ * only at the next destination edge).
+ */
+constexpr Cycles
+crossDomain(Cycles cycles, double from_hz, double to_hz)
+{
+    return secondsToCycles(cyclesToSeconds(cycles, from_hz), to_hz);
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round n up to the next multiple of align. */
+constexpr uint64_t
+roundUp(uint64_t n, uint64_t align)
+{
+    return ceilDiv(n, align) * align;
+}
+
+/** True iff n is a power of two (n > 0). */
+constexpr bool
+isPowerOf2(uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(uint64_t n)
+{
+    unsigned r = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace enmc
+
+#endif // ENMC_COMMON_UNITS_H

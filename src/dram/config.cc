@@ -1,0 +1,133 @@
+#include "dram/config.h"
+
+#include "common/logging.h"
+
+namespace enmc::dram {
+
+Organization
+Organization::paperTable3()
+{
+    return Organization{}; // defaults are the Table 3 organization
+}
+
+Organization
+Organization::singleRankView() const
+{
+    Organization o = *this;
+    o.channels = 1;
+    o.ranks = 1;
+    // On-DIMM controllers interleave consecutive lines across bank groups
+    // so weight streams dodge the DDR4 tCCD_L penalty.
+    o.mapping = AddrMapping::RoRaCoBaBgCh;
+    return o;
+}
+
+namespace {
+
+/** Pop `bits` low bits off addr and return them. */
+uint32_t
+sliceBits(Addr &addr, unsigned bits)
+{
+    const uint32_t v = static_cast<uint32_t>(addr & ((1ull << bits) - 1));
+    addr >>= bits;
+    return v;
+}
+
+} // namespace
+
+AddrVec
+mapAddress(Addr addr, const Organization &org)
+{
+    ENMC_ASSERT(isPowerOf2(org.channels) && isPowerOf2(org.ranks) &&
+                isPowerOf2(org.bankgroups) && isPowerOf2(org.banks) &&
+                isPowerOf2(org.rows) && isPowerOf2(org.columns),
+                "organization fields must be powers of two");
+
+    // Lowest bits address bytes within one burst; they carry no DRAM
+    // coordinate information.
+    addr >>= log2i(org.accessBytes());
+
+    const unsigned ch_bits = log2i(org.channels);
+    const unsigned ra_bits = log2i(org.ranks);
+    const unsigned bg_bits = log2i(org.bankgroups);
+    const unsigned ba_bits = log2i(org.banks);
+    const unsigned ro_bits = log2i(org.rows);
+    const unsigned co_bits = log2i(org.columns / org.burst_length);
+
+    AddrVec v;
+    switch (org.mapping) {
+      case AddrMapping::RoRaBgBaCoCh:
+        v.channel = sliceBits(addr, ch_bits);
+        v.column = sliceBits(addr, co_bits) * org.burst_length;
+        v.bank = sliceBits(addr, ba_bits);
+        v.bankgroup = sliceBits(addr, bg_bits);
+        v.rank = sliceBits(addr, ra_bits);
+        v.row = sliceBits(addr, ro_bits);
+        break;
+      case AddrMapping::RoCoRaBgBaCh:
+        v.channel = sliceBits(addr, ch_bits);
+        v.bank = sliceBits(addr, ba_bits);
+        v.bankgroup = sliceBits(addr, bg_bits);
+        v.rank = sliceBits(addr, ra_bits);
+        v.column = sliceBits(addr, co_bits) * org.burst_length;
+        v.row = sliceBits(addr, ro_bits);
+        break;
+      case AddrMapping::RoRaCoBaBgCh:
+        v.channel = sliceBits(addr, ch_bits);
+        v.bankgroup = sliceBits(addr, bg_bits);
+        v.bank = sliceBits(addr, ba_bits);
+        v.column = sliceBits(addr, co_bits) * org.burst_length;
+        v.rank = sliceBits(addr, ra_bits);
+        v.row = sliceBits(addr, ro_bits);
+        break;
+    }
+    return v;
+}
+
+Addr
+unmapAddress(const AddrVec &vec, const Organization &org)
+{
+    const unsigned ch_bits = log2i(org.channels);
+    const unsigned ra_bits = log2i(org.ranks);
+    const unsigned bg_bits = log2i(org.bankgroups);
+    const unsigned ba_bits = log2i(org.banks);
+    const unsigned ro_bits = log2i(org.rows);
+    const unsigned co_bits = log2i(org.columns / org.burst_length);
+
+    Addr addr = 0;
+    unsigned shift = 0;
+    auto place = [&addr, &shift](uint64_t value, unsigned bits) {
+        addr |= (value & ((1ull << bits) - 1)) << shift;
+        shift += bits;
+    };
+
+    switch (org.mapping) {
+      case AddrMapping::RoRaBgBaCoCh:
+        place(vec.channel, ch_bits);
+        place(vec.column / org.burst_length, co_bits);
+        place(vec.bank, ba_bits);
+        place(vec.bankgroup, bg_bits);
+        place(vec.rank, ra_bits);
+        place(vec.row, ro_bits);
+        break;
+      case AddrMapping::RoCoRaBgBaCh:
+        place(vec.channel, ch_bits);
+        place(vec.bank, ba_bits);
+        place(vec.bankgroup, bg_bits);
+        place(vec.rank, ra_bits);
+        place(vec.column / org.burst_length, co_bits);
+        place(vec.row, ro_bits);
+        break;
+      case AddrMapping::RoRaCoBaBgCh:
+        place(vec.channel, ch_bits);
+        place(vec.bankgroup, bg_bits);
+        place(vec.bank, ba_bits);
+        place(vec.column / org.burst_length, co_bits);
+        place(vec.rank, ra_bits);
+        place(vec.row, ro_bits);
+        break;
+    }
+    return addr << log2i(org.accessBytes());
+}
+
+} // namespace enmc::dram

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DRAM organization configuration and address mapping.
+ *
+ * The evaluated system (paper Table 3) is 8 channels x 8 ranks of 8Gb x8
+ * devices (8 devices per rank -> 64-bit bus), 64 GB per channel.
+ */
+
+#ifndef ENMC_DRAM_CONFIG_H
+#define ENMC_DRAM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace enmc::dram {
+
+/** Physical address decomposed into DRAM coordinates. */
+struct AddrVec
+{
+    uint32_t channel = 0;
+    uint32_t rank = 0;
+    uint32_t bankgroup = 0;
+    uint32_t bank = 0;
+    uint32_t row = 0;
+    uint32_t column = 0;
+};
+
+/** Address bit order (MSB -> LSB) for interleaving. */
+enum class AddrMapping {
+    /** row : rank : bankgroup : bank : column : channel — streams hit open
+     *  rows and spread consecutive lines over channels. */
+    RoRaBgBaCoCh,
+    /** row : column : rank : bankgroup : bank : channel — maximal bank
+     *  parallelism for random traffic. */
+    RoCoRaBgBaCh,
+    /**
+     * row : rank : column : bank : bankgroup : channel — consecutive
+     * lines alternate bank *groups* first, then banks. Streams dodge the
+     * DDR4 tCCD_L same-group penalty and activate many banks in
+     * parallel; this is the mapping the on-DIMM (rank-local) ENMC and
+     * baseline controllers use for weight streaming.
+     */
+    RoRaCoBaBgCh,
+};
+
+/** Organization of one memory system. */
+struct Organization
+{
+    uint32_t channels = 8;
+    uint32_t ranks = 8;        //!< per channel
+    uint32_t bankgroups = 4;   //!< per rank (DDR4)
+    uint32_t banks = 4;        //!< per bankgroup
+    uint32_t rows = 65536;     //!< per bank (8Gb x8 device)
+    uint32_t columns = 1024;   //!< per row
+    uint32_t buswidth_bits = 64;
+    uint32_t burst_length = 8;
+    AddrMapping mapping = AddrMapping::RoRaBgBaCoCh;
+
+    /** Bytes transferred by one RD/WR burst. */
+    uint64_t accessBytes() const
+    {
+        return static_cast<uint64_t>(buswidth_bits) / 8 * burst_length;
+    }
+
+    /** Row buffer size in bytes (per rank, all devices together). */
+    uint64_t rowBytes() const
+    {
+        return static_cast<uint64_t>(columns) * buswidth_bits / 8;
+    }
+
+    uint64_t banksPerRank() const
+    {
+        return static_cast<uint64_t>(bankgroups) * banks;
+    }
+
+    uint64_t bytesPerRank() const
+    {
+        return banksPerRank() * rows * rowBytes();
+    }
+
+    uint64_t bytesPerChannel() const { return bytesPerRank() * ranks; }
+    uint64_t totalBytes() const { return bytesPerChannel() * channels; }
+
+    /** Peak data bandwidth of one channel in bytes/second. */
+    double channelPeakBandwidth(double cmd_clock_hz) const
+    {
+        // Double data rate: 2 transfers per command-clock cycle.
+        return cmd_clock_hz * 2.0 * buswidth_bits / 8.0;
+    }
+
+    /** Table 3 organization: 8 ch x 8 ranks, 64 GB per channel. */
+    static Organization paperTable3();
+
+    /** A single-rank organization for per-rank (on-DIMM) controllers. */
+    Organization singleRankView() const;
+};
+
+/** Map a flat byte address to DRAM coordinates. */
+AddrVec mapAddress(Addr addr, const Organization &org);
+
+/** Inverse of mapAddress (used by tests). */
+Addr unmapAddress(const AddrVec &vec, const Organization &org);
+
+} // namespace enmc::dram
+
+#endif // ENMC_DRAM_CONFIG_H

@@ -1,0 +1,181 @@
+#include "dram/controller.h"
+
+#include "common/logging.h"
+
+namespace enmc::dram {
+
+Controller::Controller(const Organization &org, const Timing &timing,
+                       const ControllerConfig &cfg, std::string name)
+    : org_(org), cfg_(cfg), channel_(org, timing),
+      next_refresh_(org.ranks, timing.trefi),
+      refresh_pending_(org.ranks, false),
+      stats_(std::move(name)),
+      reads_(stats_.addCounter("reads", "read requests completed")),
+      writes_(stats_.addCounter("writes", "write requests completed")),
+      row_hits_(stats_.addCounter("rowHits", "row-buffer hits")),
+      row_misses_(stats_.addCounter("rowMisses",
+                                    "row-buffer misses (bank idle)")),
+      row_conflicts_(stats_.addCounter("rowConflicts",
+                                       "row-buffer conflicts (wrong row)")),
+      refreshes_(stats_.addCounter("refreshes", "REF commands issued")),
+      read_latency_(stats_.addScalar("readLatency",
+                                     "request latency in cycles")),
+      queue_occupancy_(stats_.addScalar("queueOccupancy",
+                                        "queue entries per cycle"))
+{
+}
+
+bool
+Controller::enqueue(Request req)
+{
+    if (queue_.size() >= cfg_.queue_depth)
+        return false;
+    Entry e;
+    e.vec = mapAddress(req.addr, org_);
+    // A controller owns exactly one channel; the decoded channel index is
+    // only meaningful to the MemorySystem router above us.
+    e.vec.channel = 0;
+    req.arrive = now_;
+    e.req = std::move(req);
+    e.seq = seq_++;
+
+    // Classify row-buffer outcome at arrival against current bank state.
+    if (channel_.rowOpen(e.vec))
+        ++row_hits_;
+    else if (channel_.bankActive(e.vec))
+        ++row_conflicts_;
+    else
+        ++row_misses_;
+
+    queue_.push_back(std::move(e));
+    return true;
+}
+
+bool
+Controller::serviceRefresh()
+{
+    if (!cfg_.refresh_enabled)
+        return false;
+    for (uint32_t r = 0; r < org_.ranks; ++r) {
+        if (now_ >= next_refresh_[r])
+            refresh_pending_[r] = true;
+        if (!refresh_pending_[r])
+            continue;
+        AddrVec vec;
+        vec.rank = r;
+        // Precharge any open bank in the rank, one PRE per cycle.
+        if (!channel_.rankAllPrecharged(r)) {
+            for (uint32_t bg = 0; bg < org_.bankgroups; ++bg) {
+                for (uint32_t b = 0; b < org_.banks; ++b) {
+                    vec.bankgroup = bg;
+                    vec.bank = b;
+                    if (channel_.bankActive(vec) &&
+                        channel_.canIssue(Cmd::Pre, vec, now_)) {
+                        channel_.issue(Cmd::Pre, vec, now_);
+                        return true; // one command per cycle
+                    }
+                }
+            }
+            continue; // waiting on tRAS etc.; other ranks may proceed
+        }
+        if (channel_.canIssue(Cmd::Ref, vec, now_)) {
+            channel_.issue(Cmd::Ref, vec, now_);
+            ++refreshes_;
+            refresh_pending_[r] = false;
+            next_refresh_[r] = now_ + channel_.timing().trefi;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Controller::trySchedule()
+{
+    // Pass 1 (FR): oldest request whose row is open and whose column
+    // command can issue right now.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (refresh_pending_[it->vec.rank])
+            continue;
+        const Cmd col_cmd =
+            it->req.type == ReqType::Read ? Cmd::Rd : Cmd::Wr;
+        if (channel_.rowOpen(it->vec) &&
+            channel_.canIssue(col_cmd, it->vec, now_)) {
+            channel_.issue(col_cmd, it->vec, now_);
+            const Cycles data_end = now_ +
+                (it->req.type == ReqType::Read
+                     ? channel_.timing().readLatency()
+                     : channel_.timing().writeLatency());
+            finishRequest(*it, data_end);
+            queue_.erase(it);
+            return true;
+        }
+    }
+    // Pass 2 (FCFS): oldest request that needs ACT or PRE and can get it.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (refresh_pending_[it->vec.rank])
+            continue;
+        if (channel_.rowOpen(it->vec))
+            continue; // column command blocked on timing; wait
+        if (channel_.bankActive(it->vec)) {
+            if (channel_.canIssue(Cmd::Pre, it->vec, now_)) {
+                channel_.issue(Cmd::Pre, it->vec, now_);
+                return true;
+            }
+        } else if (channel_.canIssue(Cmd::Act, it->vec, now_)) {
+            channel_.issue(Cmd::Act, it->vec, now_);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Controller::finishRequest(Entry &entry, Cycles data_end)
+{
+    entry.req.complete = data_end;
+    if (entry.req.type == ReqType::Read)
+        ++reads_;
+    else
+        ++writes_;
+    read_latency_.sample(static_cast<double>(data_end - entry.req.arrive));
+    Completion c{data_end, std::move(entry.req)};
+    inflight_.push(std::move(c));
+}
+
+void
+Controller::tick()
+{
+    ++now_;
+    queue_occupancy_.sample(static_cast<double>(queue_.size()));
+
+    // Deliver finished data transfers.
+    while (!inflight_.empty() && inflight_.top().at <= now_) {
+        const Completion &c = inflight_.top();
+        if (c.req.on_complete)
+            c.req.on_complete(c.req);
+        inflight_.pop();
+    }
+
+    // Refresh has priority; one C/A command per cycle.
+    if (!serviceRefresh())
+        trySchedule();
+}
+
+uint64_t
+Controller::bytesTransferred() const
+{
+    return (reads_.value() + writes_.value()) * org_.accessBytes();
+}
+
+double
+Controller::achievedBandwidth() const
+{
+    if (now_ == 0)
+        return 0.0;
+    const double seconds =
+        cyclesToSeconds(now_, channel_.timing().freq_hz);
+    return bytesTransferred() / seconds;
+}
+
+} // namespace enmc::dram

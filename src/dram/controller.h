@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-channel memory controller: request queue, FR-FCFS scheduling,
+ * open-row policy, and all-bank refresh management.
+ */
+
+#ifndef ENMC_DRAM_CONTROLLER_H
+#define ENMC_DRAM_CONTROLLER_H
+
+#include <cstdint>
+#include <list>
+#include <queue>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/channel.h"
+#include "dram/request.h"
+
+namespace enmc::dram {
+
+/** Controller tuning knobs. */
+struct ControllerConfig
+{
+    size_t queue_depth = 64;      //!< Table 3: 64-entry queue
+    bool refresh_enabled = true;
+    /**
+     * Close a row after this many cycles without a hit (0 = keep open
+     * until conflict, i.e. pure open-page).
+     */
+    Cycles row_idle_timeout = 0;
+};
+
+/** One DDR channel's scheduler. Tick once per command-clock cycle. */
+class Controller
+{
+  public:
+    Controller(const Organization &org, const Timing &timing,
+               const ControllerConfig &cfg, std::string name = "dram.ctrl");
+
+    /**
+     * Enqueue a request (address must decode to this channel's coordinate
+     * space; the channel field of the decoded address is ignored).
+     * @return false if the queue is full.
+     */
+    bool enqueue(Request req);
+
+    /** Advance one command-clock cycle. */
+    void tick();
+
+    /** Current cycle. */
+    Cycles now() const { return now_; }
+
+    /** True when no requests are queued or in flight. */
+    bool idle() const { return queue_.empty() && inflight_.empty(); }
+
+    size_t queueOccupancy() const { return queue_.size(); }
+    size_t queueDepth() const { return cfg_.queue_depth; }
+
+    const Channel &channel() const { return channel_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Total bytes moved (reads + writes). */
+    uint64_t bytesTransferred() const;
+
+    /** Achieved bandwidth in bytes/sec over the elapsed cycles. */
+    double achievedBandwidth() const;
+
+  private:
+    struct Entry
+    {
+        Request req;
+        AddrVec vec;
+        uint64_t seq;    //!< arrival order for FCFS tie-break
+    };
+
+    struct Completion
+    {
+        Cycles at;
+        Request req;
+        bool operator>(const Completion &o) const { return at > o.at; }
+    };
+
+    /** @return true if a refresh-related command used this cycle's slot. */
+    bool serviceRefresh();
+    bool trySchedule();
+    void finishRequest(Entry &entry, Cycles data_end);
+
+    Organization org_;
+    ControllerConfig cfg_;
+    Channel channel_;
+    std::list<Entry> queue_;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> inflight_;
+    std::vector<Cycles> next_refresh_;    //!< per rank
+    std::vector<bool> refresh_pending_;   //!< per rank
+    Cycles now_ = 0;
+    uint64_t seq_ = 0;
+
+    StatGroup stats_;
+    Counter &reads_;
+    Counter &writes_;
+    Counter &row_hits_;
+    Counter &row_misses_;
+    Counter &row_conflicts_;
+    Counter &refreshes_;
+    ScalarStat &read_latency_;
+    ScalarStat &queue_occupancy_;
+};
+
+} // namespace enmc::dram
+
+#endif // ENMC_DRAM_CONTROLLER_H

@@ -1,0 +1,92 @@
+#include "dram/memory_system.h"
+
+#include "common/logging.h"
+
+namespace enmc::dram {
+
+MemorySystem::MemorySystem(const Organization &org, const Timing &timing,
+                           const ControllerConfig &cfg,
+                           const std::string &name)
+    : org_(org), timing_(timing)
+{
+    // Each controller models exactly one channel; give it a single-channel
+    // organization so address decode inside the controller is local.
+    Organization ch_org = org;
+    ch_org.channels = 1;
+    for (uint32_t ch = 0; ch < org.channels; ++ch) {
+        controllers_.push_back(std::make_unique<Controller>(
+            ch_org, timing, cfg, name + ".ch" + std::to_string(ch)));
+    }
+}
+
+bool
+MemorySystem::enqueue(Request req)
+{
+    const AddrVec vec = mapAddress(req.addr, org_);
+    ENMC_ASSERT(vec.channel < controllers_.size(), "bad channel decode");
+    // Strip the channel bits so the per-channel controller decodes rank/
+    // bank/row from a channel-local address.
+    AddrVec local = vec;
+    local.channel = 0;
+    Organization ch_org = org_;
+    ch_org.channels = 1;
+    req.addr = unmapAddress(local, ch_org);
+    return controllers_[vec.channel]->enqueue(std::move(req));
+}
+
+void
+MemorySystem::tick()
+{
+    ++cycles_;
+    for (auto &c : controllers_)
+        c->tick();
+}
+
+Cycles
+MemorySystem::drain(Cycles max_cycles)
+{
+    const Cycles start = cycles_;
+    while (!idle()) {
+        if (cycles_ - start >= max_cycles)
+            ENMC_PANIC("memory system failed to drain in ", max_cycles,
+                       " cycles");
+        tick();
+    }
+    return cycles_ - start;
+}
+
+bool
+MemorySystem::idle() const
+{
+    for (const auto &c : controllers_)
+        if (!c->idle())
+            return false;
+    return true;
+}
+
+uint64_t
+MemorySystem::bytesTransferred() const
+{
+    uint64_t total = 0;
+    for (const auto &c : controllers_)
+        total += c->bytesTransferred();
+    return total;
+}
+
+double
+MemorySystem::achievedBandwidth() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    const double seconds = cyclesToSeconds(cycles_, timing_.freq_hz);
+    return bytesTransferred() / seconds;
+}
+
+void
+MemorySystem::dumpStats(std::ostream &os) const
+{
+    for (const auto &c : controllers_)
+        c->stats().dump(os);
+}
+
+} // namespace enmc::dram

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-channel memory system: routes requests to per-channel controllers
+ * and advances them in lockstep.
+ */
+
+#ifndef ENMC_DRAM_MEMORY_SYSTEM_H
+#define ENMC_DRAM_MEMORY_SYSTEM_H
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "dram/controller.h"
+
+namespace enmc::dram {
+
+/** A complete DRAM subsystem (all channels of Table 3 by default). */
+class MemorySystem
+{
+  public:
+    MemorySystem(const Organization &org, const Timing &timing,
+                 const ControllerConfig &cfg,
+                 const std::string &name = "mem");
+
+    /** Route a request to its channel. @return false if that queue is full. */
+    bool enqueue(Request req);
+
+    /** Advance every channel by one command-clock cycle. */
+    void tick();
+
+    /** Tick until all queues drain (bounded by `max_cycles`). */
+    Cycles drain(Cycles max_cycles = ~Cycles{0});
+
+    bool idle() const;
+    Cycles now() const { return cycles_; }
+
+    const Organization &org() const { return org_; }
+    const Timing &timing() const { return timing_; }
+
+    size_t numChannels() const { return controllers_.size(); }
+    Controller &controller(size_t ch) { return *controllers_[ch]; }
+    const Controller &controller(size_t ch) const { return *controllers_[ch]; }
+
+    /** Aggregate bytes moved across channels. */
+    uint64_t bytesTransferred() const;
+
+    /** Aggregate achieved bandwidth (bytes/sec) over elapsed time. */
+    double achievedBandwidth() const;
+
+    /** Dump every controller's stat group. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    Organization org_;
+    Timing timing_;
+    std::vector<std::unique_ptr<Controller>> controllers_;
+    Cycles cycles_ = 0;
+};
+
+} // namespace enmc::dram
+
+#endif // ENMC_DRAM_MEMORY_SYSTEM_H

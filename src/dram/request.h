@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Memory request/response types exchanged with the DRAM controller.
+ */
+
+#ifndef ENMC_DRAM_REQUEST_H
+#define ENMC_DRAM_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+
+namespace enmc::dram {
+
+/** Request kind. */
+enum class ReqType { Read, Write };
+
+/** One cacheline-granular memory request. */
+struct Request
+{
+    Addr addr = 0;
+    ReqType type = ReqType::Read;
+    uint64_t id = 0;           //!< caller-assigned tag
+    Cycles arrive = 0;         //!< set by the controller at enqueue
+    Cycles complete = 0;       //!< set by the controller at completion
+
+    /** Invoked (if set) when the request's data transfer completes. */
+    std::function<void(const Request &)> on_complete;
+};
+
+} // namespace enmc::dram
+
+#endif // ENMC_DRAM_REQUEST_H

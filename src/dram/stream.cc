@@ -1,0 +1,41 @@
+#include "dram/stream.h"
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace enmc::dram {
+
+void
+StreamTransfer::start(Addr base, uint64_t bytes, ReqType type,
+                      uint64_t line_bytes)
+{
+    ENMC_ASSERT(!started_ || done(), "restarting an in-flight transfer");
+    ENMC_ASSERT(line_bytes > 0, "line size must be positive");
+    base_ = base;
+    type_ = type;
+    issued_ = 0;
+    completed_ = 0;
+    started_ = true;
+    line_bytes_ = line_bytes;
+    pending_bytes_ = bytes;
+    total_lines_ = ceilDiv(bytes, line_bytes);
+}
+
+void
+StreamTransfer::pump(Controller &ctrl)
+{
+    if (!started_)
+        return;
+    while (issued_ < total_lines_) {
+        Request req;
+        req.addr = base_ + issued_ * line_bytes_;
+        req.type = type_;
+        req.id = issued_;
+        req.on_complete = [this](const Request &) { ++completed_; };
+        if (!ctrl.enqueue(std::move(req)))
+            break;
+        ++issued_;
+    }
+}
+
+} // namespace enmc::dram

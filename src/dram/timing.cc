@@ -1,0 +1,11 @@
+#include "dram/timing.h"
+
+namespace enmc::dram {
+
+Timing
+Timing::ddr4_2400()
+{
+    return Timing{}; // defaults are the DDR4-2400 values
+}
+
+} // namespace enmc::dram

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DDR4 timing parameters.
+ *
+ * All values are in memory-clock cycles (the command clock; DDR4-2400 runs
+ * the command clock at 1200 MHz and transfers data on both edges). The
+ * DDR4-2400 preset reflects paper Table 3: CL-tRCD-tRP = 16-16-16, tRC = 55,
+ * tCCD = 4, tRRD = 4, tFAW = 6; remaining values follow the JEDEC DDR4 8Gb
+ * speed bin.
+ */
+
+#ifndef ENMC_DRAM_TIMING_H
+#define ENMC_DRAM_TIMING_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace enmc::dram {
+
+/** DDR timing constraint set (cycles at the command clock). */
+struct Timing
+{
+    // Frequency of the command clock in Hz (data rate is 2x).
+    double freq_hz = 1200e6;
+
+    uint32_t cl = 16;      //!< CAS latency (RD -> data)
+    uint32_t cwl = 12;     //!< CAS write latency (WR -> data)
+    uint32_t trcd = 16;    //!< ACT -> RD/WR, same bank
+    uint32_t trp = 16;     //!< PRE -> ACT, same bank
+    uint32_t trc = 55;     //!< ACT -> ACT, same bank
+    uint32_t tras = 39;    //!< ACT -> PRE, same bank (trc - trp)
+    /**
+     * Column-to-column spacing. DDR4 distinguishes same-bank-group
+     * (tCCD_L) from different-bank-group (tCCD_S) accesses; Table 3's
+     * tCCD=4 is the short (cross-group) constraint that governs
+     * well-interleaved streams.
+     */
+    uint32_t tccd_s = 4;   //!< RD->RD / WR->WR, different bank group
+    uint32_t tccd_l = 6;   //!< RD->RD / WR->WR, same bank group
+    /** ACT->ACT spacing, short (cross-group) / long (same-group). */
+    uint32_t trrd_s = 4;   //!< Table 3's tRRD
+    uint32_t trrd_l = 6;
+    uint32_t tfaw = 6;     //!< four-activate window, per rank
+    uint32_t tbl = 4;      //!< burst length 8 occupies 4 command cycles
+    uint32_t trtp = 9;     //!< RD -> PRE, same bank
+    uint32_t twr = 18;     //!< end of write data -> PRE, same bank
+    uint32_t twtr = 9;     //!< end of write data -> RD, same rank
+    uint32_t trtrs = 2;    //!< rank-to-rank data-bus switch penalty
+    uint32_t trefi = 9360; //!< average refresh interval (7.8 us @ 1200 MHz)
+    uint32_t trfc = 420;   //!< refresh cycle time (350 ns, 8Gb device)
+
+    /** DDR4-2400 preset used by every experiment (paper Table 3). */
+    static Timing ddr4_2400();
+
+    /** Read latency in cycles from RD issue to last data beat. */
+    uint32_t readLatency() const { return cl + tbl; }
+    /** Write occupancy from WR issue to end of data. */
+    uint32_t writeLatency() const { return cwl + tbl; }
+};
+
+} // namespace enmc::dram
+
+#endif // ENMC_DRAM_TIMING_H

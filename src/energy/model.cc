@@ -1,0 +1,95 @@
+#include "energy/model.h"
+
+namespace enmc::energy {
+
+std::vector<LogicBlock>
+enmcLogicBlocks()
+{
+    // Paper Table 5, verbatim.
+    return {
+        {"INT4 MAC", 0.013, 10.4},
+        {"FP32 MAC", 0.145, 58.0},
+        {"Compute Buffer", 0.061, 56.8},
+        {"Control Buffer", 0.053, 49.3},
+        {"ENMC Ctrl", 0.035, 32.9},
+        {"DRAM Ctrl", 0.135, 78.0},
+    };
+}
+
+double
+enmcLogicArea()
+{
+    double a = 0.0;
+    for (const auto &b : enmcLogicBlocks())
+        a += b.area_mm2;
+    return a;
+}
+
+double
+enmcLogicPower()
+{
+    double p = 0.0;
+    for (const auto &b : enmcLogicBlocks())
+        p += b.power_mw;
+    return p;
+}
+
+LogicBlock
+ndaLogic()
+{
+    return {"NDA (4*4 FUs + 1KB)", 0.445, 293.6};
+}
+
+LogicBlock
+chameleonLogic()
+{
+    return {"Chameleon (4*4 systolic + 1KB)", 0.398, 249.0};
+}
+
+LogicBlock
+tensorDimmLogic()
+{
+    return {"TensorDIMM (16-lane VPU + 512B*3)", 0.457, 303.5};
+}
+
+LogicBlock
+enmcLogic()
+{
+    return {"ENMC (FP32*16 + INT4*128 + 256B*4)", enmcLogicArea(),
+            enmcLogicPower()};
+}
+
+LogicBlock
+tensorDimmLargeLogic()
+{
+    // 4x the VPU lanes and buffering: compute/buffer power scales ~4x,
+    // control overhead does not.
+    return {"TensorDIMM-Large (64-lane VPU + 2KB*3)", 1.42, 980.0};
+}
+
+EnergyBreakdown
+rankEnergy(const DramActivity &activity, double logic_power_mw,
+           const DramEnergyParams &params)
+{
+    EnergyBreakdown e;
+    e.dram_static_j = params.static_w_per_rank * activity.seconds;
+    e.dram_access_j =
+        (activity.activates * params.act_pre_nj +
+         activity.reads * params.read_burst_nj +
+         activity.writes * params.write_burst_nj +
+         activity.refreshes * params.refresh_nj) * 1e-9;
+    e.logic_j = logic_power_mw * 1e-3 * activity.seconds;
+    return e;
+}
+
+EnergyBreakdown
+scaleEnergy(const EnergyBreakdown &per_rank, uint64_t ranks)
+{
+    EnergyBreakdown e = per_rank;
+    e.dram_static_j *= ranks;
+    e.dram_access_j *= ranks;
+    e.logic_j *= ranks;
+    return e;
+}
+
+} // namespace enmc::energy

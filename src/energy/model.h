@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Energy, area and power models.
+ *
+ * Logic numbers are the paper's own synthesis results (Table 5 for ENMC's
+ * blocks at TSMC 28nm / 400 MHz; Table 4 for the area/power-matched NMP
+ * baselines). DRAM energy uses per-command energies derived from Micron
+ * DDR4 8Gb x8 datasheet currents (IDD0/IDD4R/IDD4W/IDD5B at 1.2 V),
+ * scaled to a x8-device rank — the standard DRAMPower-style accounting
+ * the paper's Fig. 14 breakdown (static / access / logic) needs.
+ */
+
+#ifndef ENMC_ENERGY_MODEL_H
+#define ENMC_ENERGY_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enmc::energy {
+
+/** One synthesized logic block (a Table 4/5 row). */
+struct LogicBlock
+{
+    std::string name;
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+};
+
+/** ENMC per-rank logic breakdown (paper Table 5). */
+std::vector<LogicBlock> enmcLogicBlocks();
+
+/** Total ENMC logic area (mm^2) / power (mW) per rank. */
+double enmcLogicArea();
+double enmcLogicPower();
+
+/** Table 4: each NMP design's per-rank logic at the matched budget. */
+LogicBlock ndaLogic();
+LogicBlock chameleonLogic();
+LogicBlock tensorDimmLogic();
+LogicBlock enmcLogic();
+/** TensorDIMM-Large: 4x compute/buffer scale-up of TensorDIMM. */
+LogicBlock tensorDimmLargeLogic();
+
+/** Per-command DRAM energies (one x8-device rank). */
+struct DramEnergyParams
+{
+    double act_pre_nj = 1.8;     //!< one ACT+PRE pair (IDD0 window)
+    double read_burst_nj = 3.5;  //!< one BL8 read incl. I/O (IDD4R)
+    double write_burst_nj = 3.8; //!< one BL8 write (IDD4W)
+    double refresh_nj = 45.0;    //!< one all-bank REF (IDD5B over tRFC)
+    double static_w_per_rank = 0.15; //!< active-standby background power
+};
+
+/** DRAM command activity of a run (one rank unless stated otherwise). */
+struct DramActivity
+{
+    uint64_t reads = 0;      //!< RD bursts
+    uint64_t writes = 0;     //!< WR bursts
+    uint64_t activates = 0;  //!< ACT commands
+    uint64_t refreshes = 0;  //!< REF commands
+    double seconds = 0.0;    //!< wall-clock duration
+};
+
+/** Fig. 14's three energy components, in joules. */
+struct EnergyBreakdown
+{
+    double dram_static_j = 0.0;
+    double dram_access_j = 0.0;
+    double logic_j = 0.0;
+
+    double total() const
+    {
+        return dram_static_j + dram_access_j + logic_j;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o)
+    {
+        dram_static_j += o.dram_static_j;
+        dram_access_j += o.dram_access_j;
+        logic_j += o.logic_j;
+        return *this;
+    }
+};
+
+/**
+ * Energy of one rank's run.
+ * @param activity DRAM command counts + duration for the rank.
+ * @param logic_power_mw Per-rank NMP/ENMC logic power.
+ */
+EnergyBreakdown rankEnergy(const DramActivity &activity,
+                           double logic_power_mw,
+                           const DramEnergyParams &params = {});
+
+/** Scale a per-rank breakdown to the whole system (symmetric ranks). */
+EnergyBreakdown scaleEnergy(const EnergyBreakdown &per_rank, uint64_t ranks);
+
+} // namespace enmc::energy
+
+#endif // ENMC_ENERGY_MODEL_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * On-DIMM SRAM buffer model.
+ *
+ * Each ENMC unit's buffers (feature / weight / psum / output, Table 3's
+ * 256 B register files) are modeled as capacity-checked allocators:
+ * pipeline stages reserve space when data begins to arrive and release
+ * it when the consumer drains it. A reservation that would exceed
+ * capacity is a hardware-design error (the compiler's tiling must fit),
+ * so it panics rather than silently growing — the model *proves* the
+ * tiling decisions respect Table 3's sizes.
+ */
+
+#ifndef ENMC_ENMC_BUFFERS_H
+#define ENMC_ENMC_BUFFERS_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace enmc::arch {
+
+/** A capacity-checked SRAM buffer with occupancy statistics. */
+class SramBuffer
+{
+  public:
+    SramBuffer(std::string name, uint64_t capacity_bytes)
+        : name_(std::move(name)), capacity_(capacity_bytes)
+    {
+    }
+
+    /** Reserve `bytes`; panics if the buffer would overflow. */
+    void
+    reserve(uint64_t bytes)
+    {
+        ENMC_ASSERT(occupied_ + bytes <= capacity_, "buffer '", name_,
+                    "' overflow: ", occupied_, " + ", bytes, " > ",
+                    capacity_);
+        occupied_ += bytes;
+        peak_ = std::max(peak_, occupied_);
+        ++reservations_;
+    }
+
+    /** Would a reservation of `bytes` fit right now? */
+    bool fits(uint64_t bytes) const { return occupied_ + bytes <= capacity_; }
+
+    /** Release `bytes` previously reserved. */
+    void
+    release(uint64_t bytes)
+    {
+        ENMC_ASSERT(bytes <= occupied_, "buffer '", name_,
+                    "' underflow: releasing ", bytes, " of ", occupied_);
+        occupied_ -= bytes;
+    }
+
+    void
+    clear()
+    {
+        occupied_ = 0;
+    }
+
+    const std::string &name() const { return name_; }
+    uint64_t capacity() const { return capacity_; }
+    uint64_t occupied() const { return occupied_; }
+    uint64_t peak() const { return peak_; }
+    uint64_t reservations() const { return reservations_; }
+
+  private:
+    std::string name_;
+    uint64_t capacity_;
+    uint64_t occupied_ = 0;
+    uint64_t peak_ = 0;
+    uint64_t reservations_ = 0;
+};
+
+} // namespace enmc::arch
+
+#endif // ENMC_ENMC_BUFFERS_H

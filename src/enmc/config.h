@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ENMC hardware configuration (paper Table 3, "ENMC Configuration").
+ */
+
+#ifndef ENMC_ENMC_CONFIG_H
+#define ENMC_ENMC_CONFIG_H
+
+#include <cstddef>
+
+namespace enmc::arch {
+
+/** Per-rank ENMC logic parameters. */
+struct EnmcConfig
+{
+    double freq_hz = 400e6;        //!< ENMC logic clock (28nm, Table 3)
+    size_t int4_macs = 128;        //!< Screener MAC array width
+    size_t fp32_macs = 16;         //!< Executor MAC array width
+    size_t screen_feature_buf = 256;   //!< bytes
+    size_t screen_weight_buf = 256;    //!< bytes (double-buffered halves)
+    size_t exec_feature_buf = 256;     //!< bytes
+    size_t exec_weight_buf = 256;      //!< bytes (double-buffered halves)
+    size_t psum_buf = 256;             //!< bytes, per unit
+    size_t output_buf = 2048;          //!< bytes
+    size_t sfu_lanes = 4;          //!< exp/div throughput (elems/cycle)
+    size_t inst_fifo_depth = 64;   //!< controller instruction FIFO
+    /**
+     * Weight-tile fetches the controller may run ahead on. The ping/pong
+     * buffer halves hold only the tiles being consumed; the additional
+     * in-flight tiles model DDR command pipelining — RD commands for
+     * upcoming tiles issue while earlier data is still on the bus, so the
+     * CAS latency is hidden and streaming stays bus-limited (a tile here
+     * is only 1-2 bursts, far below CL+BL worth of data).
+     */
+    size_t prefetch_tiles = 8;
+    /**
+     * Compile with the hardware tile sequencer (Mode register bit 0): the
+     * host sends a constant-size program and the on-DIMM instruction
+     * generator expands the screening loop. Essential when many ranks
+     * share one channel's C/A bus (see bench/ablation_channel).
+     */
+    bool hw_tile_sequencer = false;
+    /**
+     * Host instruction issue rate: one ENMC instruction consumes one
+     * PRECHARGE slot on the C/A bus; payload-carrying instructions add a
+     * DQ burst (tbl cycles).
+     */
+    size_t host_issue_per_cycle = 1;
+};
+
+} // namespace enmc::arch
+
+#endif // ENMC_ENMC_CONFIG_H

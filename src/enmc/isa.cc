@@ -1,0 +1,307 @@
+#include "enmc/isa.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace enmc::arch {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "NOP";
+      case Opcode::MulAddInt4: return "MUL_ADD_INT4";
+      case Opcode::MulAddFp32: return "MUL_ADD_FP32";
+      case Opcode::AddInt4: return "ADD_INT4";
+      case Opcode::MulInt4: return "MUL_INT4";
+      case Opcode::AddFp32: return "ADD_FP32";
+      case Opcode::MulFp32: return "MUL_FP32";
+      case Opcode::Ldr: return "LDR";
+      case Opcode::Str: return "STR";
+      case Opcode::Reg: return "REG";
+      case Opcode::Move: return "MOVE";
+      case Opcode::Filter: return "FILTER";
+      case Opcode::Softmax: return "SOFTMAX";
+      case Opcode::Sigmoid: return "SIGMOID";
+      case Opcode::Barrier: return "BARRIER";
+      case Opcode::Return: return "RETURN";
+      case Opcode::Clr: return "CLR";
+    }
+    return "?";
+}
+
+const char *
+bufferName(BufferId id)
+{
+    switch (id) {
+      case BufferId::ScreenFeature: return "sfeat";
+      case BufferId::ScreenWeight: return "swght";
+      case BufferId::ScreenPsum: return "spsum";
+      case BufferId::ExecFeature: return "xfeat";
+      case BufferId::ExecWeight: return "xwght";
+      case BufferId::ExecPsum: return "xpsum";
+      case BufferId::Output: return "out";
+      case BufferId::Index: return "index";
+    }
+    return "?";
+}
+
+const char *
+statusRegName(StatusReg reg)
+{
+    switch (reg) {
+      case StatusReg::FeatureBase: return "feature_base";
+      case StatusReg::ScreenWeightBase: return "screen_weight_base";
+      case StatusReg::ClassWeightBase: return "class_weight_base";
+      case StatusReg::BiasBase: return "bias_base";
+      case StatusReg::OutputBase: return "output_base";
+      case StatusReg::Categories: return "categories";
+      case StatusReg::HiddenDim: return "hidden_dim";
+      case StatusReg::ReducedDim: return "reduced_dim";
+      case StatusReg::BatchSize: return "batch_size";
+      case StatusReg::TileRows: return "tile_rows";
+      case StatusReg::Threshold: return "threshold";
+      case StatusReg::CandidateCount: return "candidate_count";
+      case StatusReg::InstCount: return "inst_count";
+      case StatusReg::Status: return "status";
+      case StatusReg::Mode: return "mode";
+      case StatusReg::NumRegs: break;
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    switch (op) {
+      case Opcode::Reg:
+        oss << (reg_write ? "INIT " : "QUERY ") << statusRegName(reg);
+        if (reg_write)
+            oss << ", " << payload;
+        break;
+      case Opcode::Ldr:
+      case Opcode::Str:
+        oss << opcodeName(op) << ' ' << bufferName(buf0) << ", 0x"
+            << std::hex << payload;
+        break;
+      case Opcode::Move:
+      case Opcode::MulAddInt4:
+      case Opcode::MulAddFp32:
+      case Opcode::AddInt4:
+      case Opcode::MulInt4:
+      case Opcode::AddFp32:
+      case Opcode::MulFp32:
+        oss << opcodeName(op) << ' ' << bufferName(buf0) << ", "
+            << bufferName(buf1);
+        break;
+      case Opcode::Filter:
+        oss << "FILTER " << bufferName(buf0);
+        break;
+      default:
+        oss << opcodeName(op);
+        break;
+    }
+    return oss.str();
+}
+
+namespace {
+
+constexpr uint16_t kCaMask = 0x1fff; // 13 bits
+
+uint16_t
+packOpcode(Opcode op)
+{
+    const auto v = static_cast<uint16_t>(op);
+    ENMC_ASSERT(v < 32, "opcode exceeds 5 bits");
+    return static_cast<uint16_t>(v << 8);
+}
+
+} // namespace
+
+EncodedInstruction
+encode(const Instruction &inst)
+{
+    EncodedInstruction enc;
+    enc.ca = packOpcode(inst.op);
+    switch (inst.op) {
+      case Opcode::Reg: {
+        const auto reg = static_cast<uint16_t>(inst.reg);
+        ENMC_ASSERT(reg < 32, "register id exceeds 5 bits");
+        enc.ca |= static_cast<uint16_t>(inst.reg_write ? 1 : 0) << 7;
+        enc.ca |= static_cast<uint16_t>(reg << 2);
+        enc.has_payload = inst.reg_write;
+        enc.payload = inst.payload;
+        break;
+      }
+      case Opcode::Ldr:
+      case Opcode::Str:
+        enc.ca |= static_cast<uint16_t>(
+            static_cast<uint16_t>(inst.buf0) << 4);
+        enc.has_payload = true;
+        enc.payload = inst.payload;
+        break;
+      case Opcode::Move:
+      case Opcode::MulAddInt4:
+      case Opcode::MulAddFp32:
+      case Opcode::AddInt4:
+      case Opcode::MulInt4:
+      case Opcode::AddFp32:
+      case Opcode::MulFp32:
+        enc.ca |= static_cast<uint16_t>(
+            static_cast<uint16_t>(inst.buf0) << 4);
+        enc.ca |= static_cast<uint16_t>(inst.buf1);
+        break;
+      case Opcode::Filter:
+        enc.ca |= static_cast<uint16_t>(
+            static_cast<uint16_t>(inst.buf0) << 4);
+        break;
+      case Opcode::Nop:
+      case Opcode::Softmax:
+      case Opcode::Sigmoid:
+      case Opcode::Barrier:
+      case Opcode::Return:
+      case Opcode::Clr:
+        break;
+    }
+    ENMC_ASSERT((enc.ca & ~kCaMask) == 0, "encoding exceeds 13 bits");
+    return enc;
+}
+
+Instruction
+decode(const EncodedInstruction &enc)
+{
+    ENMC_ASSERT((enc.ca & ~kCaMask) == 0, "malformed C/A word");
+    Instruction inst;
+    inst.op = static_cast<Opcode>((enc.ca >> 8) & 0x1f);
+    switch (inst.op) {
+      case Opcode::Reg:
+        inst.reg_write = ((enc.ca >> 7) & 1) != 0;
+        inst.reg = static_cast<StatusReg>((enc.ca >> 2) & 0x1f);
+        inst.has_payload = inst.reg_write;
+        inst.payload = enc.payload;
+        break;
+      case Opcode::Ldr:
+      case Opcode::Str:
+        inst.buf0 = static_cast<BufferId>((enc.ca >> 4) & 0xf);
+        inst.has_payload = true;
+        inst.payload = enc.payload;
+        break;
+      case Opcode::Move:
+      case Opcode::MulAddInt4:
+      case Opcode::MulAddFp32:
+      case Opcode::AddInt4:
+      case Opcode::MulInt4:
+      case Opcode::AddFp32:
+      case Opcode::MulFp32:
+        inst.buf0 = static_cast<BufferId>((enc.ca >> 4) & 0xf);
+        inst.buf1 = static_cast<BufferId>(enc.ca & 0xf);
+        break;
+      case Opcode::Filter:
+        inst.buf0 = static_cast<BufferId>((enc.ca >> 4) & 0xf);
+        break;
+      case Opcode::Nop:
+      case Opcode::Softmax:
+      case Opcode::Sigmoid:
+      case Opcode::Barrier:
+      case Opcode::Return:
+      case Opcode::Clr:
+        break;
+      default:
+        ENMC_PANIC("unknown opcode in C/A word");
+    }
+    return inst;
+}
+
+Instruction
+makeInit(StatusReg reg, uint64_t value)
+{
+    Instruction i;
+    i.op = Opcode::Reg;
+    i.reg = reg;
+    i.reg_write = true;
+    i.has_payload = true;
+    i.payload = value;
+    return i;
+}
+
+Instruction
+makeQuery(StatusReg reg)
+{
+    Instruction i;
+    i.op = Opcode::Reg;
+    i.reg = reg;
+    i.reg_write = false;
+    return i;
+}
+
+Instruction
+makeLdr(BufferId buf, uint64_t addr)
+{
+    Instruction i;
+    i.op = Opcode::Ldr;
+    i.buf0 = buf;
+    i.has_payload = true;
+    i.payload = addr;
+    return i;
+}
+
+Instruction
+makeStr(BufferId buf, uint64_t addr)
+{
+    Instruction i;
+    i.op = Opcode::Str;
+    i.buf0 = buf;
+    i.has_payload = true;
+    i.payload = addr;
+    return i;
+}
+
+Instruction
+makeMove(BufferId from, BufferId to)
+{
+    Instruction i;
+    i.op = Opcode::Move;
+    i.buf0 = from;
+    i.buf1 = to;
+    return i;
+}
+
+Instruction
+makeCompute(Opcode op, BufferId a, BufferId b)
+{
+    Instruction i;
+    i.op = op;
+    i.buf0 = a;
+    i.buf1 = b;
+    return i;
+}
+
+Instruction
+makeFilter(BufferId buf)
+{
+    Instruction i;
+    i.op = Opcode::Filter;
+    i.buf0 = buf;
+    return i;
+}
+
+Instruction
+makeSpecial(Opcode op)
+{
+    Instruction i;
+    i.op = op;
+    return i;
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < prog.size(); ++i)
+        oss << i << ":\t" << prog[i].toString() << "\n";
+    return oss.str();
+}
+
+} // namespace enmc::arch

@@ -1,0 +1,47 @@
+#include "nmp/cpu.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace enmc::nmp {
+
+double
+cpuTime(const CpuConfig &cfg, const screening::Cost &cost)
+{
+    const double bw_time = cost.bytes_read / cfg.achievableBandwidth();
+    const double fl_time = cost.flops / cfg.peakFlops();
+    return std::max(bw_time, fl_time);
+}
+
+double
+cpuFullClassificationTime(const CpuConfig &cfg, uint64_t categories,
+                          uint64_t hidden, uint64_t batch)
+{
+    screening::Cost c;
+    c.bytes_read = categories * hidden * sizeof(float); // weights stream once
+    c.flops = 2ull * categories * hidden * batch + 5ull * categories * batch;
+    return cpuTime(cfg, c);
+}
+
+double
+cpuScreeningTime(const CpuConfig &cfg, uint64_t categories, uint64_t hidden,
+                 uint64_t reduced, uint64_t candidates, uint64_t batch,
+                 tensor::QuantBits quant)
+{
+    const uint64_t bits =
+        quant == tensor::QuantBits::Fp32
+            ? 32
+            : static_cast<uint64_t>(tensor::quantBitCount(quant));
+    screening::Cost c;
+    // Screening weights (packed) + candidate rows (FP32).
+    c.bytes_read = ceilDiv(categories * reduced * bits, 8) +
+                   candidates * batch * hidden * sizeof(float);
+    // CPU executes quantized MACs at FP32 throughput after widening.
+    c.flops = 2ull * categories * reduced * batch +
+              2ull * candidates * batch * hidden +
+              5ull * (categories + candidates) * batch;
+    return cpuTime(cfg, c);
+}
+
+} // namespace enmc::nmp

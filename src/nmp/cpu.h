@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Roofline model of the CPU baseline (paper Section 6.2: Intel Xeon
+ * Platinum 8280, 28 cores @ 2.7 GHz, 6x DDR4-2666 channels, 128 GB/s).
+ *
+ * Extreme classification on the CPU is bandwidth-bound (Fig. 5), so
+ * execution time is max(bytes / achievable_bw, flops / peak_flops), with
+ * an achievable-bandwidth derate for streaming GEMV.
+ */
+
+#ifndef ENMC_NMP_CPU_H
+#define ENMC_NMP_CPU_H
+
+#include <cstdint>
+
+#include "screening/pipeline.h"
+
+namespace enmc::nmp {
+
+/** Xeon 8280-class host parameters. */
+struct CpuConfig
+{
+    double freq_hz = 2.7e9;
+    uint64_t cores = 28;
+    /** FP32 FLOPs per core per cycle (2x AVX-512 FMA units). */
+    uint64_t flops_per_cycle = 64;
+    /** 6 channels x DDR4-2666 ~ 128 GB/s peak. */
+    double peak_bandwidth = 128e9;
+    /** Achievable fraction of peak bandwidth on streaming GEMV. */
+    double bandwidth_efficiency = 0.75;
+
+    double peakFlops() const
+    {
+        return freq_hz * cores * flops_per_cycle;
+    }
+    double achievableBandwidth() const
+    {
+        return peak_bandwidth * bandwidth_efficiency;
+    }
+};
+
+/** Time in seconds to execute a cost record on the CPU. */
+double cpuTime(const CpuConfig &cfg, const screening::Cost &cost);
+
+/** Time for full classification of (l, d) with the given batch. */
+double cpuFullClassificationTime(const CpuConfig &cfg, uint64_t categories,
+                                 uint64_t hidden, uint64_t batch);
+
+/**
+ * Time for the approximate-screening pipeline on the CPU: screening
+ * (quantized weights still stream from DRAM) + candidate GEMV. Weight
+ * traffic is shared across the batch; compute scales with it.
+ */
+double cpuScreeningTime(const CpuConfig &cfg, uint64_t categories,
+                        uint64_t hidden, uint64_t reduced,
+                        uint64_t candidates, uint64_t batch,
+                        tensor::QuantBits quant);
+
+} // namespace enmc::nmp
+
+#endif // ENMC_NMP_CPU_H

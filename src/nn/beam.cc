@@ -1,0 +1,88 @@
+#include "nn/beam.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/topk.h"
+
+namespace enmc::nn {
+
+namespace {
+
+double
+lengthNormalized(const Hypothesis &h, double penalty)
+{
+    if (penalty <= 0.0 || h.tokens.empty())
+        return h.log_prob;
+    return h.log_prob / std::pow(static_cast<double>(h.tokens.size()),
+                                 penalty);
+}
+
+} // namespace
+
+std::vector<Hypothesis>
+beamSearch(const DecoderInterface &decoder, const BeamConfig &cfg)
+{
+    ENMC_ASSERT(cfg.beam_width >= 1, "beam width must be >= 1");
+    std::vector<Hypothesis> beam;
+    beam.push_back(Hypothesis{{}, 0.0, decoder.initial_state()});
+    std::vector<Hypothesis> finished;
+
+    for (size_t step = 0; step < cfg.max_steps && !beam.empty(); ++step) {
+        std::vector<Hypothesis> expanded;
+        for (const auto &hyp : beam) {
+            const tensor::Vector lp = decoder.log_probs(hyp.state);
+            // Only the top beam_width continuations of each hypothesis can
+            // survive the global prune.
+            const auto top =
+                tensor::topkIndices(lp, cfg.beam_width);
+            for (uint32_t tok : top) {
+                Hypothesis next;
+                next.tokens = hyp.tokens;
+                next.tokens.push_back(tok);
+                next.log_prob = hyp.log_prob + lp[tok];
+                if (tok == cfg.eos_token) {
+                    finished.push_back(std::move(next));
+                } else {
+                    next.state = decoder.advance(hyp.state, tok);
+                    expanded.push_back(std::move(next));
+                }
+            }
+        }
+        // Keep the best beam_width open hypotheses.
+        std::sort(expanded.begin(), expanded.end(),
+                  [](const Hypothesis &a, const Hypothesis &b) {
+                      return a.log_prob > b.log_prob;
+                  });
+        if (expanded.size() > cfg.beam_width)
+            expanded.resize(cfg.beam_width);
+        beam = std::move(expanded);
+        // Early exit: the best open hypothesis cannot beat the worst kept
+        // finished one if we already have enough finished hypotheses.
+        if (finished.size() >= cfg.beam_width && !beam.empty()) {
+            auto best_finished = std::max_element(
+                finished.begin(), finished.end(),
+                [&](const Hypothesis &a, const Hypothesis &b) {
+                    return lengthNormalized(a, cfg.length_penalty) <
+                           lengthNormalized(b, cfg.length_penalty);
+                });
+            if (beam.front().log_prob <
+                lengthNormalized(*best_finished, cfg.length_penalty)) {
+                break;
+            }
+        }
+    }
+
+    // Unfinished hypotheses still count (truncated decodes).
+    for (auto &h : beam)
+        finished.push_back(std::move(h));
+    std::sort(finished.begin(), finished.end(),
+              [&](const Hypothesis &a, const Hypothesis &b) {
+                  return lengthNormalized(a, cfg.length_penalty) >
+                         lengthNormalized(b, cfg.length_penalty);
+              });
+    return finished;
+}
+
+} // namespace enmc::nn

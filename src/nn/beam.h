@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Beam-search decoding over classifier outputs.
+ *
+ * The paper motivates approximation with beam search: "we only use the
+ * top-K values of softmax-normalized probabilities to select the translated
+ * words, where K is the beam search size". The decoder here consumes any
+ * scoring function over the vocabulary, so it runs identically on full
+ * classification and on screened (candidates-only) classification — the
+ * NMT example compares the two.
+ */
+
+#ifndef ENMC_NN_BEAM_H
+#define ENMC_NN_BEAM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace enmc::nn {
+
+/** One partial hypothesis. */
+struct Hypothesis
+{
+    std::vector<uint32_t> tokens;
+    double log_prob = 0.0;
+    tensor::Vector state;   //!< decoder hidden state after `tokens`
+};
+
+/** Interface the beam search drives. */
+struct DecoderInterface
+{
+    /** Initial decoder state. */
+    std::function<tensor::Vector()> initial_state;
+
+    /** Advance the state by one emitted token. */
+    std::function<tensor::Vector(const tensor::Vector &state,
+                                 uint32_t token)> advance;
+
+    /**
+     * Per-category log-probabilities for the next token given a state.
+     * Implementations may use full classification or screening.
+     */
+    std::function<tensor::Vector(const tensor::Vector &state)> log_probs;
+};
+
+/** Beam-search configuration. */
+struct BeamConfig
+{
+    size_t beam_width = 4;
+    size_t max_steps = 32;
+    uint32_t eos_token = 0;
+    double length_penalty = 0.0; //!< 0 = none
+};
+
+/** Run beam search; returns completed hypotheses sorted best-first. */
+std::vector<Hypothesis> beamSearch(const DecoderInterface &decoder,
+                                   const BeamConfig &cfg);
+
+} // namespace enmc::nn
+
+#endif // ENMC_NN_BEAM_H

@@ -1,0 +1,87 @@
+#include "nn/frontend.h"
+
+#include "common/logging.h"
+
+namespace enmc::nn {
+
+const char *
+frontendTypeName(FrontendType type)
+{
+    switch (type) {
+      case FrontendType::LstmLm: return "LSTM";
+      case FrontendType::TransformerLm: return "Transformer";
+      case FrontendType::Gnmt: return "GNMT";
+      case FrontendType::XmlCnn: return "XMLCNN";
+    }
+    return "?";
+}
+
+uint64_t
+FrontendModel::embeddingParams() const
+{
+    return vocab * embedDim();
+}
+
+uint64_t
+FrontendModel::hiddenParams() const
+{
+    const uint64_t d = hidden;
+    switch (type) {
+      case FrontendType::LstmLm:
+        // 4 gates, each (input + recurrent) weight + bias, per layer.
+        return layers * 4 * (d * d + d * d + d);
+      case FrontendType::TransformerLm:
+        // Per layer: QKV + output projection (4 d^2) + FFN (2 * 4 d^2).
+        return layers * (4 * d * d + 8 * d * d);
+      case FrontendType::Gnmt:
+        // Encoder + decoder LSTM stacks (layers counts each stack's depth)
+        // plus an attention block of ~3 d^2.
+        return 2 * layers * 4 * (2 * d * d + d) + 3 * d * d;
+      case FrontendType::XmlCnn: {
+        // Convolutional feature extractor + bottleneck projection, as in
+        // Liu et al. 2017: three filter widths, 128 maps each, over
+        // embed-dim channels, then a pooled bottleneck to `hidden`.
+        const uint64_t e = embedDim();
+        const uint64_t conv = 3 * 128 * (e * 5);  // width-(3,5,7)~avg 5
+        const uint64_t bottleneck = 3 * 128 * 32 * d / 8;
+        return conv + bottleneck;
+      }
+    }
+    ENMC_PANIC("unreachable frontend type");
+}
+
+uint64_t
+FrontendModel::flopsPerStep() const
+{
+    // Embedding lookup is O(d); hidden layers dominate at 2 flops/param.
+    return 2 * hiddenParams() + 2 * embedDim();
+}
+
+FrontendModel
+FrontendModel::lstmW33k()
+{
+    return {FrontendType::LstmLm, 33278, 1500, 2, 0};
+}
+
+FrontendModel
+FrontendModel::transformerW268k()
+{
+    return {FrontendType::TransformerLm, 267744, 512, 6, 0};
+}
+
+FrontendModel
+FrontendModel::gnmtE32k()
+{
+    return {FrontendType::Gnmt, 32317, 1024, 8, 0};
+}
+
+FrontendModel
+FrontendModel::xmlcnn670k()
+{
+    // The input side of XML-CNN embeds a *text* vocabulary (~40K words at
+    // 128 dims in Liu et al. 2017), not the 670K label space — labels only
+    // appear in the classification layer.
+    return {FrontendType::XmlCnn, 40000, 512, 1, 128};
+}
+
+} // namespace enmc::nn

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic models of the application front-ends (the non-classification
+ * part of each workload: input embedding + hidden layers).
+ *
+ * The paper's Fig. 4 breaks model parameters and operations into
+ * classification vs non-classification; Fig. 13/15 need the front-end
+ * execution time to compose end-to-end numbers. The front-ends themselves
+ * are compute-bound and run on the host in every configuration, so an
+ * analytic parameter/FLOP model (matching the published architectures of
+ * LSTM-LM, Transformer-LM, GNMT and XMLCNN) is sufficient and exact enough
+ * for those figures.
+ */
+
+#ifndef ENMC_NN_FRONTEND_H
+#define ENMC_NN_FRONTEND_H
+
+#include <cstdint>
+#include <string>
+
+namespace enmc::nn {
+
+/** Architecture family of a front-end. */
+enum class FrontendType { LstmLm, TransformerLm, Gnmt, XmlCnn };
+
+const char *frontendTypeName(FrontendType type);
+
+/** Structural description of one front-end model. */
+struct FrontendModel
+{
+    FrontendType type = FrontendType::TransformerLm;
+    uint64_t vocab = 0;        //!< input vocabulary / feature dim
+    uint64_t hidden = 512;     //!< hidden dimension d
+    uint64_t layers = 2;       //!< encoder(/decoder) depth
+    uint64_t embed_dim = 0;    //!< 0 -> equal to hidden
+
+    uint64_t embedDim() const { return embed_dim ? embed_dim : hidden; }
+
+    /** Parameters of the input embedding table. */
+    uint64_t embeddingParams() const;
+
+    /** Parameters of the hidden (non-classification) layers. */
+    uint64_t hiddenParams() const;
+
+    /** All non-classification parameters. */
+    uint64_t params() const { return embeddingParams() + hiddenParams(); }
+
+    /** FLOPs to produce one hidden vector (one inference step). */
+    uint64_t flopsPerStep() const;
+
+    /** Factory helpers matching the paper's Table 2 models. */
+    static FrontendModel lstmW33k();
+    static FrontendModel transformerW268k();
+    static FrontendModel gnmtE32k();
+    static FrontendModel xmlcnn670k();
+};
+
+} // namespace enmc::nn
+
+#endif // ENMC_NN_FRONTEND_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minibatch SGD with momentum, used by the screener distillation loop
+ * (paper Algorithm 1, "Update W~, b~ with SGD(min Loss)").
+ */
+
+#ifndef ENMC_NN_SGD_H
+#define ENMC_NN_SGD_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace enmc::nn {
+
+/** SGD hyperparameters. */
+struct SgdConfig
+{
+    double lr = 0.05;
+    double momentum = 0.9;
+    double lr_decay = 1.0;   //!< multiplied into lr once per epoch
+};
+
+/** Momentum-SGD state for one parameter tensor (flat view). */
+class SgdOptimizer
+{
+  public:
+    explicit SgdOptimizer(SgdConfig cfg) : cfg_(cfg) {}
+
+    /** Register a parameter buffer; returns its slot id. */
+    size_t addParameter(size_t num_elements);
+
+    /**
+     * Apply one update: param -= lr * (velocity update of grad).
+     * @param slot Parameter slot from addParameter().
+     */
+    void step(size_t slot, std::span<float> param,
+              std::span<const float> grad);
+
+    /** Signal the end of an epoch (applies lr decay). */
+    void endEpoch();
+
+    double currentLr() const { return lr_; }
+
+  private:
+    SgdConfig cfg_;
+    double lr_ = 0.0;
+    bool lr_init_ = false;
+    std::vector<std::vector<float>> velocity_;
+};
+
+} // namespace enmc::nn
+
+#endif // ENMC_NN_SGD_H

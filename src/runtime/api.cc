@@ -1,0 +1,88 @@
+#include "runtime/api.h"
+
+#include "common/logging.h"
+#include "screening/serialize.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+
+namespace enmc::runtime {
+
+EnmcClassifier::EnmcClassifier(const nn::Classifier &teacher,
+                               const ClassifierOptions &options,
+                               const SystemConfig &system)
+    : teacher_(teacher), options_(options), system_(system)
+{
+    screening::ScreenerConfig cfg;
+    cfg.categories = teacher.categories();
+    cfg.hidden = teacher.hidden();
+    cfg.reduction_scale = options.reduction_scale;
+    cfg.quant = options.quant;
+    cfg.selection = screening::SelectionMode::Threshold;
+    cfg.top_m = options.candidates;
+    Rng rng(options.seed);
+    screener_ = std::make_unique<screening::Screener>(cfg, rng);
+}
+
+screening::TrainReport
+EnmcClassifier::calibrate(const std::vector<tensor::Vector> &train_h,
+                          const std::vector<tensor::Vector> &val_h)
+{
+    screening::Trainer trainer(teacher_, *screener_, options_.trainer);
+    screening::TrainReport report = trainer.train(train_h, val_h);
+    screener_->freezeQuantized();
+    const float threshold = screening::tuneThreshold(
+        *screener_, val_h.empty() ? train_h : val_h, options_.candidates);
+    screener_->setSelection(screening::SelectionMode::Threshold,
+                            options_.candidates, threshold);
+    calibrated_ = true;
+    return report;
+}
+
+std::vector<ClassifierOutput>
+EnmcClassifier::forward(const std::vector<tensor::Vector> &h_batch, size_t k)
+{
+    ENMC_ASSERT(calibrated_, "calibrate() before forward()");
+    const auto fr =
+        system_.runFunctional(teacher_, *screener_, h_batch, options_.ranks);
+    last_cycles_ = fr.rank_cycles;
+
+    std::vector<ClassifierOutput> out(h_batch.size());
+    for (size_t i = 0; i < h_batch.size(); ++i) {
+        out[i].probabilities = fr.probabilities[i];
+        out[i].topk = tensor::topkIndices(fr.probabilities[i], k);
+        out[i].candidates = fr.candidates[i];
+    }
+    return out;
+}
+
+void
+EnmcClassifier::save(const std::string &path) const
+{
+    ENMC_ASSERT(calibrated_, "calibrate() before save()");
+    // The screener's projection was drawn from Rng(options.seed).
+    screening::saveScreenerFile(*screener_, options_.seed, path);
+}
+
+void
+EnmcClassifier::load(const std::string &path)
+{
+    screener_ = screening::loadScreenerFile(path);
+    ENMC_ASSERT(screener_->categories() == teacher_.categories() &&
+                    screener_->config().hidden == teacher_.hidden(),
+                "loaded screener does not match this classifier");
+    calibrated_ = true;
+}
+
+std::vector<ClassifierOutput>
+EnmcClassifier::forwardFull(const std::vector<tensor::Vector> &h_batch,
+                            size_t k) const
+{
+    std::vector<ClassifierOutput> out(h_batch.size());
+    for (size_t i = 0; i < h_batch.size(); ++i) {
+        out[i].probabilities = teacher_.probabilities(h_batch[i]);
+        out[i].topk = tensor::topkIndices(out[i].probabilities, k);
+    }
+    return out;
+}
+
+} // namespace enmc::runtime

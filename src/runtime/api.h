@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The programmer-facing ENMC API (paper Fig. 9): wraps screener training,
+ * threshold tuning, and hardware execution behind a classifier object —
+ * the C++ analogue of the paper's `enmc.Classifier(...)` /
+ * `model.forward(...)` Python package.
+ */
+
+#ifndef ENMC_RUNTIME_API_H
+#define ENMC_RUNTIME_API_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/classifier.h"
+#include "runtime/system.h"
+#include "screening/screener.h"
+#include "screening/trainer.h"
+
+namespace enmc::runtime {
+
+/** Construction options for an offloaded classifier. */
+struct ClassifierOptions
+{
+    double reduction_scale = 0.25;          //!< Fig. 12(a) default
+    tensor::QuantBits quant = tensor::QuantBits::Int4; //!< Fig. 12(b)
+    /** Target candidate count per inference (threshold is tuned to it). */
+    size_t candidates = 64;
+    screening::TrainerConfig trainer;
+    /** Ranks to slice across in functional runs. */
+    uint64_t ranks = 4;
+    uint64_t seed = 42;
+};
+
+/** One inference's output. */
+struct ClassifierOutput
+{
+    tensor::Vector probabilities;      //!< full-length, mixed accuracy
+    std::vector<uint32_t> topk;        //!< top-k category indices
+    std::vector<uint32_t> candidates;  //!< rows computed accurately
+};
+
+/**
+ * An extreme classifier offloaded to ENMC memory.
+ *
+ * Usage:
+ *   EnmcClassifier clf(teacher, options, system);
+ *   clf.calibrate(train_h, val_h);             // Algorithm 1 + threshold
+ *   auto out = clf.forward(h_batch, k);        // runs on the rank model
+ */
+class EnmcClassifier
+{
+  public:
+    EnmcClassifier(const nn::Classifier &teacher,
+                   const ClassifierOptions &options,
+                   const SystemConfig &system = SystemConfig{});
+
+    /** Distill the screener and tune the FILTER threshold (offline). */
+    screening::TrainReport calibrate(
+        const std::vector<tensor::Vector> &train_h,
+        const std::vector<tensor::Vector> &val_h);
+
+    /** Candidates-only classification of a batch on the ENMC model. */
+    std::vector<ClassifierOutput> forward(
+        const std::vector<tensor::Vector> &h_batch, size_t k);
+
+    /** Reference full classification (host-only path). */
+    std::vector<ClassifierOutput> forwardFull(
+        const std::vector<tensor::Vector> &h_batch, size_t k) const;
+
+    /** Persist the calibrated screener (train once, deploy many). */
+    void save(const std::string &path) const;
+
+    /** Restore a previously saved screener; marks the model calibrated. */
+    void load(const std::string &path);
+
+    const screening::Screener &screener() const { return *screener_; }
+    const EnmcSystem &system() const { return system_; }
+    bool calibrated() const { return calibrated_; }
+
+    /** Cycles spent by the representative rank in the last forward(). */
+    Cycles lastRankCycles() const { return last_cycles_; }
+
+  private:
+    const nn::Classifier &teacher_;
+    ClassifierOptions options_;
+    EnmcSystem system_;
+    std::unique_ptr<screening::Screener> screener_;
+    bool calibrated_ = false;
+    Cycles last_cycles_ = 0;
+};
+
+} // namespace enmc::runtime
+
+#endif // ENMC_RUNTIME_API_H

@@ -1,0 +1,94 @@
+#include "runtime/channel_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/compiler.h"
+
+namespace enmc::runtime {
+
+using arch::EnmcRank;
+using arch::RankResult;
+using arch::RankTask;
+
+ChannelSim::ChannelSim(const SystemConfig &cfg, uint32_t ranks_per_channel)
+    : cfg_(cfg),
+      ranks_(ranks_per_channel ? ranks_per_channel : cfg.org.ranks)
+{
+    ENMC_ASSERT(ranks_ >= 1, "channel needs at least one rank");
+}
+
+ChannelSimResult
+ChannelSim::run(const JobSpec &spec, Cycles max_cycles)
+{
+    // One task per rank: the channel's categories are sliced evenly.
+    const RankTask slice = EnmcSystem::makeSliceTask(
+        spec, ceilDiv(spec.categories, ranks_),
+        ceilDiv(std::max<uint64_t>(spec.candidates, 1), ranks_));
+
+    const dram::Organization rank_org = cfg_.org.singleRankView();
+    const CompiledJob job = compileClassification(slice, cfg_.enmc);
+
+    std::vector<std::unique_ptr<EnmcRank>> ranks;
+    for (uint32_t r = 0; r < ranks_; ++r) {
+        ranks.push_back(std::make_unique<EnmcRank>(cfg_.enmc, rank_org,
+                                                   cfg_.timing));
+        ranks.back()->start(job.program, slice);
+    }
+
+    ChannelSimResult res;
+    res.ranks.resize(ranks_);
+    std::vector<bool> finished(ranks_, false);
+    uint32_t finished_count = 0;
+    uint32_t rr = 0;            //!< round-robin arbitration pointer
+    Cycles dq_busy = 0;         //!< shared DQ payload burst in flight
+    Cycles now = 0;
+
+    while (finished_count < ranks_) {
+        ++now;
+        if (now > max_cycles)
+            ENMC_PANIC("channel simulation watchdog expired");
+
+        // Shared C/A bus: one instruction delivery per cycle, blocked
+        // while a payload burst occupies the DQ bus.
+        if (dq_busy > 0) {
+            --dq_busy;
+            ++res.ca_busy_cycles;
+        } else {
+            for (uint32_t i = 0; i < ranks_; ++i) {
+                const uint32_t r = (rr + i) % ranks_;
+                if (finished[r])
+                    continue;
+                const arch::Instruction *inst =
+                    ranks[r]->pendingInstruction();
+                if (inst == nullptr)
+                    continue;
+                const bool payload = inst->has_payload;
+                if (ranks[r]->tryDeliverInstruction()) {
+                    ++res.instructions_delivered;
+                    ++res.ca_busy_cycles;
+                    if (payload)
+                        dq_busy = cfg_.timing.tbl;
+                    rr = (r + 1) % ranks_;
+                    break;
+                }
+            }
+        }
+
+        for (uint32_t r = 0; r < ranks_; ++r) {
+            if (finished[r])
+                continue;
+            ranks[r]->tick();
+            if (ranks[r]->done()) {
+                finished[r] = true;
+                ++finished_count;
+                res.ranks[r] = ranks[r]->takeResult();
+                res.ranks[r].cycles = now;
+            }
+        }
+    }
+    res.cycles = now;
+    return res;
+}
+
+} // namespace enmc::runtime

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Channel-level multi-rank simulation.
+ *
+ * All ranks of a channel execute their slice concurrently, but the host
+ * can deliver at most one PRECHARGE-tunneled ENMC instruction per command
+ * cycle across the *whole channel*, and payload-carrying instructions
+ * occupy the shared DQ bus for a burst. With the na(i)ve per-tile
+ * instruction stream this C/A bottleneck throttles 8 ranks; the hardware
+ * tile sequencer (Mode bit 0) removes it — the experiment behind
+ * `bench/ablation_channel`.
+ */
+
+#ifndef ENMC_RUNTIME_CHANNEL_SIM_H
+#define ENMC_RUNTIME_CHANNEL_SIM_H
+
+#include <memory>
+#include <vector>
+
+#include "enmc/rank.h"
+#include "runtime/system.h"
+
+namespace enmc::runtime {
+
+/** Outcome of a channel run. */
+struct ChannelSimResult
+{
+    Cycles cycles = 0;                  //!< slowest rank's completion
+    std::vector<arch::RankResult> ranks;
+    uint64_t instructions_delivered = 0;
+    uint64_t ca_busy_cycles = 0;        //!< C/A + payload bus occupancy
+    double caUtilization() const
+    {
+        return cycles ? static_cast<double>(ca_busy_cycles) / cycles : 0.0;
+    }
+};
+
+/** Simulates every rank of one channel sharing the instruction bus. */
+class ChannelSim
+{
+  public:
+    /**
+     * @param cfg System configuration (org.ranks ranks are simulated).
+     * @param ranks_per_channel Override the organization's rank count
+     *        (0 = use cfg.org.ranks).
+     */
+    explicit ChannelSim(const SystemConfig &cfg,
+                        uint32_t ranks_per_channel = 0);
+
+    /**
+     * Run one job sliced across this channel's ranks (timing view; the
+     * job's `categories` are the *channel's* share).
+     */
+    ChannelSimResult run(const JobSpec &spec,
+                         Cycles max_cycles = 2'000'000'000ull);
+
+  private:
+    SystemConfig cfg_;
+    uint32_t ranks_;
+};
+
+} // namespace enmc::runtime
+
+#endif // ENMC_RUNTIME_CHANNEL_SIM_H

@@ -1,0 +1,83 @@
+#include "runtime/compiler.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace enmc::runtime {
+
+using namespace ::enmc::arch;
+
+uint64_t
+screeningTileRows(const RankTask &task, const EnmcConfig &cfg)
+{
+    // The weight buffer is split into ping/pong halves; a tile fills one
+    // half.
+    const uint64_t half = cfg.screen_weight_buf / 2;
+    uint64_t rows = half / std::max<uint64_t>(task.screenRowBytes(), 1);
+    // A tile's partial sums (rows x batch FP32) must fit the PSUM buffer,
+    // or the Screener pipeline wedges waiting for space that can never
+    // appear.
+    ENMC_ASSERT(task.batch * 4 <= cfg.psum_buf,
+                "batch too large for the PSUM buffer");
+    rows = std::min<uint64_t>(rows, cfg.psum_buf / (4 * task.batch));
+    return std::max<uint64_t>(rows, 1);
+}
+
+CompiledJob
+compileClassification(const RankTask &task, const EnmcConfig &cfg)
+{
+    ENMC_ASSERT(task.categories > 0 && task.hidden > 0 && task.reduced > 0,
+                "task dimensions not set");
+    CompiledJob job;
+    job.tile_rows = screeningTileRows(task, cfg);
+    job.tiles = ceilDiv(task.categories, job.tile_rows);
+
+    Program &p = job.program;
+    p.push_back(makeInit(StatusReg::Categories, task.categories));
+    p.push_back(makeInit(StatusReg::HiddenDim, task.hidden));
+    p.push_back(makeInit(StatusReg::ReducedDim, task.reduced));
+    p.push_back(makeInit(StatusReg::BatchSize, task.batch));
+    p.push_back(makeInit(StatusReg::TileRows, job.tile_rows));
+    p.push_back(makeInit(StatusReg::Threshold,
+                         std::bit_cast<uint32_t>(task.threshold)));
+    p.push_back(makeInit(StatusReg::FeatureBase, task.feature_base));
+    p.push_back(makeInit(StatusReg::ScreenWeightBase,
+                         task.screen_weight_base));
+    p.push_back(makeInit(StatusReg::ClassWeightBase,
+                         task.class_weight_base));
+    p.push_back(makeInit(StatusReg::BiasBase, task.bias_base));
+    p.push_back(makeInit(StatusReg::OutputBase, task.output_base));
+
+    if (cfg.hw_tile_sequencer)
+        p.push_back(makeInit(StatusReg::Mode, kModeHwTileSequencer));
+
+    p.push_back(makeLdr(BufferId::ScreenFeature, task.feature_base));
+
+    if (cfg.hw_tile_sequencer) {
+        // One compute instruction; the on-DIMM instruction generator
+        // expands the per-tile LDR/MUL_ADD/FILTER loop.
+        p.push_back(makeCompute(Opcode::MulAddInt4,
+                                BufferId::ScreenFeature,
+                                BufferId::ScreenWeight));
+    } else {
+        const uint64_t tile_bytes = job.tile_rows * task.screenRowBytes();
+        for (uint64_t t = 0; t < job.tiles; ++t) {
+            p.push_back(makeLdr(BufferId::ScreenWeight,
+                                task.screen_weight_base + t * tile_bytes));
+            p.push_back(makeCompute(Opcode::MulAddInt4,
+                                    BufferId::ScreenFeature,
+                                    BufferId::ScreenWeight));
+            p.push_back(makeFilter(BufferId::ScreenPsum));
+        }
+    }
+
+    p.push_back(makeSpecial(Opcode::Barrier));
+    p.push_back(makeSpecial(task.sigmoid ? Opcode::Sigmoid
+                                         : Opcode::Softmax));
+    p.push_back(makeSpecial(Opcode::Return));
+    return job;
+}
+
+} // namespace enmc::runtime

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The ENMC program compiler (paper Section 5.4, Fig. 9): translates one
+ * classification call into the ENMC instruction stream the host memory
+ * controller issues. "The compiler tiles the operation with initialized
+ * parameters and hardware configurations and executes the instruction in
+ * a loop."
+ */
+
+#ifndef ENMC_RUNTIME_COMPILER_H
+#define ENMC_RUNTIME_COMPILER_H
+
+#include "enmc/config.h"
+#include "enmc/isa.h"
+#include "enmc/task.h"
+
+namespace enmc::runtime {
+
+/** A compiled rank program plus its tiling decisions. */
+struct CompiledJob
+{
+    arch::Program program;
+    uint64_t tile_rows = 0;    //!< screening rows per weight tile
+    uint64_t tiles = 0;        //!< number of screening tiles
+};
+
+/**
+ * Compile a classification task for one rank.
+ *
+ * Layout of the emitted program:
+ *   INIT   <dimension and base-address registers>
+ *   LDR    sfeat, feature_base          ; quantized projected features
+ *   repeat per tile t:
+ *     LDR        swght, base + t*tile   ; double-buffered tile fetch
+ *     MUL_ADD_INT4 sfeat, swght         ; screening GEMV on the tile
+ *     FILTER     spsum                  ; threshold -> candidate indices
+ *   BARRIER                             ; candidates-only compute drains
+ *   SOFTMAX | SIGMOID                   ; SFU epilogue
+ *   RETURN                              ; ship output buffer to host
+ *
+ * Executor instructions are not in the host program: the ENMC controller's
+ * instruction generator creates them from the candidate indices.
+ */
+CompiledJob compileClassification(const arch::RankTask &task,
+                                  const arch::EnmcConfig &cfg);
+
+/** Rows per screening tile for a task under a hardware config. */
+uint64_t screeningTileRows(const arch::RankTask &task,
+                           const arch::EnmcConfig &cfg);
+
+} // namespace enmc::runtime
+
+#endif // ENMC_RUNTIME_COMPILER_H

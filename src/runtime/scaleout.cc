@@ -1,0 +1,91 @@
+#include "runtime/scaleout.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace enmc::runtime {
+
+ScaleOutResult
+runScaleOut(const ScaleOutConfig &cfg, const JobSpec &spec)
+{
+    ENMC_ASSERT(cfg.nodes >= 1, "cluster needs at least one node");
+    ScaleOutResult res;
+    res.nodes = cfg.nodes;
+
+    // Per-node slice of the global problem.
+    JobSpec node_spec = spec;
+    node_spec.categories = ceilDiv(spec.categories, cfg.nodes);
+    node_spec.candidates =
+        std::max<uint64_t>(1, ceilDiv(spec.candidates, cfg.nodes));
+
+    // Phase 1: broadcast the projected + raw features to every node.
+    // A flat tree (root sends to each node) is modeled; the quantized
+    // projected vector + FP32 hidden vector travel per batch item.
+    const uint64_t feat_bytes =
+        spec.batch * (ceilDiv(spec.reduced, 2) + spec.hidden * 4);
+    if (cfg.nodes > 1) {
+        res.broadcast_seconds =
+            cfg.network.latency +
+            static_cast<double>((cfg.nodes - 1) * feat_bytes) /
+                cfg.network.bandwidth;
+    }
+
+    // Phase 2: local candidates-only classification (nodes are symmetric;
+    // simulate one).
+    EnmcSystem node(cfg.node);
+    res.node = node.runTiming(node_spec);
+    res.classification_seconds = res.node.seconds;
+
+    // Phase 3: gather each node's partial normalizer + accurate
+    // candidates at the root.
+    const uint64_t result_bytes =
+        spec.batch * 8 + node_spec.candidates * spec.batch * 8;
+    if (cfg.nodes > 1) {
+        res.gather_seconds =
+            cfg.network.latency +
+            static_cast<double>((cfg.nodes - 1) * result_bytes) /
+                cfg.network.bandwidth;
+    }
+    return res;
+}
+
+EnmcSystem::FunctionalResult
+runScaleOutFunctional(const ScaleOutConfig &cfg,
+                      const nn::Classifier &classifier,
+                      const screening::Screener &screener,
+                      const std::vector<tensor::Vector> &h_batch,
+                      uint64_t ranks_per_node)
+{
+    ENMC_ASSERT(cfg.nodes >= 1, "cluster needs at least one node");
+    const uint64_t l = classifier.categories();
+    const uint64_t nodes = std::min<uint64_t>(cfg.nodes, l);
+    const uint64_t batch = h_batch.size();
+
+    EnmcSystem node(cfg.node);
+    EnmcSystem::FunctionalResult out;
+    out.logits.assign(batch, tensor::Vector(l, 0.0f));
+    out.candidates.assign(batch, {});
+
+    const uint64_t slice = ceilDiv(l, nodes);
+    for (uint64_t n = 0; n < nodes; ++n) {
+        const uint64_t row0 = n * slice;
+        if (row0 >= l)
+            break;
+        const uint64_t rows = std::min<uint64_t>(slice, l - row0);
+        node.runFunctionalRange(classifier, screener, h_batch,
+                                ranks_per_node, row0, rows, out);
+    }
+
+    // Root merge: normalize once over the gathered logits.
+    for (uint64_t item = 0; item < batch; ++item) {
+        out.probabilities.push_back(
+            classifier.normalization() == nn::Normalization::Softmax
+                ? tensor::softmaxTaylor(out.logits[item])
+                : tensor::sigmoidTaylor(out.logits[item]));
+    }
+    return out;
+}
+
+} // namespace enmc::runtime

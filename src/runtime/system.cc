@@ -1,0 +1,267 @@
+#include "runtime/system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/compiler.h"
+#include "tensor/ops.h"
+
+namespace enmc::runtime {
+
+using arch::EnmcRank;
+using arch::RankResult;
+using arch::RankTask;
+
+EnmcSystem::EnmcSystem(const SystemConfig &cfg)
+    : cfg_(cfg)
+{
+    ENMC_ASSERT(cfg.totalRanks() >= 1, "system needs at least one rank");
+}
+
+RankTask
+EnmcSystem::makeSliceTask(const JobSpec &spec, uint64_t slice_categories,
+                          uint64_t slice_candidates)
+{
+    ENMC_ASSERT(spec.hidden > 0 && spec.reduced > 0 &&
+                    slice_categories > 0,
+                "job dimensions not set");
+    RankTask task;
+    task.categories = slice_categories;
+    task.hidden = spec.hidden;
+    task.reduced = spec.reduced;
+    task.quant = spec.quant;
+    task.batch = spec.batch;
+    task.sigmoid = spec.sigmoid;
+    task.expected_candidates = std::max<uint64_t>(1, slice_candidates);
+
+    // Rank-local layout: disjoint regions, each row-aligned so streaming
+    // stays row-hit friendly.
+    const uint64_t align = 4096;
+    Addr cursor = 0;
+    auto reserve = [&cursor, align](uint64_t bytes) {
+        const Addr base = cursor;
+        cursor += roundUp(std::max<uint64_t>(bytes, 1), align);
+        return base;
+    };
+    task.screen_weight_base =
+        reserve(task.categories * task.screenRowBytes());
+    task.class_weight_base = reserve(task.categories * task.classRowBytes());
+    task.bias_base = reserve(task.categories * sizeof(float) * 2);
+    task.feature_base = reserve(
+        task.batch * (task.reduced + task.hidden) * sizeof(float));
+    task.output_base = reserve(task.categories * sizeof(float));
+    return task;
+}
+
+RankTask
+EnmcSystem::makeRankTask(const JobSpec &spec) const
+{
+    ENMC_ASSERT(spec.categories > 0, "job dimensions not set");
+    const uint64_t ranks = cfg_.totalRanks();
+    return makeSliceTask(spec, ceilDiv(spec.categories, ranks),
+                         ceilDiv(spec.candidates, ranks));
+}
+
+TimingResult
+EnmcSystem::runRank(const RankTask &task) const
+{
+    dram::Organization rank_org = cfg_.org.singleRankView();
+    EnmcRank rank(cfg_.enmc, rank_org, cfg_.timing);
+    const CompiledJob job = compileClassification(task, cfg_.enmc);
+    TimingResult res;
+    res.rank = rank.run(job.program, task);
+    res.rank_cycles = res.rank.cycles;
+    res.ranks = cfg_.totalRanks();
+    res.seconds = cyclesToSeconds(res.rank_cycles, cfg_.timing.freq_hz);
+    return res;
+}
+
+TimingResult
+EnmcSystem::runTiming(const JobSpec &spec) const
+{
+    RankTask task = makeRankTask(spec);
+    const uint64_t tile_rows = screeningTileRows(task, cfg_.enmc);
+    const uint64_t tiles = ceilDiv(task.categories, tile_rows);
+
+    if (tiles <= cfg_.max_sim_tiles)
+        return runRank(task);
+
+    // Representative-tile extrapolation: measure two truncated slice
+    // sizes, fit cycles = a + b * tiles, and extend. Candidate work and
+    // traffic scale with the same ratio (screening is tile-homogeneous).
+    const uint64_t n2 = cfg_.max_sim_tiles;
+    const uint64_t n1 = cfg_.max_sim_tiles / 2;
+    auto truncated = [&](uint64_t n) {
+        RankTask t = task;
+        t.categories = n * tile_rows;
+        t.expected_candidates = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   static_cast<double>(task.expected_candidates) *
+                   t.categories / task.categories));
+        return runRank(t);
+    };
+    const TimingResult r1 = truncated(n1);
+    const TimingResult r2 = truncated(n2);
+
+    const double per_tile =
+        static_cast<double>(r2.rank_cycles - r1.rank_cycles) /
+        static_cast<double>(n2 - n1);
+    TimingResult res = r2;
+    res.extrapolated = true;
+    res.rank_cycles = r2.rank_cycles +
+        static_cast<Cycles>(per_tile * static_cast<double>(tiles - n2));
+    res.seconds = cyclesToSeconds(res.rank_cycles, cfg_.timing.freq_hz);
+
+    const double scale = static_cast<double>(task.categories) /
+                         (static_cast<double>(n2) * tile_rows);
+    res.rank.cycles = res.rank_cycles;
+    res.rank.screen_bytes =
+        static_cast<uint64_t>(r2.rank.screen_bytes * scale);
+    res.rank.exec_bytes = static_cast<uint64_t>(r2.rank.exec_bytes * scale);
+    res.rank.output_bytes =
+        static_cast<uint64_t>(r2.rank.output_bytes * scale);
+    res.rank.candidates = task.expected_candidates * task.batch;
+    res.rank.instructions =
+        static_cast<uint64_t>(r2.rank.instructions * scale);
+    res.rank.screener_busy =
+        static_cast<Cycles>(r2.rank.screener_busy * scale);
+    res.rank.executor_busy =
+        static_cast<Cycles>(r2.rank.executor_busy * scale);
+    res.rank.dram_reads = static_cast<uint64_t>(r2.rank.dram_reads * scale);
+    res.rank.dram_writes =
+        static_cast<uint64_t>(r2.rank.dram_writes * scale);
+    res.rank.dram_acts = static_cast<uint64_t>(r2.rank.dram_acts * scale);
+    res.rank.dram_refs = static_cast<uint64_t>(r2.rank.dram_refs * scale);
+    return res;
+}
+
+void
+EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
+                               const screening::Screener &screener,
+                               const std::vector<tensor::Vector> &h_batch,
+                               uint64_t ranks_to_use, uint64_t row_begin,
+                               uint64_t row_count,
+                               FunctionalResult &out) const
+{
+    ENMC_ASSERT(!h_batch.empty(), "empty batch");
+    ENMC_ASSERT(screener.quantizedFrozen(),
+                "freezeQuantized() before running on hardware");
+    ENMC_ASSERT(screener.config().selection ==
+                    screening::SelectionMode::Threshold,
+                "the hardware FILTER needs a threshold-mode screener");
+    ENMC_ASSERT(row_begin + row_count <= classifier.categories(),
+                "row range out of bounds");
+    const uint64_t ranks = std::min<uint64_t>(ranks_to_use, row_count);
+    const uint64_t batch = h_batch.size();
+
+    // Per-item projected + quantized features (computed once, shared by
+    // all ranks, exactly as the host broadcast works).
+    std::vector<tensor::QuantizedVector> yq;
+    for (const auto &h : h_batch)
+        yq.push_back(tensor::quantize(screener.project(h),
+                                      screener.config().quant));
+
+    const tensor::QuantizedMatrix &wq = screener.quantizedWeights();
+    const uint64_t slice = ceilDiv(row_count, ranks);
+
+    for (uint64_t r = 0; r < ranks; ++r) {
+        const uint64_t row0 = row_begin + r * slice;
+        if (row0 >= row_begin + row_count)
+            break;
+        const uint64_t rows =
+            std::min<uint64_t>(slice, row_begin + row_count - row0);
+
+        // Slice the screener + classifier tensors for this rank.
+        tensor::QuantizedMatrix wq_slice;
+        wq_slice.bits = wq.bits;
+        wq_slice.rows = rows;
+        wq_slice.cols = wq.cols;
+        wq_slice.values.assign(
+            wq.values.begin() + row0 * wq.cols,
+            wq.values.begin() + (row0 + rows) * wq.cols);
+        wq_slice.scales.assign(wq.scales.begin() + row0,
+                               wq.scales.begin() + row0 + rows);
+
+        tensor::Vector sb_slice(screener.bias().begin() + row0,
+                                screener.bias().begin() + row0 + rows);
+        tensor::Matrix cw_slice(rows, classifier.hidden());
+        for (uint64_t i = 0; i < rows; ++i) {
+            const auto src = classifier.weights().row(row0 + i);
+            std::copy(src.begin(), src.end(), cw_slice.row(i).begin());
+        }
+        tensor::Vector cb_slice(classifier.bias().begin() + row0,
+                                classifier.bias().begin() + row0 + rows);
+
+        RankTask task;
+        task.categories = rows;
+        task.hidden = classifier.hidden();
+        task.reduced = screener.reducedDim();
+        task.quant = screener.config().quant;
+        task.batch = batch;
+        task.sigmoid =
+            classifier.normalization() == nn::Normalization::Sigmoid;
+        task.threshold = screener.config().threshold;
+        task.screen_weights = &wq_slice;
+        task.screen_bias = &sb_slice;
+        task.class_weights = &cw_slice;
+        task.class_bias = &cb_slice;
+        task.features_q = yq;
+        task.features = h_batch;
+
+        // Same layout policy as the timing path.
+        const uint64_t align = 4096;
+        Addr cursor = 0;
+        auto reserve = [&cursor, align](uint64_t bytes) {
+            const Addr base = cursor;
+            cursor += roundUp(std::max<uint64_t>(bytes, 1), align);
+            return base;
+        };
+        task.screen_weight_base = reserve(rows * task.screenRowBytes());
+        task.class_weight_base = reserve(rows * task.classRowBytes());
+        task.bias_base = reserve(rows * sizeof(float) * 2);
+        task.feature_base =
+            reserve(batch * (task.reduced + task.hidden) * sizeof(float));
+        task.output_base = reserve(rows * sizeof(float));
+
+        dram::Organization rank_org = cfg_.org.singleRankView();
+        EnmcRank rank(cfg_.enmc, rank_org, cfg_.timing);
+        const CompiledJob job = compileClassification(task, cfg_.enmc);
+        RankResult rr = rank.run(job.program, task);
+        out.rank_cycles = std::max(out.rank_cycles, rr.cycles);
+
+        for (uint64_t item = 0; item < batch; ++item) {
+            std::copy(rr.logits[item].begin(), rr.logits[item].end(),
+                      out.logits[item].begin() + row0);
+            for (uint32_t c : rr.candidate_ids[item])
+                out.candidates[item].push_back(
+                    static_cast<uint32_t>(row0 + c));
+        }
+    }
+    out.seconds = cyclesToSeconds(out.rank_cycles, cfg_.timing.freq_hz);
+}
+
+EnmcSystem::FunctionalResult
+EnmcSystem::runFunctional(const nn::Classifier &classifier,
+                          const screening::Screener &screener,
+                          const std::vector<tensor::Vector> &h_batch,
+                          uint64_t ranks_to_use) const
+{
+    const uint64_t l = classifier.categories();
+    const uint64_t batch = h_batch.size();
+    FunctionalResult out;
+    out.logits.assign(batch, tensor::Vector(l, 0.0f));
+    out.candidates.assign(batch, {});
+    runFunctionalRange(classifier, screener, h_batch, ranks_to_use, 0, l,
+                       out);
+
+    // Host-side merge + SFU-accurate normalization (Taylor-4 exp).
+    for (uint64_t item = 0; item < batch; ++item) {
+        out.probabilities.push_back(
+            classifier.normalization() == nn::Normalization::Softmax
+                ? tensor::softmaxTaylor(out.logits[item])
+                : tensor::sigmoidTaylor(out.logits[item]));
+    }
+    return out;
+}
+
+} // namespace enmc::runtime

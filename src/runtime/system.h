@@ -1,0 +1,136 @@
+/**
+ * @file
+ * System-level ENMC orchestration (paper Fig. 10): partitions a
+ * classification job across the ENMC DIMM ranks, runs the rank model, and
+ * composes end-to-end timing.
+ *
+ * Ranks hold disjoint category slices and run identical programs, so the
+ * timing of the job is the slowest (== any) rank's time; the simulator
+ * runs one representative rank. For very large category counts the
+ * steady-state tile rate is measured on a truncated slice and linearly
+ * extrapolated (validated against full runs in tests — screening is
+ * perfectly tile-homogeneous).
+ */
+
+#ifndef ENMC_RUNTIME_SYSTEM_H
+#define ENMC_RUNTIME_SYSTEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.h"
+#include "dram/timing.h"
+#include "enmc/config.h"
+#include "enmc/rank.h"
+#include "nn/classifier.h"
+#include "screening/screener.h"
+
+namespace enmc::runtime {
+
+/** Full-system configuration (paper Table 3). */
+struct SystemConfig
+{
+    dram::Organization org = dram::Organization::paperTable3();
+    dram::Timing timing = dram::Timing::ddr4_2400();
+    arch::EnmcConfig enmc;
+    /** Cap on cycle-simulated screening tiles before extrapolation. */
+    uint64_t max_sim_tiles = 16384;
+
+    uint64_t totalRanks() const
+    {
+        return static_cast<uint64_t>(org.channels) * org.ranks;
+    }
+};
+
+/** A full-scale classification job (timing view). */
+struct JobSpec
+{
+    uint64_t categories = 0;       //!< l (whole system)
+    uint64_t hidden = 0;           //!< d
+    uint64_t reduced = 0;          //!< k
+    tensor::QuantBits quant = tensor::QuantBits::Int4;
+    uint64_t batch = 1;
+    uint64_t candidates = 0;       //!< total candidate budget (whole l)
+    bool sigmoid = false;
+};
+
+/** Timing + traffic outcome of one job. */
+struct TimingResult
+{
+    double seconds = 0.0;              //!< classification latency
+    Cycles rank_cycles = 0;            //!< representative rank, DDR clock
+    bool extrapolated = false;
+    arch::RankResult rank;             //!< stats of the simulated rank
+    uint64_t ranks = 0;
+
+    /** Whole-system traffic (all ranks). */
+    uint64_t totalScreenBytes() const { return rank.screen_bytes * ranks; }
+    uint64_t totalExecBytes() const { return rank.exec_bytes * ranks; }
+};
+
+/** The ENMC memory system. */
+class EnmcSystem
+{
+  public:
+    explicit EnmcSystem(const SystemConfig &cfg);
+
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Build the representative rank's task for a job (timing view). */
+    arch::RankTask makeRankTask(const JobSpec &spec) const;
+
+    /**
+     * Build a rank task with an explicit slice size (used by the channel
+     * simulator, which does its own partitioning).
+     */
+    static arch::RankTask makeSliceTask(const JobSpec &spec,
+                                        uint64_t slice_categories,
+                                        uint64_t slice_candidates);
+
+    /** Timing-only execution of a job (full scale). */
+    TimingResult runTiming(const JobSpec &spec) const;
+
+    /**
+     * Functional execution: slice `screener`/`classifier` across
+     * `ranks_to_use` simulated ranks, run each, and merge. Returns mixed
+     * logits + probabilities per batch item plus the slowest rank's
+     * timing. Used by examples and correctness tests at functional scale.
+     */
+    struct FunctionalResult
+    {
+        std::vector<tensor::Vector> logits;
+        std::vector<tensor::Vector> probabilities;
+        std::vector<std::vector<uint32_t>> candidates;
+        Cycles rank_cycles = 0;
+        double seconds = 0.0;
+    };
+    FunctionalResult runFunctional(
+        const nn::Classifier &classifier,
+        const screening::Screener &screener,
+        const std::vector<tensor::Vector> &h_batch,
+        uint64_t ranks_to_use = 4) const;
+
+    /**
+     * Functional execution restricted to classifier rows
+     * [row_begin, row_begin + row_count): fills that range of
+     * `out.logits` and appends global candidate ids. Used by the
+     * scale-out layer, which assigns disjoint row ranges to nodes.
+     * `out` must be pre-sized (logits/candidates per batch item);
+     * probabilities are NOT computed (the caller normalizes once).
+     */
+    void runFunctionalRange(const nn::Classifier &classifier,
+                            const screening::Screener &screener,
+                            const std::vector<tensor::Vector> &h_batch,
+                            uint64_t ranks_to_use, uint64_t row_begin,
+                            uint64_t row_count,
+                            FunctionalResult &out) const;
+
+  private:
+    TimingResult runRank(const arch::RankTask &task) const;
+
+    SystemConfig cfg_;
+};
+
+} // namespace enmc::runtime
+
+#endif // ENMC_RUNTIME_SYSTEM_H

@@ -1,0 +1,64 @@
+#include "screening/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+
+namespace enmc::screening {
+
+double
+costSpeedup(const Cost &baseline, const Cost &candidate, double bytes_per_flop)
+{
+    // time ∝ max(bytes, flops * bytes_per_flop): whichever resource binds.
+    auto time = [bytes_per_flop](const Cost &c) {
+        return std::max(static_cast<double>(c.bytes_read),
+                        c.flops * bytes_per_flop);
+    };
+    const double tb = time(baseline);
+    const double tc = time(candidate);
+    ENMC_ASSERT(tc > 0.0, "zero-cost candidate");
+    return tb / tc;
+}
+
+QualityReport
+evaluateQuality(const Pipeline &pipeline,
+                const std::vector<tensor::Vector> &eval_h, size_t k)
+{
+    ENMC_ASSERT(!eval_h.empty(), "empty evaluation set");
+    QualityReport rep;
+    rep.samples = eval_h.size();
+
+    double top1 = 0.0, topk = 0.0, rec = 0.0, rmse = 0.0, cands = 0.0;
+    Cost approx_cost{};
+    Cost full_cost{};
+
+    for (const auto &h : eval_h) {
+        const PipelineResult full = pipeline.inferFull(h);
+        const PipelineResult approx = pipeline.infer(h);
+
+        const auto ref_topk = tensor::topkIndices(full.logits, k);
+        const auto approx_topk = tensor::topkIndices(approx.logits, k);
+
+        top1 += (ref_topk[0] == approx_topk[0]) ? 1.0 : 0.0;
+        topk += tensor::recall(approx_topk, ref_topk);
+        rec += tensor::recall(approx.candidates, ref_topk);
+        rmse += std::sqrt(tensor::mse(approx.logits, full.logits));
+        cands += static_cast<double>(approx.candidates.size());
+        approx_cost += approx.cost;
+        full_cost += full.cost;
+    }
+
+    const double n = static_cast<double>(rep.samples);
+    rep.top1_agreement = top1 / n;
+    rep.topk_agreement = topk / n;
+    rep.candidate_recall = rec / n;
+    rep.logit_rmse = rmse / n;
+    rep.avg_candidates = cands / n;
+    rep.cost_speedup = costSpeedup(full_cost, approx_cost);
+    return rep;
+}
+
+} // namespace enmc::screening

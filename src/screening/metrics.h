@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quality metrics for approximate classification.
+ *
+ * The paper reports task metrics (BLEU, perplexity, P@1). Since datasets
+ * are synthetic here, quality is measured as agreement with exact full
+ * classification on the same model — the quantity those task metrics are
+ * monotone in (a decode/prediction only changes when the approximate
+ * pipeline disagrees with the exact one).
+ */
+
+#ifndef ENMC_SCREENING_METRICS_H
+#define ENMC_SCREENING_METRICS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "screening/pipeline.h"
+
+namespace enmc::screening {
+
+/** Aggregated quality of an approximate pipeline over an eval set. */
+struct QualityReport
+{
+    double top1_agreement = 0.0;   //!< exact-vs-approx argmax match rate
+    double topk_agreement = 0.0;   //!< mean overlap of top-k sets
+    double candidate_recall = 0.0; //!< frac. of true top-k in candidates
+    double logit_rmse = 0.0;       //!< RMSE of mixed logits vs exact
+    double avg_candidates = 0.0;   //!< mean candidate-set size
+    /**
+     * Speedup of the approximate pipeline over full classification in the
+     * algorithm cost model (flop+byte weighted; memory-bound, so byte
+     * traffic dominates — see Fig. 5b).
+     */
+    double cost_speedup = 0.0;
+    size_t samples = 0;
+};
+
+/** Evaluate quality over hidden-vector samples (k = top-k set size). */
+QualityReport evaluateQuality(const Pipeline &pipeline,
+                              const std::vector<tensor::Vector> &eval_h,
+                              size_t k);
+
+/**
+ * Speedup implied by two cost records on a memory-bound machine:
+ * time ∝ max(bytes / bw, flops / peak). `bytes_per_flop` sets the
+ * machine balance point (CPU baseline: ~128 GB/s vs ~2 TFLOP/s FP32).
+ */
+double costSpeedup(const Cost &baseline, const Cost &candidate,
+                   double bytes_per_flop = 0.064);
+
+} // namespace enmc::screening
+
+#endif // ENMC_SCREENING_METRICS_H

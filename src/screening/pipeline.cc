@@ -1,0 +1,77 @@
+#include "screening/pipeline.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace enmc::screening {
+
+Pipeline::Pipeline(const nn::Classifier &classifier, const Screener &screener)
+    : classifier_(classifier), screener_(screener)
+{
+    ENMC_ASSERT(classifier.categories() == screener.categories(),
+                "pipeline dimension mismatch");
+}
+
+PipelineResult
+Pipeline::infer(std::span<const float> h) const
+{
+    PipelineResult res;
+    // (2)+(3): screening + candidate selection.
+    ScreeningResult scr = screener_.screen(h);
+    res.candidates = std::move(scr.candidates);
+    // (4): accurate rows only for candidates; (5): mixed output.
+    res.logits = std::move(scr.approx_logits);
+    for (uint32_t c : res.candidates)
+        res.logits[c] = classifier_.logit(c, h);
+    res.probabilities =
+        classifier_.normalization() == nn::Normalization::Softmax
+            ? tensor::softmax(res.logits)
+            : tensor::sigmoid(res.logits);
+    res.cost = screeningCost();
+    res.cost += candidateCost(res.candidates.size());
+    return res;
+}
+
+PipelineResult
+Pipeline::inferFull(std::span<const float> h) const
+{
+    PipelineResult res;
+    res.logits = classifier_.logits(h);
+    res.probabilities =
+        classifier_.normalization() == nn::Normalization::Softmax
+            ? tensor::softmax(res.logits)
+            : tensor::sigmoid(res.logits);
+    res.cost = fullCost();
+    return res;
+}
+
+Cost
+Pipeline::screeningCost() const
+{
+    Cost c;
+    c.flops = screener_.flopsPerInference();
+    // Parameter traffic: packed screener weights + bias + projection.
+    c.bytes_read = screener_.parameterBytes();
+    return c;
+}
+
+Cost
+Pipeline::candidateCost(size_t m) const
+{
+    const size_t d = classifier_.hidden();
+    Cost c;
+    c.flops = 2ull * m * d + 4ull * m;
+    c.bytes_read = m * d * sizeof(float);
+    return c;
+}
+
+Cost
+Pipeline::fullCost() const
+{
+    Cost c;
+    c.flops = classifier_.flopsPerInference();
+    c.bytes_read = classifier_.parameterBytes();
+    return c;
+}
+
+} // namespace enmc::screening

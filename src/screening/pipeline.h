@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The end-to-end approximate-screening inference pipeline (paper Fig. 6):
+ * screening -> candidate selection -> candidates-only accurate
+ * classification -> mixed output -> normalization.
+ *
+ * Every pass also produces a cost record (FLOPs and bytes touched) so the
+ * algorithm-level speedups of Fig. 11/12 can be derived on any machine
+ * model, independent of this host.
+ */
+
+#ifndef ENMC_SCREENING_PIPELINE_H
+#define ENMC_SCREENING_PIPELINE_H
+
+#include <cstdint>
+#include <span>
+
+#include "nn/classifier.h"
+#include "screening/screener.h"
+
+namespace enmc::screening {
+
+/** Arithmetic/data-access cost of one classification pass. */
+struct Cost
+{
+    uint64_t flops = 0;        //!< total arithmetic operations
+    uint64_t bytes_read = 0;   //!< parameter bytes fetched from memory
+
+    Cost &operator+=(const Cost &o)
+    {
+        flops += o.flops;
+        bytes_read += o.bytes_read;
+        return *this;
+    }
+};
+
+/** Output of one approximate-screening inference. */
+struct PipelineResult
+{
+    /** Mixed logits: accurate for candidates, approximate elsewhere. */
+    tensor::Vector logits;
+    /** Normalized probabilities of `logits`. */
+    tensor::Vector probabilities;
+    /** Candidate indices that received accurate computation. */
+    std::vector<uint32_t> candidates;
+    Cost cost;
+};
+
+/** Screener + full classifier, executing candidates-only classification. */
+class Pipeline
+{
+  public:
+    Pipeline(const nn::Classifier &classifier, const Screener &screener);
+
+    /** Run the full approximate pipeline on one hidden vector. */
+    PipelineResult infer(std::span<const float> h) const;
+
+    /** Reference: full (exact) classification with its cost. */
+    PipelineResult inferFull(std::span<const float> h) const;
+
+    /** Cost of one screening pass (precision-aware byte accounting). */
+    Cost screeningCost() const;
+
+    /** Cost of accurate computation for `m` candidates. */
+    Cost candidateCost(size_t m) const;
+
+    /** Cost of one full classification. */
+    Cost fullCost() const;
+
+    const nn::Classifier &classifier() const { return classifier_; }
+    const Screener &screener() const { return screener_; }
+
+  private:
+    const nn::Classifier &classifier_;
+    const Screener &screener_;
+};
+
+} // namespace enmc::screening
+
+#endif // ENMC_SCREENING_PIPELINE_H

@@ -1,0 +1,131 @@
+#include "screening/screener.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+
+namespace enmc::screening {
+
+size_t
+ScreenerConfig::reducedDim() const
+{
+    const size_t k =
+        static_cast<size_t>(std::lround(reduction_scale * hidden));
+    return k < 1 ? 1 : k;
+}
+
+Screener::Screener(const ScreenerConfig &cfg, Rng &rng)
+    : cfg_(cfg),
+      proj_(std::make_unique<tensor::SparseProjection>(cfg.reducedDim(),
+                                                       cfg.hidden, rng)),
+      w_(cfg.categories, cfg.reducedDim()),
+      b_(cfg.categories, 0.0f)
+{
+    ENMC_ASSERT(cfg.categories > 0 && cfg.hidden > 0,
+                "screener needs positive dimensions");
+    // Small random init; distillation converges from anywhere but a
+    // symmetric start slows the first epoch.
+    const float scale = 1.0f / std::sqrt(static_cast<float>(reducedDim()));
+    for (size_t r = 0; r < w_.rows(); ++r)
+        for (size_t c = 0; c < w_.cols(); ++c)
+            w_(r, c) = static_cast<float>(rng.normal(0.0, scale));
+}
+
+tensor::Vector
+Screener::project(std::span<const float> h) const
+{
+    return proj_->apply(h);
+}
+
+tensor::Vector
+Screener::approximateFp32(std::span<const float> h) const
+{
+    const tensor::Vector y = project(h);
+    return tensor::gemv(w_, y, b_);
+}
+
+tensor::Vector
+Screener::approximateQuantized(std::span<const float> h) const
+{
+    if (cfg_.quant == tensor::QuantBits::Fp32)
+        return approximateFp32(h);
+    ENMC_ASSERT(wq_ != nullptr,
+                "call freezeQuantized() after training before "
+                "fixed-point inference");
+    const tensor::Vector y = project(h);
+    const tensor::QuantizedVector yq = tensor::quantize(y, cfg_.quant);
+    return tensor::gemvQuantized(*wq_, yq, b_);
+}
+
+void
+Screener::freezeQuantized()
+{
+    if (cfg_.quant == tensor::QuantBits::Fp32)
+        return;
+    wq_ = std::make_unique<tensor::QuantizedMatrix>(
+        tensor::quantize(w_, cfg_.quant));
+}
+
+const tensor::QuantizedMatrix &
+Screener::quantizedWeights() const
+{
+    ENMC_ASSERT(wq_ != nullptr, "quantized weights not frozen");
+    return *wq_;
+}
+
+ScreeningResult
+Screener::screen(std::span<const float> h) const
+{
+    ScreeningResult res;
+    res.approx_logits = (cfg_.quant == tensor::QuantBits::Fp32)
+        ? approximateFp32(h)
+        : approximateQuantized(h);
+    res.candidates = select(res.approx_logits);
+    return res;
+}
+
+std::vector<uint32_t>
+Screener::select(std::span<const float> approx) const
+{
+    if (cfg_.selection == SelectionMode::TopM)
+        return tensor::topkIndices(approx, cfg_.top_m);
+    return tensor::thresholdIndices(approx, cfg_.threshold);
+}
+
+void
+Screener::setSelection(SelectionMode mode, size_t top_m, float threshold)
+{
+    cfg_.selection = mode;
+    cfg_.top_m = top_m;
+    cfg_.threshold = threshold;
+}
+
+size_t
+Screener::parameterBytes() const
+{
+    size_t weight_bytes;
+    if (cfg_.quant == tensor::QuantBits::Fp32) {
+        weight_bytes = w_.bytes();
+    } else if (wq_) {
+        weight_bytes = wq_->packedBytes();
+    } else {
+        // Not frozen yet: report the eventual packed size.
+        const size_t bits =
+            w_.size() * tensor::quantBitCount(cfg_.quant);
+        weight_bytes = (bits + 7) / 8 + w_.rows() * sizeof(float);
+    }
+    return weight_bytes + b_.size() * sizeof(float) + proj_->packedBytes();
+}
+
+uint64_t
+Screener::flopsPerInference() const
+{
+    // Projection: one add per nonzero; reduced GEMV: 2 l k; filter: l.
+    return proj_->nonZeros() +
+           2ull * cfg_.categories * reducedDim() +
+           cfg_.categories;
+}
+
+} // namespace enmc::screening

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The Screener: a low-dimensional, low-precision approximation of an
+ * extreme classifier (paper Section 4).
+ *
+ * Inference path (Eq. 3): z~ = W~ P h + b~, with P a sparse random
+ * projection (d -> k) and W~ an l x k learned weight matrix. The screener
+ * can run in FP32 (training/reference) or with the INT4 fixed-point
+ * arithmetic the ENMC Screener unit implements.
+ */
+
+#ifndef ENMC_SCREENING_SCREENER_H
+#define ENMC_SCREENING_SCREENER_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/projection.h"
+#include "tensor/quantize.h"
+
+namespace enmc::screening {
+
+/** Candidate-selection policy (paper: top-m search or thresholding). */
+enum class SelectionMode { TopM, Threshold };
+
+/** Static configuration of a screener. */
+struct ScreenerConfig
+{
+    size_t categories = 0;     //!< l
+    size_t hidden = 0;         //!< d
+    /**
+     * Parameter-reduction scale vs. the full classifier (Fig. 12a); the
+     * reduced dimension is k = round(scale * d). The paper picks 0.25.
+     */
+    double reduction_scale = 0.25;
+    /** Quantization of screener weights + projected features (Fig. 12b). */
+    tensor::QuantBits quant = tensor::QuantBits::Int4;
+    SelectionMode selection = SelectionMode::TopM;
+    size_t top_m = 16;         //!< candidates when selection == TopM
+    float threshold = 0.0f;    //!< cut when selection == Threshold
+
+    size_t reducedDim() const;
+};
+
+/** Result of one screening pass. */
+struct ScreeningResult
+{
+    tensor::Vector approx_logits;      //!< z~ over all l categories
+    std::vector<uint32_t> candidates;  //!< selected category indices
+};
+
+/** The learned screening module. */
+class Screener
+{
+  public:
+    /**
+     * Construct with freshly initialized parameters: P from the rng
+     * (constant afterwards, per Algorithm 1), W~ with small random values,
+     * b~ zero.
+     */
+    Screener(const ScreenerConfig &cfg, Rng &rng);
+
+    const ScreenerConfig &config() const { return cfg_; }
+    size_t categories() const { return cfg_.categories; }
+    size_t reducedDim() const { return cfg_.reducedDim(); }
+
+    const tensor::SparseProjection &projection() const { return *proj_; }
+    tensor::Matrix &weights() { return w_; }
+    const tensor::Matrix &weights() const { return w_; }
+    tensor::Vector &bias() { return b_; }
+    const tensor::Vector &bias() const { return b_; }
+
+    /** y = P h: the projected feature (shared by both precisions). */
+    tensor::Vector project(std::span<const float> h) const;
+
+    /** FP32 approximate logits z~ = W~ y + b~. */
+    tensor::Vector approximateFp32(std::span<const float> h) const;
+
+    /**
+     * Fixed-point approximate logits using the configured quantization —
+     * numerically identical to the ENMC Screener unit's INT MAC array.
+     * Requires freezeQuantized() after training.
+     */
+    tensor::Vector approximateQuantized(std::span<const float> h) const;
+
+    /** Quantize the trained weights for fixed-point inference. */
+    void freezeQuantized();
+    bool quantizedFrozen() const { return wq_ != nullptr; }
+    const tensor::QuantizedMatrix &quantizedWeights() const;
+
+    /** Screening pass: approximate (at the configured precision) + select. */
+    ScreeningResult screen(std::span<const float> h) const;
+
+    /** Candidate selection on given approximate logits. */
+    std::vector<uint32_t> select(std::span<const float> approx) const;
+
+    /** Change the selection policy after training (threshold tuning). */
+    void setSelection(SelectionMode mode, size_t top_m, float threshold);
+
+    /** Screener parameter bytes at the configured quantization. */
+    size_t parameterBytes() const;
+
+    /** FLOPs for one screening pass (projection + reduced GEMV + filter). */
+    uint64_t flopsPerInference() const;
+
+  private:
+    ScreenerConfig cfg_;
+    std::unique_ptr<tensor::SparseProjection> proj_;
+    tensor::Matrix w_;   //!< l x k
+    tensor::Vector b_;   //!< l
+    std::unique_ptr<tensor::QuantizedMatrix> wq_;
+};
+
+} // namespace enmc::screening
+
+#endif // ENMC_SCREENING_SCREENER_H

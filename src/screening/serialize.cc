@@ -1,0 +1,131 @@
+#include "screening/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace enmc::screening {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'N', 'M', 'C', 'S', 'C', 'R', '1'};
+
+/** Fixed-layout header; all fields little-endian. */
+struct Header
+{
+    char magic[8];
+    uint64_t categories;
+    uint64_t hidden;
+    double reduction_scale;
+    uint32_t quant_bits;      //!< tensor::QuantBits numeric value
+    uint32_t selection;       //!< SelectionMode numeric value
+    uint64_t top_m;
+    float threshold;
+    uint32_t pad = 0;
+    uint64_t projection_seed;
+};
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+readRaw(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    ENMC_ASSERT(is.good(), "truncated screener file");
+}
+
+} // namespace
+
+void
+saveScreener(const Screener &screener, uint64_t projection_seed,
+             std::ostream &os)
+{
+    const ScreenerConfig &cfg = screener.config();
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.categories = cfg.categories;
+    h.hidden = cfg.hidden;
+    h.reduction_scale = cfg.reduction_scale;
+    h.quant_bits = static_cast<uint32_t>(cfg.quant);
+    h.selection = static_cast<uint32_t>(cfg.selection);
+    h.top_m = cfg.top_m;
+    h.threshold = cfg.threshold;
+    h.projection_seed = projection_seed;
+    writeRaw(os, h);
+
+    const tensor::Matrix &w = screener.weights();
+    os.write(reinterpret_cast<const char *>(w.data()),
+             static_cast<std::streamsize>(w.bytes()));
+    os.write(reinterpret_cast<const char *>(screener.bias().data()),
+             static_cast<std::streamsize>(screener.bias().size() *
+                                          sizeof(float)));
+    ENMC_ASSERT(os.good(), "screener serialization failed");
+}
+
+void
+saveScreenerFile(const Screener &screener, uint64_t projection_seed,
+                 const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        ENMC_FATAL("cannot open '", path, "' for writing");
+    saveScreener(screener, projection_seed, os);
+}
+
+std::unique_ptr<Screener>
+loadScreener(std::istream &is)
+{
+    Header h{};
+    readRaw(is, h);
+    ENMC_ASSERT(std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0,
+                "not an ENMC screener file (bad magic)");
+    ENMC_ASSERT(h.categories > 0 && h.hidden > 0,
+                "corrupt screener header");
+
+    ScreenerConfig cfg;
+    cfg.categories = h.categories;
+    cfg.hidden = h.hidden;
+    cfg.reduction_scale = h.reduction_scale;
+    cfg.quant = static_cast<tensor::QuantBits>(h.quant_bits);
+    cfg.selection = static_cast<SelectionMode>(h.selection);
+    cfg.top_m = h.top_m;
+    cfg.threshold = h.threshold;
+
+    // The projection is a pure function of the seed; rebuild it by
+    // re-running the constructor with the same RNG stream, then restore
+    // the trained parameters on top.
+    Rng rng(h.projection_seed);
+    auto screener = std::make_unique<Screener>(cfg, rng);
+
+    tensor::Matrix &w = screener->weights();
+    is.read(reinterpret_cast<char *>(w.data()),
+            static_cast<std::streamsize>(w.bytes()));
+    ENMC_ASSERT(is.good(), "truncated screener weights");
+    is.read(reinterpret_cast<char *>(screener->bias().data()),
+            static_cast<std::streamsize>(screener->bias().size() *
+                                         sizeof(float)));
+    ENMC_ASSERT(is.good(), "truncated screener bias");
+
+    screener->freezeQuantized();
+    return screener;
+}
+
+std::unique_ptr<Screener>
+loadScreenerFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        ENMC_FATAL("cannot open '", path, "' for reading");
+    return loadScreener(is);
+}
+
+} // namespace enmc::screening

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Screener serialization: persist a calibrated screener (projection seed,
+ * weights, bias, quantization, threshold) so deployments train once
+ * offline and load at startup — the artifact the host writes into the
+ * ENMC DIMM's screener-weight region.
+ *
+ * Format: a small binary header (magic, version, dimensions, config)
+ * followed by the raw parameter payloads. Everything is little-endian
+ * (the only platform this project targets); the loader checks the magic,
+ * version and size consistency and fails loudly on mismatch.
+ */
+
+#ifndef ENMC_SCREENING_SERIALIZE_H
+#define ENMC_SCREENING_SERIALIZE_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "screening/screener.h"
+
+namespace enmc::screening {
+
+/** Serialize a trained screener (quantized weights must be frozen). */
+void saveScreener(const Screener &screener, uint64_t projection_seed,
+                  std::ostream &os);
+
+/** Convenience: save to a file path. Fatal on I/O errors. */
+void saveScreenerFile(const Screener &screener, uint64_t projection_seed,
+                      const std::string &path);
+
+/**
+ * Reconstruct a screener from a stream. The projection is rebuilt from
+ * the stored seed (it is a pure function of the RNG), then the trained
+ * weights/bias are restored and re-frozen.
+ * Panics on malformed input.
+ */
+std::unique_ptr<Screener> loadScreener(std::istream &is);
+
+/** Convenience: load from a file path. Fatal if unreadable. */
+std::unique_ptr<Screener> loadScreenerFile(const std::string &path);
+
+} // namespace enmc::screening
+
+#endif // ENMC_SCREENING_SERIALIZE_H

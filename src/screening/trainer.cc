@@ -1,0 +1,212 @@
+#include "screening/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/solve.h"
+#include "tensor/topk.h"
+
+namespace enmc::screening {
+
+Trainer::Trainer(const nn::Classifier &teacher, Screener &screener,
+                 TrainerConfig cfg)
+    : teacher_(teacher), screener_(screener), cfg_(cfg)
+{
+    ENMC_ASSERT(teacher.categories() == screener.categories(),
+                "teacher/screener category mismatch");
+    ENMC_ASSERT(teacher.hidden() == screener.config().hidden,
+                "teacher/screener hidden-dim mismatch");
+}
+
+double
+Trainer::accumulateSample(const tensor::Vector &h, tensor::Matrix &grad_w,
+                          tensor::Vector &grad_b) const
+{
+    // Teacher target z = W h + b; student z~ = W~ y + b~ with y = P h.
+    const tensor::Vector z = teacher_.logits(h);
+    const tensor::Vector y = screener_.project(h);
+    const tensor::Vector zt = tensor::gemv(screener_.weights(), y,
+                                           screener_.bias());
+    const size_t l = z.size();
+    const size_t k = y.size();
+    double sq = 0.0;
+    for (size_t r = 0; r < l; ++r) {
+        const float e = zt[r] - z[r];    // dL/dz~_r (up to 2/s factor)
+        sq += static_cast<double>(e) * e;
+        grad_b[r] += e;
+        float *gw = grad_w.row(r).data();
+        for (size_t c = 0; c < k; ++c)
+            gw[c] += e * y[c];
+    }
+    return sq / l;
+}
+
+void
+Trainer::closedFormInit(const std::vector<tensor::Vector> &train_h)
+{
+    const size_t k = screener_.reducedDim();
+    const size_t l = screener_.categories();
+    const size_t n = train_h.size();
+
+    // First pass: means of y = P h and z = W h + b.
+    tensor::Vector y_mean(k, 0.0f);
+    tensor::Vector z_mean(l, 0.0f);
+    std::vector<tensor::Vector> ys;
+    ys.reserve(n);
+    for (const auto &h : train_h) {
+        ys.push_back(screener_.project(h));
+        for (size_t i = 0; i < k; ++i)
+            y_mean[i] += ys.back()[i];
+    }
+    for (size_t i = 0; i < k; ++i)
+        y_mean[i] /= static_cast<float>(n);
+
+    // Second pass: A = Σ ỹ ỹᵀ + λI and B = Σ z̃ ỹᵀ (centered).
+    tensor::Matrix a(k, k);
+    tensor::Matrix bt(k, l); // Bᵀ, so spdSolve returns W~ᵀ directly
+    for (size_t s = 0; s < n; ++s) {
+        tensor::Vector y = ys[s];
+        for (size_t i = 0; i < k; ++i)
+            y[i] -= y_mean[i];
+        const tensor::Vector z = teacher_.logits(train_h[s]);
+        for (size_t i = 0; i < l; ++i)
+            z_mean[i] += z[i];
+        for (size_t i = 0; i < k; ++i) {
+            const float yi = y[i];
+            if (yi == 0.0f)
+                continue;
+            for (size_t j = 0; j < k; ++j)
+                a(i, j) += yi * y[j];
+            float *row = bt.row(i).data();
+            for (size_t r = 0; r < l; ++r)
+                row[r] += yi * z[r];
+        }
+    }
+    for (size_t i = 0; i < l; ++i)
+        z_mean[i] /= static_cast<float>(n);
+    const float lam = static_cast<float>(cfg_.ridge_lambda * n);
+    for (size_t i = 0; i < k; ++i)
+        a(i, i) += lam;
+
+    const tensor::Matrix wt = tensor::spdSolve(a, bt); // k x l = W~ᵀ
+    tensor::Matrix &w = screener_.weights();
+    tensor::Vector &b = screener_.bias();
+    // Note Bᵀ used centered z̃ = z - z̄ implicitly via the bias below:
+    // we solved with raw z, so subtract the mean-induced part now.
+    // (Solve used raw z; recompute b accordingly.)
+    for (size_t r = 0; r < l; ++r) {
+        float dotmean = 0.0f;
+        for (size_t c = 0; c < k; ++c) {
+            w(r, c) = wt(c, r);
+            dotmean += wt(c, r) * y_mean[c];
+        }
+        b[r] = z_mean[r] - dotmean;
+    }
+}
+
+TrainReport
+Trainer::train(const std::vector<tensor::Vector> &train_h,
+               const std::vector<tensor::Vector> &val_h)
+{
+    ENMC_ASSERT(!train_h.empty(), "empty training set");
+    if (cfg_.closed_form_init)
+        closedFormInit(train_h);
+    nn::SgdOptimizer opt(cfg_.sgd);
+    const size_t slot_w = opt.addParameter(screener_.weights().size());
+    const size_t slot_b = opt.addParameter(screener_.bias().size());
+
+    TrainReport report;
+    double prev_val = std::numeric_limits<double>::infinity();
+
+    for (size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        double train_mse = 0.0;
+        size_t batches = 0;
+        for (size_t base = 0; base < train_h.size();
+             base += cfg_.batch_size) {
+            const size_t end =
+                std::min(base + cfg_.batch_size, train_h.size());
+            tensor::Matrix grad_w(screener_.weights().rows(),
+                                  screener_.weights().cols());
+            tensor::Vector grad_b(screener_.bias().size(), 0.0f);
+            double batch_mse = 0.0;
+            for (size_t i = base; i < end; ++i)
+                batch_mse += accumulateSample(train_h[i], grad_w, grad_b);
+            const float inv_s = 2.0f / static_cast<float>(end - base);
+            for (size_t i = 0; i < grad_w.size(); ++i)
+                grad_w.data()[i] *= inv_s;
+            for (auto &g : grad_b)
+                g *= inv_s;
+            opt.step(slot_w,
+                     {screener_.weights().data(), screener_.weights().size()},
+                     {grad_w.data(), grad_w.size()});
+            opt.step(slot_b, screener_.bias(), grad_b);
+            train_mse += batch_mse / (end - base);
+            ++batches;
+        }
+        opt.endEpoch();
+
+        EpochLog log;
+        log.epoch = epoch;
+        log.train_mse = train_mse / std::max<size_t>(batches, 1);
+        log.val_mse = val_h.empty() ? log.train_mse : evaluateMse(val_h);
+        report.epochs.push_back(log);
+        if (cfg_.verbose) {
+            inform("epoch ", epoch, " train_mse=", log.train_mse,
+                   " val_mse=", log.val_mse);
+        }
+
+        if (cfg_.convergence_ratio > 0.0 &&
+            prev_val - log.val_mse <
+                cfg_.convergence_ratio * std::max(prev_val, 1e-12)) {
+            report.converged_early = true;
+            break;
+        }
+        prev_val = log.val_mse;
+    }
+    report.final_val_mse = report.epochs.back().val_mse;
+    return report;
+}
+
+double
+Trainer::evaluateMse(const std::vector<tensor::Vector> &samples) const
+{
+    ENMC_ASSERT(!samples.empty(), "empty evaluation set");
+    double total = 0.0;
+    for (const auto &h : samples) {
+        const tensor::Vector z = teacher_.logits(h);
+        const tensor::Vector zt =
+            tensor::gemv(screener_.weights(), screener_.project(h),
+                         screener_.bias());
+        total += tensor::mse(zt, z);
+    }
+    return total / samples.size();
+}
+
+float
+tuneThreshold(const Screener &screener,
+              const std::vector<tensor::Vector> &val_h,
+              size_t target_candidates)
+{
+    ENMC_ASSERT(!val_h.empty(), "threshold tuning needs validation data");
+    // Calibrate the cut on the pooled approximate logits of the
+    // validation set. Samples with hotter logit distributions then select
+    // more candidates, colder ones fewer — exactly how a single preloaded
+    // FILTER threshold behaves. The 2x provisioning factor keeps cold
+    // samples from being starved of accurate candidates at a modest
+    // average-cost increase (tunable quality/cost knob, paper Sec. 4.2).
+    std::vector<float> pooled;
+    for (const auto &h : val_h) {
+        const tensor::Vector approx =
+            screener.config().quant == tensor::QuantBits::Fp32 ||
+                    !screener.quantizedFrozen()
+                ? screener.approximateFp32(h)
+                : screener.approximateQuantized(h);
+        pooled.insert(pooled.end(), approx.begin(), approx.end());
+    }
+    return tensor::thresholdForCount(pooled,
+                                     2 * target_candidates * val_h.size());
+}
+
+} // namespace enmc::screening

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dense row-major matrix and vector types used throughout the project.
+ *
+ * Classifier weights are stored as l x d row-major matrices so that the
+ * per-category weight vector (one classification row) is contiguous —
+ * matching how the ENMC Executor fetches candidate rows from DRAM.
+ */
+
+#ifndef ENMC_TENSOR_MATRIX_H
+#define ENMC_TENSOR_MATRIX_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace enmc::tensor {
+
+/** Dense float vector. */
+using Vector = std::vector<float>;
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols matrix initialized to zero. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Element access (row-major). */
+    float &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Contiguous view of one row. */
+    std::span<float> row(size_t r)
+    {
+        ENMC_ASSERT(r < rows_, "row out of range");
+        return {data_.data() + r * cols_, cols_};
+    }
+    std::span<const float> row(size_t r) const
+    {
+        ENMC_ASSERT(r < rows_, "row out of range");
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Bytes of storage (FP32). */
+    size_t bytes() const { return data_.size() * sizeof(float); }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace enmc::tensor
+
+#endif // ENMC_TENSOR_MATRIX_H

@@ -1,0 +1,200 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enmc::tensor {
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    ENMC_ASSERT(a.size() == b.size(), "dot: size mismatch");
+    // Four partial accumulators: better ILP and slightly better numerics.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    size_t i = 0;
+    const size_t n4 = a.size() & ~size_t{3};
+    for (; i < n4; i += 4) {
+        s0 += static_cast<double>(a[i]) * b[i];
+        s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+        s2 += static_cast<double>(a[i + 2]) * b[i + 2];
+        s3 += static_cast<double>(a[i + 3]) * b[i + 3];
+    }
+    for (; i < a.size(); ++i)
+        s0 += static_cast<double>(a[i]) * b[i];
+    return static_cast<float>(s0 + s1 + s2 + s3);
+}
+
+void
+axpy(float alpha, std::span<const float> x, std::span<float> y)
+{
+    ENMC_ASSERT(x.size() == y.size(), "axpy: size mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+Vector
+gemv(const Matrix &w, std::span<const float> h, std::span<const float> b)
+{
+    ENMC_ASSERT(w.cols() == h.size(), "gemv: inner dim mismatch");
+    ENMC_ASSERT(b.empty() || b.size() == w.rows(), "gemv: bias size mismatch");
+    Vector z(w.rows());
+    for (size_t r = 0; r < w.rows(); ++r)
+        z[r] = dot(w.row(r), h) + (b.empty() ? 0.0f : b[r]);
+    return z;
+}
+
+Vector
+gemv(const Matrix &w, std::span<const float> h)
+{
+    return gemv(w, h, {});
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    ENMC_ASSERT(a.cols() == b.rows(), "matmul: inner dim mismatch");
+    Matrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a(i, k);
+            if (aik == 0.0f)
+                continue;
+            for (size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += aik * b(k, j);
+        }
+    }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+void
+softmaxInPlace(std::span<float> z)
+{
+    if (z.empty())
+        return;
+    const float zmax = *std::max_element(z.begin(), z.end());
+    double sum = 0.0;
+    for (auto &v : z) {
+        v = std::exp(v - zmax);
+        sum += v;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (auto &v : z)
+        v *= inv;
+}
+
+Vector
+softmax(std::span<const float> z)
+{
+    Vector p(z.begin(), z.end());
+    softmaxInPlace(p);
+    return p;
+}
+
+Vector
+sigmoid(std::span<const float> z)
+{
+    Vector p(z.size());
+    for (size_t i = 0; i < z.size(); ++i)
+        p[i] = 1.0f / (1.0f + std::exp(-z[i]));
+    return p;
+}
+
+double
+logSumExp(std::span<const float> z)
+{
+    ENMC_ASSERT(!z.empty(), "logSumExp of empty span");
+    const float zmax = *std::max_element(z.begin(), z.end());
+    double sum = 0.0;
+    for (float v : z)
+        sum += std::exp(static_cast<double>(v) - zmax);
+    return zmax + std::log(sum);
+}
+
+float
+taylorExp4(float x)
+{
+    // Range reduction: x = k * ln2 + r with |r| <= ln2 / 2, then
+    // exp(x) = 2^k * exp(r) with exp(r) from a 4th-order Taylor series.
+    // This is what a small SFU does in hardware: a shifter plus 4 MACs.
+    constexpr float kLn2 = 0.6931471805599453f;
+    constexpr float kInvLn2 = 1.4426950408889634f;
+    if (x < -87.0f)
+        return 0.0f;
+    if (x > 88.0f)
+        return std::numeric_limits<float>::infinity();
+    const int k = static_cast<int>(std::lround(x * kInvLn2));
+    const float r = x - static_cast<float>(k) * kLn2;
+    // Horner: 1 + r(1 + r/2(1 + r/3(1 + r/4))).
+    const float er =
+        1.0f + r * (1.0f + r * (0.5f + r * (1.0f / 6.0f + r * (1.0f / 24.0f))));
+    return std::ldexp(er, k);
+}
+
+Vector
+softmaxTaylor(std::span<const float> z)
+{
+    Vector p(z.size());
+    if (z.empty())
+        return p;
+    const float zmax = *std::max_element(z.begin(), z.end());
+    double sum = 0.0;
+    for (size_t i = 0; i < z.size(); ++i) {
+        p[i] = taylorExp4(z[i] - zmax);
+        sum += p[i];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (auto &v : p)
+        v *= inv;
+    return p;
+}
+
+Vector
+sigmoidTaylor(std::span<const float> z)
+{
+    Vector p(z.size());
+    for (size_t i = 0; i < z.size(); ++i)
+        p[i] = 1.0f / (1.0f + taylorExp4(-z[i]));
+    return p;
+}
+
+double
+mse(std::span<const float> a, std::span<const float> b)
+{
+    ENMC_ASSERT(a.size() == b.size() && !a.empty(), "mse: size mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return s / a.size();
+}
+
+double
+norm2(std::span<const float> a)
+{
+    double s = 0.0;
+    for (float v : a)
+        s += static_cast<double>(v) * v;
+    return std::sqrt(s);
+}
+
+size_t
+argmax(std::span<const float> z)
+{
+    ENMC_ASSERT(!z.empty(), "argmax of empty span");
+    return std::max_element(z.begin(), z.end()) - z.begin();
+}
+
+} // namespace enmc::tensor

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dense linear-algebra kernels and classification non-linearities.
+ */
+
+#ifndef ENMC_TENSOR_OPS_H
+#define ENMC_TENSOR_OPS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace enmc::tensor {
+
+/** Inner product of two equal-length spans. */
+float dot(std::span<const float> a, std::span<const float> b);
+
+/** y += alpha * x. */
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/** z = W h + b (full matrix-vector classification transform, Eq. 1). */
+Vector gemv(const Matrix &w, std::span<const float> h,
+            std::span<const float> b);
+
+/** z = W h (no bias). */
+Vector gemv(const Matrix &w, std::span<const float> h);
+
+/** C = A * B (small helper for SVD and tests). */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** Transpose. */
+Matrix transpose(const Matrix &a);
+
+/** Numerically stable in-place softmax (Eq. 2). */
+void softmaxInPlace(std::span<float> z);
+
+/** Softmax into a fresh vector. */
+Vector softmax(std::span<const float> z);
+
+/** Element-wise logistic sigmoid into a fresh vector. */
+Vector sigmoid(std::span<const float> z);
+
+/** Numerically stable log(sum(exp(z))). */
+double logSumExp(std::span<const float> z);
+
+/**
+ * exp(x) approximated by a 4th-order Taylor expansion with range reduction
+ * (x = k*ln2 + r, |r| <= ln2/2), matching the ENMC Executor's
+ * special-function unit ("we approximate the exponential function with
+ * Taylor expansion to the 4th order").
+ */
+float taylorExp4(float x);
+
+/** Softmax computed with taylorExp4 — the SFU's numeric behaviour. */
+Vector softmaxTaylor(std::span<const float> z);
+
+/** Sigmoid computed with taylorExp4. */
+Vector sigmoidTaylor(std::span<const float> z);
+
+/** Mean squared error between two equal-length vectors. */
+double mse(std::span<const float> a, std::span<const float> b);
+
+/** Euclidean norm. */
+double norm2(std::span<const float> a);
+
+/** Argmax index of a non-empty span. */
+size_t argmax(std::span<const float> z);
+
+} // namespace enmc::tensor
+
+#endif // ENMC_TENSOR_OPS_H

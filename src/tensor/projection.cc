@@ -1,0 +1,67 @@
+#include "tensor/projection.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace enmc::tensor {
+
+SparseProjection::SparseProjection(size_t k, size_t d, Rng &rng)
+    : k_(k), d_(d), scale_(std::sqrt(3.0f / static_cast<float>(k)))
+{
+    ENMC_ASSERT(k >= 1 && d >= 1, "projection dims must be positive");
+    plusOffset_.reserve(k + 1);
+    minusOffset_.reserve(k + 1);
+    plusOffset_.push_back(0);
+    minusOffset_.push_back(0);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < d; ++c) {
+            const int e = rng.projectionEntry();
+            if (e > 0)
+                plus_.push_back(static_cast<uint32_t>(c));
+            else if (e < 0)
+                minus_.push_back(static_cast<uint32_t>(c));
+        }
+        plusOffset_.push_back(static_cast<uint32_t>(plus_.size()));
+        minusOffset_.push_back(static_cast<uint32_t>(minus_.size()));
+    }
+}
+
+Vector
+SparseProjection::apply(std::span<const float> h) const
+{
+    ENMC_ASSERT(h.size() == d_, "projection input dim mismatch");
+    Vector y(k_);
+    for (size_t r = 0; r < k_; ++r) {
+        double acc = 0.0;
+        for (uint32_t i = plusOffset_[r]; i < plusOffset_[r + 1]; ++i)
+            acc += h[plus_[i]];
+        for (uint32_t i = minusOffset_[r]; i < minusOffset_[r + 1]; ++i)
+            acc -= h[minus_[i]];
+        y[r] = static_cast<float>(acc) * scale_;
+    }
+    return y;
+}
+
+Matrix
+SparseProjection::toDense() const
+{
+    Matrix p(k_, d_);
+    for (size_t r = 0; r < k_; ++r) {
+        for (uint32_t i = plusOffset_[r]; i < plusOffset_[r + 1]; ++i)
+            p(r, plus_[i]) = scale_;
+        for (uint32_t i = minusOffset_[r]; i < minusOffset_[r + 1]; ++i)
+            p(r, minus_[i]) = -scale_;
+    }
+    return p;
+}
+
+size_t
+SparseProjection::packedBytes() const
+{
+    // 2 bits per entry as stated in the paper, dense packing.
+    return ceilDiv(k_ * d_ * 2, 8);
+}
+
+} // namespace enmc::tensor

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Achlioptas sparse random projection (paper Section 4.2, reference [1]).
+ *
+ * P ∈ sqrt(3/k) · {-1, 0, +1}^{k×d}, with entries +1/-1 each w.p. 1/6 and 0
+ * w.p. 2/3. The matrix is stored sparsely (per output row, the indices of
+ * +1 and -1 inputs) so applying it needs only additions — the 2-bit
+ * representation the paper cites for its < 0.1% storage overhead.
+ */
+
+#ifndef ENMC_TENSOR_PROJECTION_H
+#define ENMC_TENSOR_PROJECTION_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace enmc::tensor {
+
+/** Sparse {-1, 0, +1} random projection from d dims down to k dims. */
+class SparseProjection
+{
+  public:
+    /**
+     * Build a k x d projection with independent Achlioptas entries.
+     *
+     * @param k Output (reduced) dimension.
+     * @param d Input (hidden) dimension.
+     * @param rng Seeded generator; the projection is a pure function of it.
+     */
+    SparseProjection(size_t k, size_t d, Rng &rng);
+
+    size_t outputDim() const { return k_; }
+    size_t inputDim() const { return d_; }
+
+    /** y = P h  (y has k entries). */
+    Vector apply(std::span<const float> h) const;
+
+    /** Densify to a k x d matrix (tests / reference math only). */
+    Matrix toDense() const;
+
+    /** Storage at 2 bits per entry plus row offsets — the DRAM footprint. */
+    size_t packedBytes() const;
+
+    /** Number of nonzero entries (expected k*d/3). */
+    size_t nonZeros() const { return plus_.size() + minus_.size(); }
+
+  private:
+    size_t k_;
+    size_t d_;
+    float scale_;                       //!< sqrt(3/k)
+    std::vector<uint32_t> plus_;        //!< flat +1 column indices
+    std::vector<uint32_t> minus_;       //!< flat -1 column indices
+    std::vector<uint32_t> plusOffset_;  //!< row r: plus_[ofs[r], ofs[r+1])
+    std::vector<uint32_t> minusOffset_;
+};
+
+} // namespace enmc::tensor
+
+#endif // ENMC_TENSOR_PROJECTION_H

@@ -1,0 +1,150 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace enmc::tensor {
+
+int
+quantBitCount(QuantBits bits)
+{
+    return static_cast<int>(bits);
+}
+
+int
+quantMaxLevel(QuantBits bits)
+{
+    switch (bits) {
+      case QuantBits::Fp32:
+        return 0;
+      case QuantBits::Int8:
+        return 127;
+      case QuantBits::Int4:
+        return 7;
+      case QuantBits::Int2:
+        return 1;
+    }
+    ENMC_PANIC("unreachable quant bits");
+}
+
+namespace {
+
+/** Max |v| over a span. */
+float
+absMax(std::span<const float> v)
+{
+    float m = 0.0f;
+    for (float x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+int8_t
+quantizeOne(float v, float inv_scale, int max_level)
+{
+    const long q = std::lround(v * inv_scale);
+    return static_cast<int8_t>(std::clamp<long>(q, -max_level, max_level));
+}
+
+} // namespace
+
+Vector
+QuantizedVector::dequantize() const
+{
+    Vector v(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        v[i] = values[i] * scale;
+    return v;
+}
+
+size_t
+QuantizedVector::packedBytes() const
+{
+    if (bits == QuantBits::Fp32)
+        return values.size() * sizeof(float);
+    return ceilDiv(values.size() * quantBitCount(bits), 8) + sizeof(float);
+}
+
+Matrix
+QuantizedMatrix::dequantize() const
+{
+    Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            m(r, c) = values[r * cols + c] * scales[r];
+    return m;
+}
+
+size_t
+QuantizedMatrix::packedBytes() const
+{
+    if (bits == QuantBits::Fp32)
+        return values.size() * sizeof(float);
+    return ceilDiv(values.size() * quantBitCount(bits), 8) +
+           scales.size() * sizeof(float);
+}
+
+QuantizedVector
+quantize(std::span<const float> v, QuantBits bits)
+{
+    QuantizedVector q;
+    q.bits = bits;
+    q.values.resize(v.size());
+    if (bits == QuantBits::Fp32)
+        ENMC_PANIC("quantize() called with Fp32; keep the float vector");
+    const int max_level = quantMaxLevel(bits);
+    const float m = absMax(v);
+    q.scale = (m > 0.0f) ? m / max_level : 1.0f;
+    const float inv = 1.0f / q.scale;
+    for (size_t i = 0; i < v.size(); ++i)
+        q.values[i] = quantizeOne(v[i], inv, max_level);
+    return q;
+}
+
+QuantizedMatrix
+quantize(const Matrix &m, QuantBits bits)
+{
+    ENMC_ASSERT(bits != QuantBits::Fp32,
+                "quantize(Matrix) called with Fp32; keep the float matrix");
+    QuantizedMatrix q;
+    q.bits = bits;
+    q.rows = m.rows();
+    q.cols = m.cols();
+    q.values.resize(m.size());
+    q.scales.resize(m.rows());
+    const int max_level = quantMaxLevel(bits);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        const auto row = m.row(r);
+        const float am = absMax(row);
+        const float scale = (am > 0.0f) ? am / max_level : 1.0f;
+        q.scales[r] = scale;
+        const float inv = 1.0f / scale;
+        for (size_t c = 0; c < m.cols(); ++c)
+            q.values[r * m.cols() + c] = quantizeOne(row[c], inv, max_level);
+    }
+    return q;
+}
+
+Vector
+gemvQuantized(const QuantizedMatrix &w, const QuantizedVector &h,
+              std::span<const float> b)
+{
+    ENMC_ASSERT(w.cols == h.values.size(), "gemvQuantized: dim mismatch");
+    ENMC_ASSERT(b.empty() || b.size() == w.rows,
+                "gemvQuantized: bias size mismatch");
+    Vector z(w.rows);
+    for (size_t r = 0; r < w.rows; ++r) {
+        const auto wr = w.row(r);
+        int64_t acc = 0;
+        for (size_t c = 0; c < w.cols; ++c)
+            acc += static_cast<int64_t>(wr[c]) * h.values[c];
+        z[r] = static_cast<float>(acc) * w.scales[r] * h.scale +
+               (b.empty() ? 0.0f : b[r]);
+    }
+    return z;
+}
+
+} // namespace enmc::tensor

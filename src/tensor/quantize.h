@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fixed-point quantization used by the Screener's INT4 datapath.
+ *
+ * The paper quantizes both the projected features and the screener weights
+ * to 4-bit fixed point ("The Screener performs dimension-reduced INT4
+ * computations"); Fig. 12(b) sweeps the quantization level, so the bit
+ * width is a parameter here (2/4/8 bits supported, plus FP32 passthrough).
+ *
+ * Scheme: symmetric linear quantization. Per-row scales for weight matrices
+ * (each category row gets its own scale, cheap to store alongside the row)
+ * and a per-tensor scale for activations.
+ */
+
+#ifndef ENMC_TENSOR_QUANTIZE_H
+#define ENMC_TENSOR_QUANTIZE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace enmc::tensor {
+
+/** Quantization bit-width selector. Fp32 disables quantization. */
+enum class QuantBits {
+    Fp32 = 0,
+    Int8 = 8,
+    Int4 = 4,
+    Int2 = 2,
+};
+
+/** Number of payload bits (0 for FP32). */
+int quantBitCount(QuantBits bits);
+
+/** Largest representable magnitude, e.g. 7 for INT4 symmetric. */
+int quantMaxLevel(QuantBits bits);
+
+/** A quantized vector: int8 storage (values fit the chosen width) + scale. */
+struct QuantizedVector
+{
+    std::vector<int8_t> values;
+    float scale = 1.0f;    //!< dequant: real = value * scale
+    QuantBits bits = QuantBits::Int4;
+
+    /** Reconstruct the real-valued vector. */
+    Vector dequantize() const;
+
+    /** Storage bytes at the nominal bit width (packed). */
+    size_t packedBytes() const;
+};
+
+/**
+ * A quantized matrix with per-row scales. Storage is one int8 per element
+ * regardless of nominal width; packedBytes() reports the true packed size
+ * used for all bandwidth/timing accounting.
+ */
+struct QuantizedMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<int8_t> values;    //!< row-major
+    std::vector<float> scales;     //!< one per row
+    QuantBits bits = QuantBits::Int4;
+
+    std::span<const int8_t> row(size_t r) const
+    {
+        return {values.data() + r * cols, cols};
+    }
+
+    Matrix dequantize() const;
+    size_t packedBytes() const;
+};
+
+/** Quantize a vector with a symmetric per-tensor scale. */
+QuantizedVector quantize(std::span<const float> v, QuantBits bits);
+
+/** Quantize a matrix with symmetric per-row scales. */
+QuantizedMatrix quantize(const Matrix &m, QuantBits bits);
+
+/**
+ * Integer GEMV: z[r] = scale_r * scale_h * sum_c Wq[r][c] * hq[c] + b[r].
+ * This is the exact arithmetic the Screener's INT4 MAC array performs
+ * (integer multiply-accumulate, one dequant multiply per output).
+ */
+Vector gemvQuantized(const QuantizedMatrix &w, const QuantizedVector &h,
+                     std::span<const float> b);
+
+} // namespace enmc::tensor
+
+#endif // ENMC_TENSOR_QUANTIZE_H

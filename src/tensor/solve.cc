@@ -1,0 +1,72 @@
+#include "tensor/solve.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enmc::tensor {
+
+Matrix
+cholesky(const Matrix &a)
+{
+    const size_t n = a.rows();
+    ENMC_ASSERT(a.cols() == n, "cholesky: matrix must be square");
+    Matrix l(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double sum = a(i, j);
+            for (size_t k = 0; k < j; ++k)
+                sum -= static_cast<double>(l(i, k)) * l(j, k);
+            if (i == j) {
+                ENMC_ASSERT(sum > 0.0, "cholesky: matrix not SPD");
+                l(i, j) = static_cast<float>(std::sqrt(sum));
+            } else {
+                l(i, j) = static_cast<float>(sum / l(j, j));
+            }
+        }
+    }
+    return l;
+}
+
+Vector
+choleskySolve(const Matrix &l, std::span<const float> b)
+{
+    const size_t n = l.rows();
+    ENMC_ASSERT(b.size() == n, "choleskySolve: size mismatch");
+    // Forward substitution: L y = b.
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (size_t k = 0; k < i; ++k)
+            sum -= static_cast<double>(l(i, k)) * y[k];
+        y[i] = static_cast<float>(sum / l(i, i));
+    }
+    // Back substitution: Lᵀ x = y.
+    Vector x(n);
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= static_cast<double>(l(k, ii)) * x[k];
+        x[ii] = static_cast<float>(sum / l(ii, ii));
+    }
+    return x;
+}
+
+Matrix
+spdSolve(const Matrix &a, const Matrix &b)
+{
+    ENMC_ASSERT(a.rows() == b.rows(), "spdSolve: size mismatch");
+    const Matrix l = cholesky(a);
+    Matrix x(b.rows(), b.cols());
+    Vector col(b.rows());
+    for (size_t j = 0; j < b.cols(); ++j) {
+        for (size_t i = 0; i < b.rows(); ++i)
+            col[i] = b(i, j);
+        const Vector sol = choleskySolve(l, col);
+        for (size_t i = 0; i < b.rows(); ++i)
+            x(i, j) = sol[i];
+    }
+    return x;
+}
+
+} // namespace enmc::tensor

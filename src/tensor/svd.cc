@@ -1,0 +1,151 @@
+#include "tensor/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace enmc::tensor {
+
+Matrix
+SvdResult::uSigma() const
+{
+    Matrix b(u.rows(), u.cols());
+    for (size_t i = 0; i < u.rows(); ++i)
+        for (size_t j = 0; j < u.cols(); ++j)
+            b(i, j) = u(i, j) * sigma[j];
+    return b;
+}
+
+std::vector<float>
+jacobiEigenSymmetric(const Matrix &a_in, Matrix &eigvecs, int max_sweeps,
+                     double tol)
+{
+    const size_t n = a_in.rows();
+    ENMC_ASSERT(a_in.cols() == n, "jacobi: matrix must be square");
+    // Work in double for stability; classifier Gram matrices can have a
+    // large dynamic range in eigenvalues.
+    std::vector<double> a(n * n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            a[i * n + j] = a_in(i, j);
+
+    std::vector<double> v(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        v[i * n + i] = 1.0;
+
+    auto offDiagNorm = [&]() {
+        double s = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                s += a[i * n + j] * a[i * n + j];
+        return std::sqrt(2.0 * s);
+    };
+    double diag_norm = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        diag_norm += a[i * n + i] * a[i * n + i];
+    diag_norm = std::max(std::sqrt(diag_norm), 1e-30);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (offDiagNorm() <= tol * diag_norm)
+            break;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                const double apq = a[p * n + q];
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = a[p * n + p];
+                const double aqq = a[q * n + q];
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                // Rotate rows/cols p and q of A.
+                for (size_t i = 0; i < n; ++i) {
+                    const double aip = a[i * n + p];
+                    const double aiq = a[i * n + q];
+                    a[i * n + p] = c * aip - s * aiq;
+                    a[i * n + q] = s * aip + c * aiq;
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    const double api = a[p * n + i];
+                    const double aqi = a[q * n + i];
+                    a[p * n + i] = c * api - s * aqi;
+                    a[q * n + i] = s * api + c * aqi;
+                }
+                // Accumulate eigenvectors.
+                for (size_t i = 0; i < n; ++i) {
+                    const double vip = v[i * n + p];
+                    const double viq = v[i * n + q];
+                    v[i * n + p] = c * vip - s * viq;
+                    v[i * n + q] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return a[x * n + x] > a[y * n + y];
+    });
+
+    eigvecs = Matrix(n, n);
+    std::vector<float> eigvals(n);
+    for (size_t j = 0; j < n; ++j) {
+        const size_t src = order[j];
+        eigvals[j] = static_cast<float>(a[src * n + src]);
+        for (size_t i = 0; i < n; ++i)
+            eigvecs(i, j) = static_cast<float>(v[i * n + src]);
+    }
+    return eigvals;
+}
+
+SvdResult
+thinSvd(const Matrix &w, int max_sweeps)
+{
+    const size_t l = w.rows();
+    const size_t d = w.cols();
+    ENMC_ASSERT(l >= d, "thinSvd expects rows >= cols");
+
+    // G = Wᵀ W (d x d symmetric).
+    Matrix g(d, d);
+    for (size_t r = 0; r < l; ++r) {
+        const auto row = w.row(r);
+        for (size_t i = 0; i < d; ++i) {
+            const float wi = row[i];
+            if (wi == 0.0f)
+                continue;
+            for (size_t j = i; j < d; ++j)
+                g(i, j) += wi * row[j];
+        }
+    }
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = 0; j < i; ++j)
+            g(i, j) = g(j, i);
+
+    SvdResult res;
+    std::vector<float> eig = jacobiEigenSymmetric(g, res.v, max_sweeps);
+    res.sigma.resize(d);
+    for (size_t j = 0; j < d; ++j)
+        res.sigma[j] = std::sqrt(std::max(eig[j], 0.0f));
+
+    // U = W V Σ⁻¹.
+    res.u = Matrix(l, d);
+    for (size_t r = 0; r < l; ++r) {
+        const auto row = w.row(r);
+        for (size_t j = 0; j < d; ++j) {
+            double acc = 0.0;
+            for (size_t i = 0; i < d; ++i)
+                acc += static_cast<double>(row[i]) * res.v(i, j);
+            const double s = res.sigma[j];
+            res.u(r, j) = (s > 1e-12) ? static_cast<float>(acc / s) : 0.0f;
+        }
+    }
+    return res;
+}
+
+} // namespace enmc::tensor

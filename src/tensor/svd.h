@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Thin SVD of tall matrices, as needed by the SVD-softmax baseline [37].
+ *
+ * For a classifier weight matrix W (l x d, l >> d) we form the d x d Gram
+ * matrix G = Wᵀ W, diagonalize it with a cyclic Jacobi eigensolver, and
+ * recover W = U Σ Vᵀ with U = W V Σ⁻¹. Cost is O(l d²) + O(d³ sweeps),
+ * which matches how one would practically decompose an XC weight matrix.
+ */
+
+#ifndef ENMC_TENSOR_SVD_H
+#define ENMC_TENSOR_SVD_H
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace enmc::tensor {
+
+/** Result of a thin SVD: W = U * diag(sigma) * Vᵀ. */
+struct SvdResult
+{
+    Matrix u;                   //!< l x d, orthonormal columns
+    std::vector<float> sigma;   //!< d singular values, descending
+    Matrix v;                   //!< d x d, orthonormal columns
+
+    /** B = U * diag(sigma): the preview matrix used by SVD-softmax. */
+    Matrix uSigma() const;
+};
+
+/**
+ * Jacobi eigendecomposition of a symmetric matrix (in place usage hidden).
+ *
+ * @param a Symmetric n x n matrix.
+ * @param eigvecs Output: columns are eigenvectors.
+ * @return Eigenvalues in descending order (eigvecs columns permuted to
+ *         match).
+ */
+std::vector<float> jacobiEigenSymmetric(const Matrix &a, Matrix &eigvecs,
+                                        int max_sweeps = 30,
+                                        double tol = 1e-10);
+
+/** Thin SVD of W (rows >= cols). */
+SvdResult thinSvd(const Matrix &w, int max_sweeps = 30);
+
+} // namespace enmc::tensor
+
+#endif // ENMC_TENSOR_SVD_H

@@ -1,0 +1,67 @@
+#include "tensor/topk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace enmc::tensor {
+
+std::vector<uint32_t>
+topkIndices(std::span<const float> z, size_t k)
+{
+    const size_t n = z.size();
+    if (k > n)
+        k = n;
+    std::vector<uint32_t> idx(n);
+    for (size_t i = 0; i < n; ++i)
+        idx[i] = static_cast<uint32_t>(i);
+    auto better = [&z](uint32_t a, uint32_t b) {
+        if (z[a] != z[b])
+            return z[a] > z[b];
+        return a < b;
+    };
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(), better);
+    idx.resize(k);
+    return idx;
+}
+
+std::vector<uint32_t>
+thresholdIndices(std::span<const float> z, float threshold)
+{
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i < z.size(); ++i)
+        if (z[i] >= threshold)
+            out.push_back(static_cast<uint32_t>(i));
+    return out;
+}
+
+float
+thresholdForCount(std::span<const float> z, size_t m)
+{
+    ENMC_ASSERT(m >= 1, "thresholdForCount needs m >= 1");
+    if (m >= z.size()) {
+        float lo = z.empty() ? 0.0f : z[0];
+        for (float v : z)
+            lo = std::min(lo, v);
+        return lo;
+    }
+    std::vector<float> vals(z.begin(), z.end());
+    std::nth_element(vals.begin(), vals.begin() + (m - 1), vals.end(),
+                     std::greater<float>());
+    return vals[m - 1];
+}
+
+double
+recall(std::span<const uint32_t> selected, std::span<const uint32_t> reference)
+{
+    if (reference.empty())
+        return 1.0;
+    std::unordered_set<uint32_t> sel(selected.begin(), selected.end());
+    size_t hit = 0;
+    for (uint32_t r : reference)
+        hit += sel.count(r);
+    return static_cast<double>(hit) / reference.size();
+}
+
+} // namespace enmc::tensor

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Top-k and threshold selection over score vectors.
+ *
+ * The screening phase picks candidates either by top-m search or by a tuned
+ * threshold (paper Section 4.2); both are provided. Selection is also the
+ * functional model of the ENMC FILTER instruction.
+ */
+
+#ifndef ENMC_TENSOR_TOPK_H
+#define ENMC_TENSOR_TOPK_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace enmc::tensor {
+
+/**
+ * Indices of the k largest values, sorted by descending value.
+ * Ties broken by lower index first (deterministic).
+ */
+std::vector<uint32_t> topkIndices(std::span<const float> z, size_t k);
+
+/** Indices with z[i] >= threshold, in ascending index order. */
+std::vector<uint32_t> thresholdIndices(std::span<const float> z,
+                                       float threshold);
+
+/**
+ * Pick the threshold that selects (approximately) the m largest entries:
+ * the m-th largest value itself. Used to tune the hardware FILTER
+ * threshold on a validation batch.
+ */
+float thresholdForCount(std::span<const float> z, size_t m);
+
+/**
+ * Fraction of `reference` found in `selected` (candidate recall).
+ * Both are index sets; order irrelevant.
+ */
+double recall(std::span<const uint32_t> selected,
+              std::span<const uint32_t> reference);
+
+} // namespace enmc::tensor
+
+#endif // ENMC_TENSOR_TOPK_H

@@ -1,0 +1,16 @@
+#include "workloads/breakdown.h"
+
+namespace enmc::workloads {
+
+Breakdown
+computeBreakdown(const Workload &w)
+{
+    Breakdown b;
+    b.classifier_params = w.categories * w.hidden + w.categories;
+    b.frontend_params = w.frontend.params();
+    b.classifier_flops = w.classifierFlops();
+    b.frontend_flops = w.frontend.flopsPerStep();
+    return b;
+}
+
+} // namespace enmc::workloads

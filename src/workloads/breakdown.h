@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Parameter/operation breakdown of a workload into classification and
+ * non-classification parts (paper Fig. 4) and the memory-footprint /
+ * execution-time scaling model behind Fig. 5(a).
+ */
+
+#ifndef ENMC_WORKLOADS_BREAKDOWN_H
+#define ENMC_WORKLOADS_BREAKDOWN_H
+
+#include <cstdint>
+
+#include "workloads/registry.h"
+
+namespace enmc::workloads {
+
+/** Fig. 4 row: absolute and relative classification shares. */
+struct Breakdown
+{
+    uint64_t classifier_params = 0;
+    uint64_t frontend_params = 0;      //!< embedding + hidden layers
+    uint64_t classifier_flops = 0;
+    uint64_t frontend_flops = 0;
+
+    double paramShare() const
+    {
+        const double t =
+            static_cast<double>(classifier_params + frontend_params);
+        return t > 0 ? classifier_params / t : 0.0;
+    }
+    double flopShare() const
+    {
+        const double t =
+            static_cast<double>(classifier_flops + frontend_flops);
+        return t > 0 ? classifier_flops / t : 0.0;
+    }
+};
+
+/** Compute the Fig. 4 breakdown for one workload. */
+Breakdown computeBreakdown(const Workload &w);
+
+} // namespace enmc::workloads
+
+#endif // ENMC_WORKLOADS_BREAKDOWN_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload registry: the paper's Table 2 models/datasets plus the three
+ * synthetic scalability datasets (S1M, S10M, S100M).
+ *
+ * Each entry carries the *full-scale* dimensions used by all timing and
+ * footprint experiments, a front-end model for the non-classification
+ * share, and a *functional scale* — the reduced category count at which
+ * numerical experiments (screener training, quality evaluation) run. XC
+ * timing is a pure function of (l, d, batch, candidates), so timing always
+ * uses full scale; quality metrics at functional scale transfer because
+ * both the screener size and candidate count scale proportionally.
+ */
+
+#ifndef ENMC_WORKLOADS_REGISTRY_H
+#define ENMC_WORKLOADS_REGISTRY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/frontend.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::workloads {
+
+/** One evaluated application (a Table 2 row or a synthetic S* dataset). */
+struct Workload
+{
+    std::string abbr;            //!< e.g. "Transformer-W268K"
+    std::string application;     //!< NLP / NMT / Recommendation
+    std::string dataset;         //!< Wikitext-103, S10M, ...
+    uint64_t categories = 0;     //!< l (full scale)
+    uint64_t hidden = 0;         //!< d
+    nn::FrontendModel frontend;
+    nn::Normalization normalization = nn::Normalization::Softmax;
+
+    /** Candidate-set size of the Fig. 11 (CPU+AS) operating point. */
+    uint64_t candidates = 64;
+
+    /**
+     * Candidate budget used by the NMP/ENMC runs of Fig. 13/15. The paper
+     * tightens the FILTER threshold for the recommendation workloads
+     * ("we considerably reduce the number of candidates by 50x" for
+     * XMLCNN-670K). 0 means same as `candidates`.
+     */
+    uint64_t nmp_candidates = 0;
+
+    uint64_t nmpCandidates() const
+    {
+        return nmp_candidates ? nmp_candidates : candidates;
+    }
+
+    /** Reduced l for functional (numeric) experiments. */
+    uint64_t functional_categories = 4096;
+    /** Reduced d for functional experiments (0 = use full `hidden`). */
+    uint64_t functional_hidden = 0;
+
+    /** Classification parameter bytes (FP32 weights + bias). */
+    uint64_t classifierBytes() const
+    {
+        return categories * hidden * sizeof(float) +
+               categories * sizeof(float);
+    }
+
+    /** Classification FLOPs for one inference. */
+    uint64_t classifierFlops() const
+    {
+        return 2ull * categories * hidden + 4ull * categories;
+    }
+
+    /** Synthetic-model config at functional scale. */
+    SyntheticConfig functionalConfig(uint64_t seed = 42) const;
+};
+
+/** The four Table 2 workloads, in the paper's order. */
+std::vector<Workload> table2Workloads();
+
+/** S1M / S10M / S100M scalability datasets (XMLCNN front-end). */
+std::vector<Workload> scalabilityWorkloads();
+
+/** Everything: Table 2 + scalability. */
+std::vector<Workload> allWorkloads();
+
+/** Look up by abbreviation; fatal if unknown. */
+Workload findWorkload(const std::string &abbr);
+
+} // namespace enmc::workloads
+
+#endif // ENMC_WORKLOADS_REGISTRY_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synthetic extreme-classification models and data.
+ *
+ * Substitute for the paper's pre-trained PyTorch models (see DESIGN.md):
+ * a synthetic classifier whose weight matrix has a decaying singular-value
+ * spectrum (trained XC layers are approximately low-rank — the property
+ * both AS and SVD-softmax exploit) plus full-rank residual noise, and
+ * hidden vectors drawn around Zipf-distributed "true" categories so the
+ * logit distribution has the heavy-tailed top-k structure of real language
+ * model / recommendation outputs.
+ */
+
+#ifndef ENMC_WORKLOADS_SYNTHETIC_H
+#define ENMC_WORKLOADS_SYNTHETIC_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/classifier.h"
+#include "tensor/matrix.h"
+
+namespace enmc::workloads {
+
+/** Shape/statistics knobs for a synthetic XC model. */
+struct SyntheticConfig
+{
+    size_t categories = 4096;       //!< l
+    size_t hidden = 64;             //!< d
+    /** Singular-value decay exponent: sigma_j ∝ (j+1)^-decay. */
+    double spectrum_decay = 0.8;
+    /** Full-rank residual noise relative to the structured part. */
+    double residual_noise = 0.05;
+    /** Zipf exponent of the true-category distribution. */
+    double zipf_alpha = 1.1;
+    /** Hidden-vector SNR: signal scale over noise scale. */
+    double sample_snr = 3.0;
+    nn::Normalization normalization = nn::Normalization::Softmax;
+    uint64_t seed = 42;
+};
+
+/** A generated model plus its sampling distribution. */
+class SyntheticModel
+{
+  public:
+    explicit SyntheticModel(const SyntheticConfig &cfg);
+
+    const nn::Classifier &classifier() const { return classifier_; }
+    const SyntheticConfig &config() const { return cfg_; }
+
+    /** Draw one hidden vector; optionally reports the true category. */
+    tensor::Vector sampleHidden(Rng &rng, uint64_t *true_category = nullptr)
+        const;
+
+    /** Draw n hidden vectors. */
+    std::vector<tensor::Vector> sampleHiddenBatch(Rng &rng, size_t n) const;
+
+    /** A fresh generator seeded from the model's seed and a stream id. */
+    Rng makeRng(uint64_t stream) const;
+
+  private:
+    SyntheticConfig cfg_;
+    nn::Classifier classifier_;
+    std::unique_ptr<ZipfSampler> zipf_;
+};
+
+} // namespace enmc::workloads
+
+#endif // ENMC_WORKLOADS_SYNTHETIC_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the FGD graph-search baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/fgd.h"
+#include "tensor/topk.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::baselines {
+namespace {
+
+class FgdTest : public ::testing::Test
+{
+  protected:
+    FgdTest()
+        : model_(makeConfig())
+    {
+        Rng data = model_.makeRng(5);
+        eval_ = model_.sampleHiddenBatch(data, 24);
+    }
+
+    static workloads::SyntheticConfig
+    makeConfig()
+    {
+        workloads::SyntheticConfig cfg;
+        cfg.categories = 512;
+        cfg.hidden = 32;
+        return cfg;
+    }
+
+    workloads::SyntheticModel model_;
+    std::vector<tensor::Vector> eval_;
+};
+
+TEST_F(FgdTest, SearchReturnsRequestedCount)
+{
+    Fgd fgd(model_.classifier(), FgdConfig{});
+    uint64_t visited = 0;
+    const auto top = fgd.search(eval_[0], 10, &visited);
+    EXPECT_EQ(top.size(), 10u);
+    EXPECT_GT(visited, 10u);
+    EXPECT_LT(visited, 512u); // must not degenerate to linear scan
+}
+
+TEST_F(FgdTest, CandidateLogitsExactTailKeepsBias)
+{
+    FgdConfig cfg;
+    cfg.top_n = 8;
+    Fgd fgd(model_.classifier(), cfg);
+    const auto r = fgd.infer(eval_[0]);
+    const auto ref = model_.classifier().logits(eval_[0]);
+    std::unordered_set<uint32_t> cands(r.candidates.begin(),
+                                       r.candidates.end());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (cands.count(static_cast<uint32_t>(i)))
+            EXPECT_FLOAT_EQ(r.logits[i], ref[i]);
+        else
+            EXPECT_FLOAT_EQ(r.logits[i], model_.classifier().bias()[i]);
+    }
+}
+
+TEST_F(FgdTest, TopCandidateRecallReasonable)
+{
+    FgdConfig cfg;
+    cfg.ef_search = 96;
+    cfg.top_n = 16;
+    Fgd fgd(model_.classifier(), cfg);
+    double rec = 0.0;
+    for (const auto &h : eval_) {
+        const auto found = fgd.search(h, 16, nullptr);
+        const auto truth =
+            tensor::topkIndices(model_.classifier().logits(h), 4);
+        rec += tensor::recall(found, truth);
+    }
+    EXPECT_GT(rec / eval_.size(), 0.6);
+}
+
+/** Property: larger search beam -> equal or better recall, more visits. */
+class EfSweep : public FgdTest,
+                public ::testing::WithParamInterface<size_t>
+{
+};
+
+TEST_P(EfSweep, WiderBeamFindsMore)
+{
+    const size_t ef = GetParam();
+    FgdConfig narrow;
+    narrow.ef_search = ef;
+    FgdConfig wide;
+    wide.ef_search = ef * 4;
+    Fgd a(model_.classifier(), narrow);
+    Fgd b(model_.classifier(), wide);
+
+    double rec_a = 0.0, rec_b = 0.0;
+    uint64_t vis_a = 0, vis_b = 0;
+    for (const auto &h : eval_) {
+        uint64_t v = 0;
+        const auto truth =
+            tensor::topkIndices(model_.classifier().logits(h), 4);
+        rec_a += tensor::recall(a.search(h, 16, &v), truth);
+        vis_a += v;
+        rec_b += tensor::recall(b.search(h, 16, &v), truth);
+        vis_b += v;
+    }
+    EXPECT_GE(rec_b + 0.05 * eval_.size(), rec_a);
+    EXPECT_GT(vis_b, vis_a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Beams, EfSweep, ::testing::Values(16, 32, 64));
+
+TEST_F(FgdTest, CostReflectsVisitedNodes)
+{
+    Fgd fgd(model_.classifier(), FgdConfig{});
+    const auto r = fgd.infer(eval_[0]);
+    // Visited-node traffic: weight rows + adjacency.
+    EXPECT_GT(r.cost.bytes_read, 0u);
+    EXPECT_LT(r.cost.bytes_read,
+              model_.classifier().parameterBytes());
+    EXPECT_GT(fgd.avgVisited(), 0.0);
+}
+
+TEST_F(FgdTest, ProbabilitiesNormalized)
+{
+    Fgd fgd(model_.classifier(), FgdConfig{});
+    const auto r = fgd.infer(eval_[0]);
+    float sum = 0.0f;
+    for (float p : r.probabilities)
+        sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(FgdDeathTest, TinyConfigsRejected)
+{
+    workloads::SyntheticConfig mc;
+    mc.categories = 8;
+    mc.hidden = 8;
+    workloads::SyntheticModel model(mc);
+    FgdConfig cfg;
+    cfg.degree = 1;
+    EXPECT_DEATH(Fgd(model.classifier(), cfg), "degree");
+}
+
+} // namespace
+} // namespace enmc::baselines

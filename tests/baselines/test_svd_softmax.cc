@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the SVD-softmax baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/svd_softmax.h"
+#include "screening/metrics.h"
+#include "tensor/topk.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::baselines {
+namespace {
+
+class SvdSoftmaxTest : public ::testing::Test
+{
+  protected:
+    SvdSoftmaxTest()
+        : model_(makeConfig())
+    {
+        Rng data = model_.makeRng(3);
+        eval_ = model_.sampleHiddenBatch(data, 16);
+    }
+
+    static workloads::SyntheticConfig
+    makeConfig()
+    {
+        workloads::SyntheticConfig cfg;
+        cfg.categories = 256;
+        cfg.hidden = 32;
+        return cfg;
+    }
+
+    workloads::SyntheticModel model_;
+    std::vector<tensor::Vector> eval_;
+};
+
+TEST_F(SvdSoftmaxTest, FullWindowIsExact)
+{
+    SvdSoftmaxConfig cfg;
+    cfg.window = 32; // == d: preview is the complete product
+    cfg.top_n = 1;
+    SvdSoftmax svd(model_.classifier(), cfg);
+    for (const auto &h : eval_) {
+        const auto r = svd.infer(h);
+        const auto ref = model_.classifier().logits(h);
+        for (size_t i = 0; i < ref.size(); ++i)
+            EXPECT_NEAR(r.logits[i], ref[i], 2e-2f) << "logit " << i;
+    }
+}
+
+TEST_F(SvdSoftmaxTest, RefinedCandidatesAreExact)
+{
+    SvdSoftmaxConfig cfg;
+    cfg.window = 8;
+    cfg.top_n = 12;
+    SvdSoftmax svd(model_.classifier(), cfg);
+    const auto r = svd.infer(eval_[0]);
+    const auto ref = model_.classifier().logits(eval_[0]);
+    EXPECT_EQ(r.candidates.size(), 12u);
+    for (uint32_t c : r.candidates)
+        EXPECT_NEAR(r.logits[c], ref[c], 2e-2f);
+}
+
+TEST_F(SvdSoftmaxTest, DefaultWindowIsQuarter)
+{
+    SvdSoftmax svd(model_.classifier(), SvdSoftmaxConfig{});
+    EXPECT_EQ(svd.window(), 8u); // d/4
+}
+
+/** Fig.-11-style property: wider preview window -> better agreement. */
+class WindowSweep : public SvdSoftmaxTest,
+                    public ::testing::WithParamInterface<size_t>
+{
+};
+
+TEST_P(WindowSweep, AgreementImprovesWithWindow)
+{
+    const size_t w = GetParam();
+    SvdSoftmaxConfig small_cfg;
+    small_cfg.window = w;
+    small_cfg.top_n = 8;
+    SvdSoftmaxConfig big_cfg;
+    big_cfg.window = std::min<size_t>(w * 4, 32);
+    big_cfg.top_n = 8;
+    SvdSoftmax small(model_.classifier(), small_cfg);
+    SvdSoftmax big(model_.classifier(), big_cfg);
+
+    auto agreement = [&](const SvdSoftmax &s) {
+        double agree = 0.0;
+        for (const auto &h : eval_) {
+            const auto approx = s.infer(h);
+            const auto ref = model_.classifier().logits(h);
+            agree += (tensor::argmax(approx.logits) == tensor::argmax(ref));
+        }
+        return agree / eval_.size();
+    };
+    EXPECT_GE(agreement(big) + 1e-9, agreement(small));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep, ::testing::Values(2, 4, 8));
+
+TEST_F(SvdSoftmaxTest, CostScalesWithWindow)
+{
+    SvdSoftmaxConfig narrow;
+    narrow.window = 4;
+    SvdSoftmaxConfig wide;
+    wide.window = 16;
+    SvdSoftmax a(model_.classifier(), narrow);
+    SvdSoftmax b(model_.classifier(), wide);
+    EXPECT_LT(a.inferenceCost().bytes_read, b.inferenceCost().bytes_read);
+    EXPECT_LT(a.inferenceCost().flops, b.inferenceCost().flops);
+}
+
+TEST_F(SvdSoftmaxTest, CostCheaperThanFullClassification)
+{
+    SvdSoftmax svd(model_.classifier(), SvdSoftmaxConfig{});
+    const uint64_t full_bytes = model_.classifier().parameterBytes();
+    EXPECT_LT(svd.inferenceCost().bytes_read, full_bytes);
+}
+
+TEST_F(SvdSoftmaxTest, PreviewTraffic4xOfInt4Screening)
+{
+    // The paper: "the computation overhead of SVD-based approximation is
+    // 4x more than ours". FP32 preview at window w = k costs 4x the INT4
+    // screening bytes at the same reduced dimension (modulo the d x d
+    // rotation).
+    const size_t l = 256, d = 32, k = 8;
+    SvdSoftmaxConfig cfg;
+    cfg.window = k;
+    SvdSoftmax svd(model_.classifier(), cfg);
+    const uint64_t svd_preview_bytes = l * k * sizeof(float);
+    const uint64_t as_screen_bytes = l * k / 2; // INT4
+    EXPECT_EQ(svd_preview_bytes / as_screen_bytes, 8u);
+    (void)d;
+    EXPECT_GE(svd.inferenceCost().bytes_read, svd_preview_bytes);
+}
+
+TEST(SvdSoftmaxDeathTest, BadWindowRejected)
+{
+    workloads::SyntheticConfig mc;
+    mc.categories = 64;
+    mc.hidden = 16;
+    workloads::SyntheticModel model(mc);
+    SvdSoftmaxConfig cfg;
+    cfg.window = 17; // > d
+    EXPECT_DEATH(SvdSoftmax(model.classifier(), cfg), "window");
+}
+
+} // namespace
+} // namespace enmc::baselines

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for logging / error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace enmc {
+namespace {
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(ENMC_PANIC("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(ENMC_FATAL("bad config ", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(ENMC_ASSERT(1 == 2, "math broke"),
+                 "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    ENMC_ASSERT(1 + 1 == 2, "never");
+    SUCCEED();
+}
+
+TEST(Logging, WarnRespectsLevel)
+{
+    // warn()/inform() must not crash at any verbosity.
+    Logger::instance().setLevel(LogLevel::Silent);
+    warn("silenced");
+    inform("silenced");
+    Logger::instance().setLevel(LogLevel::Debug);
+    warn("audible ", 1);
+    inform("audible ", 2);
+    Logger::instance().setLevel(LogLevel::Warn);
+    SUCCEED();
+}
+
+TEST(Logging, LevelAccessor)
+{
+    Logger::instance().setLevel(LogLevel::Inform);
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Inform);
+    Logger::instance().setLevel(LogLevel::Warn);
+}
+
+} // namespace
+} // namespace enmc

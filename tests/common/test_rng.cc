@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+
+namespace enmc {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndRange)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform(2.0, 4.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(5);
+    std::map<int64_t, int> counts;
+    for (int i = 0; i < 6000; ++i)
+        ++counts[rng.uniformInt(-2, 3)];
+    EXPECT_EQ(counts.size(), 6u); // all of {-2..3} hit
+    for (const auto &[v, c] : counts) {
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        EXPECT_GT(c, 700); // roughly uniform
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 0.5);
+    EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, ProjectionEntryDistribution)
+{
+    // Achlioptas: P(+1) = P(-1) = 1/6, P(0) = 2/3.
+    Rng rng(19);
+    int plus = 0, minus = 0, zero = 0;
+    const int n = 120000;
+    for (int i = 0; i < n; ++i) {
+        const int e = rng.projectionEntry();
+        if (e > 0)
+            ++plus;
+        else if (e < 0)
+            ++minus;
+        else
+            ++zero;
+    }
+    EXPECT_NEAR(plus / double(n), 1.0 / 6.0, 0.01);
+    EXPECT_NEAR(minus / double(n), 1.0 / 6.0, 0.01);
+    EXPECT_NEAR(zero / double(n), 2.0 / 3.0, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(21);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, InRange)
+{
+    Rng rng(23);
+    ZipfSampler zipf(1000, 1.1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf(rng), 1000u);
+}
+
+TEST(ZipfSampler, SkewTowardLowIndices)
+{
+    Rng rng(29);
+    ZipfSampler zipf(10000, 1.1);
+    int head = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        head += (zipf(rng) < 100);
+    // For alpha ~ 1.1, the first 1% of categories carries a large share.
+    EXPECT_GT(head / double(n), 0.35);
+}
+
+TEST(ZipfSampler, HigherAlphaIsMoreSkewed)
+{
+    Rng r1(31), r2(31);
+    ZipfSampler mild(10000, 1.05), steep(10000, 1.8);
+    int head_mild = 0, head_steep = 0;
+    for (int i = 0; i < 20000; ++i) {
+        head_mild += (mild(r1) < 10);
+        head_steep += (steep(r2) < 10);
+    }
+    EXPECT_GT(head_steep, head_mild);
+}
+
+TEST(ZipfSampler, SingleCategory)
+{
+    Rng rng(37);
+    ZipfSampler zipf(1, 1.2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf(rng), 0u);
+}
+
+/** Statistical shape: empirical frequency ratio f(1)/f(2) ~ 2^alpha. */
+TEST(ZipfSampler, FrequencyRatioMatchesAlpha)
+{
+    Rng rng(41);
+    const double alpha = 1.3;
+    ZipfSampler zipf(100000, alpha);
+    int c0 = 0, c1 = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const uint64_t v = zipf(rng);
+        c0 += (v == 0);
+        c1 += (v == 1);
+    }
+    ASSERT_GT(c1, 0);
+    EXPECT_NEAR(double(c0) / c1, std::pow(2.0, alpha), 0.35);
+}
+
+} // namespace
+} // namespace enmc

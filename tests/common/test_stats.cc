@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace enmc {
+namespace {
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, TracksMoments)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(ScalarStat, SingleNegativeSample)
+{
+    ScalarStat s;
+    s.sample(-5.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), -5.0);
+}
+
+TEST(Histogram, BinsAndBounds)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(0.5);   // bin 0
+    h.sample(2.0);   // bin 1
+    h.sample(9.99);  // bin 4
+    h.sample(-1.0);  // underflow
+    h.sample(10.0);  // overflow (hi is exclusive)
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHi(1), 4.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.sample(0.3);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bin(0), 0u);
+}
+
+TEST(StatGroup, RegisterAndLookup)
+{
+    StatGroup g("unit");
+    Counter &c = g.addCounter("events", "things that happened");
+    ++c;
+    ++c;
+    EXPECT_EQ(g.counter("events").value(), 2u);
+    EXPECT_TRUE(g.hasCounter("events"));
+    EXPECT_FALSE(g.hasCounter("missing"));
+}
+
+TEST(StatGroup, DuplicateRegistrationReturnsSameStat)
+{
+    StatGroup g("unit");
+    Counter &a = g.addCounter("x", "first");
+    Counter &b = g.addCounter("x", "second");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("mem");
+    ++g.addCounter("reads", "read count");
+    g.addScalar("lat", "latency").sample(7.0);
+    std::ostringstream oss;
+    g.dump(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("mem.reads"), std::string::npos);
+    EXPECT_NE(out.find("read count"), std::string::npos);
+    EXPECT_NE(out.find("mem.lat"), std::string::npos);
+}
+
+TEST(StatGroup, ResetClearsAll)
+{
+    StatGroup g("g");
+    ++g.addCounter("c", "");
+    g.addScalar("s", "").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.counter("c").value(), 0u);
+    EXPECT_EQ(g.scalar("s").count(), 0u);
+}
+
+TEST(StatGroupDeathTest, UnknownCounterPanics)
+{
+    StatGroup g("g");
+    EXPECT_DEATH((void)g.counter("nope"), "unknown counter");
+}
+
+} // namespace
+} // namespace enmc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for unit conversion helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace enmc {
+namespace {
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+}
+
+TEST(Units, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+}
+
+TEST(Units, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+}
+
+TEST(Units, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(1024), 10u);
+}
+
+TEST(Units, CyclesSecondsRoundTrip)
+{
+    const double freq = 1200e6;
+    const Cycles c = 120000;
+    const double s = cyclesToSeconds(c, freq);
+    EXPECT_DOUBLE_EQ(s, 1e-4);
+    EXPECT_EQ(secondsToCycles(s, freq), c);
+}
+
+TEST(Units, SecondsToCyclesRoundsUp)
+{
+    // 1.5 cycles of work must take 2 cycles.
+    EXPECT_EQ(secondsToCycles(1.5 / 100.0, 100.0), 2u);
+}
+
+TEST(Units, CrossDomainSlowToFast)
+{
+    // 1 cycle at 400 MHz = 3 cycles at 1200 MHz.
+    EXPECT_EQ(crossDomain(1, 400e6, 1200e6), 3u);
+    EXPECT_EQ(crossDomain(10, 400e6, 1200e6), 30u);
+}
+
+TEST(Units, CrossDomainFastToSlowRoundsUp)
+{
+    // 1 cycle at 1200 MHz is visible after 1 cycle at 400 MHz.
+    EXPECT_EQ(crossDomain(1, 1200e6, 400e6), 1u);
+    EXPECT_EQ(crossDomain(4, 1200e6, 400e6), 2u);
+}
+
+TEST(Units, SizeConstants)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+} // namespace
+} // namespace enmc

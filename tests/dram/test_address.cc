@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for DRAM address mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/config.h"
+
+namespace enmc::dram {
+namespace {
+
+class AddressMapping : public ::testing::TestWithParam<AddrMapping> {
+  protected:
+    Organization
+    org() const
+    {
+        Organization o = Organization::paperTable3();
+        o.mapping = GetParam();
+        return o;
+    }
+};
+
+TEST_P(AddressMapping, RoundTripRandomAddresses)
+{
+    const Organization o = org();
+    const Addr line = o.accessBytes();
+    for (Addr addr = 0; addr < 1ull << 30; addr += 977 * line) {
+        const AddrVec vec = mapAddress(addr, o);
+        EXPECT_EQ(unmapAddress(vec, o), addr & ~(line - 1));
+    }
+}
+
+TEST_P(AddressMapping, FieldsWithinBounds)
+{
+    const Organization o = org();
+    for (Addr addr = 0; addr < 1ull << 32; addr += 4093 * 64) {
+        const AddrVec v = mapAddress(addr, o);
+        EXPECT_LT(v.channel, o.channels);
+        EXPECT_LT(v.rank, o.ranks);
+        EXPECT_LT(v.bankgroup, o.bankgroups);
+        EXPECT_LT(v.bank, o.banks);
+        EXPECT_LT(v.row, o.rows);
+        EXPECT_LT(v.column, o.columns);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mappings, AddressMapping,
+                         ::testing::Values(AddrMapping::RoRaBgBaCoCh,
+                                           AddrMapping::RoCoRaBgBaCh,
+                                           AddrMapping::RoRaCoBaBgCh));
+
+TEST(AddressMapping, InterleavedMappingAlternatesBankGroups)
+{
+    Organization o = Organization::paperTable3().singleRankView();
+    // Consecutive lines must cycle through all bank groups first.
+    for (Addr i = 0; i < o.bankgroups; ++i) {
+        const AddrVec v = mapAddress(i * o.accessBytes(), o);
+        EXPECT_EQ(v.bankgroup, i);
+    }
+    // ... then advance the bank.
+    const AddrVec next =
+        mapAddress(o.bankgroups * o.accessBytes(), o);
+    EXPECT_EQ(next.bankgroup, 0u);
+    EXPECT_EQ(next.bank, 1u);
+}
+
+TEST(AddressMapping, ConsecutiveLinesInterleaveChannels)
+{
+    const Organization o = Organization::paperTable3();
+    std::set<uint32_t> channels;
+    for (Addr addr = 0; addr < 8 * o.accessBytes(); addr += o.accessBytes())
+        channels.insert(mapAddress(addr, o).channel);
+    // Channel bits are lowest: 8 consecutive lines hit all 8 channels.
+    EXPECT_EQ(channels.size(), o.channels);
+}
+
+TEST(AddressMapping, SequentialStreamStaysInRowThenSwitchesBank)
+{
+    Organization o = Organization::paperTable3();
+    o.channels = 1;
+    const AddrVec first = mapAddress(0, o);
+    // One row of one bank: columns/burst lines.
+    const uint64_t lines_per_row = o.columns / o.burst_length;
+    bool same_row = true;
+    for (uint64_t i = 0; i < lines_per_row; ++i) {
+        const AddrVec v = mapAddress(i * o.accessBytes(), o);
+        same_row &= (v.row == first.row && v.bank == first.bank &&
+                     v.bankgroup == first.bankgroup);
+    }
+    EXPECT_TRUE(same_row);
+    const AddrVec next =
+        mapAddress(lines_per_row * o.accessBytes(), o);
+    EXPECT_FALSE(next.bank == first.bank &&
+                 next.bankgroup == first.bankgroup);
+}
+
+TEST(Organization, Table3Capacity)
+{
+    const Organization o = Organization::paperTable3();
+    // 8Gb x8 devices, 8 per rank -> 8 GiB/rank, 8 ranks -> 64 GiB/channel.
+    EXPECT_EQ(o.bytesPerRank(), 8 * GiB);
+    EXPECT_EQ(o.bytesPerChannel(), 64 * GiB);
+    EXPECT_EQ(o.totalBytes(), 512 * GiB);
+}
+
+TEST(Organization, BandwidthAndBurst)
+{
+    const Organization o = Organization::paperTable3();
+    EXPECT_EQ(o.accessBytes(), 64u);
+    EXPECT_EQ(o.rowBytes(), 8192u);
+    // DDR4-2400: 1200 MHz cmd clock * 2 * 8 B = 19.2 GB/s per channel.
+    EXPECT_NEAR(o.channelPeakBandwidth(1200e6), 19.2e9, 1e6);
+}
+
+TEST(Organization, SingleRankView)
+{
+    const Organization o = Organization::paperTable3().singleRankView();
+    EXPECT_EQ(o.channels, 1u);
+    EXPECT_EQ(o.ranks, 1u);
+    EXPECT_EQ(o.bytesPerChannel(), 8 * GiB);
+}
+
+} // namespace
+} // namespace enmc::dram

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the multi-channel memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dram/memory_system.h"
+
+namespace enmc::dram {
+namespace {
+
+MemorySystem
+makeSystem(uint32_t channels = 2)
+{
+    Organization org = Organization::paperTable3();
+    org.channels = channels;
+    return MemorySystem(org, Timing::ddr4_2400(), ControllerConfig{},
+                        "test");
+}
+
+TEST(MemorySystem, RoutesToCorrectChannel)
+{
+    MemorySystem mem = makeSystem(2);
+    // Channel bits are the lowest line bits: line 0 -> ch 0, line 1 -> ch1.
+    int done0 = 0, done1 = 0;
+    Request a;
+    a.addr = 0;
+    a.on_complete = [&done0](const Request &) { ++done0; };
+    Request b;
+    b.addr = 64;
+    b.on_complete = [&done1](const Request &) { ++done1; };
+    ASSERT_TRUE(mem.enqueue(std::move(a)));
+    ASSERT_TRUE(mem.enqueue(std::move(b)));
+    mem.drain();
+    EXPECT_EQ(done0, 1);
+    EXPECT_EQ(done1, 1);
+    EXPECT_EQ(mem.controller(0).stats().counter("reads").value(), 1u);
+    EXPECT_EQ(mem.controller(1).stats().counter("reads").value(), 1u);
+}
+
+TEST(MemorySystem, ChannelsWorkInParallel)
+{
+    // The same number of lines split over 2 channels finishes in about
+    // half the cycles of a single channel.
+    auto stream = [](uint32_t channels) {
+        MemorySystem mem = makeSystem(channels);
+        int issued = 0;
+        while (issued < 256) {
+            Request req;
+            req.addr = static_cast<Addr>(issued) * 64;
+            if (mem.enqueue(std::move(req)))
+                ++issued;
+            else
+                mem.tick();
+        }
+        mem.drain();
+        return mem.now();
+    };
+    const Cycles c1 = stream(1);
+    const Cycles c2 = stream(2);
+    EXPECT_LT(c2, c1 * 3 / 4);
+}
+
+TEST(MemorySystem, AggregateAccounting)
+{
+    MemorySystem mem = makeSystem(2);
+    for (int i = 0; i < 32; ++i) {
+        Request req;
+        req.addr = static_cast<Addr>(i) * 64;
+        ASSERT_TRUE(mem.enqueue(std::move(req)));
+    }
+    mem.drain();
+    EXPECT_EQ(mem.bytesTransferred(), 32u * 64u);
+    EXPECT_GT(mem.achievedBandwidth(), 0.0);
+}
+
+TEST(MemorySystem, IdleAndDrain)
+{
+    MemorySystem mem = makeSystem(2);
+    EXPECT_TRUE(mem.idle());
+    Request req;
+    req.addr = 128;
+    ASSERT_TRUE(mem.enqueue(std::move(req)));
+    EXPECT_FALSE(mem.idle());
+    const Cycles spent = mem.drain();
+    EXPECT_TRUE(mem.idle());
+    EXPECT_GT(spent, 0u);
+}
+
+TEST(MemorySystem, DumpStatsListsEveryChannel)
+{
+    MemorySystem mem = makeSystem(2);
+    Request req;
+    req.addr = 0;
+    ASSERT_TRUE(mem.enqueue(std::move(req)));
+    mem.drain();
+    std::ostringstream oss;
+    mem.dumpStats(oss);
+    EXPECT_NE(oss.str().find("test.ch0.reads"), std::string::npos);
+    EXPECT_NE(oss.str().find("test.ch1.reads"), std::string::npos);
+}
+
+TEST(MemorySystemDeathTest, DrainBoundPanics)
+{
+    MemorySystem mem = makeSystem(1);
+    Request req;
+    req.addr = 0;
+    ASSERT_TRUE(mem.enqueue(std::move(req)));
+    EXPECT_DEATH((void)mem.drain(1), "failed to drain");
+}
+
+} // namespace
+} // namespace enmc::dram

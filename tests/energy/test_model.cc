@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the energy / area / power models (Tables 4, 5; Fig. 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/model.h"
+
+namespace enmc::energy {
+namespace {
+
+TEST(Table5, BlockValuesSumToTotals)
+{
+    // The paper's Table 5 totals: 0.442 mm^2 and 285.4 mW.
+    EXPECT_NEAR(enmcLogicArea(), 0.442, 1e-9);
+    EXPECT_NEAR(enmcLogicPower(), 285.4, 1e-9);
+}
+
+TEST(Table5, SixBlocks)
+{
+    const auto blocks = enmcLogicBlocks();
+    ASSERT_EQ(blocks.size(), 6u);
+    EXPECT_EQ(blocks[0].name, "INT4 MAC");
+    EXPECT_NEAR(blocks[0].area_mm2, 0.013, 1e-9);
+    EXPECT_NEAR(blocks[1].power_mw, 58.0, 1e-9);
+}
+
+TEST(Table4, BudgetsComparable)
+{
+    // All four designs sit at a matched area/power budget.
+    const LogicBlock designs[] = {ndaLogic(), chameleonLogic(),
+                                  tensorDimmLogic(), enmcLogic()};
+    for (const auto &d : designs) {
+        EXPECT_GT(d.area_mm2, 0.35) << d.name;
+        EXPECT_LT(d.area_mm2, 0.50) << d.name;
+        EXPECT_GT(d.power_mw, 240.0) << d.name;
+        EXPECT_LT(d.power_mw, 310.0) << d.name;
+    }
+}
+
+TEST(Table4, PaperValues)
+{
+    EXPECT_NEAR(ndaLogic().area_mm2, 0.445, 1e-9);
+    EXPECT_NEAR(ndaLogic().power_mw, 293.6, 1e-9);
+    EXPECT_NEAR(chameleonLogic().area_mm2, 0.398, 1e-9);
+    EXPECT_NEAR(tensorDimmLogic().power_mw, 303.5, 1e-9);
+}
+
+TEST(Table4, TensorDimmLargeIsScaledUp)
+{
+    EXPECT_GT(tensorDimmLargeLogic().area_mm2,
+              2.0 * tensorDimmLogic().area_mm2);
+    EXPECT_GT(tensorDimmLargeLogic().power_mw,
+              2.0 * tensorDimmLogic().power_mw);
+}
+
+TEST(RankEnergy, ComponentsComputedIndependently)
+{
+    DramActivity act;
+    act.reads = 1000;
+    act.writes = 500;
+    act.activates = 100;
+    act.refreshes = 10;
+    act.seconds = 1e-3;
+    const EnergyBreakdown e = rankEnergy(act, 285.4);
+
+    DramEnergyParams p;
+    EXPECT_NEAR(e.dram_static_j, p.static_w_per_rank * 1e-3, 1e-12);
+    EXPECT_NEAR(e.dram_access_j,
+                (1000 * p.read_burst_nj + 500 * p.write_burst_nj +
+                 100 * p.act_pre_nj + 10 * p.refresh_nj) * 1e-9,
+                1e-15);
+    EXPECT_NEAR(e.logic_j, 0.2854e-3, 1e-9);
+    EXPECT_NEAR(e.total(),
+                e.dram_static_j + e.dram_access_j + e.logic_j, 1e-15);
+}
+
+TEST(RankEnergy, ZeroActivityOnlyStatic)
+{
+    DramActivity act;
+    act.seconds = 1.0;
+    const EnergyBreakdown e = rankEnergy(act, 0.0);
+    EXPECT_GT(e.dram_static_j, 0.0);
+    EXPECT_EQ(e.dram_access_j, 0.0);
+    EXPECT_EQ(e.logic_j, 0.0);
+}
+
+TEST(RankEnergy, AccumulateAndScale)
+{
+    DramActivity act;
+    act.reads = 10;
+    act.seconds = 1e-6;
+    EnergyBreakdown a = rankEnergy(act, 100.0);
+    EnergyBreakdown b = a;
+    b += a;
+    EXPECT_NEAR(b.total(), 2 * a.total(), 1e-15);
+    const EnergyBreakdown s = scaleEnergy(a, 64);
+    EXPECT_NEAR(s.total(), 64 * a.total(), 1e-12);
+}
+
+TEST(RankEnergy, ShorterRuntimeCutsStaticEnergy)
+{
+    // The Fig. 14 insight: ENMC's speedup directly reduces background
+    // (refresh/standby) energy.
+    DramActivity slow;
+    slow.seconds = 1e-3;
+    DramActivity fast = slow;
+    fast.seconds = 1e-4;
+    EXPECT_NEAR(rankEnergy(slow, 300.0).dram_static_j /
+                    rankEnergy(fast, 300.0).dram_static_j,
+                10.0, 1e-9);
+}
+
+TEST(RankEnergy, AccessEnergyTracksTraffic)
+{
+    DramActivity small;
+    small.reads = 1000;
+    small.seconds = 1e-6;
+    DramActivity big = small;
+    big.reads = 8000;
+    EXPECT_NEAR(rankEnergy(big, 0.0).dram_access_j /
+                    rankEnergy(small, 0.0).dram_access_j,
+                8.0, 1e-9);
+}
+
+} // namespace
+} // namespace enmc::energy

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the ENMC instruction set encoding (Table 1 / Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "enmc/isa.h"
+
+namespace enmc::arch {
+namespace {
+
+TEST(Isa, InitEncoding)
+{
+    const Instruction i = makeInit(StatusReg::Categories, 12345);
+    const EncodedInstruction e = encode(i);
+    // Opcode 9 in bits 12..8, RW bit set, reg id in bits 6..2.
+    EXPECT_EQ((e.ca >> 8) & 0x1f, 9u);
+    EXPECT_EQ((e.ca >> 7) & 1, 1u);
+    EXPECT_EQ((e.ca >> 2) & 0x1f,
+              static_cast<uint16_t>(StatusReg::Categories));
+    EXPECT_TRUE(e.has_payload);
+    EXPECT_EQ(e.payload, 12345u);
+}
+
+TEST(Isa, QueryHasNoPayload)
+{
+    const EncodedInstruction e = encode(makeQuery(StatusReg::InstCount));
+    EXPECT_FALSE(e.has_payload);
+    EXPECT_EQ((e.ca >> 7) & 1, 0u);
+}
+
+TEST(Isa, MulAddFp32MatchesFig8Opcode)
+{
+    const Instruction i = makeCompute(Opcode::MulAddFp32,
+                                      BufferId::ExecFeature,
+                                      BufferId::ExecWeight);
+    const EncodedInstruction e = encode(i);
+    EXPECT_EQ((e.ca >> 8) & 0x1f, 2u); // Fig. 8: Opcode=2
+    EXPECT_EQ((e.ca >> 4) & 0xf, static_cast<uint16_t>(BufferId::ExecFeature));
+    EXPECT_EQ(e.ca & 0xf, static_cast<uint16_t>(BufferId::ExecWeight));
+}
+
+TEST(Isa, ThirteenBitLimit)
+{
+    for (auto op : {Opcode::Nop, Opcode::MulAddInt4, Opcode::Ldr,
+                    Opcode::Reg, Opcode::Filter, Opcode::Clr}) {
+        Instruction i;
+        i.op = op;
+        if (op == Opcode::Ldr)
+            i.has_payload = true;
+        const EncodedInstruction e = encode(i);
+        EXPECT_EQ(e.ca & ~0x1fffu, 0u) << opcodeName(op);
+    }
+}
+
+/** Round-trip every instruction shape through encode/decode. */
+class IsaRoundTrip : public ::testing::TestWithParam<Instruction>
+{
+};
+
+TEST_P(IsaRoundTrip, EncodeDecodeIdentity)
+{
+    const Instruction &orig = GetParam();
+    const Instruction back = decode(encode(orig));
+    EXPECT_EQ(back.op, orig.op);
+    EXPECT_EQ(back.toString(), orig.toString());
+    if (orig.has_payload) {
+        EXPECT_EQ(back.payload, orig.payload);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, IsaRoundTrip,
+    ::testing::Values(
+        makeInit(StatusReg::Threshold, 0xdeadbeefull),
+        makeQuery(StatusReg::CandidateCount),
+        makeLdr(BufferId::ScreenWeight, 0x123456789aull),
+        makeStr(BufferId::Output, 0x40ull),
+        makeMove(BufferId::ScreenPsum, BufferId::Output),
+        makeCompute(Opcode::MulAddInt4, BufferId::ScreenFeature,
+                    BufferId::ScreenWeight),
+        makeCompute(Opcode::AddFp32, BufferId::ExecPsum,
+                    BufferId::ExecWeight),
+        makeCompute(Opcode::MulInt4, BufferId::ScreenFeature,
+                    BufferId::ScreenWeight),
+        makeFilter(BufferId::ScreenPsum),
+        makeSpecial(Opcode::Softmax),
+        makeSpecial(Opcode::Sigmoid),
+        makeSpecial(Opcode::Barrier),
+        makeSpecial(Opcode::Nop),
+        makeSpecial(Opcode::Return),
+        makeSpecial(Opcode::Clr)),
+    [](const ::testing::TestParamInfo<Instruction> &info) {
+        std::string name = opcodeName(info.param.op);
+        if (info.param.op == Opcode::Reg)
+            name += info.param.reg_write ? "Init" : "Query";
+        for (auto &c : name)
+            if (c == '_')
+                c = 'x';
+        return name + std::to_string(info.index);
+    });
+
+TEST(Isa, DisassembleListsEveryInstruction)
+{
+    Program p{makeInit(StatusReg::HiddenDim, 512),
+              makeLdr(BufferId::ScreenFeature, 0x1000),
+              makeSpecial(Opcode::Return)};
+    const std::string text = disassemble(p);
+    EXPECT_NE(text.find("INIT hidden_dim, 512"), std::string::npos);
+    EXPECT_NE(text.find("LDR sfeat, 0x1000"), std::string::npos);
+    EXPECT_NE(text.find("RETURN"), std::string::npos);
+}
+
+TEST(Isa, NamesAreStable)
+{
+    EXPECT_STREQ(opcodeName(Opcode::MulAddInt4), "MUL_ADD_INT4");
+    EXPECT_STREQ(bufferName(BufferId::Index), "index");
+    EXPECT_STREQ(statusRegName(StatusReg::TileRows), "tile_rows");
+}
+
+TEST(IsaDeathTest, MalformedCaWordPanics)
+{
+    EncodedInstruction e;
+    e.ca = 0x2000; // beyond 13 bits
+    EXPECT_DEATH((void)decode(e), "malformed");
+}
+
+} // namespace
+} // namespace enmc::arch
+
+namespace enmc::arch {
+namespace {
+
+/** Fuzz: random valid instructions must round-trip for 10k draws. */
+TEST(IsaFuzz, RandomInstructionsRoundTrip)
+{
+    Rng rng(2026);
+    const Opcode ops[] = {Opcode::Nop, Opcode::MulAddInt4,
+                          Opcode::MulAddFp32, Opcode::AddInt4,
+                          Opcode::MulInt4, Opcode::AddFp32,
+                          Opcode::MulFp32, Opcode::Ldr, Opcode::Str,
+                          Opcode::Reg, Opcode::Move, Opcode::Filter,
+                          Opcode::Softmax, Opcode::Sigmoid,
+                          Opcode::Barrier, Opcode::Return, Opcode::Clr};
+    for (int i = 0; i < 10000; ++i) {
+        Instruction inst;
+        inst.op = ops[rng.uniformInt(0, std::size(ops) - 1)];
+        inst.buf0 = static_cast<BufferId>(rng.uniformInt(0, 7));
+        inst.buf1 = static_cast<BufferId>(rng.uniformInt(0, 7));
+        inst.reg = static_cast<StatusReg>(rng.uniformInt(
+            0, static_cast<int>(StatusReg::NumRegs) - 1));
+        inst.reg_write = rng.uniformInt(0, 1) != 0;
+        if (inst.op == Opcode::Ldr || inst.op == Opcode::Str ||
+            (inst.op == Opcode::Reg && inst.reg_write)) {
+            inst.has_payload = true;
+            inst.payload = rng();
+        }
+        const Instruction back = decode(encode(inst));
+        ASSERT_EQ(back.op, inst.op) << i;
+        ASSERT_EQ(back.toString(), inst.toString()) << i;
+        if (inst.has_payload) {
+            ASSERT_EQ(back.payload, inst.payload) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace enmc::arch

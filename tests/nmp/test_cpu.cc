@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the CPU roofline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nmp/cpu.h"
+
+namespace enmc::nmp {
+namespace {
+
+TEST(CpuModel, PeaksMatchXeon8280)
+{
+    CpuConfig cfg;
+    EXPECT_NEAR(cfg.peakFlops(), 2.7e9 * 28 * 64, 1e9);
+    EXPECT_NEAR(cfg.achievableBandwidth(), 128e9 * 0.75, 1e6);
+}
+
+TEST(CpuModel, MemoryBoundCost)
+{
+    CpuConfig cfg;
+    screening::Cost c;
+    c.bytes_read = 96'000'000; // 1 ms at 96 GB/s
+    c.flops = 1;               // negligible
+    EXPECT_NEAR(cpuTime(cfg, c), 1e-3, 1e-6);
+}
+
+TEST(CpuModel, ComputeBoundCost)
+{
+    CpuConfig cfg;
+    screening::Cost c;
+    c.bytes_read = 1;
+    c.flops = static_cast<uint64_t>(cfg.peakFlops() / 1000); // 1 ms
+    EXPECT_NEAR(cpuTime(cfg, c), 1e-3, 1e-5);
+}
+
+TEST(CpuModel, FullClassificationIsBandwidthBound)
+{
+    CpuConfig cfg;
+    const double t = cpuFullClassificationTime(cfg, 670091, 512, 1);
+    const double bw_bound =
+        670091.0 * 512 * 4 / cfg.achievableBandwidth();
+    EXPECT_NEAR(t, bw_bound, bw_bound * 0.01);
+}
+
+TEST(CpuModel, ScreeningMuchFasterThanFull)
+{
+    CpuConfig cfg;
+    const double full = cpuFullClassificationTime(cfg, 670091, 512, 1);
+    const double screened = cpuScreeningTime(
+        cfg, 670091, 512, 128, 17700, 1, tensor::QuantBits::Int4);
+    EXPECT_GT(full / screened, 5.0);
+    EXPECT_LT(full / screened, 40.0);
+}
+
+TEST(CpuModel, ScreeningSpeedupMatchesPaperForXmlcnn)
+{
+    // Fig. 11(d): ~17.4x for XMLCNN-670K at its candidate budget.
+    CpuConfig cfg;
+    const double full = cpuFullClassificationTime(cfg, 670091, 512, 1);
+    const double screened = cpuScreeningTime(
+        cfg, 670091, 512, 128, 17700, 1, tensor::QuantBits::Int4);
+    EXPECT_NEAR(full / screened, 17.4, 4.0);
+}
+
+TEST(CpuModel, BatchAmortizesWeightTraffic)
+{
+    CpuConfig cfg;
+    const double b1 = cpuFullClassificationTime(cfg, 100000, 512, 1);
+    const double b4 = cpuFullClassificationTime(cfg, 100000, 512, 4);
+    // Weights stream once; batch-4 is less than 4x batch-1.
+    EXPECT_LT(b4, 2.0 * b1);
+}
+
+TEST(CpuModel, Fp32ScreeningSlowerThanInt4)
+{
+    CpuConfig cfg;
+    const double q4 = cpuScreeningTime(cfg, 500000, 512, 128, 1000, 1,
+                                       tensor::QuantBits::Int4);
+    const double f32 = cpuScreeningTime(cfg, 500000, 512, 128, 1000, 1,
+                                        tensor::QuantBits::Fp32);
+    EXPECT_GT(f32, q4 * 2.0);
+}
+
+} // namespace
+} // namespace enmc::nmp

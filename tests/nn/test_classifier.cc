@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the classification layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/classifier.h"
+
+namespace enmc::nn {
+namespace {
+
+Classifier
+tinyClassifier(Normalization norm = Normalization::Softmax)
+{
+    tensor::Matrix w(3, 2);
+    w(0, 0) = 1; w(0, 1) = 0;
+    w(1, 0) = 0; w(1, 1) = 1;
+    w(2, 0) = 1; w(2, 1) = 1;
+    tensor::Vector b{0.0f, 0.5f, -0.5f};
+    return Classifier(std::move(w), std::move(b), norm);
+}
+
+TEST(Classifier, Dimensions)
+{
+    const Classifier c = tinyClassifier();
+    EXPECT_EQ(c.categories(), 3u);
+    EXPECT_EQ(c.hidden(), 2u);
+}
+
+TEST(Classifier, LogitsMatchManual)
+{
+    const Classifier c = tinyClassifier();
+    const tensor::Vector z = c.logits(tensor::Vector{2.0f, 3.0f});
+    EXPECT_FLOAT_EQ(z[0], 2.0f);
+    EXPECT_FLOAT_EQ(z[1], 3.5f);
+    EXPECT_FLOAT_EQ(z[2], 4.5f);
+}
+
+TEST(Classifier, SingleLogitMatchesFull)
+{
+    const Classifier c = tinyClassifier();
+    const tensor::Vector h{0.3f, -1.2f};
+    const tensor::Vector z = c.logits(h);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(c.logit(i, h), z[i]);
+}
+
+TEST(Classifier, SoftmaxProbabilitiesSumToOne)
+{
+    const Classifier c = tinyClassifier();
+    const tensor::Vector p = c.probabilities(tensor::Vector{1.0f, -1.0f});
+    float sum = 0.0f;
+    for (float v : p)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(Classifier, SigmoidNormalizationIndependentPerCategory)
+{
+    const Classifier c = tinyClassifier(Normalization::Sigmoid);
+    const tensor::Vector p = c.probabilities(tensor::Vector{10.0f, 10.0f});
+    for (float v : p) {
+        EXPECT_GT(v, 0.9f); // all logits strongly positive
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Classifier, ParameterBytes)
+{
+    const Classifier c = tinyClassifier();
+    EXPECT_EQ(c.parameterBytes(), (3 * 2 + 3) * sizeof(float));
+}
+
+TEST(Classifier, FlopsScaleWithDimensions)
+{
+    const Classifier c = tinyClassifier();
+    EXPECT_EQ(c.flopsPerInference(), 2u * 3 * 2 + 4u * 3);
+}
+
+TEST(ClassifierDeathTest, BiasSizeMismatch)
+{
+    tensor::Matrix w(2, 2);
+    tensor::Vector b{1.0f}; // wrong size
+    EXPECT_DEATH(Classifier(std::move(w), std::move(b)), "bias size");
+}
+
+} // namespace
+} // namespace enmc::nn

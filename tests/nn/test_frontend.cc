@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the front-end analytic models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/frontend.h"
+
+namespace enmc::nn {
+namespace {
+
+TEST(Frontend, Table2FactoriesMatchPaper)
+{
+    EXPECT_EQ(FrontendModel::lstmW33k().vocab, 33278u);
+    EXPECT_EQ(FrontendModel::lstmW33k().hidden, 1500u);
+    EXPECT_EQ(FrontendModel::transformerW268k().vocab, 267744u);
+    EXPECT_EQ(FrontendModel::transformerW268k().hidden, 512u);
+    EXPECT_EQ(FrontendModel::gnmtE32k().vocab, 32317u);
+    EXPECT_EQ(FrontendModel::gnmtE32k().hidden, 1024u);
+    // XMLCNN's input vocabulary is the text vocabulary, not the labels.
+    EXPECT_EQ(FrontendModel::xmlcnn670k().vocab, 40000u);
+    EXPECT_EQ(FrontendModel::xmlcnn670k().hidden, 512u);
+}
+
+TEST(Frontend, ParamsArePositive)
+{
+    for (const auto &m :
+         {FrontendModel::lstmW33k(), FrontendModel::transformerW268k(),
+          FrontendModel::gnmtE32k(), FrontendModel::xmlcnn670k()}) {
+        EXPECT_GT(m.embeddingParams(), 0u) << frontendTypeName(m.type);
+        EXPECT_GT(m.hiddenParams(), 0u) << frontendTypeName(m.type);
+        EXPECT_GT(m.flopsPerStep(), 0u) << frontendTypeName(m.type);
+    }
+}
+
+TEST(Frontend, LstmParamsFormula)
+{
+    FrontendModel m;
+    m.type = FrontendType::LstmLm;
+    m.vocab = 100;
+    m.hidden = 10;
+    m.layers = 2;
+    // 2 layers * 4 gates * (10*10 + 10*10 + 10) = 1680.
+    EXPECT_EQ(m.hiddenParams(), 1680u);
+    EXPECT_EQ(m.embeddingParams(), 1000u);
+}
+
+TEST(Frontend, TransformerParamsFormula)
+{
+    FrontendModel m;
+    m.type = FrontendType::TransformerLm;
+    m.vocab = 1;
+    m.hidden = 8;
+    m.layers = 3;
+    // 3 * (4*64 + 8*64) = 2304.
+    EXPECT_EQ(m.hiddenParams(), 2304u);
+}
+
+TEST(Frontend, FlopsAreTwicePerParamPlusEmbedding)
+{
+    const FrontendModel m = FrontendModel::transformerW268k();
+    EXPECT_EQ(m.flopsPerStep(), 2 * m.hiddenParams() + 2 * m.embedDim());
+}
+
+TEST(Frontend, EmbedDimDefaultsToHidden)
+{
+    FrontendModel m;
+    m.hidden = 256;
+    m.embed_dim = 0;
+    EXPECT_EQ(m.embedDim(), 256u);
+    m.embed_dim = 128;
+    EXPECT_EQ(m.embedDim(), 128u);
+}
+
+TEST(Frontend, TypeNames)
+{
+    EXPECT_STREQ(frontendTypeName(FrontendType::LstmLm), "LSTM");
+    EXPECT_STREQ(frontendTypeName(FrontendType::TransformerLm),
+                 "Transformer");
+    EXPECT_STREQ(frontendTypeName(FrontendType::Gnmt), "GNMT");
+    EXPECT_STREQ(frontendTypeName(FrontendType::XmlCnn), "XMLCNN");
+}
+
+/**
+ * The motivation behind Fig. 4: for million-category workloads the
+ * classifier dwarfs the front-end.
+ */
+TEST(Frontend, XmlcnnFrontendSmallerThanClassifier)
+{
+    const FrontendModel m = FrontendModel::xmlcnn670k();
+    const uint64_t classifier_params = 670091ull * 512; // l x d
+    EXPECT_LT(m.params(), classifier_params / 10);
+}
+
+} // namespace
+} // namespace enmc::nn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the SGD optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/sgd.h"
+
+namespace enmc::nn {
+namespace {
+
+TEST(Sgd, SingleStepNoMomentum)
+{
+    SgdOptimizer opt({0.1, 0.0, 1.0});
+    const size_t slot = opt.addParameter(1);
+    std::vector<float> p{1.0f};
+    std::vector<float> g{2.0f};
+    opt.step(slot, p, g);
+    EXPECT_FLOAT_EQ(p[0], 1.0f - 0.1f * 2.0f);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    SgdOptimizer opt({0.1, 0.5, 1.0});
+    const size_t slot = opt.addParameter(1);
+    std::vector<float> p{0.0f};
+    std::vector<float> g{1.0f};
+    opt.step(slot, p, g); // v=1,    p=-0.1
+    opt.step(slot, p, g); // v=1.5,  p=-0.25
+    EXPECT_NEAR(p[0], -0.25f, 1e-6f);
+}
+
+TEST(Sgd, LrDecayPerEpoch)
+{
+    SgdOptimizer opt({0.1, 0.0, 0.5});
+    (void)opt.addParameter(1);
+    EXPECT_DOUBLE_EQ(opt.currentLr(), 0.1);
+    opt.endEpoch();
+    EXPECT_DOUBLE_EQ(opt.currentLr(), 0.05);
+}
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    // Minimize f(x) = (x - 3)^2; grad = 2 (x - 3).
+    SgdOptimizer opt({0.1, 0.9, 1.0});
+    const size_t slot = opt.addParameter(1);
+    std::vector<float> x{0.0f};
+    for (int i = 0; i < 200; ++i) {
+        std::vector<float> g{2.0f * (x[0] - 3.0f)};
+        opt.step(slot, x, g);
+    }
+    EXPECT_NEAR(x[0], 3.0f, 1e-3f);
+}
+
+TEST(Sgd, IndependentSlots)
+{
+    SgdOptimizer opt({0.1, 0.9, 1.0});
+    const size_t a = opt.addParameter(1);
+    const size_t b = opt.addParameter(1);
+    std::vector<float> pa{0.0f}, pb{0.0f};
+    std::vector<float> g{1.0f};
+    opt.step(a, pa, g);
+    opt.step(a, pa, g);
+    opt.step(b, pb, g);
+    // Slot b's velocity is fresh: first step only.
+    EXPECT_FLOAT_EQ(pb[0], -0.1f);
+    EXPECT_LT(pa[0], pb[0]);
+}
+
+TEST(SgdDeathTest, SizeMismatchPanics)
+{
+    SgdOptimizer opt({0.1, 0.0, 1.0});
+    const size_t slot = opt.addParameter(2);
+    std::vector<float> p{1.0f};
+    std::vector<float> g{1.0f};
+    EXPECT_DEATH(opt.step(slot, p, g), "size mismatch");
+}
+
+} // namespace
+} // namespace enmc::nn

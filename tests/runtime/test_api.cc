@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the programmer-facing EnmcClassifier API (Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/api.h"
+#include "tensor/topk.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::runtime {
+namespace {
+
+class ApiTest : public ::testing::Test
+{
+  protected:
+    ApiTest()
+        : model_(makeConfig()), rng_(model_.makeRng(1)),
+          train_(model_.sampleHiddenBatch(rng_, 160)),
+          val_(model_.sampleHiddenBatch(rng_, 48))
+    {
+    }
+
+    static workloads::SyntheticConfig
+    makeConfig()
+    {
+        workloads::SyntheticConfig cfg;
+        cfg.categories = 1024;
+        cfg.hidden = 64;
+        return cfg;
+    }
+
+    ClassifierOptions
+    options(size_t candidates = 48)
+    {
+        ClassifierOptions opt;
+        opt.candidates = candidates;
+        return opt;
+    }
+
+    workloads::SyntheticModel model_;
+    Rng rng_;
+    std::vector<tensor::Vector> train_;
+    std::vector<tensor::Vector> val_;
+};
+
+TEST_F(ApiTest, CalibrateTrainsAndTunes)
+{
+    EnmcClassifier clf(model_.classifier(), options());
+    EXPECT_FALSE(clf.calibrated());
+    const auto report = clf.calibrate(train_, val_);
+    EXPECT_TRUE(clf.calibrated());
+    EXPECT_GT(report.epochs.size(), 0u);
+    EXPECT_LT(report.final_val_mse, 5.0);
+    EXPECT_TRUE(clf.screener().quantizedFrozen());
+    EXPECT_EQ(clf.screener().config().selection,
+              screening::SelectionMode::Threshold);
+}
+
+TEST_F(ApiTest, ForwardAgreesWithFullClassification)
+{
+    EnmcClassifier clf(model_.classifier(), options());
+    clf.calibrate(train_, val_);
+    const auto h_batch = model_.sampleHiddenBatch(rng_, 8);
+    const auto approx = clf.forward(h_batch, 5);
+    const auto exact = clf.forwardFull(h_batch, 5);
+    ASSERT_EQ(approx.size(), exact.size());
+    size_t top1_match = 0;
+    for (size_t i = 0; i < approx.size(); ++i)
+        top1_match += (approx[i].topk[0] == exact[i].topk[0]);
+    EXPECT_GE(top1_match, approx.size() - 1);
+}
+
+TEST_F(ApiTest, ForwardReportsCyclesAndCandidates)
+{
+    EnmcClassifier clf(model_.classifier(), options());
+    clf.calibrate(train_, val_);
+    const auto out = clf.forward(model_.sampleHiddenBatch(rng_, 2), 3);
+    EXPECT_GT(clf.lastRankCycles(), 0u);
+    for (const auto &o : out) {
+        EXPECT_EQ(o.topk.size(), 3u);
+        EXPECT_FALSE(o.candidates.empty());
+        EXPECT_EQ(o.probabilities.size(), 1024u);
+    }
+}
+
+TEST_F(ApiTest, TopkProbabilitiesDescending)
+{
+    EnmcClassifier clf(model_.classifier(), options());
+    clf.calibrate(train_, val_);
+    const auto out = clf.forward(model_.sampleHiddenBatch(rng_, 1), 8);
+    const auto &o = out[0];
+    for (size_t i = 0; i + 1 < o.topk.size(); ++i)
+        EXPECT_GE(o.probabilities[o.topk[i]],
+                  o.probabilities[o.topk[i + 1]]);
+}
+
+TEST_F(ApiTest, MoreCandidatesBetterOrEqualAgreement)
+{
+    EnmcClassifier small(model_.classifier(), options(16));
+    EnmcClassifier large(model_.classifier(), options(128));
+    small.calibrate(train_, val_);
+    large.calibrate(train_, val_);
+    const auto h_batch = model_.sampleHiddenBatch(rng_, 12);
+    const auto exact = small.forwardFull(h_batch, 3);
+    auto agreement = [&](EnmcClassifier &clf) {
+        const auto got = clf.forward(h_batch, 3);
+        double agree = 0.0;
+        for (size_t i = 0; i < got.size(); ++i)
+            agree += tensor::recall(got[i].topk, exact[i].topk);
+        return agree / got.size();
+    };
+    EXPECT_GE(agreement(large) + 0.05, agreement(small));
+}
+
+TEST_F(ApiTest, ForwardBeforeCalibratePanics)
+{
+    EnmcClassifier clf(model_.classifier(), options());
+    EXPECT_DEATH((void)clf.forward(model_.sampleHiddenBatch(rng_, 1), 1),
+                 "calibrate");
+}
+
+} // namespace
+} // namespace enmc::runtime

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the classification-to-ISA compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/compiler.h"
+
+namespace enmc::runtime {
+namespace {
+
+using namespace ::enmc::arch;
+
+RankTask
+task(uint64_t l = 1024, uint64_t d = 512, uint64_t k = 128)
+{
+    RankTask t;
+    t.categories = l;
+    t.hidden = d;
+    t.reduced = k;
+    t.batch = 1;
+    t.screen_weight_base = 0x1000;
+    t.class_weight_base = 0x100000;
+    t.feature_base = 0x200000;
+    t.bias_base = 0x300000;
+    t.output_base = 0x400000;
+    t.threshold = 1.5f;
+    return t;
+}
+
+TEST(Compiler, TileRowsFromBufferHalves)
+{
+    EnmcConfig cfg; // 256B weight buffer -> 128B halves
+    // k=128 INT4 -> 64 B rows -> 2 rows per tile.
+    EXPECT_EQ(screeningTileRows(task(), cfg), 2u);
+    // k=512 INT4 -> 256 B rows -> 1 row per tile (minimum).
+    EXPECT_EQ(screeningTileRows(task(1024, 2048, 512), cfg), 1u);
+}
+
+TEST(Compiler, ProgramStructure)
+{
+    EnmcConfig cfg;
+    const RankTask t = task();
+    const CompiledJob job = compileClassification(t, cfg);
+    EXPECT_EQ(job.tiles, 512u);
+    // 11 INITs + 1 feature LDR + 3 per tile + BARRIER + SOFTMAX + RETURN.
+    EXPECT_EQ(job.program.size(), 11u + 1 + 3 * 512 + 3);
+
+    // Prologue: INITs first.
+    for (int i = 0; i < 11; ++i)
+        EXPECT_EQ(job.program[i].op, Opcode::Reg) << "inst " << i;
+    EXPECT_EQ(job.program[11].op, Opcode::Ldr);
+    EXPECT_EQ(job.program[11].buf0, BufferId::ScreenFeature);
+
+    // Epilogue.
+    const size_t n = job.program.size();
+    EXPECT_EQ(job.program[n - 3].op, Opcode::Barrier);
+    EXPECT_EQ(job.program[n - 2].op, Opcode::Softmax);
+    EXPECT_EQ(job.program[n - 1].op, Opcode::Return);
+}
+
+TEST(Compiler, SigmoidTaskUsesSigmoidOpcode)
+{
+    EnmcConfig cfg;
+    RankTask t = task();
+    t.sigmoid = true;
+    const CompiledJob job = compileClassification(t, cfg);
+    EXPECT_EQ(job.program[job.program.size() - 2].op, Opcode::Sigmoid);
+}
+
+TEST(Compiler, TileAddressesAdvanceByTileBytes)
+{
+    EnmcConfig cfg;
+    const RankTask t = task();
+    const CompiledJob job = compileClassification(t, cfg);
+    const uint64_t tile_bytes = job.tile_rows * t.screenRowBytes();
+    uint64_t tile = 0;
+    for (const auto &inst : job.program) {
+        if (inst.op == Opcode::Ldr && inst.buf0 == BufferId::ScreenWeight) {
+            EXPECT_EQ(inst.payload,
+                      t.screen_weight_base + tile * tile_bytes);
+            ++tile;
+        }
+    }
+    EXPECT_EQ(tile, job.tiles);
+}
+
+TEST(Compiler, InitRegistersCarryTaskParameters)
+{
+    EnmcConfig cfg;
+    const RankTask t = task();
+    const CompiledJob job = compileClassification(t, cfg);
+    auto find_init = [&](StatusReg reg) -> uint64_t {
+        for (const auto &inst : job.program)
+            if (inst.op == Opcode::Reg && inst.reg_write && inst.reg == reg)
+                return inst.payload;
+        ADD_FAILURE() << "missing INIT " << statusRegName(reg);
+        return 0;
+    };
+    EXPECT_EQ(find_init(StatusReg::Categories), t.categories);
+    EXPECT_EQ(find_init(StatusReg::HiddenDim), t.hidden);
+    EXPECT_EQ(find_init(StatusReg::ReducedDim), t.reduced);
+    EXPECT_EQ(find_init(StatusReg::ScreenWeightBase), t.screen_weight_base);
+    EXPECT_EQ(find_init(StatusReg::TileRows), job.tile_rows);
+}
+
+TEST(Compiler, EveryInstructionEncodes)
+{
+    EnmcConfig cfg;
+    const CompiledJob job = compileClassification(task(), cfg);
+    for (const auto &inst : job.program) {
+        const Instruction back = decode(encode(inst));
+        EXPECT_EQ(back.toString(), inst.toString());
+    }
+}
+
+TEST(Compiler, NonDivisibleCategoriesCoveredByLastTile)
+{
+    EnmcConfig cfg;
+    const RankTask t = task(1023); // not a multiple of 2
+    const CompiledJob job = compileClassification(t, cfg);
+    EXPECT_EQ(job.tiles, 512u); // 511 full + 1 remainder
+}
+
+TEST(CompilerDeathTest, MissingDimensionsRejected)
+{
+    EnmcConfig cfg;
+    RankTask t;
+    EXPECT_DEATH((void)compileClassification(t, cfg), "dimensions");
+}
+
+} // namespace
+} // namespace enmc::runtime

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the scale-out (multi-node) ENMC model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/scaleout.h"
+#include "screening/trainer.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::runtime {
+namespace {
+
+JobSpec
+globalJob(uint64_t l = 10'000'000)
+{
+    JobSpec spec;
+    spec.categories = l;
+    spec.hidden = 512;
+    spec.reduced = 128;
+    spec.batch = 1;
+    spec.candidates = l / 2500;
+    spec.sigmoid = true;
+    return spec;
+}
+
+TEST(ScaleOut, SingleNodeHasNoNetworkCost)
+{
+    ScaleOutConfig cfg;
+    cfg.nodes = 1;
+    const ScaleOutResult r = runScaleOut(cfg, globalJob());
+    EXPECT_EQ(r.broadcast_seconds, 0.0);
+    EXPECT_EQ(r.gather_seconds, 0.0);
+    EXPECT_GT(r.classification_seconds, 0.0);
+}
+
+TEST(ScaleOut, ClassificationTimeShrinksWithNodes)
+{
+    ScaleOutConfig one;
+    one.nodes = 1;
+    ScaleOutConfig eight;
+    eight.nodes = 8;
+    const ScaleOutResult r1 = runScaleOut(one, globalJob());
+    const ScaleOutResult r8 = runScaleOut(eight, globalJob());
+    const double ratio =
+        r1.classification_seconds / r8.classification_seconds;
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 10.0);
+}
+
+TEST(ScaleOut, SpeedupSaturatesWhenNetworkDominates)
+{
+    // A small problem: node work shrinks below the fixed network cost.
+    const JobSpec small = globalJob(200'000);
+    double prev_total = 1e9;
+    double best_eff = 0.0;
+    const ScaleOutResult solo = runScaleOut(ScaleOutConfig{1, {}, {}},
+                                            small);
+    for (uint64_t n : {2ull, 8ull, 32ull}) {
+        ScaleOutConfig cfg;
+        cfg.nodes = n;
+        const ScaleOutResult r = runScaleOut(cfg, small);
+        const double eff = solo.total() / (r.total() * n);
+        best_eff = std::max(best_eff, eff);
+        EXPECT_LE(r.total(), prev_total * 2.0); // never catastrophic
+        prev_total = r.total();
+    }
+    // Parallel efficiency decays at this size.
+    const ScaleOutResult wide = runScaleOut(ScaleOutConfig{32, {}, {}},
+                                            small);
+    EXPECT_LT(solo.total() / (wide.total() * 32), 0.8);
+}
+
+TEST(ScaleOut, SlowNetworkHurtsTotal)
+{
+    ScaleOutConfig fast;
+    fast.nodes = 8;
+    ScaleOutConfig slow = fast;
+    slow.network.bandwidth = 1e9; // 8 Gb/s
+    slow.network.latency = 100e-6;
+    const JobSpec spec = globalJob(1'000'000);
+    const ScaleOutResult rf = runScaleOut(fast, spec);
+    const ScaleOutResult rs = runScaleOut(slow, spec);
+    EXPECT_GT(rs.total(), rf.total());
+    EXPECT_GT(rs.gather_seconds + rs.broadcast_seconds,
+              rf.gather_seconds + rf.broadcast_seconds);
+}
+
+class ScaleOutFunctional : public ::testing::Test
+{
+  protected:
+    ScaleOutFunctional()
+        : model_(makeConfig())
+    {
+        screening::ScreenerConfig cfg;
+        cfg.categories = 2048;
+        cfg.hidden = 64;
+        cfg.selection = screening::SelectionMode::Threshold;
+        Rng rng(3);
+        screener_ = std::make_unique<screening::Screener>(cfg, rng);
+        Rng data = model_.makeRng(1);
+        auto train = model_.sampleHiddenBatch(data, 128);
+        screening::Trainer trainer(model_.classifier(), *screener_,
+                                   screening::TrainerConfig{});
+        trainer.train(train, {});
+        screener_->freezeQuantized();
+        const float cut = screening::tuneThreshold(*screener_, train, 48);
+        screener_->setSelection(screening::SelectionMode::Threshold, 48,
+                                cut);
+        h_batch_ = model_.sampleHiddenBatch(data, 2);
+    }
+
+    static workloads::SyntheticConfig
+    makeConfig()
+    {
+        workloads::SyntheticConfig cfg;
+        cfg.categories = 2048;
+        cfg.hidden = 64;
+        return cfg;
+    }
+
+    workloads::SyntheticModel model_;
+    std::unique_ptr<screening::Screener> screener_;
+    std::vector<tensor::Vector> h_batch_;
+};
+
+/** Node partitioning must be numerically transparent. */
+class NodeCount : public ScaleOutFunctional,
+                  public ::testing::WithParamInterface<uint64_t>
+{
+};
+
+TEST_P(NodeCount, MergeEqualsSingleNode)
+{
+    ScaleOutConfig solo;
+    solo.nodes = 1;
+    ScaleOutConfig multi;
+    multi.nodes = GetParam();
+    const auto a = runScaleOutFunctional(solo, model_.classifier(),
+                                         *screener_, h_batch_, 2);
+    const auto b = runScaleOutFunctional(multi, model_.classifier(),
+                                         *screener_, h_batch_, 2);
+    for (size_t item = 0; item < h_batch_.size(); ++item) {
+        for (size_t i = 0; i < 2048; ++i)
+            EXPECT_FLOAT_EQ(b.logits[item][i], a.logits[item][i]);
+        EXPECT_EQ(b.candidates[item].size(), a.candidates[item].size());
+        for (size_t i = 0; i < 2048; ++i)
+            EXPECT_FLOAT_EQ(b.probabilities[item][i],
+                            a.probabilities[item][i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, NodeCount, ::testing::Values(2, 3, 8));
+
+TEST_F(ScaleOutFunctional, MatchesPlainFunctionalRun)
+{
+    ScaleOutConfig cfg;
+    cfg.nodes = 4;
+    const auto scale = runScaleOutFunctional(cfg, model_.classifier(),
+                                             *screener_, h_batch_, 2);
+    EnmcSystem sys{SystemConfig{}};
+    const auto plain = sys.runFunctional(model_.classifier(), *screener_,
+                                         h_batch_, 8);
+    for (size_t item = 0; item < h_batch_.size(); ++item)
+        for (size_t i = 0; i < 2048; ++i)
+            EXPECT_FLOAT_EQ(scale.logits[item][i], plain.logits[item][i]);
+}
+
+} // namespace
+} // namespace enmc::runtime

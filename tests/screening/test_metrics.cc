@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for quality metrics and the cost-model speedup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "screening/metrics.h"
+#include "screening/trainer.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::screening {
+namespace {
+
+TEST(CostSpeedup, MemoryBoundRatio)
+{
+    Cost base{100, 3200};     // bytes dominate: 3200
+    Cost cand{100, 320};
+    EXPECT_NEAR(costSpeedup(base, cand), 10.0, 1e-9);
+}
+
+TEST(CostSpeedup, ComputeBoundWhenFlopsDominate)
+{
+    // bytes_per_flop 0.064: 1e6 flops ~ 64000 byte-equivalents > bytes.
+    Cost base{1'000'000, 100};
+    Cost cand{100'000, 100};
+    EXPECT_NEAR(costSpeedup(base, cand), 10.0, 1e-9);
+}
+
+TEST(CostSpeedup, MixedRegimes)
+{
+    // Baseline memory-bound, candidate compute-bound.
+    Cost base{0, 64000};
+    Cost cand{1'000'000, 0}; // 64000 byte-equivalents
+    EXPECT_NEAR(costSpeedup(base, cand), 1.0, 1e-9);
+}
+
+class QualityTest : public ::testing::Test
+{
+  protected:
+    QualityTest()
+        : model_(makeConfig())
+    {
+        Rng data = model_.makeRng(7);
+        train_ = model_.sampleHiddenBatch(data, 160);
+        eval_ = model_.sampleHiddenBatch(data, 32);
+    }
+
+    static workloads::SyntheticConfig
+    makeConfig()
+    {
+        workloads::SyntheticConfig cfg;
+        cfg.categories = 512;
+        cfg.hidden = 48;
+        return cfg;
+    }
+
+    Screener
+    trainedScreener(size_t top_m)
+    {
+        ScreenerConfig cfg;
+        cfg.categories = 512;
+        cfg.hidden = 48;
+        cfg.reduction_scale = 0.5;
+        cfg.top_m = top_m;
+        Rng rng(11);
+        Screener scr(cfg, rng);
+        Trainer trainer(model_.classifier(), scr, TrainerConfig{});
+        trainer.train(train_, {});
+        scr.freezeQuantized();
+        return scr;
+    }
+
+    workloads::SyntheticModel model_;
+    std::vector<tensor::Vector> train_;
+    std::vector<tensor::Vector> eval_;
+};
+
+TEST_F(QualityTest, TrainedScreenerHasHighAgreement)
+{
+    Screener scr = trainedScreener(32);
+    Pipeline pipe(model_.classifier(), scr);
+    const QualityReport rep = evaluateQuality(pipe, eval_, 5);
+    EXPECT_GT(rep.top1_agreement, 0.9);
+    EXPECT_GT(rep.candidate_recall, 0.85);
+    EXPECT_GT(rep.cost_speedup, 2.0);
+    EXPECT_EQ(rep.samples, eval_.size());
+    EXPECT_NEAR(rep.avg_candidates, 32.0, 1e-9);
+}
+
+/** Property: recall and agreement are non-decreasing in candidate count. */
+class RecallMonotone : public QualityTest,
+                       public ::testing::WithParamInterface<size_t>
+{
+};
+
+TEST_P(RecallMonotone, MoreCandidatesNeverHurt)
+{
+    const size_t m = GetParam();
+    Screener small = trainedScreener(m);
+    Screener large = trainedScreener(m * 4);
+    Pipeline p_small(model_.classifier(), small);
+    Pipeline p_large(model_.classifier(), large);
+    const QualityReport r_small = evaluateQuality(p_small, eval_, 5);
+    const QualityReport r_large = evaluateQuality(p_large, eval_, 5);
+    EXPECT_GE(r_large.candidate_recall + 1e-9, r_small.candidate_recall);
+    EXPECT_GE(r_large.topk_agreement + 0.02, r_small.topk_agreement);
+    // And the speedup shrinks as candidates grow.
+    EXPECT_LT(r_large.cost_speedup, r_small.cost_speedup + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CandidateSweep, RecallMonotone,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST_F(QualityTest, UntrainedScreenerScoresPoorly)
+{
+    ScreenerConfig cfg;
+    cfg.categories = 512;
+    cfg.hidden = 48;
+    cfg.top_m = 16;
+    Rng rng(13);
+    Screener scr(cfg, rng); // random init, never trained
+    scr.freezeQuantized();
+    Pipeline pipe(model_.classifier(), scr);
+    const QualityReport rep = evaluateQuality(pipe, eval_, 5);
+    Screener trained = trainedScreener(16);
+    Pipeline tpipe(model_.classifier(), trained);
+    const QualityReport trep = evaluateQuality(tpipe, eval_, 5);
+    EXPECT_GT(trep.candidate_recall, rep.candidate_recall);
+    EXPECT_GT(trep.top1_agreement, rep.top1_agreement);
+}
+
+TEST_F(QualityTest, LogitRmseSmallAfterTraining)
+{
+    Screener scr = trainedScreener(32);
+    Pipeline pipe(model_.classifier(), scr);
+    const QualityReport rep = evaluateQuality(pipe, eval_, 5);
+    EXPECT_LT(rep.logit_rmse, 1.5);
+}
+
+} // namespace
+} // namespace enmc::screening

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the Screener module (Eq. 3 inference path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "screening/screener.h"
+#include "tensor/ops.h"
+
+namespace enmc::screening {
+namespace {
+
+ScreenerConfig
+config(size_t l = 256, size_t d = 32, double scale = 0.25)
+{
+    ScreenerConfig cfg;
+    cfg.categories = l;
+    cfg.hidden = d;
+    cfg.reduction_scale = scale;
+    return cfg;
+}
+
+TEST(ScreenerConfig, ReducedDim)
+{
+    EXPECT_EQ(config(256, 32, 0.25).reducedDim(), 8u);
+    EXPECT_EQ(config(256, 100, 0.25).reducedDim(), 25u);
+    // Never collapses to zero.
+    EXPECT_EQ(config(256, 2, 0.1).reducedDim(), 1u);
+}
+
+TEST(Screener, Dimensions)
+{
+    Rng rng(1);
+    Screener s(config(), rng);
+    EXPECT_EQ(s.categories(), 256u);
+    EXPECT_EQ(s.reducedDim(), 8u);
+    EXPECT_EQ(s.weights().rows(), 256u);
+    EXPECT_EQ(s.weights().cols(), 8u);
+    EXPECT_EQ(s.bias().size(), 256u);
+}
+
+TEST(Screener, ProjectMatchesProjectionObject)
+{
+    Rng rng(3);
+    Screener s(config(), rng);
+    tensor::Vector h(32);
+    Rng data(5);
+    for (auto &v : h)
+        v = static_cast<float>(data.normal());
+    const tensor::Vector y1 = s.project(h);
+    const tensor::Vector y2 = s.projection().apply(h);
+    for (size_t i = 0; i < y1.size(); ++i)
+        EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+TEST(Screener, Fp32ApproxIsGemvOfProjection)
+{
+    Rng rng(7);
+    Screener s(config(64, 16, 0.5), rng);
+    tensor::Vector h(16, 0.5f);
+    const tensor::Vector z = s.approximateFp32(h);
+    const tensor::Vector ref =
+        tensor::gemv(s.weights(), s.project(h), s.bias());
+    for (size_t i = 0; i < z.size(); ++i)
+        EXPECT_FLOAT_EQ(z[i], ref[i]);
+}
+
+TEST(Screener, QuantizedRequiresFreeze)
+{
+    Rng rng(9);
+    Screener s(config(), rng);
+    tensor::Vector h(32, 1.0f);
+    EXPECT_DEATH((void)s.approximateQuantized(h), "freezeQuantized");
+}
+
+TEST(Screener, QuantizedTracksFp32)
+{
+    Rng rng(11);
+    ScreenerConfig cfg = config(128, 32, 0.5);
+    cfg.quant = tensor::QuantBits::Int8;
+    Screener s(cfg, rng);
+    s.freezeQuantized();
+    tensor::Vector h(32);
+    Rng data(13);
+    for (auto &v : h)
+        v = static_cast<float>(data.normal());
+    const tensor::Vector zf = s.approximateFp32(h);
+    const tensor::Vector zq = s.approximateQuantized(h);
+    // INT8 keeps the approximation within a few percent RMS.
+    double rms = std::sqrt(tensor::mse(zf, zq));
+    double ref = tensor::norm2(zf) / std::sqrt(double(zf.size()));
+    EXPECT_LT(rms / std::max(ref, 1e-9), 0.1);
+}
+
+TEST(Screener, ScreenSelectsTopM)
+{
+    Rng rng(17);
+    ScreenerConfig cfg = config();
+    cfg.selection = SelectionMode::TopM;
+    cfg.top_m = 5;
+    Screener s(cfg, rng);
+    s.freezeQuantized();
+    tensor::Vector h(32, 0.1f);
+    const ScreeningResult r = s.screen(h);
+    EXPECT_EQ(r.candidates.size(), 5u);
+    EXPECT_EQ(r.approx_logits.size(), 256u);
+    // Every selected candidate scores at least as high as any unselected.
+    float min_sel = r.approx_logits[r.candidates[0]];
+    for (uint32_t c : r.candidates)
+        min_sel = std::min(min_sel, r.approx_logits[c]);
+    size_t better = 0;
+    for (float v : r.approx_logits)
+        better += (v > min_sel);
+    EXPECT_LT(better, 5u);
+}
+
+TEST(Screener, ThresholdModeSelectsByCut)
+{
+    Rng rng(19);
+    ScreenerConfig cfg = config();
+    cfg.selection = SelectionMode::Threshold;
+    cfg.threshold = 1e9f; // nothing passes
+    Screener s(cfg, rng);
+    s.freezeQuantized();
+    tensor::Vector h(32, 0.1f);
+    EXPECT_TRUE(s.screen(h).candidates.empty());
+    s.setSelection(SelectionMode::Threshold, 0, -1e9f); // everything
+    EXPECT_EQ(s.screen(h).candidates.size(), 256u);
+}
+
+TEST(Screener, ParameterBytesScalesWithQuant)
+{
+    Rng rng(23);
+    ScreenerConfig cfg8 = config();
+    cfg8.quant = tensor::QuantBits::Int8;
+    ScreenerConfig cfg4 = config();
+    cfg4.quant = tensor::QuantBits::Int4;
+    Screener s8(cfg8, rng);
+    Screener s4(cfg4, rng);
+    EXPECT_GT(s8.parameterBytes(), s4.parameterBytes());
+}
+
+TEST(Screener, ParameterBytesMuchSmallerThanClassifier)
+{
+    // The whole point: screening params ~ 1/32 of the FP32 classifier at
+    // scale 0.25 + INT4.
+    Rng rng(29);
+    ScreenerConfig cfg = config(4096, 128, 0.25);
+    Screener s(cfg, rng);
+    s.freezeQuantized();
+    const size_t classifier_bytes = 4096 * 128 * sizeof(float);
+    EXPECT_LT(s.parameterBytes(), classifier_bytes / 16);
+}
+
+TEST(Screener, FlopsFormula)
+{
+    Rng rng(31);
+    Screener s(config(256, 32, 0.25), rng);
+    const uint64_t expected =
+        s.projection().nonZeros() + 2ull * 256 * 8 + 256;
+    EXPECT_EQ(s.flopsPerInference(), expected);
+}
+
+TEST(Screener, FreezeIdempotentForFp32Config)
+{
+    Rng rng(37);
+    ScreenerConfig cfg = config();
+    cfg.quant = tensor::QuantBits::Fp32;
+    Screener s(cfg, rng);
+    s.freezeQuantized(); // no-op
+    EXPECT_FALSE(s.quantizedFrozen());
+    tensor::Vector h(32, 0.2f);
+    // Fp32 config screens through the float path without freezing.
+    const ScreeningResult r = s.screen(h);
+    EXPECT_EQ(r.approx_logits.size(), 256u);
+}
+
+} // namespace
+} // namespace enmc::screening

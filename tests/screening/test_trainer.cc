@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for screener distillation (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "screening/trainer.h"
+#include "tensor/topk.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::screening {
+namespace {
+
+struct TrainerFixture
+{
+    TrainerFixture()
+        : model(makeConfig()), rng(model.makeRng(1)),
+          train_h(model.sampleHiddenBatch(rng, 192)),
+          val_h(model.sampleHiddenBatch(rng, 48))
+    {
+    }
+
+    static workloads::SyntheticConfig
+    makeConfig()
+    {
+        workloads::SyntheticConfig cfg;
+        cfg.categories = 512;
+        cfg.hidden = 48;
+        return cfg;
+    }
+
+    Screener
+    makeScreener(double scale = 0.5)
+    {
+        ScreenerConfig cfg;
+        cfg.categories = 512;
+        cfg.hidden = 48;
+        cfg.reduction_scale = scale;
+        Rng srng(99);
+        return Screener(cfg, srng);
+    }
+
+    workloads::SyntheticModel model;
+    Rng rng;
+    std::vector<tensor::Vector> train_h;
+    std::vector<tensor::Vector> val_h;
+};
+
+TEST(Trainer, ClosedFormInitReachesLowMse)
+{
+    TrainerFixture s;
+    Screener scr = s.makeScreener();
+    TrainerConfig cfg;
+    cfg.epochs = 1;
+    Trainer trainer(s.model.classifier(), scr, cfg);
+    const double before = trainer.evaluateMse(s.val_h);
+    const TrainReport rep = trainer.train(s.train_h, s.val_h);
+    EXPECT_LT(rep.final_val_mse, before / 5.0);
+}
+
+TEST(Trainer, SgdOnlyAlsoDescends)
+{
+    TrainerFixture s;
+    Screener scr = s.makeScreener();
+    TrainerConfig cfg;
+    cfg.closed_form_init = false;
+    cfg.epochs = 4;
+    cfg.convergence_ratio = 0.0; // run all epochs
+    Trainer trainer(s.model.classifier(), scr, cfg);
+    const double before = trainer.evaluateMse(s.val_h);
+    const TrainReport rep = trainer.train(s.train_h, s.val_h);
+    EXPECT_LT(rep.final_val_mse, before);
+    EXPECT_EQ(rep.epochs.size(), 4u);
+    // Train loss is non-increasing across epochs (convex problem).
+    for (size_t i = 0; i + 1 < rep.epochs.size(); ++i)
+        EXPECT_LE(rep.epochs[i + 1].train_mse,
+                  rep.epochs[i].train_mse * 1.05);
+}
+
+TEST(Trainer, ConvergenceStopsEarly)
+{
+    TrainerFixture s;
+    Screener scr = s.makeScreener();
+    TrainerConfig cfg;
+    cfg.epochs = 50;
+    cfg.convergence_ratio = 0.5; // aggressive: stop quickly
+    Trainer trainer(s.model.classifier(), scr, cfg);
+    const TrainReport rep = trainer.train(s.train_h, s.val_h);
+    EXPECT_TRUE(rep.converged_early);
+    EXPECT_LT(rep.epochs.size(), 50u);
+}
+
+TEST(Trainer, LargerReductionScaleApproximatesBetter)
+{
+    TrainerFixture s;
+    auto final_mse = [&](double scale) {
+        Screener scr = s.makeScreener(scale);
+        Trainer trainer(s.model.classifier(), scr, TrainerConfig{});
+        return trainer.train(s.train_h, s.val_h).final_val_mse;
+    };
+    // Fig. 12(a): more screener parameters -> better approximation.
+    EXPECT_LT(final_mse(0.5), final_mse(0.125));
+}
+
+TEST(Trainer, TrainedScreenerRanksTrueTopCandidates)
+{
+    TrainerFixture s;
+    Screener scr = s.makeScreener();
+    Trainer trainer(s.model.classifier(), scr, TrainerConfig{});
+    trainer.train(s.train_h, s.val_h);
+    scr.freezeQuantized();
+
+    double rec = 0.0;
+    const size_t m = 16;
+    for (const auto &h : s.val_h) {
+        const auto approx = scr.approximateQuantized(h);
+        const auto cands = tensor::topkIndices(approx, m);
+        const auto truth =
+            tensor::topkIndices(s.model.classifier().logits(h), 4);
+        rec += tensor::recall(cands, truth);
+    }
+    EXPECT_GT(rec / s.val_h.size(), 0.85);
+}
+
+TEST(Trainer, TuneThresholdYieldsEnoughCandidates)
+{
+    TrainerFixture s;
+    Screener scr = s.makeScreener();
+    Trainer trainer(s.model.classifier(), scr, TrainerConfig{});
+    trainer.train(s.train_h, s.val_h);
+    scr.freezeQuantized();
+
+    const size_t target = 24;
+    const float cut = tuneThreshold(scr, s.val_h, target);
+    size_t empty = 0;
+    double total = 0.0;
+    for (const auto &h : s.val_h) {
+        const auto approx = scr.approximateQuantized(h);
+        const auto sel = tensor::thresholdIndices(approx, cut);
+        empty += sel.empty();
+        total += static_cast<double>(sel.size());
+    }
+    // The tuned cut provisions ~2x the target on average (see
+    // tuneThreshold) and must leave almost no sample with an empty
+    // candidate set.
+    EXPECT_LE(empty, s.val_h.size() / 10);
+    EXPECT_GT(total / s.val_h.size(), target * 0.5);
+    EXPECT_LT(total / s.val_h.size(), target * 6.0);
+}
+
+TEST(TrainerDeathTest, DimensionMismatch)
+{
+    TrainerFixture s;
+    ScreenerConfig cfg;
+    cfg.categories = 100; // != 512
+    cfg.hidden = 48;
+    Rng rng(1);
+    Screener scr(cfg, rng);
+    EXPECT_DEATH(Trainer(s.model.classifier(), scr, TrainerConfig{}),
+                 "category mismatch");
+}
+
+} // namespace
+} // namespace enmc::screening
+
+namespace enmc::screening {
+namespace {
+
+/**
+ * Eq. 4 is convex, so the closed-form ridge solution must dominate any
+ * SGD-only run of the same budget — the property that justifies using it
+ * as the "trained to convergence" implementation of Algorithm 1.
+ */
+TEST(Trainer, ClosedFormDominatesSgdOnly)
+{
+    TrainerFixture s;
+    Screener cf = s.makeScreener();
+    TrainerConfig cf_cfg;
+    cf_cfg.epochs = 1;
+    Trainer t1(s.model.classifier(), cf, cf_cfg);
+    const double cf_mse = t1.train(s.train_h, s.val_h).final_val_mse;
+
+    Screener sgd = s.makeScreener();
+    TrainerConfig sgd_cfg;
+    sgd_cfg.closed_form_init = false;
+    sgd_cfg.epochs = 8;
+    sgd_cfg.convergence_ratio = 0.0;
+    Trainer t2(s.model.classifier(), sgd, sgd_cfg);
+    const double sgd_mse = t2.train(s.train_h, s.val_h).final_val_mse;
+
+    EXPECT_LE(cf_mse, sgd_mse * 1.05);
+}
+
+/** SGD refinement from the closed-form point must not diverge. */
+TEST(Trainer, SgdRefinementStaysNearOptimum)
+{
+    TrainerFixture s;
+    Screener scr = s.makeScreener();
+    TrainerConfig cfg;
+    cfg.epochs = 6;
+    cfg.convergence_ratio = 0.0;
+    Trainer trainer(s.model.classifier(), scr, cfg);
+    const TrainReport rep = trainer.train(s.train_h, s.val_h);
+    const double first = rep.epochs.front().val_mse;
+    const double last = rep.epochs.back().val_mse;
+    EXPECT_LE(last, first * 1.25);
+}
+
+} // namespace
+} // namespace enmc::screening

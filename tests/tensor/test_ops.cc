@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for dense kernels and non-linearities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+
+namespace enmc::tensor {
+namespace {
+
+TEST(Dot, MatchesManual)
+{
+    Vector a{1, 2, 3, 4, 5};
+    Vector b{5, 4, 3, 2, 1};
+    EXPECT_FLOAT_EQ(dot(a, b), 5 + 8 + 9 + 8 + 5);
+}
+
+TEST(Dot, EmptyIsZero)
+{
+    Vector a, b;
+    EXPECT_FLOAT_EQ(dot(a, b), 0.0f);
+}
+
+TEST(Axpy, Accumulates)
+{
+    Vector x{1, 2, 3};
+    Vector y{10, 10, 10};
+    axpy(2.0f, x, y);
+    EXPECT_FLOAT_EQ(y[0], 12);
+    EXPECT_FLOAT_EQ(y[1], 14);
+    EXPECT_FLOAT_EQ(y[2], 16);
+}
+
+TEST(Gemv, MatchesManualWithBias)
+{
+    Matrix w(2, 3);
+    w(0, 0) = 1; w(0, 1) = 2; w(0, 2) = 3;
+    w(1, 0) = -1; w(1, 1) = 0; w(1, 2) = 1;
+    Vector h{1, 1, 1};
+    Vector b{0.5f, -0.5f};
+    Vector z = gemv(w, h, b);
+    EXPECT_FLOAT_EQ(z[0], 6.5f);
+    EXPECT_FLOAT_EQ(z[1], -0.5f);
+}
+
+TEST(Gemv, NoBiasOverload)
+{
+    Matrix w(1, 2);
+    w(0, 0) = 3; w(0, 1) = 4;
+    Vector z = gemv(w, Vector{1, 2});
+    EXPECT_FLOAT_EQ(z[0], 11);
+}
+
+TEST(Matmul, SmallExample)
+{
+    Matrix a(2, 2), b(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+    b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+    Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 19);
+    EXPECT_FLOAT_EQ(c(0, 1), 22);
+    EXPECT_FLOAT_EQ(c(1, 0), 43);
+    EXPECT_FLOAT_EQ(c(1, 1), 50);
+}
+
+TEST(Transpose, RoundTrip)
+{
+    Rng rng(3);
+    Matrix a(4, 7);
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            a(i, j) = static_cast<float>(rng.normal());
+    Matrix att = transpose(transpose(a));
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            EXPECT_FLOAT_EQ(att(i, j), a(i, j));
+}
+
+TEST(Softmax, SumsToOne)
+{
+    Vector z{1.0f, 2.0f, 3.0f, -1.0f};
+    Vector p = softmax(z);
+    float sum = 0;
+    for (float v : p)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+    EXPECT_GT(p[2], p[1]);
+    EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Softmax, ShiftInvariant)
+{
+    Vector z1{1, 2, 3};
+    Vector z2{101, 102, 103};
+    Vector p1 = softmax(z1), p2 = softmax(z2);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(p1[i], p2[i], 1e-6);
+}
+
+TEST(Softmax, LargeMagnitudeStable)
+{
+    Vector z{1000.0f, 999.0f};
+    Vector p = softmax(z);
+    EXPECT_TRUE(std::isfinite(p[0]));
+    EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-6);
+}
+
+TEST(Sigmoid, KnownValues)
+{
+    Vector p = sigmoid(Vector{0.0f, 100.0f, -100.0f});
+    EXPECT_NEAR(p[0], 0.5f, 1e-6);
+    EXPECT_NEAR(p[1], 1.0f, 1e-6);
+    EXPECT_NEAR(p[2], 0.0f, 1e-6);
+}
+
+TEST(LogSumExp, MatchesDirect)
+{
+    Vector z{0.1f, 0.7f, -0.3f};
+    double direct = std::log(std::exp(0.1) + std::exp(0.7) + std::exp(-0.3));
+    EXPECT_NEAR(logSumExp(z), direct, 1e-6);
+}
+
+TEST(LogSumExp, StableForLargeValues)
+{
+    Vector z{800.0f, 800.0f};
+    EXPECT_NEAR(logSumExp(z), 800.0 + std::log(2.0), 1e-4);
+}
+
+/** Taylor exp accuracy over the SFU's working range. */
+class TaylorExpTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(TaylorExpTest, RelativeErrorSmall)
+{
+    const float x = GetParam();
+    const float approx = taylorExp4(x);
+    const float exact = std::exp(x);
+    // 4th-order Taylor after range reduction to |r| <= ln2/2: worst-case
+    // relative error ~ r^5/5! ~ 4e-5.
+    EXPECT_NEAR(approx / exact, 1.0f, 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TaylorExpTest,
+                         ::testing::Values(-20.0f, -5.5f, -1.0f, -0.2f, 0.0f,
+                                           0.3f, 1.0f, 2.7f, 10.0f, 30.0f));
+
+TEST(TaylorExp, UnderflowToZero)
+{
+    EXPECT_FLOAT_EQ(taylorExp4(-100.0f), 0.0f);
+}
+
+TEST(SoftmaxTaylor, CloseToExactSoftmax)
+{
+    Vector z{0.5f, -1.0f, 2.0f, 0.0f};
+    Vector exact = softmax(z);
+    Vector approx = softmaxTaylor(z);
+    for (size_t i = 0; i < z.size(); ++i)
+        EXPECT_NEAR(approx[i], exact[i], 1e-4);
+}
+
+TEST(SigmoidTaylor, CloseToExactSigmoid)
+{
+    Vector z{-3.0f, 0.0f, 3.0f};
+    Vector exact = sigmoid(z);
+    Vector approx = sigmoidTaylor(z);
+    for (size_t i = 0; i < z.size(); ++i)
+        EXPECT_NEAR(approx[i], exact[i], 1e-4);
+}
+
+TEST(Mse, Basic)
+{
+    Vector a{1, 2, 3};
+    Vector b{1, 2, 5};
+    EXPECT_NEAR(mse(a, b), 4.0 / 3.0, 1e-9);
+}
+
+TEST(Norm2, Basic)
+{
+    EXPECT_NEAR(norm2(Vector{3, 4}), 5.0, 1e-9);
+}
+
+TEST(Argmax, FirstOfTies)
+{
+    EXPECT_EQ(argmax(Vector{1, 3, 3, 2}), 1u);
+}
+
+TEST(MatrixClass, RowSpanAndBytes)
+{
+    Matrix m(3, 4);
+    m(1, 2) = 7.0f;
+    auto row = m.row(1);
+    EXPECT_EQ(row.size(), 4u);
+    EXPECT_FLOAT_EQ(row[2], 7.0f);
+    EXPECT_EQ(m.bytes(), 3 * 4 * sizeof(float));
+}
+
+TEST(MatrixDeathTest, RowOutOfRange)
+{
+    Matrix m(2, 2);
+    EXPECT_DEATH((void)m.row(2), "row out of range");
+}
+
+} // namespace
+} // namespace enmc::tensor
+
+namespace enmc::tensor {
+namespace {
+
+/** taylorExp4 must be strictly increasing over a dense sweep. */
+TEST(TaylorExp, MonotonicOverWorkingRange)
+{
+    float prev = taylorExp4(-30.0f);
+    for (float x = -29.9f; x < 30.0f; x += 0.1f) {
+        const float v = taylorExp4(x);
+        ASSERT_GE(v, prev) << "x = " << x;
+        prev = v;
+    }
+}
+
+/** exp(a + b) == exp(a) * exp(b) within the SFU's error budget. */
+TEST(TaylorExp, HomomorphismApproximatelyHolds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const float a = static_cast<float>(rng.uniform(-8.0, 8.0));
+        const float b = static_cast<float>(rng.uniform(-8.0, 8.0));
+        const float lhs = taylorExp4(a + b);
+        const float rhs = taylorExp4(a) * taylorExp4(b);
+        ASSERT_NEAR(lhs / rhs, 1.0f, 5e-4f) << a << " " << b;
+    }
+}
+
+/** Softmax of the SFU and exact softmax rank identically. */
+TEST(SoftmaxTaylor, PreservesRanking)
+{
+    Rng rng(5);
+    Vector z(256);
+    for (auto &v : z)
+        v = static_cast<float>(rng.normal(0.0, 2.0));
+    const Vector exact = softmax(z);
+    const Vector approx = softmaxTaylor(z);
+    EXPECT_EQ(argmax(exact), argmax(approx));
+    // Spot-check pairwise order on the top entries.
+    const auto top = topkIndices(z, 16);
+    for (size_t i = 0; i + 1 < top.size(); ++i)
+        EXPECT_GE(approx[top[i]] + 1e-7f, approx[top[i + 1]]);
+}
+
+} // namespace
+} // namespace enmc::tensor

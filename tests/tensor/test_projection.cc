@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Achlioptas sparse random projection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/projection.h"
+
+namespace enmc::tensor {
+namespace {
+
+Vector
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    return v;
+}
+
+TEST(SparseProjection, Dimensions)
+{
+    Rng rng(1);
+    SparseProjection p(16, 64, rng);
+    EXPECT_EQ(p.outputDim(), 16u);
+    EXPECT_EQ(p.inputDim(), 64u);
+    const Vector y = p.apply(randomVector(64, 2));
+    EXPECT_EQ(y.size(), 16u);
+}
+
+TEST(SparseProjection, MatchesDenseEquivalent)
+{
+    Rng rng(3);
+    SparseProjection p(8, 32, rng);
+    const Matrix dense = p.toDense();
+    const Vector h = randomVector(32, 5);
+    const Vector sparse_y = p.apply(h);
+    const Vector dense_y = gemv(dense, h);
+    for (size_t i = 0; i < sparse_y.size(); ++i)
+        EXPECT_NEAR(sparse_y[i], dense_y[i], 1e-4f);
+}
+
+TEST(SparseProjection, DensityIsOneThird)
+{
+    Rng rng(7);
+    SparseProjection p(64, 256, rng);
+    const double density =
+        static_cast<double>(p.nonZeros()) / (64.0 * 256.0);
+    EXPECT_NEAR(density, 1.0 / 3.0, 0.03);
+}
+
+TEST(SparseProjection, EntriesHaveCorrectScale)
+{
+    Rng rng(9);
+    SparseProjection p(12, 24, rng);
+    const Matrix dense = p.toDense();
+    const float expected = std::sqrt(3.0f / 12.0f);
+    for (size_t i = 0; i < dense.rows(); ++i) {
+        for (size_t j = 0; j < dense.cols(); ++j) {
+            const float v = dense(i, j);
+            EXPECT_TRUE(v == 0.0f || std::fabs(std::fabs(v) - expected) <
+                                         1e-6f);
+        }
+    }
+}
+
+TEST(SparseProjection, DeterministicFromRngState)
+{
+    Rng r1(11), r2(11);
+    SparseProjection p1(8, 16, r1), p2(8, 16, r2);
+    const Vector h = randomVector(16, 13);
+    const Vector y1 = p1.apply(h), y2 = p2.apply(h);
+    for (size_t i = 0; i < y1.size(); ++i)
+        EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+/**
+ * Johnson-Lindenstrauss property: squared norms are preserved in
+ * expectation; relative distortion shrinks as k grows.
+ */
+class JlProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JlProperty, NormPreservedOnAverage)
+{
+    const size_t k = GetParam();
+    Rng rng(17);
+    SparseProjection p(k, 512, rng);
+    double ratio_sum = 0.0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        const Vector h = randomVector(512, 100 + t);
+        const double hn = norm2(h);
+        const double yn = norm2(p.apply(h));
+        ratio_sum += (yn * yn) / (hn * hn);
+    }
+    // E[|Ph|^2] = |h|^2; the mean over 50 trials should be near 1.
+    EXPECT_NEAR(ratio_sum / trials, 1.0, 5.0 / std::sqrt(double(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, JlProperty,
+                         ::testing::Values(16, 64, 128, 256));
+
+TEST(SparseProjection, InnerProductPreservedStatistically)
+{
+    Rng rng(19);
+    const size_t k = 128, d = 512;
+    SparseProjection p(k, d, rng);
+    double err = 0.0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+        const Vector a = randomVector(d, 200 + t);
+        const Vector b = randomVector(d, 300 + t);
+        const float exact = dot(a, b);
+        const float proj = dot(p.apply(a), p.apply(b));
+        err += std::fabs(exact - proj) / (norm2(a) * norm2(b));
+    }
+    // JL distortion of inner products ~ 1/sqrt(k) ~ 0.09 at k = 128.
+    EXPECT_LT(err / trials, 0.2);
+}
+
+TEST(SparseProjection, PackedBytesIsTwoBitsPerEntry)
+{
+    Rng rng(23);
+    SparseProjection p(10, 100, rng);
+    EXPECT_EQ(p.packedBytes(), (10u * 100u * 2u + 7u) / 8u);
+}
+
+} // namespace
+} // namespace enmc::tensor

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for fixed-point quantization (the Screener's INT datapath).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/quantize.h"
+
+namespace enmc::tensor {
+namespace {
+
+Vector
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    return v;
+}
+
+TEST(QuantBits, Levels)
+{
+    EXPECT_EQ(quantMaxLevel(QuantBits::Int8), 127);
+    EXPECT_EQ(quantMaxLevel(QuantBits::Int4), 7);
+    EXPECT_EQ(quantMaxLevel(QuantBits::Int2), 1);
+    EXPECT_EQ(quantBitCount(QuantBits::Int4), 4);
+    EXPECT_EQ(quantBitCount(QuantBits::Fp32), 0);
+}
+
+/** Round-trip error bound: |x - deq(q(x))| <= scale / 2 element-wise. */
+class QuantRoundTrip : public ::testing::TestWithParam<QuantBits> {};
+
+TEST_P(QuantRoundTrip, VectorErrorBounded)
+{
+    const QuantBits bits = GetParam();
+    const Vector v = randomVector(256, 11);
+    const QuantizedVector q = quantize(v, bits);
+    const Vector back = q.dequantize();
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_LE(std::fabs(v[i] - back[i]), q.scale * 0.5f + 1e-6f)
+            << "element " << i;
+}
+
+TEST_P(QuantRoundTrip, ValuesWithinLevelRange)
+{
+    const QuantBits bits = GetParam();
+    const Vector v = randomVector(256, 13);
+    const QuantizedVector q = quantize(v, bits);
+    const int max_level = quantMaxLevel(bits);
+    for (int8_t qv : q.values) {
+        EXPECT_GE(qv, -max_level);
+        EXPECT_LE(qv, max_level);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, QuantRoundTrip,
+                         ::testing::Values(QuantBits::Int8, QuantBits::Int4,
+                                           QuantBits::Int2));
+
+TEST(Quantize, ZeroVectorHasUnitScale)
+{
+    Vector v(16, 0.0f);
+    const QuantizedVector q = quantize(v, QuantBits::Int4);
+    EXPECT_FLOAT_EQ(q.scale, 1.0f);
+    for (int8_t qv : q.values)
+        EXPECT_EQ(qv, 0);
+}
+
+TEST(Quantize, MatrixPerRowScales)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 1.0f; m(0, 1) = -1.0f;   // small row
+    m(1, 0) = 100.0f; m(1, 1) = 50.0f; // large row
+    const QuantizedMatrix q = quantize(m, QuantBits::Int4);
+    EXPECT_LT(q.scales[0], q.scales[1]);
+    // Max element of each row maps to the max level.
+    EXPECT_EQ(q.values[0], 7);
+    EXPECT_EQ(q.values[2], 7);
+}
+
+TEST(Quantize, MatrixDequantizeError)
+{
+    Rng rng(17);
+    Matrix m(8, 32);
+    for (size_t i = 0; i < m.rows(); ++i)
+        for (size_t j = 0; j < m.cols(); ++j)
+            m(i, j) = static_cast<float>(rng.normal(0.0, 2.0));
+    const QuantizedMatrix q = quantize(m, QuantBits::Int8);
+    const Matrix back = q.dequantize();
+    for (size_t i = 0; i < m.rows(); ++i)
+        for (size_t j = 0; j < m.cols(); ++j)
+            EXPECT_LE(std::fabs(m(i, j) - back(i, j)),
+                      q.scales[i] * 0.5f + 1e-6f);
+}
+
+TEST(Quantize, PackedBytesInt4)
+{
+    const Vector v = randomVector(100, 3);
+    const QuantizedVector q = quantize(v, QuantBits::Int4);
+    // 100 * 4 bits = 50 bytes + 4-byte scale.
+    EXPECT_EQ(q.packedBytes(), 50u + sizeof(float));
+}
+
+TEST(Quantize, PackedBytesMatrix)
+{
+    Matrix m(4, 16);
+    const QuantizedMatrix q = quantize(m, QuantBits::Int2);
+    // 64 * 2 bits = 16 bytes + 4 row scales.
+    EXPECT_EQ(q.packedBytes(), 16u + 4 * sizeof(float));
+}
+
+TEST(GemvQuantized, MatchesDequantizedGemv)
+{
+    Rng rng(19);
+    Matrix w(16, 32);
+    for (size_t i = 0; i < w.rows(); ++i)
+        for (size_t j = 0; j < w.cols(); ++j)
+            w(i, j) = static_cast<float>(rng.normal());
+    const Vector h = randomVector(32, 23);
+    Vector b(16, 0.25f);
+
+    const QuantizedMatrix wq = quantize(w, QuantBits::Int4);
+    const QuantizedVector hq = quantize(h, QuantBits::Int4);
+
+    // Integer-accumulate result must equal the FP32 GEMV of the
+    // *dequantized* operands exactly (same arithmetic, different order is
+    // exact in int).
+    const Vector z_int = gemvQuantized(wq, hq, b);
+    const Vector z_ref = gemv(wq.dequantize(), hq.dequantize(), b);
+    for (size_t i = 0; i < z_int.size(); ++i)
+        EXPECT_NEAR(z_int[i], z_ref[i], 1e-3f) << "row " << i;
+}
+
+TEST(GemvQuantized, ApproximatesFp32Gemv)
+{
+    Rng rng(29);
+    Matrix w(32, 64);
+    for (size_t i = 0; i < w.rows(); ++i)
+        for (size_t j = 0; j < w.cols(); ++j)
+            w(i, j) = static_cast<float>(rng.normal());
+    const Vector h = randomVector(64, 31);
+
+    const Vector exact = gemv(w, h);
+    const Vector approx = gemvQuantized(quantize(w, QuantBits::Int8),
+                                        quantize(h, QuantBits::Int8), {});
+    // INT8 quantization keeps the GEMV within a few percent of the
+    // exact result at these magnitudes.
+    double err = 0.0, ref = 0.0;
+    for (size_t i = 0; i < exact.size(); ++i) {
+        err += std::pow(exact[i] - approx[i], 2.0);
+        ref += std::pow(exact[i], 2.0);
+    }
+    EXPECT_LT(std::sqrt(err / ref), 0.05);
+}
+
+TEST(GemvQuantized, CoarserBitsLargerError)
+{
+    Rng rng(37);
+    Matrix w(64, 64);
+    for (size_t i = 0; i < w.rows(); ++i)
+        for (size_t j = 0; j < w.cols(); ++j)
+            w(i, j) = static_cast<float>(rng.normal());
+    const Vector h = randomVector(64, 41);
+    const Vector exact = gemv(w, h);
+
+    auto rmse = [&](QuantBits bits) {
+        const Vector z = gemvQuantized(quantize(w, bits),
+                                       quantize(h, bits), {});
+        return std::sqrt(mse(z, exact));
+    };
+    const double e8 = rmse(QuantBits::Int8);
+    const double e4 = rmse(QuantBits::Int4);
+    const double e2 = rmse(QuantBits::Int2);
+    EXPECT_LT(e8, e4);
+    EXPECT_LT(e4, e2);
+}
+
+TEST(QuantizeDeathTest, Fp32Rejected)
+{
+    Vector v{1.0f};
+    EXPECT_DEATH((void)quantize(v, QuantBits::Fp32), "Fp32");
+}
+
+} // namespace
+} // namespace enmc::tensor

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the thin SVD (SVD-softmax's offline decomposition).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/svd.h"
+
+namespace enmc::tensor {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < rows; ++i)
+        for (size_t j = 0; j < cols; ++j)
+            m(i, j) = static_cast<float>(rng.normal());
+    return m;
+}
+
+TEST(JacobiEigen, DiagonalizesSymmetric)
+{
+    // Known eigensystem: [[2,1],[1,2]] -> eigenvalues 3 and 1.
+    Matrix a(2, 2);
+    a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+    Matrix v;
+    const auto eig = jacobiEigenSymmetric(a, v);
+    EXPECT_NEAR(eig[0], 3.0f, 1e-5f);
+    EXPECT_NEAR(eig[1], 1.0f, 1e-5f);
+}
+
+TEST(JacobiEigen, EigenvectorsSatisfyDefinition)
+{
+    const Matrix b = randomMatrix(6, 6, 3);
+    Matrix a = matmul(b, transpose(b)); // SPD
+    Matrix v;
+    const auto eig = jacobiEigenSymmetric(a, v);
+    for (size_t j = 0; j < 6; ++j) {
+        Vector col(6);
+        for (size_t i = 0; i < 6; ++i)
+            col[i] = v(i, j);
+        const Vector av = gemv(a, col);
+        for (size_t i = 0; i < 6; ++i)
+            EXPECT_NEAR(av[i], eig[j] * col[i], 1e-2f)
+                << "pair " << j << " row " << i;
+    }
+}
+
+TEST(ThinSvd, ReconstructsMatrix)
+{
+    const Matrix w = randomMatrix(40, 8, 7);
+    const SvdResult svd = thinSvd(w);
+    // W ?= U diag(sigma) Vᵀ.
+    const Matrix us = svd.uSigma();
+    const Matrix rec = matmul(us, transpose(svd.v));
+    double err = 0.0, ref = 0.0;
+    for (size_t i = 0; i < w.rows(); ++i) {
+        for (size_t j = 0; j < w.cols(); ++j) {
+            err += std::pow(rec(i, j) - w(i, j), 2.0);
+            ref += std::pow(w(i, j), 2.0);
+        }
+    }
+    EXPECT_LT(std::sqrt(err / ref), 1e-3);
+}
+
+TEST(ThinSvd, SingularValuesDescendingNonNegative)
+{
+    const SvdResult svd = thinSvd(randomMatrix(30, 6, 11));
+    for (size_t i = 0; i + 1 < svd.sigma.size(); ++i) {
+        EXPECT_GE(svd.sigma[i], svd.sigma[i + 1]);
+        EXPECT_GE(svd.sigma[i + 1], 0.0f);
+    }
+}
+
+TEST(ThinSvd, UColumnsOrthonormal)
+{
+    const SvdResult svd = thinSvd(randomMatrix(50, 5, 13));
+    for (size_t a = 0; a < 5; ++a) {
+        for (size_t b = a; b < 5; ++b) {
+            double d = 0.0;
+            for (size_t i = 0; i < 50; ++i)
+                d += static_cast<double>(svd.u(i, a)) * svd.u(i, b);
+            EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-3)
+                << "columns " << a << "," << b;
+        }
+    }
+}
+
+TEST(ThinSvd, VColumnsOrthonormal)
+{
+    const SvdResult svd = thinSvd(randomMatrix(50, 5, 17));
+    for (size_t a = 0; a < 5; ++a) {
+        for (size_t b = a; b < 5; ++b) {
+            double d = 0.0;
+            for (size_t i = 0; i < 5; ++i)
+                d += static_cast<double>(svd.v(i, a)) * svd.v(i, b);
+            EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-3);
+        }
+    }
+}
+
+TEST(ThinSvd, LowRankMatrixHasSmallTailSingularValues)
+{
+    // Rank-2 matrix: outer products of two vectors.
+    const size_t l = 24, d = 6;
+    Rng rng(19);
+    Matrix w(l, d);
+    Vector u1(l), u2(l), v1(d), v2(d);
+    for (auto &x : u1) x = static_cast<float>(rng.normal());
+    for (auto &x : u2) x = static_cast<float>(rng.normal());
+    for (auto &x : v1) x = static_cast<float>(rng.normal());
+    for (auto &x : v2) x = static_cast<float>(rng.normal());
+    for (size_t i = 0; i < l; ++i)
+        for (size_t j = 0; j < d; ++j)
+            w(i, j) = u1[i] * v1[j] + u2[i] * v2[j];
+
+    const SvdResult svd = thinSvd(w);
+    EXPECT_GT(svd.sigma[1], 1e-3f);
+    for (size_t j = 2; j < d; ++j)
+        EXPECT_LT(svd.sigma[j], 1e-2f * svd.sigma[0]);
+}
+
+TEST(ThinSvd, PreviewMatrixEnergyConcentratesInLeadingColumns)
+{
+    // The SVD-softmax premise: B = U Σ has its column energy sorted.
+    const SvdResult svd = thinSvd(randomMatrix(60, 8, 23));
+    const Matrix b = svd.uSigma();
+    auto col_energy = [&](size_t j) {
+        double e = 0.0;
+        for (size_t i = 0; i < b.rows(); ++i)
+            e += static_cast<double>(b(i, j)) * b(i, j);
+        return e;
+    };
+    for (size_t j = 0; j + 1 < b.cols(); ++j)
+        EXPECT_GE(col_energy(j) + 1e-9, col_energy(j + 1));
+}
+
+} // namespace
+} // namespace enmc::tensor

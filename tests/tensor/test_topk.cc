@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for top-k / threshold selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "tensor/topk.h"
+
+namespace enmc::tensor {
+namespace {
+
+TEST(TopK, BasicOrder)
+{
+    std::vector<float> z{0.1f, 0.9f, 0.5f, 0.7f};
+    const auto idx = topkIndices(z, 2);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 1u);
+    EXPECT_EQ(idx[1], 3u);
+}
+
+TEST(TopK, KLargerThanN)
+{
+    std::vector<float> z{2.0f, 1.0f};
+    const auto idx = topkIndices(z, 10);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0u);
+}
+
+TEST(TopK, TiesBrokenByLowerIndex)
+{
+    std::vector<float> z{5.0f, 5.0f, 5.0f};
+    const auto idx = topkIndices(z, 2);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(TopK, MatchesFullSortOnRandomData)
+{
+    Rng rng(5);
+    std::vector<float> z(500);
+    for (auto &v : z)
+        v = static_cast<float>(rng.normal());
+    const auto idx = topkIndices(z, 50);
+
+    std::vector<float> sorted = z;
+    std::sort(sorted.begin(), sorted.end(), std::greater<float>());
+    for (size_t i = 0; i < idx.size(); ++i)
+        EXPECT_FLOAT_EQ(z[idx[i]], sorted[i]);
+}
+
+TEST(Threshold, SelectsAllAtOrAbove)
+{
+    std::vector<float> z{1.0f, 3.0f, 2.0f, 3.0f};
+    const auto idx = thresholdIndices(z, 3.0f);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 1u);
+    EXPECT_EQ(idx[1], 3u);
+}
+
+TEST(Threshold, EmptyWhenAboveMax)
+{
+    std::vector<float> z{1.0f, 2.0f};
+    EXPECT_TRUE(thresholdIndices(z, 10.0f).empty());
+}
+
+TEST(ThresholdForCount, PicksMthLargest)
+{
+    std::vector<float> z{4.0f, 1.0f, 3.0f, 2.0f};
+    EXPECT_FLOAT_EQ(thresholdForCount(z, 1), 4.0f);
+    EXPECT_FLOAT_EQ(thresholdForCount(z, 2), 3.0f);
+    EXPECT_FLOAT_EQ(thresholdForCount(z, 4), 1.0f);
+}
+
+TEST(ThresholdForCount, MLargerThanNReturnsMin)
+{
+    std::vector<float> z{4.0f, 1.0f};
+    EXPECT_FLOAT_EQ(thresholdForCount(z, 10), 1.0f);
+}
+
+TEST(ThresholdForCount, ConsistentWithThresholdIndices)
+{
+    Rng rng(7);
+    std::vector<float> z(200);
+    for (auto &v : z)
+        v = static_cast<float>(rng.normal());
+    for (size_t m : {1u, 5u, 50u, 199u}) {
+        const float cut = thresholdForCount(z, m);
+        const auto selected = thresholdIndices(z, cut);
+        // At least m entries are >= the m-th largest value.
+        EXPECT_GE(selected.size(), m);
+    }
+}
+
+TEST(Recall, FullAndPartial)
+{
+    std::vector<uint32_t> ref{1, 2, 3, 4};
+    std::vector<uint32_t> all{4, 3, 2, 1};
+    std::vector<uint32_t> half{1, 2, 9, 10};
+    EXPECT_DOUBLE_EQ(recall(all, ref), 1.0);
+    EXPECT_DOUBLE_EQ(recall(half, ref), 0.5);
+    EXPECT_DOUBLE_EQ(recall({}, ref), 0.0);
+}
+
+TEST(Recall, EmptyReferenceIsPerfect)
+{
+    std::vector<uint32_t> sel{1, 2};
+    EXPECT_DOUBLE_EQ(recall(sel, {}), 1.0);
+}
+
+} // namespace
+} // namespace enmc::tensor

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the workload registry (Table 2) and the Fig. 4 breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/breakdown.h"
+#include "workloads/registry.h"
+
+namespace enmc::workloads {
+namespace {
+
+TEST(Registry, Table2RowsMatchPaper)
+{
+    const auto t2 = table2Workloads();
+    ASSERT_EQ(t2.size(), 4u);
+    EXPECT_EQ(t2[0].abbr, "LSTM-W33K");
+    EXPECT_EQ(t2[0].categories, 33278u);
+    EXPECT_EQ(t2[0].hidden, 1500u);
+    EXPECT_EQ(t2[1].abbr, "Transformer-W268K");
+    EXPECT_EQ(t2[1].categories, 267744u);
+    EXPECT_EQ(t2[1].hidden, 512u);
+    EXPECT_EQ(t2[2].abbr, "GNMT-E32K");
+    EXPECT_EQ(t2[2].categories, 32317u);
+    EXPECT_EQ(t2[2].hidden, 1024u);
+    EXPECT_EQ(t2[3].abbr, "XMLCNN-670K");
+    EXPECT_EQ(t2[3].categories, 670091u);
+    EXPECT_EQ(t2[3].normalization, nn::Normalization::Sigmoid);
+}
+
+TEST(Registry, ScalabilityDatasets)
+{
+    const auto s = scalabilityWorkloads();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0].abbr, "S1M");
+    EXPECT_EQ(s[0].categories, 1'000'000u);
+    EXPECT_EQ(s[1].categories, 10'000'000u);
+    EXPECT_EQ(s[2].categories, 100'000'000u);
+}
+
+TEST(Registry, FindByAbbreviation)
+{
+    const Workload w = findWorkload("GNMT-E32K");
+    EXPECT_EQ(w.categories, 32317u);
+}
+
+TEST(RegistryDeathTest, UnknownWorkloadFatal)
+{
+    EXPECT_EXIT((void)findWorkload("nope"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Registry, ClassifierBytesFormula)
+{
+    const Workload w = findWorkload("Transformer-W268K");
+    EXPECT_EQ(w.classifierBytes(),
+              267744ull * 512 * 4 + 267744ull * 4);
+}
+
+TEST(Registry, S100MClassifierNeedsPooledMemory)
+{
+    // The paper's motivation: ~190 GB at 100M categories, d = 512.
+    const Workload w = findWorkload("S100M");
+    EXPECT_GT(w.classifierBytes(), 190ull * 1000 * 1000 * 1000);
+}
+
+TEST(Registry, FunctionalConfigInheritsNormalization)
+{
+    const Workload w = findWorkload("XMLCNN-670K");
+    const SyntheticConfig cfg = w.functionalConfig();
+    EXPECT_EQ(cfg.normalization, nn::Normalization::Sigmoid);
+    EXPECT_EQ(cfg.categories, w.functional_categories);
+}
+
+TEST(Breakdown, SharesBetweenZeroAndOne)
+{
+    for (const auto &w : allWorkloads()) {
+        const Breakdown b = computeBreakdown(w);
+        EXPECT_GT(b.paramShare(), 0.0) << w.abbr;
+        EXPECT_LT(b.paramShare(), 1.0) << w.abbr;
+        EXPECT_GT(b.flopShare(), 0.0) << w.abbr;
+        EXPECT_LT(b.flopShare(), 1.0) << w.abbr;
+    }
+}
+
+TEST(Breakdown, ClassificationDominatesLargeCategoryWorkloads)
+{
+    // Fig. 4: classification becomes the bottleneck as categories scale.
+    const Breakdown xml = computeBreakdown(findWorkload("XMLCNN-670K"));
+    EXPECT_GT(xml.paramShare(), 0.85);
+    const Breakdown s100m = computeBreakdown(findWorkload("S100M"));
+    EXPECT_GT(s100m.paramShare(), 0.99);
+}
+
+TEST(Breakdown, ClassificationShareGrowsWithCategories)
+{
+    const Breakdown s1 = computeBreakdown(findWorkload("S1M"));
+    const Breakdown s100 = computeBreakdown(findWorkload("S100M"));
+    EXPECT_GT(s100.paramShare(), s1.paramShare());
+    EXPECT_GT(s100.flopShare(), s1.flopShare());
+}
+
+TEST(Breakdown, NlpWorkloadsHaveSubstantialClassifierShare)
+{
+    // Fig. 4: "For the three NLP tasks, classifiers consume a significant
+    // amount of parameters and operations."
+    for (const char *abbr :
+         {"LSTM-W33K", "Transformer-W268K", "GNMT-E32K"}) {
+        const Breakdown b = computeBreakdown(findWorkload(abbr));
+        EXPECT_GT(b.paramShare(), 0.1) << abbr;
+    }
+}
+
+} // namespace
+} // namespace enmc::workloads
+
+namespace enmc::workloads {
+namespace {
+
+/**
+ * The registry's candidate budgets are chosen so the algorithmic cost
+ * model reproduces the speedups the paper quotes for Fig. 11: speedup =
+ * 1 / (screening-fraction + m/l) with INT4 screening at reduction 0.25
+ * costing 1/32 (the paper's stated 3.1% overhead).
+ */
+TEST(Registry, CandidateBudgetsReproducePaperSpeedups)
+{
+    struct Expect
+    {
+        const char *abbr;
+        double speedup;
+    };
+    const Expect expects[] = {
+        {"LSTM-W33K", 5.7},       // Fig. 11(b)
+        {"Transformer-W268K", 6.3}, // Fig. 11(c)
+        {"GNMT-E32K", 11.8},      // Fig. 11(a)
+        {"XMLCNN-670K", 17.4},    // Fig. 11(d)
+    };
+    for (const auto &e : expects) {
+        const Workload w = findWorkload(e.abbr);
+        const double screen_fraction = 1.0 / 32.0;
+        const double m_over_l =
+            static_cast<double>(w.candidates) / w.categories;
+        const double speedup = 1.0 / (screen_fraction + m_over_l);
+        EXPECT_NEAR(speedup, e.speedup, e.speedup * 0.08) << e.abbr;
+    }
+}
+
+TEST(Registry, ScreeningOverheadMatchesPaperThreePercent)
+{
+    // "We set the overhead of Approximate Screening to be 3.1% of full
+    // classification" == INT4 (1/8 byte ratio) x 0.25 reduction = 1/32.
+    const double overhead = (1.0 / 8.0) * 0.25;
+    EXPECT_NEAR(overhead, 0.031, 0.001);
+}
+
+TEST(Registry, NmpBudgetTightens50xForRecommendation)
+{
+    const Workload xml = findWorkload("XMLCNN-670K");
+    EXPECT_NEAR(static_cast<double>(xml.candidates) / xml.nmpCandidates(),
+                50.0, 0.5);
+    const Workload lstm = findWorkload("LSTM-W33K");
+    EXPECT_EQ(lstm.nmpCandidates(), lstm.candidates); // NLP rows unchanged
+}
+
+} // namespace
+} // namespace enmc::workloads

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * enmc_sim — command-line front door to the timing simulator.
+ *
+ * Runs one classification job on a chosen engine and prints the timing /
+ * traffic / energy summary. Everything the figure benches compute is
+ * reachable here for ad-hoc studies:
+ *
+ *   enmc_sim --workload XMLCNN-670K --engine enmc --batch 2
+ *   enmc_sim --categories 5000000 --hidden 512 --engine tensordimm
+ *   enmc_sim --workload S10M --engine all
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "energy/model.h"
+#include "nmp/cpu.h"
+#include "nmp/engine.h"
+#include "runtime/system.h"
+#include "workloads/registry.h"
+
+using namespace enmc;
+
+namespace {
+
+struct Options
+{
+    std::string workload;       //!< registry abbreviation, or empty
+    uint64_t categories = 0;    //!< used when no --workload
+    uint64_t hidden = 512;
+    uint64_t batch = 1;
+    uint64_t candidates = 0;    //!< 0 = registry / l/50 default
+    std::string engine = "enmc";
+    bool sequencer = true;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: enmc_sim [--workload ABBR | --categories N [--hidden D]]\n"
+        "                [--batch B] [--candidates M]\n"
+        "                [--engine enmc|nda|chameleon|tensordimm|cpu|all]\n"
+        "                [--no-sequencer]\n\n"
+        "workloads: LSTM-W33K Transformer-W268K GNMT-E32K XMLCNN-670K\n"
+        "           S1M S10M S100M\n");
+    std::exit(2);
+}
+
+uint64_t
+parseU64(const char *s)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0')
+        usage();
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (a == "--workload")
+            opt.workload = next();
+        else if (a == "--categories")
+            opt.categories = parseU64(next());
+        else if (a == "--hidden")
+            opt.hidden = parseU64(next());
+        else if (a == "--batch")
+            opt.batch = parseU64(next());
+        else if (a == "--candidates")
+            opt.candidates = parseU64(next());
+        else if (a == "--engine")
+            opt.engine = next();
+        else if (a == "--no-sequencer")
+            opt.sequencer = false;
+        else
+            usage();
+    }
+    if (opt.workload.empty() && opt.categories == 0)
+        usage();
+    return opt;
+}
+
+runtime::JobSpec
+makeJob(const Options &opt)
+{
+    runtime::JobSpec spec;
+    if (!opt.workload.empty()) {
+        const workloads::Workload w = workloads::findWorkload(opt.workload);
+        spec.categories = w.categories;
+        spec.hidden = w.hidden;
+        spec.candidates = opt.candidates ? opt.candidates
+                                         : w.nmpCandidates();
+        spec.sigmoid = w.normalization == nn::Normalization::Sigmoid;
+    } else {
+        spec.categories = opt.categories;
+        spec.hidden = opt.hidden;
+        spec.candidates =
+            opt.candidates ? opt.candidates : opt.categories / 50;
+    }
+    spec.reduced = std::max<uint64_t>(1, spec.hidden / 4);
+    spec.batch = opt.batch;
+    return spec;
+}
+
+void
+printJob(const runtime::JobSpec &spec)
+{
+    std::printf("job: l=%llu d=%llu k=%llu batch=%llu candidates=%llu\n",
+                static_cast<unsigned long long>(spec.categories),
+                static_cast<unsigned long long>(spec.hidden),
+                static_cast<unsigned long long>(spec.reduced),
+                static_cast<unsigned long long>(spec.batch),
+                static_cast<unsigned long long>(spec.candidates));
+    std::printf("classifier footprint: %.2f GB FP32; screener: %.2f GB "
+                "INT4\n\n",
+                spec.categories * spec.hidden * 4.0 / 1e9,
+                spec.categories * spec.reduced * 0.5 / 1e9);
+}
+
+void
+runEnmc(const runtime::JobSpec &spec, bool sequencer)
+{
+    runtime::SystemConfig cfg;
+    cfg.enmc.hw_tile_sequencer = sequencer;
+    runtime::EnmcSystem sys(cfg);
+    const auto r = sys.runTiming(spec);
+    std::printf("ENMC (8ch x 8 ranks, DDR4-2400%s):\n",
+                sequencer ? ", tile sequencer" : "");
+    std::printf("  latency: %.2f us%s\n", 1e6 * r.seconds,
+                r.extrapolated ? " (tile-extrapolated)" : "");
+    std::printf("  rank cycles: %llu @1200 MHz\n",
+                static_cast<unsigned long long>(r.rank_cycles));
+    std::printf("  traffic/inference: screening %.2f MB + candidates "
+                "%.2f MB (all ranks)\n",
+                r.totalScreenBytes() / 1e6 / spec.batch,
+                r.totalExecBytes() / 1e6 / spec.batch);
+    energy::DramActivity act;
+    act.reads = r.rank.dram_reads;
+    act.writes = r.rank.dram_writes;
+    act.activates = r.rank.dram_acts;
+    act.refreshes = r.rank.dram_refs;
+    act.seconds = r.seconds;
+    const auto e = energy::scaleEnergy(
+        energy::rankEnergy(act, energy::enmcLogicPower()), r.ranks);
+    std::printf("  energy: %.2f uJ (static %.2f / access %.2f / logic "
+                "%.2f)\n\n",
+                1e6 * e.total(), 1e6 * e.dram_static_j,
+                1e6 * e.dram_access_j, 1e6 * e.logic_j);
+}
+
+void
+runBaseline(const runtime::JobSpec &spec, const nmp::EngineConfig &cfg)
+{
+    runtime::EnmcSystem sys{runtime::SystemConfig{}};
+    arch::RankTask task = sys.makeRankTask(spec);
+    const uint64_t max_rows = 64 * 1024;
+    double scale = 1.0;
+    if (task.categories > max_rows) {
+        scale = static_cast<double>(task.categories) / max_rows;
+        task.expected_candidates = std::max<uint64_t>(
+            1, static_cast<uint64_t>(task.expected_candidates / scale));
+        task.categories = max_rows;
+    }
+    nmp::NmpEngine engine(cfg,
+                          dram::Organization::paperTable3().singleRankView(),
+                          dram::Timing::ddr4_2400());
+    const auto r = engine.run(task);
+    const double seconds = cyclesToSeconds(
+        static_cast<Cycles>(r.cycles * scale), 1200e6);
+    std::printf("%s (with approximate screening):\n",
+                nmp::engineKindName(cfg.kind));
+    std::printf("  latency: %.2f us\n\n", 1e6 * seconds);
+}
+
+void
+runCpu(const runtime::JobSpec &spec)
+{
+    nmp::CpuConfig cpu;
+    const double full = nmp::cpuFullClassificationTime(
+        cpu, spec.categories, spec.hidden, spec.batch);
+    const double as = nmp::cpuScreeningTime(cpu, spec.categories,
+                                            spec.hidden, spec.reduced,
+                                            spec.candidates, spec.batch,
+                                            spec.quant);
+    std::printf("CPU (Xeon 8280 roofline):\n");
+    std::printf("  full classification:  %.2f us\n", 1e6 * full);
+    std::printf("  + approximate screen: %.2f us (%.1fx)\n\n", 1e6 * as,
+                full / as);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    const runtime::JobSpec spec = makeJob(opt);
+    printJob(spec);
+
+    const bool all = opt.engine == "all";
+    if (all || opt.engine == "cpu")
+        runCpu(spec);
+    if (all || opt.engine == "nda")
+        runBaseline(spec, nmp::EngineConfig::nda());
+    if (all || opt.engine == "chameleon")
+        runBaseline(spec, nmp::EngineConfig::chameleon());
+    if (all || opt.engine == "tensordimm")
+        runBaseline(spec, nmp::EngineConfig::tensorDimm());
+    if (all || opt.engine == "enmc")
+        runEnmc(spec, opt.sequencer);
+    return 0;
+}
