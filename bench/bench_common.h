@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "nmp/cpu.h"
 #include "nmp/engine.h"
+#include "runtime/backend.h"
 #include "runtime/system.h"
 #include "workloads/registry.h"
 
@@ -61,42 +63,56 @@ jobSpecFor(const workloads::Workload &w, uint64_t batch,
     return spec;
 }
 
+/**
+ * Parse a `--backend=<name>` flag (validated against the registry).
+ * @return the selected name, or "" when the flag is absent (= run the
+ *         bench's default backend set).
+ */
+inline std::string
+parseBackendFlag(int argc, char **argv)
+{
+    const std::string prefix = "--backend=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) != 0)
+            continue;
+        const std::string name = arg.substr(prefix.size());
+        if (!runtime::BackendRegistry::instance().contains(name)) {
+            std::string known;
+            for (const auto &n : runtime::backendNames())
+                known += (known.empty() ? "" : ", ") + n;
+            ENMC_FATAL("--backend=", name, " is not registered (choose ",
+                       "one of: ", known, ")");
+        }
+        return name;
+    }
+    return "";
+}
+
+/** Seconds for a registry backend on a job (whole-system timing). */
+inline double
+backendSeconds(const runtime::Backend &backend,
+               const runtime::JobSpec &spec,
+               runtime::TimingResult *result_out = nullptr)
+{
+    const runtime::TimingResult r = backend.runJob(spec);
+    if (result_out)
+        *result_out = r;
+    return r.seconds;
+}
+
 /** Seconds for one baseline NMP engine on a job (one rank slice). */
 inline double
 nmpSeconds(const nmp::EngineConfig &cfg, const runtime::JobSpec &spec,
            arch::RankResult *result_out = nullptr)
 {
-    runtime::EnmcSystem sys{runtime::SystemConfig{}};
-    arch::RankTask task = sys.makeRankTask(spec);
-    // Scale very large slices the same way the ENMC path does: simulate a
-    // truncated slice and extrapolate linearly (tile-homogeneous).
-    const uint64_t max_rows = 64 * 1024;
-    double scale = 1.0;
-    if (task.categories > max_rows) {
-        scale = static_cast<double>(task.categories) / max_rows;
-        task.expected_candidates = std::max<uint64_t>(
-            1, static_cast<uint64_t>(task.expected_candidates / scale));
-        task.categories = max_rows;
-    }
-    nmp::NmpEngine engine(cfg,
-                          dram::Organization::paperTable3().singleRankView(),
-                          dram::Timing::ddr4_2400());
-    arch::RankResult r = engine.run(task);
-    if (result_out) {
-        *result_out = r;
-        result_out->cycles = static_cast<Cycles>(r.cycles * scale);
-        result_out->screen_bytes =
-            static_cast<uint64_t>(r.screen_bytes * scale);
-        result_out->exec_bytes = static_cast<uint64_t>(r.exec_bytes * scale);
-        result_out->dram_reads =
-            static_cast<uint64_t>(r.dram_reads * scale);
-        result_out->dram_writes =
-            static_cast<uint64_t>(r.dram_writes * scale);
-        result_out->dram_acts = static_cast<uint64_t>(r.dram_acts * scale);
-        result_out->dram_refs = static_cast<uint64_t>(r.dram_refs * scale);
-    }
-    return cyclesToSeconds(static_cast<Cycles>(r.cycles * scale),
-                           dram::Timing::ddr4_2400().freq_hz);
+    const runtime::NmpBackend backend(nmp::engineKindName(cfg.kind), cfg,
+                                      runtime::SystemConfig{});
+    runtime::TimingResult r;
+    const double seconds = backendSeconds(backend, spec, &r);
+    if (result_out)
+        *result_out = r.rank;
+    return seconds;
 }
 
 /** Seconds for the ENMC system on a job. */
@@ -104,11 +120,8 @@ inline double
 enmcSeconds(const runtime::JobSpec &spec,
             runtime::TimingResult *result_out = nullptr)
 {
-    runtime::EnmcSystem sys{runtime::SystemConfig{}};
-    const runtime::TimingResult r = sys.runTiming(spec);
-    if (result_out)
-        *result_out = r;
-    return r.seconds;
+    const runtime::EnmcBackend backend{runtime::SystemConfig{}};
+    return backendSeconds(backend, spec, result_out);
 }
 
 /** CPU full-classification seconds for a job. */

@@ -5,9 +5,13 @@
  * NMP baselines (NDA, Chameleon, TensorDIMM) — all NMP schemes equipped
  * with approximate screening, batch sizes 1/2/4, normalized to the
  * full-classification CPU baseline.
+ *
+ * Every scheme is resolved through the backend registry; pass
+ * `--backend=<name>` to run a single column (any registered backend).
  */
 
 #include <cmath>
+#include <memory>
 
 #include "bench_common.h"
 
@@ -15,14 +19,26 @@ using namespace enmc;
 using namespace enmc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printHeader("Figure 13: speedup over full-classification CPU baseline");
-    printRow({"workload", "batch", "CPU+AS", "NDA", "Chameleon",
-              "TensorDIMM", "ENMC"});
+    const std::string only = parseBackendFlag(argc, argv);
+    const std::vector<std::string> names =
+        only.empty() ? std::vector<std::string>{"cpu", "nda", "chameleon",
+                                                "tensordimm", "enmc"}
+                     : std::vector<std::string>{only};
 
-    double geo_as = 0.0, geo_enmc = 0.0, geo_nda = 0.0, geo_cham = 0.0,
-           geo_td = 0.0;
+    std::vector<std::unique_ptr<runtime::Backend>> backends;
+    for (const auto &n : names)
+        backends.push_back(runtime::createBackend(n));
+    const auto cpu_full_backend = runtime::createBackend("cpu-full");
+
+    printHeader("Figure 13: speedup over full-classification CPU baseline");
+    std::vector<std::string> header{"workload", "batch"};
+    for (const auto &n : names)
+        header.push_back(n);
+    printRow(header, 18);
+
+    std::vector<double> geo(names.size(), 0.0);
     int n = 0;
 
     for (const auto &w : workloads::table2Workloads()) {
@@ -33,45 +49,41 @@ main()
             // baselines select candidates after reading psums back, at
             // the conservative Fig. 11 budget.
             const runtime::JobSpec enmc_spec = jobSpecFor(w, batch, true);
-            const double cpu_full = cpuFullSeconds(spec);
-            const double cpu_as = cpuScreenSeconds(spec);
-            const double nda =
-                nmpSeconds(nmp::EngineConfig::nda(), spec);
-            const double cham =
-                nmpSeconds(nmp::EngineConfig::chameleon(), spec);
-            const double td =
-                nmpSeconds(nmp::EngineConfig::tensorDimm(), spec);
-            const double enmc_t = enmcSeconds(enmc_spec);
+            const double cpu_full =
+                backendSeconds(*cpu_full_backend, spec);
 
-            printRow({w.abbr, std::to_string(batch),
-                      fmt(cpu_full / cpu_as, "%.1f"),
-                      fmt(cpu_full / nda, "%.1f"),
-                      fmt(cpu_full / cham, "%.1f"),
-                      fmt(cpu_full / td, "%.1f"),
-                      fmt(cpu_full / enmc_t, "%.1f")});
-
-            geo_as += std::log(cpu_full / cpu_as);
-            geo_nda += std::log(cpu_full / nda);
-            geo_cham += std::log(cpu_full / cham);
-            geo_td += std::log(cpu_full / td);
-            geo_enmc += std::log(cpu_full / enmc_t);
+            std::vector<std::string> row{w.abbr, std::to_string(batch)};
+            for (size_t b = 0; b < backends.size(); ++b) {
+                const bool filtered = backends[b]->name() == "enmc";
+                const double t = backendSeconds(
+                    *backends[b], filtered ? enmc_spec : spec);
+                row.push_back(fmt(cpu_full / t, "%.1f"));
+                geo[b] += std::log(cpu_full / t);
+            }
+            printRow(row, 18);
             ++n;
         }
     }
 
     std::printf("\ngeomean speedups over CPU-full:\n");
-    printRow({"", "", fmt(std::exp(geo_as / n), "%.1f"),
-              fmt(std::exp(geo_nda / n), "%.1f"),
-              fmt(std::exp(geo_cham / n), "%.1f"),
-              fmt(std::exp(geo_td / n), "%.1f"),
-              fmt(std::exp(geo_enmc / n), "%.1f")});
-    std::printf(
-        "ENMC vs NDA:        %.1fx\n"
-        "ENMC vs Chameleon:  %.1fx\n"
-        "ENMC vs TensorDIMM: %.1fx\n",
-        std::exp((geo_enmc - geo_nda) / n),
-        std::exp((geo_enmc - geo_cham) / n),
-        std::exp((geo_enmc - geo_td) / n));
+    std::vector<std::string> geo_row{"", ""};
+    for (size_t b = 0; b < names.size(); ++b)
+        geo_row.push_back(fmt(std::exp(geo[b] / n), "%.1f"));
+    printRow(geo_row, 18);
+
+    auto geomeanOf = [&](const std::string &name) -> const double * {
+        for (size_t b = 0; b < names.size(); ++b)
+            if (names[b] == name)
+                return &geo[b];
+        return nullptr;
+    };
+    const double *enmc_g = geomeanOf("enmc");
+    for (const char *rival : {"nda", "chameleon", "tensordimm"}) {
+        const double *g = geomeanOf(rival);
+        if (enmc_g && g)
+            std::printf("ENMC vs %-11s %.1fx\n", rival,
+                        std::exp((*enmc_g - *g) / n));
+    }
     std::printf(
         "\nPaper shape (Fig. 13): AS alone ~7.3x over CPU; ENMC largest\n"
         "overall (paper: 56.5x geomean; 3.5x / 5.6x / 2.7x over NDA /\n"

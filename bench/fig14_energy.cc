@@ -7,9 +7,14 @@
  * The paper's two sources of ENMC's reduction: (1) INT4 low-dimensional
  * screening + no partial-sum spill cuts DRAM accesses; (2) the shorter
  * runtime cuts DRAM background (refresh/standby) energy.
+ *
+ * Schemes are resolved through the backend registry; pass
+ * `--backend=<name>` to swap the scheme compared against TensorDIMM
+ * (e.g. `--backend=nda`).
  */
 
 #include <cmath>
+#include <memory>
 
 #include "bench_common.h"
 #include "energy/model.h"
@@ -31,59 +36,80 @@ activityOf(const arch::RankResult &r, double seconds)
     return a;
 }
 
+/** Per-rank logic power of a registry backend (Table 4/5 synthesis). */
+double
+logicPowerOf(const std::string &backend)
+{
+    if (backend == "enmc")
+        return energy::enmcLogicPower();
+    if (backend == "nda")
+        return energy::ndaLogic().power_mw;
+    if (backend == "chameleon")
+        return energy::chameleonLogic().power_mw;
+    if (backend == "tensordimm")
+        return energy::tensorDimmLogic().power_mw;
+    if (backend == "tensordimm-large")
+        return energy::tensorDimmLargeLogic().power_mw;
+    ENMC_FATAL("no logic-power model for backend '", backend, "'");
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string only = parseBackendFlag(argc, argv);
+    // TensorDIMM always runs: it is the normalization baseline.
+    std::vector<std::string> names{"tensordimm"};
+    if (only.empty()) {
+        names.push_back("tensordimm-large");
+        names.push_back("enmc");
+    } else if (only != "tensordimm") {
+        names.push_back(only);
+    }
+
+    std::vector<std::unique_ptr<runtime::Backend>> backends;
+    for (const auto &n : names)
+        backends.push_back(runtime::createBackend(n));
+
     printHeader("Figure 14: energy breakdown normalized to TensorDIMM");
     printRow({"workload", "scheme", "static", "access", "logic", "total"},
-             12);
+             18);
 
-    double geo_td = 0.0, geo_tdl = 0.0;
+    std::vector<double> geo(names.size(), 0.0);
     int n = 0;
 
     for (const auto &w : workloads::table2Workloads()) {
         const runtime::JobSpec spec = jobSpecFor(w, 1, true);
 
-        arch::RankResult td_r, tdl_r;
-        const double td_s =
-            nmpSeconds(nmp::EngineConfig::tensorDimm(), spec, &td_r);
-        const double tdl_s =
-            nmpSeconds(nmp::EngineConfig::tensorDimmLarge(), spec, &tdl_r);
-        runtime::TimingResult enmc_r;
-        const double enmc_s = enmcSeconds(spec, &enmc_r);
+        std::vector<energy::EnergyBreakdown> breakdowns;
+        for (size_t b = 0; b < backends.size(); ++b) {
+            runtime::TimingResult r;
+            const double seconds = backendSeconds(*backends[b], spec, &r);
+            breakdowns.push_back(energy::rankEnergy(
+                activityOf(r.rank, seconds), logicPowerOf(names[b])));
+        }
 
-        const auto e_td = energy::rankEnergy(
-            activityOf(td_r, td_s), energy::tensorDimmLogic().power_mw);
-        const auto e_tdl = energy::rankEnergy(
-            activityOf(tdl_r, tdl_s),
-            energy::tensorDimmLargeLogic().power_mw);
-        const auto e_enmc = energy::rankEnergy(
-            activityOf(enmc_r.rank, enmc_s), energy::enmcLogicPower());
-
-        const double norm = e_td.total();
-        auto row = [&](const char *name, const energy::EnergyBreakdown &e) {
-            printRow({w.abbr, name, fmt(e.dram_static_j / norm, "%.3f"),
+        const double norm = breakdowns[0].total(); // TensorDIMM
+        for (size_t b = 0; b < backends.size(); ++b) {
+            const auto &e = breakdowns[b];
+            printRow({w.abbr, names[b], fmt(e.dram_static_j / norm, "%.3f"),
                       fmt(e.dram_access_j / norm, "%.3f"),
                       fmt(e.logic_j / norm, "%.3f"),
                       fmt(e.total() / norm, "%.3f")},
-                     12);
-        };
-        row("TensorDIMM", e_td);
-        row("TD-Large", e_tdl);
-        row("ENMC", e_enmc);
-
-        geo_td += std::log(e_td.total() / e_enmc.total());
-        geo_tdl += std::log(e_tdl.total() / e_enmc.total());
+                     18);
+            geo[b] += std::log(breakdowns[0].total() / e.total());
+        }
         ++n;
     }
 
-    std::printf("\ngeomean energy reduction of ENMC:\n");
-    std::printf("  vs TensorDIMM:       %.1fx (paper: 5.0x)\n",
-                std::exp(geo_td / n));
-    std::printf("  vs TensorDIMM-Large: %.1fx (paper: 8.4x)\n",
-                std::exp(geo_tdl / n));
+    std::printf("\ngeomean energy reduction vs TensorDIMM:\n");
+    for (size_t b = 1; b < names.size(); ++b)
+        std::printf("  %-18s %.1fx%s\n", names[b].c_str(),
+                    std::exp(geo[b] / n),
+                    names[b] == "enmc"
+                        ? " (paper: 5.0x; 8.4x vs TensorDIMM-Large)"
+                        : "");
     std::printf(
         "\nPaper shape (Fig. 14): ENMC cuts both the access component\n"
         "(INT4 screening, no psum spill) and the static component (shorter\n"

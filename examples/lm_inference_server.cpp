@@ -2,29 +2,46 @@
  * @file
  * Language-model inference "server": a stream of single-token
  * classification requests (batch 1, the paper's low-latency case) served
- * by the ENMC system, reporting the latency distribution (p50/p95/p99)
- * and throughput, with the CPU-full-classification latency alongside.
+ * through the execution-backend registry, reporting the latency
+ * distribution (p50/p95/p99) and throughput per backend in one run.
  *
  * Request latency varies with the candidate count the FILTER selects —
  * hot prompts (sharp logit distributions) pass fewer categories than
  * cold ones — so the distribution, not just the mean, is the serving
  * metric that matters.
+ *
+ * Usage: lm_inference_server [backend ...]
+ *   e.g. `lm_inference_server enmc tensordimm cpu`
+ *   (no arguments = enmc + tensordimm + cpu + cpu-full)
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/stats.h"
-#include "nmp/cpu.h"
 #include "runtime/api.h"
+#include "runtime/backend.h"
 #include "runtime/system.h"
 #include "workloads/registry.h"
 
 using namespace enmc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty())
+        names = {"enmc", "tensordimm", "cpu", "cpu-full"};
+
+    std::vector<std::unique_ptr<runtime::Backend>> backends;
+    for (const auto &n : names)
+        backends.push_back(runtime::createBackend(n)); // fatal if unknown
+
     const workloads::Workload wl =
         workloads::findWorkload("Transformer-W268K");
     std::printf("serving %s: l=%llu categories, d=%llu\n", wl.abbr.c_str(),
@@ -41,13 +58,11 @@ main()
     clf.calibrate(model.sampleHiddenBatch(rng, 256),
                   model.sampleHiddenBatch(rng, 64));
 
-    // Serve a request stream: measure each request's candidate count at
-    // functional scale, then time the equivalent full-scale job.
-    runtime::EnmcSystem system{runtime::SystemConfig{}};
+    // Measure each request's candidate count once at functional scale;
+    // every backend then serves the same request stream.
     const size_t requests = 48;
-    std::vector<double> latencies_us;
+    std::vector<runtime::JobSpec> jobs;
     Histogram cand_hist(0, 1024, 16);
-
     for (size_t i = 0; i < requests; ++i) {
         const auto h = model.sampleHiddenBatch(rng, 1);
         const auto out = clf.forward(h, 1);
@@ -63,33 +78,39 @@ main()
         job.batch = 1;
         job.candidates = std::max<uint64_t>(
             1, static_cast<uint64_t>(cand_frac * wl.categories));
-        const auto t = system.runTiming(job);
-        latencies_us.push_back(t.seconds * 1e6);
+        jobs.push_back(job);
     }
 
-    std::sort(latencies_us.begin(), latencies_us.end());
-    auto pct = [&](double p) {
-        return latencies_us[static_cast<size_t>(p * (requests - 1))];
-    };
-    double sum = 0;
-    for (double v : latencies_us)
-        sum += v;
-
-    std::printf("\nENMC classification latency over %zu requests:\n",
+    std::printf("\nlatency over %zu requests, per backend (us):\n",
                 requests);
-    std::printf("  mean %.1f us | p50 %.1f | p95 %.1f | p99 %.1f | max %.1f\n",
-                sum / requests, pct(0.50), pct(0.95), pct(0.99),
-                latencies_us.back());
-    std::printf("  throughput: %.0f classifications/s (single stream)\n",
-                1e6 / (sum / requests));
+    std::printf("  %-18s %9s %9s %9s %9s %9s %12s\n", "backend", "mean",
+                "p50", "p95", "p99", "max", "req/s");
 
-    nmp::CpuConfig cpu;
-    const double cpu_us =
-        1e6 * nmp::cpuFullClassificationTime(cpu, wl.categories, wl.hidden,
-                                             1);
-    std::printf("  CPU full classification: %.0f us -> ENMC %.0fx faster "
-                "at p50\n",
-                cpu_us, cpu_us / pct(0.50));
+    double enmc_p50 = 0.0, cpu_full_p50 = 0.0;
+    for (const auto &backend : backends) {
+        std::vector<double> lat_us;
+        for (const auto &job : jobs)
+            lat_us.push_back(backend->runJob(job).seconds * 1e6);
+        std::sort(lat_us.begin(), lat_us.end());
+        auto pct = [&](double p) {
+            return lat_us[static_cast<size_t>(p * (requests - 1))];
+        };
+        double sum = 0;
+        for (double v : lat_us)
+            sum += v;
+        std::printf("  %-18s %9.1f %9.1f %9.1f %9.1f %9.1f %12.0f\n",
+                    backend->name().c_str(), sum / requests, pct(0.50),
+                    pct(0.95), pct(0.99), lat_us.back(),
+                    1e6 / (sum / requests));
+        if (backend->name() == "enmc")
+            enmc_p50 = pct(0.50);
+        if (backend->name() == "cpu-full")
+            cpu_full_p50 = pct(0.50);
+    }
+    if (enmc_p50 > 0.0 && cpu_full_p50 > 0.0)
+        std::printf("\n  ENMC is %.0fx faster than CPU full "
+                    "classification at p50\n",
+                    cpu_full_p50 / enmc_p50);
 
     std::printf("\ncandidate-count distribution (per request, functional "
                 "scale l=%zu):\n",

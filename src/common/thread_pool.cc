@@ -1,0 +1,157 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace enmc {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    const size_t n = end - begin;
+    if (workers() <= 1 || n == 1) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    // Shared control block: helpers claim iterations from an atomic
+    // counter. The calling thread participates too, so the loop finishes
+    // even when every worker is busy (e.g. nested parallelFor on the
+    // global pool) — queued helpers that wake up late find the counter
+    // exhausted and return without touching the (value-captured) block.
+    struct Control
+    {
+        std::atomic<size_t> next;
+        std::atomic<size_t> done;
+        size_t end;
+        std::function<void(size_t)> fn;
+        std::mutex m;
+        std::condition_variable cv;
+    };
+    auto ctl = std::make_shared<Control>();
+    ctl->next = begin;
+    ctl->done = begin;
+    ctl->end = end;
+    ctl->fn = fn;
+
+    auto drain = [](const std::shared_ptr<Control> &c) {
+        for (;;) {
+            const size_t i = c->next.fetch_add(1);
+            if (i >= c->end)
+                break;
+            c->fn(i);
+            if (c->done.fetch_add(1) + 1 == c->end) {
+                std::lock_guard<std::mutex> lock(c->m);
+                c->cv.notify_all();
+            }
+        }
+    };
+
+    const size_t helpers = std::min(workers(), n - 1);
+    for (size_t w = 0; w < helpers; ++w)
+        submit([ctl, drain] { drain(ctl); });
+    drain(ctl);
+
+    std::unique_lock<std::mutex> lock(ctl->m);
+    ctl->cv.wait(lock, [&] { return ctl->done.load() == ctl->end; });
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool([] {
+        const char *env = std::getenv("ENMC_THREADS");
+        const long n = env ? std::atol(env) : 0;
+        return n > 0 ? static_cast<size_t>(n) : 0;
+    }());
+    return pool;
+}
+
+void
+parallelFor(size_t begin, size_t end, size_t workers,
+            const std::function<void(size_t)> &fn)
+{
+    if (workers == 1 || end - begin <= 1) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+    if (workers == 0) {
+        ThreadPool::global().parallelFor(begin, end, fn);
+        return;
+    }
+    ThreadPool pool(workers);
+    pool.parallelFor(begin, end, fn);
+}
+
+} // namespace enmc

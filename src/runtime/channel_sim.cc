@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "runtime/compiler.h"
+#include "runtime/partition.h"
 
 namespace enmc::runtime {
 
@@ -21,10 +22,12 @@ ChannelSim::ChannelSim(const SystemConfig &cfg, uint32_t ranks_per_channel)
 ChannelSimResult
 ChannelSim::run(const JobSpec &spec, Cycles max_cycles)
 {
-    // One task per rank: the channel's categories are sliced evenly.
+    // One task per rank: the channel's categories are sliced evenly
+    // (the same partitioning policy the system-level paths use).
     const RankTask slice = EnmcSystem::makeSliceTask(
-        spec, ceilDiv(spec.categories, ranks_),
-        ceilDiv(std::max<uint64_t>(spec.candidates, 1), ranks_));
+        spec, RankPartitioner::sliceRows(spec.categories, ranks_),
+        RankPartitioner::evenShare(std::max<uint64_t>(spec.candidates, 1),
+                                   ranks_));
 
     const dram::Organization rank_org = cfg_.org.singleRankView();
     const CompiledJob job = compileClassification(slice, cfg_.enmc);

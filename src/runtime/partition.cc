@@ -1,0 +1,47 @@
+#include "runtime/partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace enmc::runtime {
+
+std::vector<RowSlice>
+RankPartitioner::partition(uint64_t row_begin, uint64_t rows,
+                           uint64_t parts)
+{
+    ENMC_ASSERT(parts >= 1, "partitioning needs at least one part");
+    std::vector<RowSlice> slices;
+    if (rows == 0)
+        return slices;
+    const uint64_t slice = sliceRows(rows, parts);
+    const uint64_t row_end = row_begin + rows;
+    for (uint64_t p = 0; p < parts; ++p) {
+        const uint64_t begin = row_begin + p * slice;
+        if (begin >= row_end)
+            break;
+        slices.push_back({begin, std::min<uint64_t>(slice, row_end - begin)});
+    }
+    return slices;
+}
+
+uint64_t
+TaskLayout::assign(arch::RankTask &task)
+{
+    Addr cursor = 0;
+    auto reserve = [&cursor](uint64_t bytes) {
+        const Addr base = cursor;
+        cursor += roundUp(std::max<uint64_t>(bytes, 1), kAlign);
+        return base;
+    };
+    task.screen_weight_base =
+        reserve(task.categories * task.screenRowBytes());
+    task.class_weight_base = reserve(task.categories * task.classRowBytes());
+    task.bias_base = reserve(task.categories * sizeof(float) * 2);
+    task.feature_base = reserve(
+        task.batch * (task.reduced + task.hidden) * sizeof(float));
+    task.output_base = reserve(task.categories * sizeof(float));
+    return cursor;
+}
+
+} // namespace enmc::runtime

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "runtime/partition.h"
 #include "tensor/ops.h"
 
 namespace enmc::runtime {
@@ -16,9 +18,10 @@ runScaleOut(const ScaleOutConfig &cfg, const JobSpec &spec)
 
     // Per-node slice of the global problem.
     JobSpec node_spec = spec;
-    node_spec.categories = ceilDiv(spec.categories, cfg.nodes);
-    node_spec.candidates =
-        std::max<uint64_t>(1, ceilDiv(spec.candidates, cfg.nodes));
+    node_spec.categories =
+        RankPartitioner::sliceRows(spec.categories, cfg.nodes);
+    node_spec.candidates = std::max<uint64_t>(
+        1, RankPartitioner::evenShare(spec.candidates, cfg.nodes));
 
     // Phase 1: broadcast the projected + raw features to every node.
     // A flat tree (root sends to each node) is modeled; the quantized
@@ -68,15 +71,32 @@ runScaleOutFunctional(const ScaleOutConfig &cfg,
     out.logits.assign(batch, tensor::Vector(l, 0.0f));
     out.candidates.assign(batch, {});
 
-    const uint64_t slice = ceilDiv(l, nodes);
-    for (uint64_t n = 0; n < nodes; ++n) {
-        const uint64_t row0 = n * slice;
-        if (row0 >= l)
-            break;
-        const uint64_t rows = std::min<uint64_t>(slice, l - row0);
+    // Node shards are independent simulations (each node owns disjoint
+    // category rows), so they run concurrently; merging in shard order
+    // keeps the result bit-identical to the serial loop.
+    const std::vector<RowSlice> shards =
+        RankPartitioner::partition(0, l, nodes);
+    std::vector<EnmcSystem::FunctionalResult> parts(shards.size());
+    parallelFor(0, shards.size(), cfg.node.sim_threads, [&](size_t n) {
+        parts[n].logits.assign(batch, tensor::Vector(l, 0.0f));
+        parts[n].candidates.assign(batch, {});
         node.runFunctionalRange(classifier, screener, h_batch,
-                                ranks_per_node, row0, rows, out);
+                                ranks_per_node, shards[n].begin,
+                                shards[n].rows, parts[n]);
+    });
+    for (size_t n = 0; n < shards.size(); ++n) {
+        out.rank_cycles = std::max(out.rank_cycles, parts[n].rank_cycles);
+        for (uint64_t item = 0; item < batch; ++item) {
+            std::copy(parts[n].logits[item].begin() + shards[n].begin,
+                      parts[n].logits[item].begin() + shards[n].begin +
+                          shards[n].rows,
+                      out.logits[item].begin() + shards[n].begin);
+            out.candidates[item].insert(out.candidates[item].end(),
+                                        parts[n].candidates[item].begin(),
+                                        parts[n].candidates[item].end());
+        }
     }
+    out.seconds = cyclesToSeconds(out.rank_cycles, cfg.node.timing.freq_hz);
 
     // Root merge: normalize once over the gathered logits.
     for (uint64_t item = 0; item < batch; ++item) {

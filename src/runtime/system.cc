@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "runtime/backend.h"
 #include "runtime/compiler.h"
+#include "runtime/partition.h"
 #include "tensor/ops.h"
 
 namespace enmc::runtime {
 
-using arch::EnmcRank;
 using arch::RankResult;
 using arch::RankTask;
 
@@ -33,23 +35,7 @@ EnmcSystem::makeSliceTask(const JobSpec &spec, uint64_t slice_categories,
     task.batch = spec.batch;
     task.sigmoid = spec.sigmoid;
     task.expected_candidates = std::max<uint64_t>(1, slice_candidates);
-
-    // Rank-local layout: disjoint regions, each row-aligned so streaming
-    // stays row-hit friendly.
-    const uint64_t align = 4096;
-    Addr cursor = 0;
-    auto reserve = [&cursor, align](uint64_t bytes) {
-        const Addr base = cursor;
-        cursor += roundUp(std::max<uint64_t>(bytes, 1), align);
-        return base;
-    };
-    task.screen_weight_base =
-        reserve(task.categories * task.screenRowBytes());
-    task.class_weight_base = reserve(task.categories * task.classRowBytes());
-    task.bias_base = reserve(task.categories * sizeof(float) * 2);
-    task.feature_base = reserve(
-        task.batch * (task.reduced + task.hidden) * sizeof(float));
-    task.output_base = reserve(task.categories * sizeof(float));
+    TaskLayout::assign(task);
     return task;
 }
 
@@ -58,18 +44,17 @@ EnmcSystem::makeRankTask(const JobSpec &spec) const
 {
     ENMC_ASSERT(spec.categories > 0, "job dimensions not set");
     const uint64_t ranks = cfg_.totalRanks();
-    return makeSliceTask(spec, ceilDiv(spec.categories, ranks),
-                         ceilDiv(spec.candidates, ranks));
+    return makeSliceTask(spec,
+                         RankPartitioner::sliceRows(spec.categories, ranks),
+                         RankPartitioner::evenShare(spec.candidates, ranks));
 }
 
 TimingResult
 EnmcSystem::runRank(const RankTask &task) const
 {
-    dram::Organization rank_org = cfg_.org.singleRankView();
-    EnmcRank rank(cfg_.enmc, rank_org, cfg_.timing);
-    const CompiledJob job = compileClassification(task, cfg_.enmc);
+    const EnmcBackend backend(cfg_);
     TimingResult res;
-    res.rank = rank.run(job.program, task);
+    res.rank = backend.runSlice(task);
     res.rank_cycles = res.rank.cycles;
     res.ranks = cfg_.totalRanks();
     res.seconds = cyclesToSeconds(res.rank_cycles, cfg_.timing.freq_hz);
@@ -162,14 +147,18 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
                                       screener.config().quant));
 
     const tensor::QuantizedMatrix &wq = screener.quantizedWeights();
-    const uint64_t slice = ceilDiv(row_count, ranks);
+    const std::vector<RowSlice> slices =
+        RankPartitioner::partition(row_begin, row_count, ranks);
+    const EnmcBackend backend(cfg_);
 
-    for (uint64_t r = 0; r < ranks; ++r) {
-        const uint64_t row0 = row_begin + r * slice;
-        if (row0 >= row_begin + row_count)
-            break;
-        const uint64_t rows =
-            std::min<uint64_t>(slice, row_begin + row_count - row0);
+    // Each slice is a self-contained rank simulation: workers build their
+    // own tensor slices and EnmcRank instance, park the RankResult in a
+    // per-slice slot, and the merge below walks the slots in slice order —
+    // so the output is bit-identical for any worker count.
+    std::vector<RankResult> results(slices.size());
+    parallelFor(0, slices.size(), cfg_.sim_threads, [&](size_t s) {
+        const uint64_t row0 = slices[s].begin;
+        const uint64_t rows = slices[s].rows;
 
         // Slice the screener + classifier tensors for this rank.
         tensor::QuantizedMatrix wq_slice;
@@ -208,27 +197,17 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
         task.features_q = yq;
         task.features = h_batch;
 
-        // Same layout policy as the timing path.
-        const uint64_t align = 4096;
-        Addr cursor = 0;
-        auto reserve = [&cursor, align](uint64_t bytes) {
-            const Addr base = cursor;
-            cursor += roundUp(std::max<uint64_t>(bytes, 1), align);
-            return base;
-        };
-        task.screen_weight_base = reserve(rows * task.screenRowBytes());
-        task.class_weight_base = reserve(rows * task.classRowBytes());
-        task.bias_base = reserve(rows * sizeof(float) * 2);
-        task.feature_base =
-            reserve(batch * (task.reduced + task.hidden) * sizeof(float));
-        task.output_base = reserve(rows * sizeof(float));
+        // Same layout policy as the timing path (TaskLayout is the only
+        // place the reserve policy lives).
+        TaskLayout::assign(task);
 
-        dram::Organization rank_org = cfg_.org.singleRankView();
-        EnmcRank rank(cfg_.enmc, rank_org, cfg_.timing);
-        const CompiledJob job = compileClassification(task, cfg_.enmc);
-        RankResult rr = rank.run(job.program, task);
+        results[s] = backend.runFunctionalSlice(task);
+    });
+
+    for (size_t s = 0; s < slices.size(); ++s) {
+        const uint64_t row0 = slices[s].begin;
+        const RankResult &rr = results[s];
         out.rank_cycles = std::max(out.rank_cycles, rr.cycles);
-
         for (uint64_t item = 0; item < batch; ++item) {
             std::copy(rr.logits[item].begin(), rr.logits[item].end(),
                       out.logits[item].begin() + row0);

@@ -35,6 +35,13 @@ struct SystemConfig
     arch::EnmcConfig enmc;
     /** Cap on cycle-simulated screening tiles before extrapolation. */
     uint64_t max_sim_tiles = 16384;
+    /**
+     * Worker threads simulating functional rank slices concurrently:
+     * 0 = the process-wide pool (ENMC_THREADS / hardware concurrency),
+     * 1 = serial, N = a dedicated N-worker pool. Slices merge in slice
+     * order, so results are bit-identical for every setting.
+     */
+    uint64_t sim_threads = 0;
 
     uint64_t totalRanks() const
     {
