@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "common/rng.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/projection.h"
 #include "tensor/quantize.h"
@@ -46,8 +49,11 @@ BM_GemvFp32(benchmark::State &state)
     const size_t d = 128;
     const Matrix w = randomMatrix(l, d, 1);
     const Vector h = randomVector(d, 2);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(gemv(w, h));
+    Vector z(l);
+    for (auto _ : state) {
+        kernels::gemvInto(w, h, {}, z, 1);
+        benchmark::DoNotOptimize(z.data());
+    }
     state.SetBytesProcessed(int64_t(state.iterations()) * l * d * 4);
 }
 BENCHMARK(BM_GemvFp32)->Arg(1024)->Arg(8192)->Arg(65536);
@@ -61,8 +67,11 @@ BM_GemvInt4(benchmark::State &state)
                                         QuantBits::Int4);
     const QuantizedVector hq = quantize(randomVector(d, 4),
                                         QuantBits::Int4);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(gemvQuantized(wq, hq, {}));
+    Vector z(l);
+    for (auto _ : state) {
+        gemvQuantizedRows(wq, hq.values, hq.scale, {}, z, 0, l);
+        benchmark::DoNotOptimize(z.data());
+    }
     state.SetItemsProcessed(int64_t(state.iterations()) * l * d);
 }
 BENCHMARK(BM_GemvInt4)->Arg(1024)->Arg(8192)->Arg(65536);
@@ -134,6 +143,137 @@ BM_Quantize(benchmark::State &state)
 }
 BENCHMARK(BM_Quantize)->Arg(1024)->Arg(16384);
 
+// ---------------------------------------------------------------------
+// Per-dispatch-target variants, registered for every target this CPU
+// supports so one run records the scalar/sse2/avx2 comparison (the
+// speedup numbers archived in BENCH_kernels.json).
+
+void
+GemvFp32AtTarget(benchmark::State &state, kernels::Target t)
+{
+    kernels::setActiveTarget(t);
+    const size_t l = state.range(0);
+    const size_t d = 128;
+    const Matrix w = randomMatrix(l, d, 1);
+    const Vector h = randomVector(d, 2);
+    Vector z(l);
+    for (auto _ : state) {
+        kernels::gemvInto(w, h, {}, z, 1);
+        benchmark::DoNotOptimize(z.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) * l * d * 4);
+}
+
+void
+GemvInt4AtTarget(benchmark::State &state, kernels::Target t)
+{
+    kernels::setActiveTarget(t);
+    const size_t l = state.range(0);
+    const size_t d = 128;
+    const QuantizedMatrix wq = quantize(randomMatrix(l, d, 3),
+                                        QuantBits::Int4);
+    const QuantizedVector hq = quantize(randomVector(d, 4),
+                                        QuantBits::Int4);
+    Vector z(l);
+    for (auto _ : state) {
+        gemvQuantizedRows(wq, hq.values, hq.scale, {}, z, 0, l);
+        benchmark::DoNotOptimize(z.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * l * d);
+}
+
+void
+GemvBatchAtTarget(benchmark::State &state, kernels::Target t)
+{
+    kernels::setActiveTarget(t);
+    const size_t nq = state.range(0);
+    const size_t l = 65536;
+    const size_t d = 128;
+    const Matrix w = randomMatrix(l, d, 1);
+    std::vector<Vector> hs;
+    for (size_t q = 0; q < nq; ++q)
+        hs.push_back(randomVector(d, 20 + q));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gemvBatch(w, hs));
+    // Per-item effective bandwidth: the batch reads W once for nq items.
+    state.SetBytesProcessed(int64_t(state.iterations()) * nq * l * d * 4);
+}
+
+void
+SparseProjectionAtTarget(benchmark::State &state, kernels::Target t)
+{
+    kernels::setActiveTarget(t);
+    const size_t d = state.range(0);
+    Rng rng(5);
+    const SparseProjection p(d / 4, d, rng);
+    const Vector h = randomVector(d, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.apply(h));
+    state.SetItemsProcessed(int64_t(state.iterations()) * p.nonZeros());
+}
+
+void
+QuantizeAtTarget(benchmark::State &state, kernels::Target t)
+{
+    kernels::setActiveTarget(t);
+    const Matrix w = randomMatrix(state.range(0), 128, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quantize(w, QuantBits::Int4));
+    state.SetItemsProcessed(int64_t(state.iterations()) * w.size());
+}
+
+void
+BM_GemvFp32Parallel(benchmark::State &state)
+{
+    const size_t workers = state.range(0);
+    const size_t l = 65536;
+    const size_t d = 128;
+    const Matrix w = randomMatrix(l, d, 1);
+    const Vector h = randomVector(d, 2);
+    Vector z(l);
+    for (auto _ : state) {
+        kernels::gemvInto(w, h, {}, z, workers);
+        benchmark::DoNotOptimize(z.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) * l * d * 4);
+}
+BENCHMARK(BM_GemvFp32Parallel)->Arg(1)->Arg(2)->Arg(4);
+
+void
+registerTargetVariants()
+{
+    for (kernels::Target t : kernels::availableTargets()) {
+        const std::string tn = kernels::targetName(t);
+        auto name = [&tn](const char *base) {
+            return std::string(base) + "<" + tn + ">";
+        };
+        benchmark::RegisterBenchmark(name("BM_GemvFp32").c_str(),
+                                     GemvFp32AtTarget, t)
+            ->Arg(1024)->Arg(8192)->Arg(65536);
+        benchmark::RegisterBenchmark(name("BM_GemvInt4").c_str(),
+                                     GemvInt4AtTarget, t)
+            ->Arg(1024)->Arg(8192)->Arg(65536);
+        benchmark::RegisterBenchmark(name("BM_GemvBatch").c_str(),
+                                     GemvBatchAtTarget, t)
+            ->Arg(1)->Arg(4)->Arg(8);
+        benchmark::RegisterBenchmark(name("BM_SparseProjection").c_str(),
+                                     SparseProjectionAtTarget, t)
+            ->Arg(1024);
+        benchmark::RegisterBenchmark(name("BM_Quantize").c_str(),
+                                     QuantizeAtTarget, t)
+            ->Arg(16384);
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerTargetVariants();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,6 +1,9 @@
 #include "baselines/svd_softmax.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/topk.h"
 
@@ -16,6 +19,11 @@ SvdSoftmax::SvdSoftmax(const nn::Classifier &classifier,
     const tensor::SvdResult svd = tensor::thinSvd(classifier.weights());
     b_ = svd.uSigma();
     vt_ = tensor::transpose(svd.v);
+    // Contiguous copy of the preview window so the online preview is one
+    // dense GEMV instead of l strided prefix dots.
+    bwin_ = tensor::Matrix(b_.rows(), window_);
+    for (size_t r = 0; r < b_.rows(); ++r)
+        std::copy_n(b_.row(r).data(), window_, bwin_.row(r).data());
 }
 
 screening::PipelineResult
@@ -28,14 +36,12 @@ SvdSoftmax::infer(std::span<const float> h) const
     // One rotation: h~ = Vᵀ h.
     const tensor::Vector ht = tensor::gemv(vt_, h);
 
-    // Preview over the leading `window` singular directions.
+    // Preview over the leading `window` singular directions: one GEMV on
+    // the contiguous window matrix (same per-row values as prefix dots).
     screening::PipelineResult res;
     res.logits.resize(l);
     std::span<const float> ht_win(ht.data(), window_);
-    for (size_t r = 0; r < l; ++r) {
-        std::span<const float> row(b_.row(r).data(), window_);
-        res.logits[r] = tensor::dot(row, ht_win) + bias[r];
-    }
+    tensor::kernels::gemvInto(bwin_, ht_win, bias, res.logits);
 
     // Refine the top-N previews with the remaining columns.
     res.candidates = tensor::topkIndices(res.logits, cfg_.top_n);

@@ -58,6 +58,7 @@ class SvdSoftmax
     SvdSoftmaxConfig cfg_;
     size_t window_;
     tensor::Matrix b_;     //!< U Σ (l x d), columns by descending sigma
+    tensor::Matrix bwin_;  //!< first `window` columns of B, contiguous rows
     tensor::Matrix vt_;    //!< Vᵀ (d x d)
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
 
 namespace enmc::arch {
 
@@ -297,18 +298,15 @@ EnmcRank::filterTileFunctional(const TileOp &op)
     const uint64_t row0 = op.tile * tile_rows;
     for (uint64_t item = 0; item < task.batch; ++item) {
         const auto &yq = task.features_q[item];
-        for (uint64_t r = row0; r < row0 + op.rows; ++r) {
-            const auto wrow = task.screen_weights->row(r);
-            int64_t acc = 0;
-            for (size_t c = 0; c < wrow.size(); ++c)
-                acc += static_cast<int64_t>(wrow[c]) * yq.values[c];
-            const float z = static_cast<float>(acc) *
-                                task.screen_weights->scales[r] * yq.scale +
-                            (*task.screen_bias)[r];
-            result_.logits[item][r] = z;
-            if (z >= task.threshold)
+        auto &logits = result_.logits[item];
+        // SIMD integer MAC; bit-exact vs. the reference int64 loop on
+        // every dispatch target.
+        tensor::gemvQuantizedRows(*task.screen_weights, yq.values, yq.scale,
+                                  *task.screen_bias, logits, row0,
+                                  row0 + op.rows);
+        for (uint64_t r = row0; r < row0 + op.rows; ++r)
+            if (logits[r] >= task.threshold)
                 emitCandidate(item, r);
-        }
     }
 }
 

@@ -33,6 +33,25 @@ Classifier::probabilities(std::span<const float> h) const
     return tensor::sigmoid(z);
 }
 
+std::vector<tensor::Vector>
+Classifier::logitsBatch(std::span<const tensor::Vector> hs) const
+{
+    return tensor::gemvBatch(w_, hs, b_);
+}
+
+std::vector<tensor::Vector>
+Classifier::probabilitiesBatch(std::span<const tensor::Vector> hs) const
+{
+    std::vector<tensor::Vector> zs = logitsBatch(hs);
+    for (auto &z : zs) {
+        if (norm_ == Normalization::Softmax)
+            tensor::softmaxInPlace(z);
+        else
+            z = tensor::sigmoid(z);
+    }
+    return zs;
+}
+
 size_t
 Classifier::parameterBytes() const
 {

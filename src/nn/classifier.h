@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
@@ -44,6 +45,18 @@ class Classifier
 
     /** Normalized probabilities (full classification). */
     tensor::Vector probabilities(std::span<const float> h) const;
+
+    /**
+     * Logits for a batch of hidden vectors. Each entry is bit-identical
+     * to logits(hs[q]); the batched GEMV streams W once per batch instead
+     * of once per item.
+     */
+    std::vector<tensor::Vector>
+    logitsBatch(std::span<const tensor::Vector> hs) const;
+
+    /** Batched probabilities(); same per-item values as the scalar call. */
+    std::vector<tensor::Vector>
+    probabilitiesBatch(std::span<const tensor::Vector> hs) const;
 
     /** Memory footprint of the parameters in bytes (FP32). */
     size_t parameterBytes() const;

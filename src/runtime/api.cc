@@ -78,8 +78,11 @@ EnmcClassifier::forwardFull(const std::vector<tensor::Vector> &h_batch,
                             size_t k) const
 {
     std::vector<ClassifierOutput> out(h_batch.size());
+    // Batched GEMV: the classifier weights stream once per batch. Per-item
+    // values are bit-identical to teacher_.probabilities(h_batch[i]).
+    std::vector<tensor::Vector> probs = teacher_.probabilitiesBatch(h_batch);
     for (size_t i = 0; i < h_batch.size(); ++i) {
-        out[i].probabilities = teacher_.probabilities(h_batch[i]);
+        out[i].probabilities = std::move(probs[i]);
         out[i].topk = tensor::topkIndices(out[i].probabilities, k);
     }
     return out;

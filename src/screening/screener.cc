@@ -86,6 +86,29 @@ Screener::screen(std::span<const float> h) const
     return res;
 }
 
+std::vector<ScreeningResult>
+Screener::screenBatch(std::span<const tensor::Vector> hs) const
+{
+    std::vector<ScreeningResult> out(hs.size());
+    if (cfg_.quant == tensor::QuantBits::Fp32) {
+        std::vector<tensor::Vector> ys;
+        ys.reserve(hs.size());
+        for (const auto &h : hs)
+            ys.push_back(project(h));
+        std::vector<tensor::Vector> zs = tensor::gemvBatch(w_, ys, b_);
+        for (size_t q = 0; q < hs.size(); ++q)
+            out[q].approx_logits = std::move(zs[q]);
+    } else {
+        // The INT path is dominated by the integer MAC, which is already
+        // bit-exact and bandwidth-light; run it per item.
+        for (size_t q = 0; q < hs.size(); ++q)
+            out[q].approx_logits = approximateQuantized(hs[q]);
+    }
+    for (auto &res : out)
+        res.candidates = select(res.approx_logits);
+    return out;
+}
+
 std::vector<uint32_t>
 Screener::select(std::span<const float> approx) const
 {

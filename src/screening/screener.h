@@ -94,6 +94,14 @@ class Screener
     /** Screening pass: approximate (at the configured precision) + select. */
     ScreeningResult screen(std::span<const float> h) const;
 
+    /**
+     * Screen a batch of hidden vectors. Per-item results are bit-identical
+     * to screen(hs[q]); the FP32 path shares the screener weight stream
+     * across the batch via the batched GEMV kernel.
+     */
+    std::vector<ScreeningResult>
+    screenBatch(std::span<const tensor::Vector> hs) const;
+
     /** Candidate selection on given approximate logits. */
     std::vector<uint32_t> select(std::span<const float> approx) const;
 

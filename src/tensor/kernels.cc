@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Kernel dispatch (cpuid probe + ENMC_KERNELS override) and the
+ * deterministic row-parallel GEMV wrappers.
+ */
+
+#include "tensor/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+namespace enmc::tensor::kernels {
+
+namespace {
+
+bool
+cpuHasAvx2Fma()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+const KernelOps *
+tableFor(Target t)
+{
+    switch (t) {
+      case Target::Scalar:
+        return scalarKernelOps();
+      case Target::Sse2:
+        return sse2KernelOps();
+      case Target::Avx2:
+        return avx2KernelOps();
+    }
+    return nullptr;
+}
+
+bool
+targetAvailable(Target t)
+{
+    if (t == Target::Avx2 && !cpuHasAvx2Fma())
+        return false;
+    return tableFor(t) != nullptr;
+}
+
+Target
+bestAvailable()
+{
+    if (targetAvailable(Target::Avx2))
+        return Target::Avx2;
+    if (targetAvailable(Target::Sse2))
+        return Target::Sse2;
+    return Target::Scalar;
+}
+
+Target
+selectInitialTarget()
+{
+    const char *env = std::getenv("ENMC_KERNELS");
+    if (env && *env) {
+        Target t;
+        if (!targetFromString(env, &t))
+            ENMC_PANIC("ENMC_KERNELS='", env,
+                       "' is not one of scalar|sse2|avx2");
+        if (targetAvailable(t))
+            return t;
+        warn("ENMC_KERNELS=", env, " not available on this CPU; using ",
+             targetName(bestAvailable()));
+    }
+    return bestAvailable();
+}
+
+/** Active table, published once then swapped only by setActiveTarget(). */
+std::atomic<const KernelOps *> g_active{nullptr};
+std::atomic<Target> g_target{Target::Scalar};
+
+const KernelOps *
+initActive()
+{
+    const Target t = selectInitialTarget();
+    const KernelOps *table = tableFor(t);
+    const KernelOps *expected = nullptr;
+    if (g_active.compare_exchange_strong(expected, table))
+        g_target.store(t);
+    return g_active.load();
+}
+
+} // namespace
+
+const KernelOps &
+ops()
+{
+    const KernelOps *table = g_active.load(std::memory_order_acquire);
+    return table ? *table : *initActive();
+}
+
+Target
+activeTarget()
+{
+    ops();
+    return g_target.load();
+}
+
+void
+setActiveTarget(Target t)
+{
+    ENMC_ASSERT(targetAvailable(t), "kernel target ", targetName(t),
+                " is not available on this CPU/build");
+    g_target.store(t);
+    g_active.store(tableFor(t), std::memory_order_release);
+}
+
+std::vector<Target>
+availableTargets()
+{
+    std::vector<Target> out{Target::Scalar};
+    if (targetAvailable(Target::Sse2))
+        out.push_back(Target::Sse2);
+    if (targetAvailable(Target::Avx2))
+        out.push_back(Target::Avx2);
+    return out;
+}
+
+const char *
+targetName(Target t)
+{
+    switch (t) {
+      case Target::Scalar:
+        return "scalar";
+      case Target::Sse2:
+        return "sse2";
+      case Target::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+bool
+targetFromString(std::string_view s, Target *out)
+{
+    if (s == "scalar")
+        *out = Target::Scalar;
+    else if (s == "sse2")
+        *out = Target::Sse2;
+    else if (s == "avx2")
+        *out = Target::Avx2;
+    else
+        return false;
+    return true;
+}
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    ENMC_ASSERT(a.size() == b.size(), "dot: size mismatch");
+    return ops().dot(a.data(), b.data(), a.size());
+}
+
+void
+axpy(float alpha, std::span<const float> x, std::span<float> y)
+{
+    ENMC_ASSERT(x.size() == y.size(), "axpy: size mismatch");
+    ops().axpy(alpha, x.data(), y.data(), x.size());
+}
+
+float
+absMax(std::span<const float> v)
+{
+    return ops().absMax(v.data(), v.size());
+}
+
+namespace {
+
+/**
+ * Shared chunking driver: run `body(r0, r1)` over fixed kRowChunk blocks
+ * of [0, rows). Chunk boundaries depend only on `rows`, and each block
+ * writes a disjoint output range, so the merged result is bit-identical
+ * for every worker count.
+ */
+template <typename Body>
+void
+forEachRowChunk(size_t rows, size_t cols, size_t workers, const Body &body)
+{
+    if (rows * cols < kParallelMinWork || rows <= kRowChunk) {
+        body(0, rows);
+        return;
+    }
+    const size_t chunks = ceilDiv(rows, kRowChunk);
+    parallelFor(0, chunks, workers, [&](size_t c) {
+        const size_t r0 = c * kRowChunk;
+        body(r0, std::min(rows, r0 + kRowChunk));
+    });
+}
+
+} // namespace
+
+void
+gemvInto(const Matrix &w, std::span<const float> h,
+         std::span<const float> bias, std::span<float> out, size_t workers)
+{
+    ENMC_ASSERT(w.cols() == h.size(), "gemv: inner dim mismatch");
+    ENMC_ASSERT(bias.empty() || bias.size() == w.rows(),
+                "gemv: bias size mismatch");
+    ENMC_ASSERT(out.size() == w.rows(), "gemv: output size mismatch");
+    const KernelOps &k = ops();
+    const float *b = bias.empty() ? nullptr : bias.data();
+    forEachRowChunk(w.rows(), w.cols(), workers, [&](size_t r0, size_t r1) {
+        k.gemvRows(w.data(), w.cols(), h.data(), b, out.data(), r0, r1);
+    });
+}
+
+void
+gemvBatchInto(const Matrix &w, const float *const *hs, float *const *outs,
+              size_t nq, std::span<const float> bias, size_t workers)
+{
+    if (nq == 0)
+        return;
+    ENMC_ASSERT(bias.empty() || bias.size() == w.rows(),
+                "gemvBatch: bias size mismatch");
+    const KernelOps &k = ops();
+    const float *b = bias.empty() ? nullptr : bias.data();
+    // Batched work scales with nq: parallelize whenever the total crosses
+    // the threshold, still chunked over rows only.
+    const size_t eff_cols = w.cols() * nq;
+    forEachRowChunk(w.rows(), eff_cols, workers, [&](size_t r0, size_t r1) {
+        k.gemvBatchRows(w.data(), w.cols(), hs, outs, nq, b, r0, r1);
+    });
+}
+
+void
+gemvQuantInto(const int8_t *w, size_t rows, size_t cols, const float *scales,
+              const int8_t *h, float hscale, std::span<const float> bias,
+              std::span<float> out, size_t workers)
+{
+    ENMC_ASSERT(bias.empty() || bias.size() == rows,
+                "gemvQuantized: bias size mismatch");
+    ENMC_ASSERT(out.size() == rows, "gemvQuantized: output size mismatch");
+    const KernelOps &k = ops();
+    // The vector int32-lane MAC is exact for any realistic width; fall
+    // back to the scalar int64 path for absurdly wide rows.
+    const auto rowKernel = (cols > (size_t{1} << 20))
+                               ? scalarKernelOps()->gemvQuantRows
+                               : k.gemvQuantRows;
+    const float *b = bias.empty() ? nullptr : bias.data();
+    forEachRowChunk(rows, cols, workers, [&](size_t r0, size_t r1) {
+        rowKernel(w, cols, scales, h, hscale, b, out.data(), r0, r1);
+    });
+}
+
+} // namespace enmc::tensor::kernels

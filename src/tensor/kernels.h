@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the screening/classification
+ * hot path.
+ *
+ * Every dense numeric loop the experiments bottom out in — `dot`, `axpy`,
+ * GEMV (FP32 and quantized-integer), quantization, and the sparse
+ * projection — is implemented once per dispatch target (AVX2+FMA, SSE2,
+ * portable scalar) behind a single function-pointer table. The target is
+ * selected once at startup from cpuid and can be forced with
+ * `ENMC_KERNELS=scalar|sse2|avx2` (tests and benches may also switch at
+ * runtime with setActiveTarget()).
+ *
+ * Numerics contract (tested in tests/tensor/test_kernels.cc):
+ *  - Integer kernels (`gemvQuantRows`) and element-wise kernels (`axpy`,
+ *    `absMax`, `quantizeSpan`) are BIT-EXACT across all targets.
+ *  - FP32 reductions (`dot`, GEMV, projection) may differ across targets
+ *    within a documented ULP envelope: each target fixes its own
+ *    accumulation pattern (scalar: the original 4x double accumulators;
+ *    SSE2: 16 float lanes; AVX2: 16 float lanes + FMA), so the error vs.
+ *    the scalar reference is bounded by ~(n/lanes) rounding steps —
+ *    tests allow 64 * eps * sum_i |a_i * b_i|.
+ *  - Within one target the layer is self-consistent and deterministic:
+ *    gemv(W,h)[r] == dot(W.row(r), h) + b[r] bit-for-bit, batched GEMV
+ *    equals per-query GEMV bit-for-bit, and row-parallel GEMV partitions
+ *    rows into fixed-size chunks with disjoint outputs, so results are
+ *    bit-identical for ANY worker count (ENMC_THREADS).
+ */
+
+#ifndef ENMC_TENSOR_KERNELS_H
+#define ENMC_TENSOR_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace enmc::tensor::kernels {
+
+/** Dispatch targets, best-first capability order is Avx2 > Sse2 > Scalar. */
+enum class Target {
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+};
+
+/**
+ * The per-target kernel table. All functions tolerate n == 0 / empty row
+ * ranges; pointers may then be null. `w` is row-major with `cols` stride.
+ * Row-range kernels process rows [r0, r1) only — the building block the
+ * parallel wrappers chunk over.
+ */
+struct KernelOps
+{
+    const char *name;
+
+    float (*dot)(const float *a, const float *b, size_t n);
+    void (*axpy)(float alpha, const float *x, float *y, size_t n);
+    float (*absMax)(const float *v, size_t n);
+
+    /** out[r] = dot(w_row(r), h) + (bias ? bias[r] : 0). */
+    void (*gemvRows)(const float *w, size_t cols, const float *h,
+                     const float *bias, float *out, size_t r0, size_t r1);
+
+    /**
+     * Multi-query GEMV: outs[q][r] = dot(w_row(r), hs[q]) + bias[r].
+     * Weight rows are streamed once per row across all queries
+     * (register-blocked in query pairs); per-query results are bit-equal
+     * to gemvRows.
+     */
+    void (*gemvBatchRows)(const float *w, size_t cols,
+                          const float *const *hs, float *const *outs,
+                          size_t nq, const float *bias, size_t r0,
+                          size_t r1);
+
+    /**
+     * Integer GEMV on int8 storage:
+     * out[r] = float(sum_c w[r][c] * h[c]) * scales[r] * hscale + bias[r].
+     * The MAC runs in integer lanes and is bit-exact across targets.
+     */
+    void (*gemvQuantRows)(const int8_t *w, size_t cols, const float *scales,
+                          const int8_t *h, float hscale, const float *bias,
+                          float *out, size_t r0, size_t r1);
+
+    /**
+     * Symmetric quantization of a span: out[i] =
+     * clamp(lround(v[i] * inv_scale), -max_level, max_level).
+     * Round-half-away-from-zero, bit-exact across targets.
+     */
+    void (*quantizeSpan)(const float *v, size_t n, float inv_scale,
+                         int max_level, int8_t *out);
+
+    /**
+     * Achlioptas sparse projection rows [r0, r1):
+     * y[r] = (sum h[plus[i]] - sum h[minus[i]]) * scale with the flat
+     * index/offset layout of SparseProjection.
+     */
+    void (*projectRows)(const float *h, const uint32_t *plus,
+                        const uint32_t *plus_off, const uint32_t *minus,
+                        const uint32_t *minus_off, float scale, float *y,
+                        size_t r0, size_t r1);
+};
+
+/** Active table (never null). Selected on first use; see activeTarget(). */
+const KernelOps &ops();
+
+/**
+ * The active dispatch target. First call probes cpuid and honours
+ * ENMC_KERNELS=scalar|sse2|avx2 (unknown value panics; an unavailable
+ * target warns and falls back to the best available one).
+ */
+Target activeTarget();
+
+/**
+ * Force a target (test/bench hook). Panics if the target is not
+ * available on this CPU. Not thread-safe: call only from single-threaded
+ * setup code.
+ */
+void setActiveTarget(Target t);
+
+/** Targets usable on this CPU, ordered Scalar, [Sse2,] [Avx2]. */
+std::vector<Target> availableTargets();
+
+const char *targetName(Target t);
+
+/** Parse "scalar"/"sse2"/"avx2". Returns false on unknown names. */
+bool targetFromString(std::string_view s, Target *out);
+
+// ---------------------------------------------------------------------
+// Span-level conveniences (active-target dispatch, serial).
+
+float dot(std::span<const float> a, std::span<const float> b);
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+float absMax(std::span<const float> v);
+
+// ---------------------------------------------------------------------
+// Row-parallel GEMV wrappers. Work is split into fixed kRowChunk-row
+// blocks (independent of worker count) executed on the shared pool when
+// the matrix is large enough; outputs are disjoint per block, so results
+// are bit-identical for every ENMC_THREADS value. `workers` follows
+// enmc::parallelFor: 0 = process-wide pool, 1 = inline serial, n = a
+// dedicated pool of n threads.
+
+/** Rows processed per parallel work item. */
+inline constexpr size_t kRowChunk = 1024;
+
+/** Minimum rows*cols before GEMV fans out to the pool. */
+inline constexpr size_t kParallelMinWork = size_t{1} << 21;
+
+/** z = W h (+ bias); out.size() == w.rows(). */
+void gemvInto(const Matrix &w, std::span<const float> h,
+              std::span<const float> bias, std::span<float> out,
+              size_t workers = 0);
+
+/** Batched multi-query GEMV; outs[q] points at a w.rows() buffer. */
+void gemvBatchInto(const Matrix &w, const float *const *hs,
+                   float *const *outs, size_t nq,
+                   std::span<const float> bias, size_t workers = 0);
+
+/** Quantized GEMV over all rows (int8 storage, per-row scales). */
+void gemvQuantInto(const int8_t *w, size_t rows, size_t cols,
+                   const float *scales, const int8_t *h, float hscale,
+                   std::span<const float> bias, std::span<float> out,
+                   size_t workers = 0);
+
+// ---------------------------------------------------------------------
+// Per-target tables (internal; used by dispatch and the equivalence
+// tests). May return null when the build/CPU lacks the target.
+
+const KernelOps *scalarKernelOps();
+const KernelOps *sse2KernelOps();
+const KernelOps *avx2KernelOps();
+
+} // namespace enmc::tensor::kernels
+
+#endif // ENMC_TENSOR_KERNELS_H

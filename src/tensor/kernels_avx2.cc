@@ -1,0 +1,386 @@
+/**
+ * @file
+ * AVX2+FMA kernels. Compiled with -mavx2 -mfma -ffp-contract=off (the
+ * contract flag keeps the C-level tail loops from being auto-fused, so
+ * the element-wise kernels stay bit-exact with the scalar reference);
+ * dispatch guarantees these run only on CPUs with both features.
+ *
+ * FP32 reductions use 16 float accumulator slots (2 ymm registers,
+ * element i -> slot i mod 16) with FMA, reduced in a fixed order. Every
+ * float path — dot, the 4-row GEMV interleave, the query-pair batch —
+ * applies this same per-vector pattern, so gemv rows, batch entries and
+ * dot calls are bit-identical within the target; interleaving rows only
+ * overlaps the horizontal reductions (the single-row bottleneck: a ~20
+ * cycle serialized reduction every 512 B row stalls the load pipe).
+ * The integer MAC widens int8 pairs to int32 lanes with pmaddwd and is
+ * bit-exact vs. the scalar int64 loop for cols up to ~2^20 (each int32
+ * lane accumulates at most cols/16 products of magnitude <= 127*254;
+ * gemvQuantInto routes wider rows to the scalar path).
+ */
+
+#include "tensor/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace enmc::tensor::kernels {
+
+namespace {
+
+/** Fixed-order horizontal sum of one ymm: (lo+hi), pairwise, then pair. */
+inline float
+hsum256(__m256 v)
+{
+    __m128 t = _mm_add_ps(_mm256_castps256_ps128(v),
+                          _mm256_extractf128_ps(v, 1));
+    t = _mm_add_ps(t, _mm_movehl_ps(t, t));
+    t = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55));
+    return _mm_cvtss_f32(t);
+}
+
+float
+dotAvx2(const float *a, const float *b, size_t n)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                               _mm256_loadu_ps(b + i + 8), acc1);
+    }
+    for (; i + 8 <= n; i += 8)
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+    float s = hsum256(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+/**
+ * Four row-dots against one shared h, interleaved so the per-row
+ * horizontal reductions overlap the next rows' loads. Each row's
+ * accumulation pattern is identical to dotAvx2 (same slots, same
+ * order), so results are bit-equal to four independent dot calls.
+ */
+inline void
+dot4RowsAvx2(const float *w0, const float *w1, const float *w2,
+             const float *w3, const float *h, size_t n, float *out)
+{
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+    __m256 c0 = _mm256_setzero_ps(), c1 = _mm256_setzero_ps();
+    __m256 d0 = _mm256_setzero_ps(), d1 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256 hv0 = _mm256_loadu_ps(h + i);
+        const __m256 hv1 = _mm256_loadu_ps(h + i + 8);
+        a0 = _mm256_fmadd_ps(_mm256_loadu_ps(w0 + i), hv0, a0);
+        a1 = _mm256_fmadd_ps(_mm256_loadu_ps(w0 + i + 8), hv1, a1);
+        b0 = _mm256_fmadd_ps(_mm256_loadu_ps(w1 + i), hv0, b0);
+        b1 = _mm256_fmadd_ps(_mm256_loadu_ps(w1 + i + 8), hv1, b1);
+        c0 = _mm256_fmadd_ps(_mm256_loadu_ps(w2 + i), hv0, c0);
+        c1 = _mm256_fmadd_ps(_mm256_loadu_ps(w2 + i + 8), hv1, c1);
+        d0 = _mm256_fmadd_ps(_mm256_loadu_ps(w3 + i), hv0, d0);
+        d1 = _mm256_fmadd_ps(_mm256_loadu_ps(w3 + i + 8), hv1, d1);
+    }
+    for (; i + 8 <= n; i += 8) {
+        const __m256 hv = _mm256_loadu_ps(h + i);
+        a0 = _mm256_fmadd_ps(_mm256_loadu_ps(w0 + i), hv, a0);
+        b0 = _mm256_fmadd_ps(_mm256_loadu_ps(w1 + i), hv, b0);
+        c0 = _mm256_fmadd_ps(_mm256_loadu_ps(w2 + i), hv, c0);
+        d0 = _mm256_fmadd_ps(_mm256_loadu_ps(w3 + i), hv, d0);
+    }
+    float s0 = hsum256(_mm256_add_ps(a0, a1));
+    float s1 = hsum256(_mm256_add_ps(b0, b1));
+    float s2 = hsum256(_mm256_add_ps(c0, c1));
+    float s3 = hsum256(_mm256_add_ps(d0, d1));
+    for (; i < n; ++i) {
+        s0 += w0[i] * h[i];
+        s1 += w1[i] * h[i];
+        s2 += w2[i] * h[i];
+        s3 += w3[i] * h[i];
+    }
+    out[0] = s0;
+    out[1] = s1;
+    out[2] = s2;
+    out[3] = s3;
+}
+
+/**
+ * Two dots sharing the weight-row loads. Each query's accumulation
+ * pattern is identical to dotAvx2, so results are bit-equal to two
+ * independent dot calls — the batched GEMV contract.
+ */
+inline void
+dot2Avx2(const float *w, const float *h0, const float *h1, size_t n,
+         float *out0, float *out1)
+{
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256 w0 = _mm256_loadu_ps(w + i);
+        const __m256 w1 = _mm256_loadu_ps(w + i + 8);
+        a0 = _mm256_fmadd_ps(w0, _mm256_loadu_ps(h0 + i), a0);
+        a1 = _mm256_fmadd_ps(w1, _mm256_loadu_ps(h0 + i + 8), a1);
+        b0 = _mm256_fmadd_ps(w0, _mm256_loadu_ps(h1 + i), b0);
+        b1 = _mm256_fmadd_ps(w1, _mm256_loadu_ps(h1 + i + 8), b1);
+    }
+    for (; i + 8 <= n; i += 8) {
+        const __m256 wv = _mm256_loadu_ps(w + i);
+        a0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(h0 + i), a0);
+        b0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(h1 + i), b0);
+    }
+    float s0 = hsum256(_mm256_add_ps(a0, a1));
+    float s1 = hsum256(_mm256_add_ps(b0, b1));
+    for (; i < n; ++i) {
+        s0 += w[i] * h0[i];
+        s1 += w[i] * h1[i];
+    }
+    *out0 = s0;
+    *out1 = s1;
+}
+
+void
+axpyAvx2(float alpha, const float *x, float *y, size_t n)
+{
+    // mul+add (not FMA): bit-exact with the scalar y[i] += alpha * x[i].
+    const __m256 va = _mm256_set1_ps(alpha);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 p = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+        _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), p));
+    }
+    for (; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+float
+absMaxAvx2(const float *v, size_t n)
+{
+    const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 m0 = _mm256_setzero_ps();
+    __m256 m1 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        m0 = _mm256_max_ps(m0,
+                           _mm256_and_ps(mask, _mm256_loadu_ps(v + i)));
+        m1 = _mm256_max_ps(m1,
+                           _mm256_and_ps(mask, _mm256_loadu_ps(v + i + 8)));
+    }
+    for (; i + 8 <= n; i += 8)
+        m0 = _mm256_max_ps(m0,
+                           _mm256_and_ps(mask, _mm256_loadu_ps(v + i)));
+    m0 = _mm256_max_ps(m0, m1);
+    __m128 t = _mm_max_ps(_mm256_castps256_ps128(m0),
+                          _mm256_extractf128_ps(m0, 1));
+    t = _mm_max_ps(t, _mm_movehl_ps(t, t));
+    t = _mm_max_ss(t, _mm_shuffle_ps(t, t, 0x55));
+    float m = _mm_cvtss_f32(t);
+    for (; i < n; ++i)
+        m = std::max(m, std::fabs(v[i]));
+    return m;
+}
+
+void
+gemvRowsAvx2(const float *w, size_t cols, const float *h, const float *bias,
+             float *out, size_t r0, size_t r1)
+{
+    size_t r = r0;
+    for (; r + 4 <= r1; r += 4) {
+        const float *base = w + r * cols;
+        // Prefetch the group two ahead: one group (~4*cols FLOP) of
+        // latency is too little to cover an L3 round trip.
+        if (r + 12 <= r1) {
+            const float *p = w + (r + 8) * cols;
+            for (const float *e = p + 4 * cols; p < e; p += 16)
+                _mm_prefetch(reinterpret_cast<const char *>(p),
+                             _MM_HINT_T0);
+        }
+        float s[4];
+        dot4RowsAvx2(base, base + cols, base + 2 * cols, base + 3 * cols,
+                     h, cols, s);
+        for (size_t j = 0; j < 4; ++j)
+            out[r + j] = s[j] + (bias ? bias[r + j] : 0.0f);
+    }
+    for (; r < r1; ++r)
+        out[r] = dotAvx2(w + r * cols, h, cols) + (bias ? bias[r] : 0.0f);
+}
+
+void
+gemvBatchRowsAvx2(const float *w, size_t cols, const float *const *hs,
+                  float *const *outs, size_t nq, const float *bias,
+                  size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const float *wr = w + r * cols;
+        const float b = bias ? bias[r] : 0.0f;
+        size_t q = 0;
+        for (; q + 1 < nq; q += 2) {
+            float s0, s1;
+            dot2Avx2(wr, hs[q], hs[q + 1], cols, &s0, &s1);
+            outs[q][r] = s0 + b;
+            outs[q + 1][r] = s1 + b;
+        }
+        if (q < nq)
+            outs[q][r] = dotAvx2(wr, hs[q], cols) + b;
+    }
+}
+
+/** Horizontal sum of 8 int32 lanes into int64 (lanes cannot overflow
+ *  int32 for cols up to ~2^20; the wide sum is exact regardless). */
+inline int64_t
+hsumEpi32(__m256i v)
+{
+    alignas(32) int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), v);
+    int64_t s = 0;
+    for (int32_t l : lanes)
+        s += l;
+    return s;
+}
+
+void
+gemvQuantRowsAvx2(const int8_t *w, size_t cols, const float *scales,
+                  const int8_t *h, float hscale, const float *bias,
+                  float *out, size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const int8_t *wr = w + r * cols;
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        size_t c = 0;
+        for (; c + 32 <= cols; c += 32) {
+            const __m256i w16a = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(wr + c)));
+            const __m256i h16a = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(h + c)));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(w16a, h16a));
+            const __m256i w16b = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(wr + c + 16)));
+            const __m256i h16b = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(h + c + 16)));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(w16b, h16b));
+        }
+        for (; c + 16 <= cols; c += 16) {
+            const __m256i w16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(wr + c)));
+            const __m256i h16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(h + c)));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(w16, h16));
+        }
+        int64_t total =
+            hsumEpi32(_mm256_add_epi32(acc0, acc1));
+        for (; c < cols; ++c)
+            total += static_cast<int64_t>(wr[c]) * h[c];
+        out[r] = static_cast<float>(total) * scales[r] * hscale +
+                 (bias ? bias[r] : 0.0f);
+    }
+}
+
+void
+quantizeSpanAvx2(const float *v, size_t n, float inv_scale, int max_level,
+                 int8_t *out)
+{
+    // Round-half-away-from-zero, exactly matching lround():
+    // r = trunc(t); if |t - r| >= 0.5 then r += copysign(1, t).
+    const __m256 vinv = _mm256_set1_ps(inv_scale);
+    const __m256 vmax = _mm256_set1_ps(static_cast<float>(max_level));
+    const __m256 vmin = _mm256_set1_ps(static_cast<float>(-max_level));
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    const __m256 signmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(
+            static_cast<int32_t>(0x80000000u)));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(v + i), vinv);
+        __m256 r = _mm256_round_ps(
+            t, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+        const __m256 frac = _mm256_and_ps(absmask, _mm256_sub_ps(t, r));
+        const __m256 bump = _mm256_and_ps(
+            _mm256_cmp_ps(frac, half, _CMP_GE_OQ),
+            _mm256_or_ps(one, _mm256_and_ps(signmask, t)));
+        r = _mm256_add_ps(r, bump);
+        r = _mm256_min_ps(_mm256_max_ps(r, vmin), vmax);
+        const __m256i q32 = _mm256_cvttps_epi32(r);
+        const __m128i q16 = _mm_packs_epi32(
+            _mm256_castsi256_si128(q32), _mm256_extracti128_si256(q32, 1));
+        const __m128i q8 = _mm_packs_epi16(q16, q16);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(out + i), q8);
+    }
+    for (; i < n; ++i) {
+        const long q = std::lround(v[i] * inv_scale);
+        out[i] = static_cast<int8_t>(
+            std::clamp<long>(q, -max_level, max_level));
+    }
+}
+
+/** Gather-accumulate sum of h[idx[i]] over [begin, end). */
+inline float
+gatherSum(const float *h, const uint32_t *idx, uint32_t begin, uint32_t end)
+{
+    __m256 acc = _mm256_setzero_ps();
+    uint32_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+        const __m256i vi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(idx + i));
+        acc = _mm256_add_ps(acc, _mm256_i32gather_ps(h, vi, 4));
+    }
+    float s = hsum256(acc);
+    for (; i < end; ++i)
+        s += h[idx[i]];
+    return s;
+}
+
+void
+projectRowsAvx2(const float *h, const uint32_t *plus,
+                const uint32_t *plus_off, const uint32_t *minus,
+                const uint32_t *minus_off, float scale, float *y, size_t r0,
+                size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const float sp = gatherSum(h, plus, plus_off[r], plus_off[r + 1]);
+        const float sm = gatherSum(h, minus, minus_off[r], minus_off[r + 1]);
+        y[r] = (sp - sm) * scale;
+    }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2",            dotAvx2,          axpyAvx2,
+    absMaxAvx2,        gemvRowsAvx2,     gemvBatchRowsAvx2,
+    gemvQuantRowsAvx2, quantizeSpanAvx2, projectRowsAvx2,
+};
+
+} // namespace
+
+const KernelOps *
+avx2KernelOps()
+{
+    return &kAvx2Ops;
+}
+
+} // namespace enmc::tensor::kernels
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace enmc::tensor::kernels {
+
+const KernelOps *
+avx2KernelOps()
+{
+    return nullptr;
+}
+
+} // namespace enmc::tensor::kernels
+
+#endif

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Portable scalar kernels — the reference numerics every other dispatch
+ * target is tested against. The FP32 reduction pattern (four stride-4
+ * double accumulators) is kept exactly as the original tensor/ops.cc
+ * loops, so `ENMC_KERNELS=scalar` reproduces pre-kernel-layer results
+ * bit-for-bit.
+ */
+
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace enmc::tensor::kernels {
+
+namespace {
+
+float
+dotScalar(const float *a, const float *b, size_t n)
+{
+    // Four partial accumulators: better ILP and slightly better numerics.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    size_t i = 0;
+    const size_t n4 = n & ~size_t{3};
+    for (; i < n4; i += 4) {
+        s0 += static_cast<double>(a[i]) * b[i];
+        s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+        s2 += static_cast<double>(a[i + 2]) * b[i + 2];
+        s3 += static_cast<double>(a[i + 3]) * b[i + 3];
+    }
+    for (; i < n; ++i)
+        s0 += static_cast<double>(a[i]) * b[i];
+    return static_cast<float>(s0 + s1 + s2 + s3);
+}
+
+void
+axpyScalar(float alpha, const float *x, float *y, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+float
+absMaxScalar(const float *v, size_t n)
+{
+    float m = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        m = std::max(m, std::fabs(v[i]));
+    return m;
+}
+
+void
+gemvRowsScalar(const float *w, size_t cols, const float *h,
+               const float *bias, float *out, size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r)
+        out[r] = dotScalar(w + r * cols, h, cols) + (bias ? bias[r] : 0.0f);
+}
+
+void
+gemvBatchRowsScalar(const float *w, size_t cols, const float *const *hs,
+                    float *const *outs, size_t nq, const float *bias,
+                    size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const float *wr = w + r * cols;
+        const float b = bias ? bias[r] : 0.0f;
+        for (size_t q = 0; q < nq; ++q)
+            outs[q][r] = dotScalar(wr, hs[q], cols) + b;
+    }
+}
+
+void
+gemvQuantRowsScalar(const int8_t *w, size_t cols, const float *scales,
+                    const int8_t *h, float hscale, const float *bias,
+                    float *out, size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const int8_t *wr = w + r * cols;
+        int64_t acc = 0;
+        for (size_t c = 0; c < cols; ++c)
+            acc += static_cast<int64_t>(wr[c]) * h[c];
+        out[r] = static_cast<float>(acc) * scales[r] * hscale +
+                 (bias ? bias[r] : 0.0f);
+    }
+}
+
+void
+quantizeSpanScalar(const float *v, size_t n, float inv_scale, int max_level,
+                   int8_t *out)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const long q = std::lround(v[i] * inv_scale);
+        out[i] = static_cast<int8_t>(
+            std::clamp<long>(q, -max_level, max_level));
+    }
+}
+
+void
+projectRowsScalar(const float *h, const uint32_t *plus,
+                  const uint32_t *plus_off, const uint32_t *minus,
+                  const uint32_t *minus_off, float scale, float *y,
+                  size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        double acc = 0.0;
+        for (uint32_t i = plus_off[r]; i < plus_off[r + 1]; ++i)
+            acc += h[plus[i]];
+        for (uint32_t i = minus_off[r]; i < minus_off[r + 1]; ++i)
+            acc -= h[minus[i]];
+        y[r] = static_cast<float>(acc) * scale;
+    }
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",          dotScalar,          axpyScalar,
+    absMaxScalar,      gemvRowsScalar,     gemvBatchRowsScalar,
+    gemvQuantRowsScalar, quantizeSpanScalar, projectRowsScalar,
+};
+
+} // namespace
+
+const KernelOps *
+scalarKernelOps()
+{
+    return &kScalarOps;
+}
+
+} // namespace enmc::tensor::kernels

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * SSE2 kernels — the baseline vector ISA of every x86-64 CPU, so no
+ * extra compile flags are needed; non-x86 builds compile the stub at the
+ * bottom. FP32 reductions use 16 float accumulator slots (4 xmm
+ * registers) with separate mul+add (SSE2 has no FMA); the integer MAC
+ * uses pmaddwd and is bit-exact with the scalar reference.
+ */
+
+#include "tensor/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace enmc::tensor::kernels {
+
+namespace {
+
+inline float
+hsum128(__m128 v)
+{
+    v = _mm_add_ps(v, _mm_movehl_ps(v, v));
+    v = _mm_add_ss(v, _mm_shuffle_ps(v, v, 0x55));
+    return _mm_cvtss_f32(v);
+}
+
+inline float
+reduceDotAccs(__m128 a0, __m128 a1, __m128 a2, __m128 a3)
+{
+    a0 = _mm_add_ps(a0, a1);
+    a2 = _mm_add_ps(a2, a3);
+    return hsum128(_mm_add_ps(a0, a2));
+}
+
+float
+dotSse2(const float *a, const float *b, size_t n)
+{
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    __m128 acc2 = _mm_setzero_ps();
+    __m128 acc3 = _mm_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i),
+                                           _mm_loadu_ps(b + i)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(_mm_loadu_ps(a + i + 4),
+                                           _mm_loadu_ps(b + i + 4)));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(_mm_loadu_ps(a + i + 8),
+                                           _mm_loadu_ps(b + i + 8)));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(_mm_loadu_ps(a + i + 12),
+                                           _mm_loadu_ps(b + i + 12)));
+    }
+    for (; i + 4 <= n; i += 4)
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i),
+                                           _mm_loadu_ps(b + i)));
+    float s = reduceDotAccs(acc0, acc1, acc2, acc3);
+    for (; i < n; ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+/** Two dots sharing weight loads; per-query math identical to dotSse2. */
+inline void
+dot2Sse2(const float *w, const float *h0, const float *h1, size_t n,
+         float *out0, float *out1)
+{
+    __m128 a0 = _mm_setzero_ps(), a1 = _mm_setzero_ps();
+    __m128 a2 = _mm_setzero_ps(), a3 = _mm_setzero_ps();
+    __m128 b0 = _mm_setzero_ps(), b1 = _mm_setzero_ps();
+    __m128 b2 = _mm_setzero_ps(), b3 = _mm_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128 w0 = _mm_loadu_ps(w + i);
+        const __m128 w1 = _mm_loadu_ps(w + i + 4);
+        const __m128 w2 = _mm_loadu_ps(w + i + 8);
+        const __m128 w3 = _mm_loadu_ps(w + i + 12);
+        a0 = _mm_add_ps(a0, _mm_mul_ps(w0, _mm_loadu_ps(h0 + i)));
+        a1 = _mm_add_ps(a1, _mm_mul_ps(w1, _mm_loadu_ps(h0 + i + 4)));
+        a2 = _mm_add_ps(a2, _mm_mul_ps(w2, _mm_loadu_ps(h0 + i + 8)));
+        a3 = _mm_add_ps(a3, _mm_mul_ps(w3, _mm_loadu_ps(h0 + i + 12)));
+        b0 = _mm_add_ps(b0, _mm_mul_ps(w0, _mm_loadu_ps(h1 + i)));
+        b1 = _mm_add_ps(b1, _mm_mul_ps(w1, _mm_loadu_ps(h1 + i + 4)));
+        b2 = _mm_add_ps(b2, _mm_mul_ps(w2, _mm_loadu_ps(h1 + i + 8)));
+        b3 = _mm_add_ps(b3, _mm_mul_ps(w3, _mm_loadu_ps(h1 + i + 12)));
+    }
+    for (; i + 4 <= n; i += 4) {
+        const __m128 wv = _mm_loadu_ps(w + i);
+        a0 = _mm_add_ps(a0, _mm_mul_ps(wv, _mm_loadu_ps(h0 + i)));
+        b0 = _mm_add_ps(b0, _mm_mul_ps(wv, _mm_loadu_ps(h1 + i)));
+    }
+    float s0 = reduceDotAccs(a0, a1, a2, a3);
+    float s1 = reduceDotAccs(b0, b1, b2, b3);
+    for (; i < n; ++i) {
+        s0 += w[i] * h0[i];
+        s1 += w[i] * h1[i];
+    }
+    *out0 = s0;
+    *out1 = s1;
+}
+
+void
+axpySse2(float alpha, const float *x, float *y, size_t n)
+{
+    const __m128 va = _mm_set1_ps(alpha);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 p = _mm_mul_ps(va, _mm_loadu_ps(x + i));
+        _mm_storeu_ps(y + i, _mm_add_ps(_mm_loadu_ps(y + i), p));
+    }
+    for (; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+float
+absMaxSse2(const float *v, size_t n)
+{
+    const __m128 mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+    __m128 m0 = _mm_setzero_ps();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        m0 = _mm_max_ps(m0, _mm_and_ps(mask, _mm_loadu_ps(v + i)));
+    m0 = _mm_max_ps(m0, _mm_movehl_ps(m0, m0));
+    m0 = _mm_max_ss(m0, _mm_shuffle_ps(m0, m0, 0x55));
+    float m = _mm_cvtss_f32(m0);
+    for (; i < n; ++i)
+        m = std::max(m, std::fabs(v[i]));
+    return m;
+}
+
+void
+gemvRowsSse2(const float *w, size_t cols, const float *h, const float *bias,
+             float *out, size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r)
+        out[r] = dotSse2(w + r * cols, h, cols) + (bias ? bias[r] : 0.0f);
+}
+
+void
+gemvBatchRowsSse2(const float *w, size_t cols, const float *const *hs,
+                  float *const *outs, size_t nq, const float *bias,
+                  size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const float *wr = w + r * cols;
+        const float b = bias ? bias[r] : 0.0f;
+        size_t q = 0;
+        for (; q + 1 < nq; q += 2) {
+            float s0, s1;
+            dot2Sse2(wr, hs[q], hs[q + 1], cols, &s0, &s1);
+            outs[q][r] = s0 + b;
+            outs[q + 1][r] = s1 + b;
+        }
+        if (q < nq)
+            outs[q][r] = dotSse2(wr, hs[q], cols) + b;
+    }
+}
+
+inline int64_t
+hsumEpi32(__m128i v)
+{
+    alignas(16) int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i *>(lanes), v);
+    return static_cast<int64_t>(lanes[0]) + lanes[1] + lanes[2] + lanes[3];
+}
+
+void
+gemvQuantRowsSse2(const int8_t *w, size_t cols, const float *scales,
+                  const int8_t *h, float hscale, const float *bias,
+                  float *out, size_t r0, size_t r1)
+{
+    const __m128i zero = _mm_setzero_si128();
+    for (size_t r = r0; r < r1; ++r) {
+        const int8_t *wr = w + r * cols;
+        __m128i acc = _mm_setzero_si128();
+        size_t c = 0;
+        for (; c + 16 <= cols; c += 16) {
+            const __m128i wv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(wr + c));
+            const __m128i hv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(h + c));
+            // Sign-extend int8 -> int16 via unpack with the sign byte.
+            const __m128i ws = _mm_cmpgt_epi8(zero, wv);
+            const __m128i hsgn = _mm_cmpgt_epi8(zero, hv);
+            const __m128i wlo = _mm_unpacklo_epi8(wv, ws);
+            const __m128i whi = _mm_unpackhi_epi8(wv, ws);
+            const __m128i hlo = _mm_unpacklo_epi8(hv, hsgn);
+            const __m128i hhi = _mm_unpackhi_epi8(hv, hsgn);
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(wlo, hlo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(whi, hhi));
+        }
+        int64_t total = hsumEpi32(acc);
+        for (; c < cols; ++c)
+            total += static_cast<int64_t>(wr[c]) * h[c];
+        out[r] = static_cast<float>(total) * scales[r] * hscale +
+                 (bias ? bias[r] : 0.0f);
+    }
+}
+
+void
+quantizeSpanSse2(const float *v, size_t n, float inv_scale, int max_level,
+                 int8_t *out)
+{
+    // Pre-clamp to +-(max_level + 1) so cvttps-based truncation is exact,
+    // then round half away from zero — bit-exact with lround + clamp.
+    const __m128 vinv = _mm_set1_ps(inv_scale);
+    const float lim = static_cast<float>(max_level + 1);
+    const __m128 vlim = _mm_set1_ps(lim);
+    const __m128 vnlim = _mm_set1_ps(-lim);
+    const __m128 vmax = _mm_set1_ps(static_cast<float>(max_level));
+    const __m128 vmin = _mm_set1_ps(static_cast<float>(-max_level));
+    const __m128 half = _mm_set1_ps(0.5f);
+    const __m128 one = _mm_set1_ps(1.0f);
+    const __m128 absmask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+    const __m128 signmask =
+        _mm_castsi128_ps(_mm_set1_epi32(static_cast<int32_t>(0x80000000u)));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128 t = _mm_mul_ps(_mm_loadu_ps(v + i), vinv);
+        t = _mm_min_ps(_mm_max_ps(t, vnlim), vlim);
+        __m128 r = _mm_cvtepi32_ps(_mm_cvttps_epi32(t));
+        const __m128 frac = _mm_and_ps(absmask, _mm_sub_ps(t, r));
+        const __m128 bump =
+            _mm_and_ps(_mm_cmpge_ps(frac, half),
+                       _mm_or_ps(one, _mm_and_ps(signmask, t)));
+        r = _mm_add_ps(r, bump);
+        r = _mm_min_ps(_mm_max_ps(r, vmin), vmax);
+        const __m128i q32 = _mm_cvttps_epi32(r);
+        const __m128i q16 = _mm_packs_epi32(q32, q32);
+        const __m128i q8 = _mm_packs_epi16(q16, q16);
+        const int packed = _mm_cvtsi128_si32(q8);
+        std::copy_n(reinterpret_cast<const char *>(&packed), 4,
+                    reinterpret_cast<char *>(out + i));
+    }
+    for (; i < n; ++i) {
+        const long q = std::lround(v[i] * inv_scale);
+        out[i] = static_cast<int8_t>(
+            std::clamp<long>(q, -max_level, max_level));
+    }
+}
+
+/** 4-slot float gather-accumulate of h[idx[i]] over [begin, end). */
+inline float
+gatherSum(const float *h, const uint32_t *idx, uint32_t begin, uint32_t end)
+{
+    __m128 acc = _mm_setzero_ps();
+    uint32_t i = begin;
+    for (; i + 4 <= end; i += 4) {
+        acc = _mm_add_ps(acc, _mm_set_ps(h[idx[i + 3]], h[idx[i + 2]],
+                                         h[idx[i + 1]], h[idx[i]]));
+    }
+    float s = hsum128(acc);
+    for (; i < end; ++i)
+        s += h[idx[i]];
+    return s;
+}
+
+void
+projectRowsSse2(const float *h, const uint32_t *plus,
+                const uint32_t *plus_off, const uint32_t *minus,
+                const uint32_t *minus_off, float scale, float *y, size_t r0,
+                size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const float sp = gatherSum(h, plus, plus_off[r], plus_off[r + 1]);
+        const float sm = gatherSum(h, minus, minus_off[r], minus_off[r + 1]);
+        y[r] = (sp - sm) * scale;
+    }
+}
+
+constexpr KernelOps kSse2Ops = {
+    "sse2",            dotSse2,          axpySse2,
+    absMaxSse2,        gemvRowsSse2,     gemvBatchRowsSse2,
+    gemvQuantRowsSse2, quantizeSpanSse2, projectRowsSse2,
+};
+
+} // namespace
+
+const KernelOps *
+sse2KernelOps()
+{
+    return &kSse2Ops;
+}
+
+} // namespace enmc::tensor::kernels
+
+#else // non-x86
+
+namespace enmc::tensor::kernels {
+
+const KernelOps *
+sse2KernelOps()
+{
+    return nullptr;
+}
+
+} // namespace enmc::tensor::kernels
+
+#endif

@@ -4,44 +4,27 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace enmc::tensor {
 
 float
 dot(std::span<const float> a, std::span<const float> b)
 {
-    ENMC_ASSERT(a.size() == b.size(), "dot: size mismatch");
-    // Four partial accumulators: better ILP and slightly better numerics.
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    size_t i = 0;
-    const size_t n4 = a.size() & ~size_t{3};
-    for (; i < n4; i += 4) {
-        s0 += static_cast<double>(a[i]) * b[i];
-        s1 += static_cast<double>(a[i + 1]) * b[i + 1];
-        s2 += static_cast<double>(a[i + 2]) * b[i + 2];
-        s3 += static_cast<double>(a[i + 3]) * b[i + 3];
-    }
-    for (; i < a.size(); ++i)
-        s0 += static_cast<double>(a[i]) * b[i];
-    return static_cast<float>(s0 + s1 + s2 + s3);
+    return kernels::dot(a, b);
 }
 
 void
 axpy(float alpha, std::span<const float> x, std::span<float> y)
 {
-    ENMC_ASSERT(x.size() == y.size(), "axpy: size mismatch");
-    for (size_t i = 0; i < x.size(); ++i)
-        y[i] += alpha * x[i];
+    kernels::axpy(alpha, x, y);
 }
 
 Vector
 gemv(const Matrix &w, std::span<const float> h, std::span<const float> b)
 {
-    ENMC_ASSERT(w.cols() == h.size(), "gemv: inner dim mismatch");
-    ENMC_ASSERT(b.empty() || b.size() == w.rows(), "gemv: bias size mismatch");
     Vector z(w.rows());
-    for (size_t r = 0; r < w.rows(); ++r)
-        z[r] = dot(w.row(r), h) + (b.empty() ? 0.0f : b[r]);
+    kernels::gemvInto(w, h, b, z);
     return z;
 }
 
@@ -49,6 +32,23 @@ Vector
 gemv(const Matrix &w, std::span<const float> h)
 {
     return gemv(w, h, {});
+}
+
+std::vector<Vector>
+gemvBatch(const Matrix &w, std::span<const Vector> hs,
+          std::span<const float> b)
+{
+    std::vector<Vector> outs(hs.size(), Vector(w.rows()));
+    std::vector<const float *> hp(hs.size());
+    std::vector<float *> op(hs.size());
+    for (size_t q = 0; q < hs.size(); ++q) {
+        ENMC_ASSERT(hs[q].size() == w.cols(),
+                    "gemvBatch: inner dim mismatch");
+        hp[q] = hs[q].data();
+        op[q] = outs[q].data();
+    }
+    kernels::gemvBatchInto(w, hp.data(), op.data(), hs.size(), b);
+    return outs;
 }
 
 Matrix
@@ -61,8 +61,9 @@ matmul(const Matrix &a, const Matrix &b)
             const float aik = a(i, k);
             if (aik == 0.0f)
                 continue;
-            for (size_t j = 0; j < b.cols(); ++j)
-                c(i, j) += aik * b(k, j);
+            // Row-of-B into row-of-C rank-1 update; axpy is bit-exact
+            // across dispatch targets, so this matches the scalar loop.
+            kernels::axpy(aik, b.row(k), c.row(i));
         }
     }
     return c;

@@ -27,6 +27,14 @@ Vector gemv(const Matrix &w, std::span<const float> h,
 /** z = W h (no bias). */
 Vector gemv(const Matrix &w, std::span<const float> h);
 
+/**
+ * Batched multi-query GEMV: one output vector per query in `hs`, each
+ * bit-identical to gemv(w, hs[q], b). Weight rows are streamed once per
+ * batch (see tensor/kernels.h), the win for multi-item inference.
+ */
+std::vector<Vector> gemvBatch(const Matrix &w, std::span<const Vector> hs,
+                              std::span<const float> b = {});
+
 /** C = A * B (small helper for SVD and tests). */
 Matrix matmul(const Matrix &a, const Matrix &b);
 

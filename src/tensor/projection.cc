@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "tensor/kernels.h"
 
 namespace enmc::tensor {
 
@@ -33,14 +34,9 @@ SparseProjection::apply(std::span<const float> h) const
 {
     ENMC_ASSERT(h.size() == d_, "projection input dim mismatch");
     Vector y(k_);
-    for (size_t r = 0; r < k_; ++r) {
-        double acc = 0.0;
-        for (uint32_t i = plusOffset_[r]; i < plusOffset_[r + 1]; ++i)
-            acc += h[plus_[i]];
-        for (uint32_t i = minusOffset_[r]; i < minusOffset_[r + 1]; ++i)
-            acc -= h[minus_[i]];
-        y[r] = static_cast<float>(acc) * scale_;
-    }
+    kernels::ops().projectRows(h.data(), plus_.data(), plusOffset_.data(),
+                               minus_.data(), minusOffset_.data(), scale_,
+                               y.data(), 0, k_);
     return y;
 }
 

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
+#include "tensor/kernels.h"
 
 namespace enmc::tensor {
 
@@ -32,21 +34,12 @@ quantMaxLevel(QuantBits bits)
 
 namespace {
 
-/** Max |v| over a span. */
+/** Per-row symmetric scale from the row's absolute maximum. */
 float
-absMax(std::span<const float> v)
+rowScale(std::span<const float> row, int max_level)
 {
-    float m = 0.0f;
-    for (float x : v)
-        m = std::max(m, std::fabs(x));
-    return m;
-}
-
-int8_t
-quantizeOne(float v, float inv_scale, int max_level)
-{
-    const long q = std::lround(v * inv_scale);
-    return static_cast<int8_t>(std::clamp<long>(q, -max_level, max_level));
+    const float am = kernels::absMax(row);
+    return (am > 0.0f) ? am / max_level : 1.0f;
 }
 
 } // namespace
@@ -96,11 +89,9 @@ quantize(std::span<const float> v, QuantBits bits)
     if (bits == QuantBits::Fp32)
         ENMC_PANIC("quantize() called with Fp32; keep the float vector");
     const int max_level = quantMaxLevel(bits);
-    const float m = absMax(v);
-    q.scale = (m > 0.0f) ? m / max_level : 1.0f;
-    const float inv = 1.0f / q.scale;
-    for (size_t i = 0; i < v.size(); ++i)
-        q.values[i] = quantizeOne(v[i], inv, max_level);
+    q.scale = rowScale(v, max_level);
+    kernels::ops().quantizeSpan(v.data(), v.size(), 1.0f / q.scale,
+                                max_level, q.values.data());
     return q;
 }
 
@@ -116,15 +107,18 @@ quantize(const Matrix &m, QuantBits bits)
     q.values.resize(m.size());
     q.scales.resize(m.rows());
     const int max_level = quantMaxLevel(bits);
-    for (size_t r = 0; r < m.rows(); ++r) {
+    // Rows are independent (quantizeSpan is bit-exact on every target), so
+    // large matrices quantize in parallel without changing results.
+    const size_t workers =
+        (m.size() >= kernels::kParallelMinWork) ? 0 : 1;
+    parallelFor(0, m.rows(), workers, [&](size_t r) {
         const auto row = m.row(r);
-        const float am = absMax(row);
-        const float scale = (am > 0.0f) ? am / max_level : 1.0f;
+        const float scale = rowScale(row, max_level);
         q.scales[r] = scale;
-        const float inv = 1.0f / scale;
-        for (size_t c = 0; c < m.cols(); ++c)
-            q.values[r * m.cols() + c] = quantizeOne(row[c], inv, max_level);
-    }
+        kernels::ops().quantizeSpan(row.data(), m.cols(), 1.0f / scale,
+                                    max_level,
+                                    q.values.data() + r * m.cols());
+    });
     return q;
 }
 
@@ -136,15 +130,22 @@ gemvQuantized(const QuantizedMatrix &w, const QuantizedVector &h,
     ENMC_ASSERT(b.empty() || b.size() == w.rows,
                 "gemvQuantized: bias size mismatch");
     Vector z(w.rows);
-    for (size_t r = 0; r < w.rows; ++r) {
-        const auto wr = w.row(r);
-        int64_t acc = 0;
-        for (size_t c = 0; c < w.cols; ++c)
-            acc += static_cast<int64_t>(wr[c]) * h.values[c];
-        z[r] = static_cast<float>(acc) * w.scales[r] * h.scale +
-               (b.empty() ? 0.0f : b[r]);
-    }
+    kernels::gemvQuantInto(w.values.data(), w.rows, w.cols,
+                           w.scales.data(), h.values.data(), h.scale, b, z);
     return z;
+}
+
+void
+gemvQuantizedRows(const QuantizedMatrix &w, std::span<const int8_t> h,
+                  float hscale, std::span<const float> b, std::span<float> z,
+                  size_t r0, size_t r1)
+{
+    ENMC_ASSERT(w.cols == h.size(), "gemvQuantizedRows: dim mismatch");
+    ENMC_ASSERT(r0 <= r1 && r1 <= w.rows, "gemvQuantizedRows: bad row range");
+    kernels::ops().gemvQuantRows(w.values.data(), w.cols, w.scales.data(),
+                                 h.data(), hscale,
+                                 b.empty() ? nullptr : b.data(), z.data(),
+                                 r0, r1);
 }
 
 } // namespace enmc::tensor

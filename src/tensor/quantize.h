@@ -87,6 +87,16 @@ QuantizedMatrix quantize(const Matrix &m, QuantBits bits);
 Vector gemvQuantized(const QuantizedMatrix &w, const QuantizedVector &h,
                      std::span<const float> b);
 
+/**
+ * Integer GEMV restricted to rows [r0, r1): z[r] (absolute indexing,
+ * z.size() == w.rows) gets the same bit-exact value gemvQuantized()
+ * produces for that row. Used by the functional backend, which evaluates
+ * per-bank row slices.
+ */
+void gemvQuantizedRows(const QuantizedMatrix &w, std::span<const int8_t> h,
+                       float hscale, std::span<const float> b,
+                       std::span<float> z, size_t r0, size_t r1);
+
 } // namespace enmc::tensor
 
 #endif // ENMC_TENSOR_QUANTIZE_H

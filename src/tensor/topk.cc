@@ -13,17 +13,30 @@ topkIndices(std::span<const float> z, size_t k)
     const size_t n = z.size();
     if (k > n)
         k = n;
-    std::vector<uint32_t> idx(n);
-    for (size_t i = 0; i < n; ++i)
-        idx[i] = static_cast<uint32_t>(i);
+    // Ranking order: descending value, ascending index on ties.
     auto better = [&z](uint32_t a, uint32_t b) {
         if (z[a] != z[b])
             return z[a] > z[b];
         return a < b;
     };
-    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(), better);
-    idx.resize(k);
-    return idx;
+    // Bounded heap of the best k seen so far; the top is the worst kept
+    // element, so each candidate costs one compare and (rarely) one
+    // push/pop. O(n log k) with only k entries allocated — the selection
+    // runs once per inference, so avoiding the O(n) index array matters.
+    std::vector<uint32_t> heap;
+    heap.reserve(k);
+    for (uint32_t i = 0; i < n; ++i) {
+        if (heap.size() < k) {
+            heap.push_back(i);
+            std::push_heap(heap.begin(), heap.end(), better);
+        } else if (k > 0 && better(i, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), better);
+            heap.back() = i;
+            std::push_heap(heap.begin(), heap.end(), better);
+        }
+    }
+    std::sort(heap.begin(), heap.end(), better);
+    return heap;
 }
 
 std::vector<uint32_t>
@@ -46,7 +59,10 @@ thresholdForCount(std::span<const float> z, size_t m)
             lo = std::min(lo, v);
         return lo;
     }
-    std::vector<float> vals(z.begin(), z.end());
+    // Scratch persists across calls: threshold tuning invokes this once
+    // per sample over the same-sized logit vector.
+    thread_local std::vector<float> vals;
+    vals.assign(z.begin(), z.end());
     std::nth_element(vals.begin(), vals.begin() + (m - 1), vals.end(),
                      std::greater<float>());
     return vals[m - 1];
@@ -57,10 +73,22 @@ recall(std::span<const uint32_t> selected, std::span<const uint32_t> reference)
 {
     if (reference.empty())
         return 1.0;
-    std::unordered_set<uint32_t> sel(selected.begin(), selected.end());
     size_t hit = 0;
-    for (uint32_t r : reference)
-        hit += sel.count(r);
+    // Typical candidate sets are a few hundred entries; a sorted copy plus
+    // binary searches beats building an unordered_set every call. Keep the
+    // hash set only for very large selections.
+    constexpr size_t kSortCutoff = 1 << 16;
+    if (selected.size() <= kSortCutoff) {
+        thread_local std::vector<uint32_t> sorted;
+        sorted.assign(selected.begin(), selected.end());
+        std::sort(sorted.begin(), sorted.end());
+        for (uint32_t r : reference)
+            hit += std::binary_search(sorted.begin(), sorted.end(), r);
+    } else {
+        std::unordered_set<uint32_t> sel(selected.begin(), selected.end());
+        for (uint32_t r : reference)
+            hit += sel.count(r);
+    }
     return static_cast<double>(hit) / reference.size();
 }
 

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Equivalence tests for the dispatched kernel layer: every target
+ * available on this CPU is checked against the scalar reference —
+ * bit-exact for integer and element-wise kernels, within the documented
+ * ULP envelope for FP32 reductions — plus the determinism contracts
+ * (gemv row == dot, batch == per-query, any-worker-count stability).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/kernels.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/projection.h"
+#include "tensor/quantize.h"
+
+namespace enmc::tensor::kernels {
+namespace {
+
+/** Restores the startup dispatch target when a test ends. */
+class KernelsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setActiveTarget(saved_); }
+    Target saved_ = activeTarget();
+};
+
+Vector
+randomVector(Rng &rng, size_t n, double scale = 1.0)
+{
+    Vector v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return v;
+}
+
+Matrix
+randomMatrix(Rng &rng, size_t rows, size_t cols)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    return m;
+}
+
+/**
+ * FP32 cross-target tolerance: each target uses its own accumulation
+ * pattern, so results differ by a bounded number of float rounding steps.
+ * The envelope documented in kernels.h: 64 * eps * sum |a_i b_i|.
+ */
+float
+dotTolerance(std::span<const float> a, std::span<const float> b)
+{
+    double mag = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        mag += std::fabs(static_cast<double>(a[i]) * b[i]);
+    constexpr double kEps = 1.1920929e-07; // 2^-23
+    return static_cast<float>(64.0 * kEps * mag) + 1e-12f;
+}
+
+// Sizes straddling the vector widths and tail-handling paths.
+const size_t kSizes[] = {0, 1, 3, 7, 8, 15, 16, 31, 32, 33, 100, 257, 1024};
+
+TEST_F(KernelsTest, ScalarTargetAlwaysAvailable)
+{
+    const auto targets = availableTargets();
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets.front(), Target::Scalar);
+    ASSERT_NE(scalarKernelOps(), nullptr);
+}
+
+TEST_F(KernelsTest, TargetNamesRoundTrip)
+{
+    for (Target t : availableTargets()) {
+        Target parsed;
+        ASSERT_TRUE(targetFromString(targetName(t), &parsed));
+        EXPECT_EQ(parsed, t);
+    }
+    Target dummy;
+    EXPECT_FALSE(targetFromString("avx512", &dummy));
+    EXPECT_FALSE(targetFromString("", &dummy));
+}
+
+TEST_F(KernelsTest, SetActiveTargetSwitchesTable)
+{
+    for (Target t : availableTargets()) {
+        setActiveTarget(t);
+        EXPECT_EQ(activeTarget(), t);
+        EXPECT_STREQ(ops().name, targetName(t));
+    }
+}
+
+TEST_F(KernelsTest, DotWithinToleranceOfScalar)
+{
+    Rng rng(7);
+    const KernelOps *ref = scalarKernelOps();
+    for (size_t n : kSizes) {
+        const Vector a = randomVector(rng, n);
+        const Vector b = randomVector(rng, n);
+        const float want = ref->dot(a.data(), b.data(), n);
+        for (Target t : availableTargets()) {
+            const float got = (t == Target::Scalar)
+                                  ? want
+                                  : [&] {
+                                        setActiveTarget(t);
+                                        return ops().dot(a.data(), b.data(),
+                                                         n);
+                                    }();
+            EXPECT_NEAR(got, want, dotTolerance(a, b))
+                << "target=" << targetName(t) << " n=" << n;
+        }
+    }
+}
+
+TEST_F(KernelsTest, AxpyBitExactAcrossTargets)
+{
+    Rng rng(11);
+    for (size_t n : kSizes) {
+        const Vector x = randomVector(rng, n);
+        const Vector y0 = randomVector(rng, n);
+        const float alpha = static_cast<float>(rng.normal(0.0, 2.0));
+        Vector want = y0;
+        scalarKernelOps()->axpy(alpha, x.data(), want.data(), n);
+        for (Target t : availableTargets()) {
+            setActiveTarget(t);
+            Vector y = y0;
+            ops().axpy(alpha, x.data(), y.data(), n);
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(y[i], want[i])
+                    << "target=" << targetName(t) << " n=" << n
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST_F(KernelsTest, AbsMaxBitExactAcrossTargets)
+{
+    Rng rng(13);
+    for (size_t n : kSizes) {
+        Vector v = randomVector(rng, n, 3.0);
+        if (n > 2)
+            v[n / 2] = -42.5f;
+        const float want = scalarKernelOps()->absMax(v.data(), n);
+        for (Target t : availableTargets()) {
+            setActiveTarget(t);
+            ASSERT_EQ(ops().absMax(v.data(), n), want)
+                << "target=" << targetName(t) << " n=" << n;
+        }
+    }
+}
+
+TEST_F(KernelsTest, QuantizeSpanBitExactAcrossTargets)
+{
+    Rng rng(17);
+    for (size_t n : kSizes) {
+        Vector v = randomVector(rng, n, 4.0);
+        // Half-way points stress the round-half-away-from-zero contract.
+        for (size_t i = 0; i + 1 < n; i += 2)
+            v[i] = (i % 4 ? -1.0f : 1.0f) * (static_cast<float>(i) + 0.5f);
+        for (int max_level : {1, 7, 127}) {
+            const float inv = 1.0f;
+            std::vector<int8_t> want(n + 1, 99), got(n + 1, 99);
+            scalarKernelOps()->quantizeSpan(v.data(), n, inv, max_level,
+                                            want.data());
+            for (Target t : availableTargets()) {
+                setActiveTarget(t);
+                std::fill(got.begin(), got.end(), 99);
+                ops().quantizeSpan(v.data(), n, inv, max_level, got.data());
+                for (size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(got[i], want[i])
+                        << "target=" << targetName(t) << " n=" << n
+                        << " i=" << i << " v=" << v[i];
+                ASSERT_EQ(got[n], 99) << "wrote past the span";
+            }
+        }
+    }
+}
+
+TEST_F(KernelsTest, GemvQuantBitExactAcrossTargets)
+{
+    Rng rng(19);
+    for (size_t cols : {size_t{1}, size_t{15}, size_t{16}, size_t{33},
+                        size_t{128}, size_t{1000}}) {
+        const size_t rows = 9;
+        std::vector<int8_t> w(rows * cols);
+        std::vector<int8_t> h(cols);
+        for (auto &x : w)
+            x = static_cast<int8_t>(rng.uniformInt(-127, 127));
+        for (auto &x : h)
+            x = static_cast<int8_t>(rng.uniformInt(-127, 127));
+        std::vector<float> scales(rows), bias(rows);
+        for (size_t r = 0; r < rows; ++r) {
+            scales[r] = static_cast<float>(rng.normal(0.01, 0.001));
+            bias[r] = static_cast<float>(rng.normal(0.0, 1.0));
+        }
+        Vector want(rows), got(rows);
+        scalarKernelOps()->gemvQuantRows(w.data(), cols, scales.data(),
+                                         h.data(), 0.02f, bias.data(),
+                                         want.data(), 0, rows);
+        for (Target t : availableTargets()) {
+            setActiveTarget(t);
+            ops().gemvQuantRows(w.data(), cols, scales.data(), h.data(),
+                                0.02f, bias.data(), got.data(), 0, rows);
+            for (size_t r = 0; r < rows; ++r)
+                ASSERT_EQ(got[r], want[r])
+                    << "target=" << targetName(t) << " cols=" << cols
+                    << " r=" << r;
+        }
+    }
+}
+
+TEST_F(KernelsTest, GemvRowEqualsDotWithinTarget)
+{
+    Rng rng(23);
+    const Matrix w = randomMatrix(rng, 13, 97);
+    const Vector h = randomVector(rng, 97);
+    Vector bias = randomVector(rng, 13);
+    for (Target t : availableTargets()) {
+        setActiveTarget(t);
+        Vector z(w.rows());
+        ops().gemvRows(w.data(), w.cols(), h.data(), bias.data(), z.data(),
+                       0, w.rows());
+        for (size_t r = 0; r < w.rows(); ++r)
+            ASSERT_EQ(z[r],
+                      ops().dot(w.row(r).data(), h.data(), w.cols()) +
+                          bias[r])
+                << "target=" << targetName(t) << " r=" << r;
+    }
+}
+
+TEST_F(KernelsTest, GemvBatchEqualsPerQueryWithinTarget)
+{
+    Rng rng(29);
+    const Matrix w = randomMatrix(rng, 21, 130);
+    Vector bias = randomVector(rng, 21);
+    for (size_t nq : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+        std::vector<Vector> hs, single(nq, Vector(w.rows())),
+            batched(nq, Vector(w.rows()));
+        for (size_t q = 0; q < nq; ++q)
+            hs.push_back(randomVector(rng, w.cols()));
+        for (Target t : availableTargets()) {
+            setActiveTarget(t);
+            std::vector<const float *> hp;
+            std::vector<float *> op;
+            for (size_t q = 0; q < nq; ++q) {
+                hp.push_back(hs[q].data());
+                op.push_back(batched[q].data());
+                ops().gemvRows(w.data(), w.cols(), hs[q].data(),
+                               bias.data(), single[q].data(), 0, w.rows());
+            }
+            ops().gemvBatchRows(w.data(), w.cols(), hp.data(), op.data(),
+                                nq, bias.data(), 0, w.rows());
+            for (size_t q = 0; q < nq; ++q)
+                for (size_t r = 0; r < w.rows(); ++r)
+                    ASSERT_EQ(batched[q][r], single[q][r])
+                        << "target=" << targetName(t) << " nq=" << nq
+                        << " q=" << q << " r=" << r;
+        }
+    }
+}
+
+TEST_F(KernelsTest, ProjectionWithinToleranceOfScalar)
+{
+    Rng rng(31);
+    SparseProjection proj(64, 300, rng);
+    const Vector h = randomVector(rng, 300);
+    setActiveTarget(Target::Scalar);
+    const Vector want = proj.apply(h);
+    for (Target t : availableTargets()) {
+        setActiveTarget(t);
+        const Vector got = proj.apply(h);
+        // Sum of |h| bounds every row's accumulated magnitude.
+        double mag = 0.0;
+        for (float x : h)
+            mag += std::fabs(x);
+        const float tol =
+            static_cast<float>(64.0 * 1.1920929e-07 * mag) + 1e-12f;
+        for (size_t r = 0; r < want.size(); ++r)
+            ASSERT_NEAR(got[r], want[r], tol)
+                << "target=" << targetName(t) << " r=" << r;
+    }
+}
+
+TEST_F(KernelsTest, ParallelGemvBitIdenticalAcrossWorkerCounts)
+{
+    Rng rng(37);
+    // Large enough that rows*cols clears kParallelMinWork and spans
+    // several kRowChunk blocks.
+    const size_t rows = 3 * kRowChunk + 17;
+    const size_t cols = 768;
+    ASSERT_GE(rows * cols, kParallelMinWork);
+    const Matrix w = randomMatrix(rng, rows, cols);
+    const Vector h = randomVector(rng, cols);
+    const Vector bias = randomVector(rng, rows);
+    for (Target t : availableTargets()) {
+        setActiveTarget(t);
+        Vector serial(rows);
+        gemvInto(w, h, bias, serial, /*workers=*/1);
+        for (size_t workers : {size_t{2}, size_t{8}}) {
+            Vector par(rows);
+            gemvInto(w, h, bias, par, workers);
+            for (size_t r = 0; r < rows; ++r)
+                ASSERT_EQ(par[r], serial[r])
+                    << "target=" << targetName(t)
+                    << " workers=" << workers << " r=" << r;
+        }
+    }
+}
+
+TEST_F(KernelsTest, ParallelQuantGemvBitIdenticalAcrossWorkerCounts)
+{
+    Rng rng(41);
+    const size_t rows = 2 * kRowChunk + 5;
+    const size_t cols = 1024;
+    std::vector<int8_t> w(rows * cols);
+    std::vector<int8_t> h(cols);
+    for (auto &x : w)
+        x = static_cast<int8_t>(rng.uniformInt(-7, 7));
+    for (auto &x : h)
+        x = static_cast<int8_t>(rng.uniformInt(-7, 7));
+    std::vector<float> scales(rows, 0.01f);
+    for (Target t : availableTargets()) {
+        setActiveTarget(t);
+        Vector serial(rows);
+        gemvQuantInto(w.data(), rows, cols, scales.data(), h.data(), 0.02f,
+                      {}, serial, /*workers=*/1);
+        for (size_t workers : {size_t{2}, size_t{8}}) {
+            Vector par(rows);
+            gemvQuantInto(w.data(), rows, cols, scales.data(), h.data(),
+                          0.02f, {}, par, workers);
+            for (size_t r = 0; r < rows; ++r)
+                ASSERT_EQ(par[r], serial[r])
+                    << "target=" << targetName(t)
+                    << " workers=" << workers << " r=" << r;
+        }
+    }
+}
+
+TEST_F(KernelsTest, QuantizedVectorRoundTripsAcrossTargets)
+{
+    Rng rng(43);
+    const Vector v = randomVector(rng, 500, 2.0);
+    setActiveTarget(Target::Scalar);
+    const QuantizedVector want = quantize(v, QuantBits::Int4);
+    for (Target t : availableTargets()) {
+        setActiveTarget(t);
+        const QuantizedVector got = quantize(v, QuantBits::Int4);
+        ASSERT_EQ(got.scale, want.scale) << "target=" << targetName(t);
+        ASSERT_EQ(got.values, want.values) << "target=" << targetName(t);
+    }
+}
+
+} // namespace
+} // namespace enmc::tensor::kernels

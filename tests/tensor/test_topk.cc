@@ -52,6 +52,23 @@ TEST(TopK, MatchesFullSortOnRandomData)
         EXPECT_FLOAT_EQ(z[idx[i]], sorted[i]);
 }
 
+TEST(TopK, ZeroKIsEmpty)
+{
+    std::vector<float> z{1.0f, 2.0f};
+    EXPECT_TRUE(topkIndices(z, 0).empty());
+}
+
+TEST(TopK, ManyDuplicatesKeepLowestIndices)
+{
+    // All-equal values exercise the bounded-heap path's tie handling:
+    // the kept set must be exactly the k lowest indices, ascending.
+    std::vector<float> z(100, 1.5f);
+    const auto idx = topkIndices(z, 10);
+    ASSERT_EQ(idx.size(), 10u);
+    for (uint32_t i = 0; i < 10; ++i)
+        EXPECT_EQ(idx[i], i);
+}
+
 TEST(Threshold, SelectsAllAtOrAbove)
 {
     std::vector<float> z{1.0f, 3.0f, 2.0f, 3.0f};

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the kernel microbenchmarks across every available dispatch target and
+# archive the results as BENCH_kernels.json at the repo root.
+#
+# Usage: tools/bench_to_json.sh [build-dir] [output-file] [min-time]
+#
+# The kernels binary registers a <scalar>/<sse2>/<avx2> variant of each
+# kernel benchmark at startup, so a single run records the full dispatch
+# comparison (e.g. BM_GemvFp32<avx2>/65536 vs BM_GemvFp32<scalar>/65536).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_file="${2:-$repo_root/BENCH_kernels.json}"
+min_time="${3:-0.1}"
+
+bench_bin="$build_dir/bench/kernels"
+if [ ! -x "$bench_bin" ]; then
+    echo "error: $bench_bin not built (cmake --build $build_dir --target kernels)" >&2
+    exit 1
+fi
+
+"$bench_bin" \
+    --benchmark_format=json \
+    --benchmark_min_time="$min_time" \
+    --benchmark_filter='BM_Gemv|BM_SparseProjection|BM_Quantize|BM_TopK|BM_ThresholdFilter' \
+    > "$out_file"
+
+echo "wrote $out_file" >&2
