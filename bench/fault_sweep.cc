@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Accuracy and latency vs raw bit-error rate under the fault + ECC model.
+ *
+ * Sweeps the functional ENMC system (resilient backend: SECDED + retry +
+ * degradation) across bit-error rates with ECC on and off, measuring P@1
+ * and candidate recall against exact full classification, plus the fault
+ * counters and the rank latency (which includes retry backoff). A final
+ * scenario sticks one rank at and shows the blacklisting path: the job
+ * repartitions across the survivors and keeps answering.
+ *
+ * Flags:
+ *   --json=<path>   additionally write the sweep as JSON (CI artifact)
+ *   --seed=<n>      fault-injection seed (default 1)
+ *   --batch=<n>     items per batch (default 8)
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/resilience.h"
+#include "runtime/system.h"
+#include "screening/metrics.h"
+#include "screening/pipeline.h"
+#include "screening/trainer.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::bench {
+namespace {
+
+constexpr uint64_t kCategories = 2048;
+constexpr uint64_t kHidden = 64;
+constexpr uint64_t kBudget = 48;   //!< candidate budget / FILTER tuning
+constexpr size_t kRecallK = 10;
+constexpr uint64_t kRanks = 4;
+
+struct SweepPoint
+{
+    double ber = 0.0;
+    bool ecc = true;
+    double p_at_1 = 0.0;
+    double recall = 0.0;
+    Cycles rank_cycles = 0;
+    fault::FaultCounters faults;
+    uint64_t uncorrectable_words = 0;
+    uint64_t degraded_candidates = 0;
+};
+
+struct Model
+{
+    std::unique_ptr<workloads::SyntheticModel> synthetic;
+    std::unique_ptr<screening::Screener> screener;
+    std::vector<tensor::Vector> h_batch;
+    std::vector<tensor::Vector> exact; //!< full-classification logits
+};
+
+Model
+buildModel(uint64_t batch)
+{
+    Model m;
+    workloads::SyntheticConfig wcfg;
+    wcfg.categories = kCategories;
+    wcfg.hidden = kHidden;
+    m.synthetic = std::make_unique<workloads::SyntheticModel>(wcfg);
+
+    screening::ScreenerConfig scfg;
+    scfg.categories = kCategories;
+    scfg.hidden = kHidden;
+    scfg.selection = screening::SelectionMode::Threshold;
+    Rng rng(3);
+    m.screener = std::make_unique<screening::Screener>(scfg, rng);
+
+    Rng data = m.synthetic->makeRng(1);
+    const auto train = m.synthetic->sampleHiddenBatch(data, 160);
+    screening::Trainer trainer(m.synthetic->classifier(), *m.screener,
+                               screening::TrainerConfig{});
+    trainer.train(train, {});
+    m.screener->freezeQuantized();
+    const float cut = screening::tuneThreshold(*m.screener, train, kBudget);
+    m.screener->setSelection(screening::SelectionMode::Threshold, kBudget,
+                             cut);
+
+    m.h_batch = m.synthetic->sampleHiddenBatch(data, batch);
+    const screening::Pipeline pipe(m.synthetic->classifier(), *m.screener);
+    for (const auto &h : m.h_batch)
+        m.exact.push_back(pipe.inferFull(h).logits);
+    return m;
+}
+
+SweepPoint
+runPoint(const Model &m, uint64_t seed, double ber, bool ecc)
+{
+    runtime::SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = seed;
+    cfg.fault.data_ber = ber;
+    cfg.fault.ecc = ecc;
+    cfg.resilient = true; // retry-with-backoff + degradation
+    runtime::EnmcSystem sys(cfg);
+    const auto out = sys.runFunctional(m.synthetic->classifier(),
+                                       *m.screener, m.h_batch, kRanks);
+    SweepPoint p;
+    p.ber = ber;
+    p.ecc = ecc;
+    p.p_at_1 = screening::precisionAt1(m.exact, out.logits);
+    p.recall = screening::candidateRecallAtK(m.exact, out.candidates,
+                                             kRecallK);
+    p.rank_cycles = out.rank_cycles;
+    p.faults = out.faults;
+    p.uncorrectable_words = out.uncorrectable_words;
+    p.degraded_candidates = out.degraded_candidates;
+    return p;
+}
+
+uint64_t
+parseFlag(int argc, char **argv, const char *name, uint64_t fallback)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    return fallback;
+}
+
+std::string
+parseJsonPath(int argc, char **argv)
+{
+    const std::string prefix = "--json=";
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    return "";
+}
+
+void
+writeJson(const std::string &path, uint64_t seed, uint64_t batch,
+          double fault_free_p1, double fault_free_recall,
+          Cycles fault_free_cycles, const std::vector<SweepPoint> &sweep,
+          const SweepPoint &blacklist, uint64_t healthy_ranks,
+          double job_seconds_all, double job_seconds_degraded)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        ENMC_FATAL("cannot open ", path, " for writing");
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", seed);
+    std::fprintf(f, "  \"batch\": %" PRIu64 ",\n", batch);
+    std::fprintf(f, "  \"fault_free\": {\"p_at_1\": %.6f, "
+                    "\"recall_at_%zu\": %.6f, \"rank_cycles\": %" PRIu64
+                    "},\n",
+                 fault_free_p1, kRecallK, fault_free_recall,
+                 static_cast<uint64_t>(fault_free_cycles));
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const SweepPoint &p = sweep[i];
+        std::fprintf(
+            f,
+            "    {\"ber\": %.3e, \"ecc\": %s, \"p_at_1\": %.6f, "
+            "\"recall_at_%zu\": %.6f, \"rank_cycles\": %" PRIu64 ", "
+            "\"injected_words\": %" PRIu64 ", \"injected_bits\": %" PRIu64
+            ", \"corrected\": %" PRIu64 ", \"detected\": %" PRIu64
+            ", \"escaped\": %" PRIu64 ", \"uncorrectable_words\": %" PRIu64
+            ", \"degraded_candidates\": %" PRIu64 ", \"retries\": %" PRIu64
+            "}%s\n",
+            p.ber, p.ecc ? "true" : "false", p.p_at_1, kRecallK, p.recall,
+            static_cast<uint64_t>(p.rank_cycles), p.faults.injected_words,
+            p.faults.injected_bits, p.faults.corrected, p.faults.detected,
+            p.faults.escaped, p.uncorrectable_words, p.degraded_candidates,
+            p.faults.inst_dropped + p.faults.inst_corrupted,
+            i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"blacklist\": {\"stuck_rank\": 1, \"healthy_ranks\": "
+                 "%" PRIu64 ", \"p_at_1\": %.6f, \"recall_at_%zu\": %.6f, "
+                 "\"stuck_reads\": %" PRIu64 ", \"job_seconds_all\": %.9f, "
+                 "\"job_seconds_degraded\": %.9f}\n",
+                 healthy_ranks, blacklist.p_at_1, kRecallK, blacklist.recall,
+                 blacklist.faults.stuck_reads, job_seconds_all,
+                 job_seconds_degraded);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+int
+run(int argc, char **argv)
+{
+    const uint64_t seed = parseFlag(argc, argv, "seed", 1);
+    const uint64_t batch = parseFlag(argc, argv, "batch", 8);
+    const std::string json_path = parseJsonPath(argc, argv);
+
+    const Model m = buildModel(batch);
+
+    // Fault-free reference: the approximate pipeline with pristine memory.
+    runtime::EnmcSystem clean{runtime::SystemConfig{}};
+    const auto clean_out = clean.runFunctional(m.synthetic->classifier(),
+                                               *m.screener, m.h_batch,
+                                               kRanks);
+    const double clean_p1 =
+        screening::precisionAt1(m.exact, clean_out.logits);
+    const double clean_recall = screening::candidateRecallAtK(
+        m.exact, clean_out.candidates, kRecallK);
+
+    printHeader("Fault sweep: accuracy vs bit-error rate (SECDED + retry)");
+    std::printf("model: l=%" PRIu64 " d=%" PRIu64 " batch=%" PRIu64
+                " ranks=%" PRIu64 " seed=%" PRIu64 "\n",
+                kCategories, kHidden, batch, kRanks, seed);
+    std::printf("fault-free: P@1=%.3f recall@%zu=%.3f cycles=%" PRIu64
+                "\n\n",
+                clean_p1, kRecallK, clean_recall,
+                static_cast<uint64_t>(clean_out.rank_cycles));
+    printRow({"BER", "ECC", "P@1", "recall", "inj.w", "corr", "det", "esc",
+              "degr", "cycles"},
+             9);
+
+    const double bers[] = {1e-9, 1e-6, 1e-5, 1e-4, 1e-3};
+    std::vector<SweepPoint> sweep;
+    for (const double ber : bers) {
+        for (const bool ecc : {true, false}) {
+            const SweepPoint p = runPoint(m, seed, ber, ecc);
+            printRow({fmt(p.ber, "%.0e"), p.ecc ? "on" : "off",
+                      fmt(p.p_at_1, "%.3f"), fmt(p.recall, "%.3f"),
+                      std::to_string(p.faults.injected_words),
+                      std::to_string(p.faults.corrected),
+                      std::to_string(p.faults.detected),
+                      std::to_string(p.faults.escaped),
+                      std::to_string(p.degraded_candidates),
+                      std::to_string(p.rank_cycles)},
+                     9);
+            sweep.push_back(p);
+        }
+    }
+
+    // Stuck rank 1: the resilient backend blacklists it and repartitions
+    // across the survivors — the system keeps answering.
+    runtime::SystemConfig bcfg;
+    bcfg.fault.enabled = true;
+    bcfg.fault.seed = seed;
+    bcfg.fault.stuck_ranks = {1};
+    const runtime::ResilientBackend resilient(bcfg);
+    const auto degraded = resilient.runFunctionalJob(
+        m.synthetic->classifier(), *m.screener, m.h_batch, kRanks);
+    SweepPoint bp;
+    bp.p_at_1 = screening::precisionAt1(m.exact, degraded.logits);
+    bp.recall = screening::candidateRecallAtK(m.exact, degraded.candidates,
+                                              kRecallK);
+    bp.faults = degraded.faults;
+
+    // Latency cost of losing the rank, at job scale.
+    runtime::JobSpec spec;
+    spec.categories = 500000;
+    spec.hidden = 512;
+    spec.reduced = 128;
+    spec.candidates = 10000;
+    const double t_all =
+        runtime::EnmcBackend{runtime::SystemConfig{}}.runJob(spec).seconds;
+    const double t_degraded = resilient.runJob(spec).seconds;
+    const uint64_t healthy = resilient.healthyRanks().size();
+
+    printHeader("Rank blacklisting (rank 1 stuck at)");
+    std::printf("healthy ranks: %" PRIu64 "/%" PRIu64
+                "  P@1=%.3f recall@%zu=%.3f (fault-free P@1=%.3f)\n",
+                healthy, bcfg.totalRanks(), bp.p_at_1, kRecallK, bp.recall,
+                clean_p1);
+    std::printf("job latency: all ranks %.3f ms -> degraded %.3f ms "
+                "(%.1f%% slower)\n",
+                t_all * 1e3, t_degraded * 1e3,
+                100.0 * (t_degraded / t_all - 1.0));
+
+    if (!json_path.empty())
+        writeJson(json_path, seed, batch, clean_p1, clean_recall,
+                  clean_out.rank_cycles, sweep, bp, healthy, t_all,
+                  t_degraded);
+    return 0;
+}
+
+} // namespace
+} // namespace enmc::bench
+
+int
+main(int argc, char **argv)
+{
+    return enmc::bench::run(argc, argv);
+}

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <memory>
 
 namespace enmc {
@@ -93,10 +94,12 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     {
         std::atomic<size_t> next;
         std::atomic<size_t> done;
+        std::atomic<bool> failed{false};
         size_t end;
         std::function<void(size_t)> fn;
         std::mutex m;
         std::condition_variable cv;
+        std::exception_ptr error; //!< first exception thrown by fn
     };
     auto ctl = std::make_shared<Control>();
     ctl->next = begin;
@@ -104,12 +107,25 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     ctl->end = end;
     ctl->fn = fn;
 
+    // Iterations claimed after a failure still tick the completion
+    // counter (so the wait below terminates) but skip their bodies; the
+    // first exception is rethrown on the calling thread once the loop has
+    // drained.
     auto drain = [](const std::shared_ptr<Control> &c) {
         for (;;) {
             const size_t i = c->next.fetch_add(1);
             if (i >= c->end)
                 break;
-            c->fn(i);
+            if (!c->failed.load(std::memory_order_relaxed)) {
+                try {
+                    c->fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(c->m);
+                    if (!c->error)
+                        c->error = std::current_exception();
+                    c->failed.store(true, std::memory_order_relaxed);
+                }
+            }
             if (c->done.fetch_add(1) + 1 == c->end) {
                 std::lock_guard<std::mutex> lock(c->m);
                 c->cv.notify_all();
@@ -124,6 +140,8 @@ ThreadPool::parallelFor(size_t begin, size_t end,
 
     std::unique_lock<std::mutex> lock(ctl->m);
     ctl->cv.wait(lock, [&] { return ctl->done.load() == ctl->end; });
+    if (ctl->error)
+        std::rethrow_exception(ctl->error);
 }
 
 ThreadPool &

@@ -52,6 +52,10 @@ class ThreadPool
      * all iterations complete. Iterations are claimed one at a time from
      * an atomic counter; with `workers() == 1` (or a single iteration)
      * the loop runs inline on the calling thread.
+     *
+     * If `fn` throws, the remaining unstarted iterations are skipped and
+     * the first exception is rethrown on the calling thread after the
+     * loop drains — the pool itself stays usable.
      */
     void parallelFor(size_t begin, size_t end,
                      const std::function<void(size_t)> &fn);

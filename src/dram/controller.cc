@@ -1,6 +1,7 @@
 #include "dram/controller.h"
 
 #include "common/logging.h"
+#include "fault/injector.h"
 
 namespace enmc::dram {
 
@@ -18,6 +19,14 @@ Controller::Controller(const Organization &org, const Timing &timing,
       row_conflicts_(stats_.addCounter("rowConflicts",
                                        "row-buffer conflicts (wrong row)")),
       refreshes_(stats_.addCounter("refreshes", "REF commands issued")),
+      ecc_corrected_(stats_.addCounter("eccCorrected",
+                                       "read words repaired by SECDED")),
+      ecc_detected_(stats_.addCounter(
+          "eccDetected", "read words detected uncorrectable")),
+      ecc_escaped_(stats_.addCounter(
+          "eccEscaped", "read words silently corrupted")),
+      stuck_reads_(stats_.addCounter("stuckReads",
+                                     "reads served by a stuck rank")),
       read_latency_(stats_.addScalar("readLatency",
                                      "request latency in cycles")),
       queue_occupancy_(stats_.addScalar("queueOccupancy",
@@ -134,10 +143,27 @@ void
 Controller::finishRequest(Entry &entry, Cycles data_end)
 {
     entry.req.complete = data_end;
-    if (entry.req.type == ReqType::Read)
+    if (entry.req.type == ReqType::Read) {
         ++reads_;
-    else
+        if (fault_injector_ && fault_injector_->enabled()) {
+            const uint64_t words = org_.accessBytes() / 8;
+            if (fault_injector_->config().rankStuck(entry.vec.rank)) {
+                // A stuck rank returns garbage on every burst; ECC flags
+                // the whole line.
+                ++stuck_reads_;
+                ecc_detected_ += words;
+            } else {
+                const auto out = fault_injector_->classifyBurst(
+                    words, fault_burst_seq_);
+                ecc_corrected_ += out.corrected;
+                ecc_detected_ += out.detected;
+                ecc_escaped_ += out.escaped;
+            }
+            fault_burst_seq_ += words;
+        }
+    } else {
         ++writes_;
+    }
     read_latency_.sample(static_cast<double>(data_end - entry.req.arrive));
     Completion c{data_end, std::move(entry.req)};
     inflight_.push(std::move(c));

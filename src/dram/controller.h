@@ -16,6 +16,10 @@
 #include "dram/channel.h"
 #include "dram/request.h"
 
+namespace enmc::fault {
+class FaultInjector;
+} // namespace enmc::fault
+
 namespace enmc::dram {
 
 /** Controller tuning knobs. */
@@ -60,6 +64,21 @@ class Controller
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /**
+     * Attach a fault injector: every completed read burst is classified
+     * through the SECDED(72,64) model and tallied into this controller's
+     * stat group (eccCorrected / eccDetected / eccEscaped / stuckReads).
+     * Pass nullptr to detach. Default: no injector, zero overhead.
+     */
+    void attachFaultInjector(fault::FaultInjector *injector)
+    {
+        fault_injector_ = injector;
+    }
+    const fault::FaultInjector *faultInjector() const
+    {
+        return fault_injector_;
+    }
+
     /** Total bytes moved (reads + writes). */
     uint64_t bytesTransferred() const;
 
@@ -97,6 +116,9 @@ class Controller
     Cycles now_ = 0;
     uint64_t seq_ = 0;
 
+    fault::FaultInjector *fault_injector_ = nullptr;
+    uint64_t fault_burst_seq_ = 0;  //!< unique index per classified burst
+
     StatGroup stats_;
     Counter &reads_;
     Counter &writes_;
@@ -104,6 +126,10 @@ class Controller
     Counter &row_misses_;
     Counter &row_conflicts_;
     Counter &refreshes_;
+    Counter &ecc_corrected_;
+    Counter &ecc_detected_;
+    Counter &ecc_escaped_;
+    Counter &stuck_reads_;
     ScalarStat &read_latency_;
     ScalarStat &queue_occupancy_;
 };

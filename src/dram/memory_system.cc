@@ -19,6 +19,13 @@ MemorySystem::MemorySystem(const Organization &org, const Timing &timing,
     }
 }
 
+void
+MemorySystem::attachFaultInjector(fault::FaultInjector *injector)
+{
+    for (auto &c : controllers_)
+        c->attachFaultInjector(injector);
+}
+
 bool
 MemorySystem::enqueue(Request req)
 {

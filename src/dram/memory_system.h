@@ -42,6 +42,12 @@ class MemorySystem
     Controller &controller(size_t ch) { return *controllers_[ch]; }
     const Controller &controller(size_t ch) const { return *controllers_[ch]; }
 
+    /**
+     * Attach a fault injector to every channel controller (reads are
+     * classified through the SECDED model into each controller's stats).
+     */
+    void attachFaultInjector(fault::FaultInjector *injector);
+
     /** Aggregate bytes moved across channels. */
     uint64_t bytesTransferred() const;
 

@@ -83,6 +83,14 @@ EnmcRank::reset(const RankTask &task)
     now_ = 0;
     task_ = &task;
     result_ = RankResult{};
+    exec_row_scratch_.clear();
+    fault_word_seq_ = 0;
+    inst_attempts_ = 0;
+    // Per-rank ECC statistics surface through the rank's DRAM controller
+    // stat group; the functional data path below shares the same injector.
+    dram_->attachFaultInjector(task.injector);
+    fault_base_ = task.injector ? task.injector->counters()
+                                : fault::FaultCounters{};
     screen_weight_sram_.clear();
     screen_psum_sram_.clear();
     exec_stage_sram_.clear();
@@ -107,6 +115,45 @@ EnmcRank::sequencerTick()
     }
 }
 
+bool
+EnmcRank::faulty() const
+{
+    return task_ != nullptr && task_->injector != nullptr &&
+           task_->injector->enabled();
+}
+
+uint64_t
+EnmcRank::faultReadBuffer(std::span<uint8_t> bytes)
+{
+    const RankTask &task = *task_;
+    const uint64_t words = ceilDiv(bytes.size(), 8);
+    uint64_t unc = 0;
+    if (task.injector->config().rankStuck(task.rank_index)) {
+        // A stuck rank returns garbage on every burst; ECC flags the
+        // whole buffer and it arrives as an erasure.
+        std::fill(bytes.begin(), bytes.end(), uint8_t{0});
+        task.injector->counters().stuck_reads += words;
+        unc = words;
+    } else {
+        unc = task.injector->readBuffer(bytes, fault_word_seq_);
+    }
+    fault_word_seq_ += words;
+    result_.uncorrectable_words += unc;
+    return unc;
+}
+
+bool
+EnmcRank::instructionDelivered()
+{
+    // PRE-tunneled instructions carry C/A parity: a dropped or corrupted
+    // word both manifest as a failed delivery the host repeats next
+    // cycle. Each attempt draws a fresh sample, so retries converge.
+    if (!faulty())
+        return true;
+    return task_->injector->instructionFate(inst_attempts_++) ==
+           fault::FaultInjector::InstFate::Deliver;
+}
+
 void
 EnmcRank::hostIssue(const Program &prog)
 {
@@ -119,6 +166,8 @@ EnmcRank::hostIssue(const Program &prog)
     }
     if (host_pc_ >= prog.size() || fifo_.size() >= cfg_.inst_fifo_depth)
         return;
+    if (!instructionDelivered())
+        return; // delivery failed; the host re-sends next cycle
     const Instruction &inst = prog[host_pc_++];
     if (inst.has_payload)
         host_stall_ = dram_->channel().timing().tbl;
@@ -296,14 +345,46 @@ EnmcRank::filterTileFunctional(const TileOp &op)
     const RankTask &task = *task_;
     const uint64_t tile_rows = statusReg(StatusReg::TileRows);
     const uint64_t row0 = op.tile * tile_rows;
+
+    // With a fault injector armed, the tile's weights pass through the
+    // fault + ECC model once per DRAM fetch (they are read once and reused
+    // across the batch). Detected-uncorrectable words arrive as erasures
+    // (zeroed), so a detected fault perturbs its rows' approximate logits
+    // instead of poisoning them with garbage.
+    tensor::QuantizedMatrix scratch;
+    const tensor::QuantizedMatrix *weights = task.screen_weights;
+    if (faulty()) {
+        const size_t cols = task.screen_weights->cols;
+        scratch.rows = op.rows;
+        scratch.cols = cols;
+        scratch.bits = task.screen_weights->bits;
+        const auto first = task.screen_weights->values.begin() + row0 * cols;
+        scratch.values.assign(first, first + op.rows * cols);
+        const auto sfirst = task.screen_weights->scales.begin() + row0;
+        scratch.scales.assign(sfirst, sfirst + op.rows);
+        faultReadBuffer({reinterpret_cast<uint8_t *>(scratch.values.data()),
+                         scratch.values.size()});
+        weights = &scratch;
+    }
+
     for (uint64_t item = 0; item < task.batch; ++item) {
         const auto &yq = task.features_q[item];
         auto &logits = result_.logits[item];
         // SIMD integer MAC; bit-exact vs. the reference int64 loop on
         // every dispatch target.
-        tensor::gemvQuantizedRows(*task.screen_weights, yq.values, yq.scale,
-                                  *task.screen_bias, logits, row0,
-                                  row0 + op.rows);
+        if (weights == task.screen_weights) {
+            tensor::gemvQuantizedRows(*task.screen_weights, yq.values,
+                                      yq.scale, *task.screen_bias, logits,
+                                      row0, row0 + op.rows);
+        } else {
+            // Scratch tile: rows are tile-local, so index the bias/logit
+            // spans from row0 and compute rows [0, op.rows).
+            tensor::gemvQuantizedRows(
+                *weights, yq.values, yq.scale,
+                std::span<const float>(task.screen_bias->data() + row0,
+                                       op.rows),
+                std::span<float>(logits.data() + row0, op.rows), 0, op.rows);
+        }
         for (uint64_t r = row0; r < row0 + op.rows; ++r)
             if (logits[r] >= task.threshold)
                 emitCandidate(item, r);
@@ -476,11 +557,32 @@ EnmcRank::executorTick()
             exec_ops_.front().compute_started) {
             const CandOp &op = exec_ops_.front();
             if (task.functional()) {
-                const float logit =
-                    tensor::dot(task.class_weights->row(op.row),
-                                task.features[op.item]) +
-                    (*task.class_bias)[op.row];
-                result_.logits[op.item][op.row] = logit;
+                const auto row = task.class_weights->row(op.row);
+                if (faulty()) {
+                    // The FP32 row streams through the fault + ECC model.
+                    // A detected-uncorrectable word means the accurate
+                    // logit cannot be trusted: keep the approximate
+                    // (screener) logit already in place — graceful
+                    // degradation the resilience layer can also retry.
+                    exec_row_scratch_.assign(row.begin(), row.end());
+                    const uint64_t unc = faultReadBuffer(
+                        {reinterpret_cast<uint8_t *>(
+                             exec_row_scratch_.data()),
+                         exec_row_scratch_.size() * sizeof(float)});
+                    if (unc > 0) {
+                        ++result_.degraded_candidates;
+                    } else {
+                        result_.logits[op.item][op.row] =
+                            tensor::dot(exec_row_scratch_,
+                                        task.features[op.item]) +
+                            (*task.class_bias)[op.row];
+                    }
+                } else {
+                    const float logit =
+                        tensor::dot(row, task.features[op.item]) +
+                        (*task.class_bias)[op.row];
+                    result_.logits[op.item][op.row] = logit;
+                }
             }
             exec_stage_sram_.release(op.stage_reserved);
             // Each accurate candidate parks an (index, value) entry in
@@ -580,6 +682,8 @@ EnmcRank::tryDeliverInstruction()
     ENMC_ASSERT(prog_ != nullptr, "rank not started");
     if (host_pc_ >= prog_->size() || fifo_.size() >= cfg_.inst_fifo_depth)
         return false;
+    if (!instructionDelivered())
+        return false; // C/A fault: the caller's arbitration loop retries
     fifo_.push_back((*prog_)[host_pc_++]);
     return true;
 }
@@ -616,6 +720,10 @@ EnmcRank::takeResult()
     result_.peak_psum_buf = screen_psum_sram_.peak();
     result_.peak_exec_buf = exec_stage_sram_.peak();
     result_.peak_output_buf = output_sram_.peak();
+    if (task_->injector != nullptr) {
+        result_.faults = task_->injector->counters();
+        result_.faults -= fault_base_; // delta for shared streams
+    }
     regs_[static_cast<size_t>(StatusReg::InstCount)] = result_.instructions;
     return std::move(result_);
 }

@@ -146,6 +146,17 @@ class EnmcRank
     void filterTileSynthetic(const TileOp &op);
     void emitCandidate(uint64_t item, uint64_t row);
 
+    /**
+     * Pass a functional read buffer through the task's fault + ECC model
+     * (erasing detected-uncorrectable words). Requires task_->injector.
+     * @return number of detected-uncorrectable words.
+     */
+    uint64_t faultReadBuffer(std::span<uint8_t> bytes);
+    /** True when this task reads through an active fault injector. */
+    bool faulty() const;
+    /** One instruction-delivery attempt through the C/A fault model. */
+    bool instructionDelivered();
+
     Cycles computeCycles(uint64_t macs_needed, uint64_t array_width) const;
 
     EnmcConfig cfg_;
@@ -187,6 +198,12 @@ class EnmcRank
     // executor state
     std::deque<CandOp> exec_ops_;
     Cycles exec_busy_ = 0;
+    tensor::Vector exec_row_scratch_;   //!< faulty-read staging row
+
+    // fault-injection state
+    uint64_t fault_word_seq_ = 0;       //!< unique index per data word read
+    uint64_t inst_attempts_ = 0;        //!< instruction delivery attempts
+    fault::FaultCounters fault_base_;   //!< injector snapshot at reset()
 
     // SFU / output state
     Cycles sfu_busy_ = 0;

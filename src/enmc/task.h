@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "fault/injector.h"
 #include "tensor/matrix.h"
 #include "tensor/quantize.h"
 
@@ -38,6 +39,12 @@ struct RankTask
     /** Per-item candidate count for timing-only simulation. */
     uint64_t expected_candidates = 0;
     float threshold = 0.0f;        //!< FILTER threshold
+
+    // --- fault model (null / default => pristine memory) ---
+    /** Seeded fault stream for this rank's reads; not owned. */
+    fault::FaultInjector *injector = nullptr;
+    /** Global rank id, used for stuck-rank lookup in the fault config. */
+    uint32_t rank_index = 0;
 
     // --- rank-local address layout ---
     Addr screen_weight_base = 0;
@@ -93,6 +100,17 @@ struct RankResult
     uint64_t peak_psum_buf = 0;
     uint64_t peak_exec_buf = 0;
     uint64_t peak_output_buf = 0;
+
+    // Fault/ECC activity observed by this rank (all zero without an
+    // injector).
+    /** Injector counter deltas attributable to this run. */
+    fault::FaultCounters faults;
+    /** Detected-uncorrectable words that reached the compute units. */
+    uint64_t uncorrectable_words = 0;
+    /** Candidates left with their approximate logit (degraded mode). */
+    uint64_t degraded_candidates = 0;
+    /** Slice re-executions the resilience policy performed. */
+    uint64_t fault_retries = 0;
 
     // Functional outputs (empty for timing-only runs).
     /** Mixed logits per batch item over this rank's slice. */

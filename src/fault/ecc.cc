@@ -1,0 +1,133 @@
+#include "fault/ecc.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace enmc::fault {
+
+namespace {
+
+/**
+ * Hamming positions run 1..71; positions that are powers of two hold the
+ * seven check bits, the remaining 64 hold the data bits in index order.
+ * The tables map between the two numberings.
+ */
+struct PositionTables
+{
+    int data_pos[kEccDataBits];   //!< data bit i -> Hamming position
+    int pos_data[72];             //!< Hamming position -> data bit or -1
+
+    constexpr PositionTables() : data_pos{}, pos_data{}
+    {
+        for (int p = 0; p < 72; ++p)
+            pos_data[p] = -1;
+        int next = 0;
+        for (int p = 1; p <= 71; ++p) {
+            if ((p & (p - 1)) == 0)
+                continue; // check-bit position
+            data_pos[next] = p;
+            pos_data[p] = next;
+            ++next;
+        }
+    }
+};
+
+constexpr PositionTables kTables{};
+
+/** XOR of the Hamming positions of all set data bits. */
+int
+dataSyndrome(uint64_t data)
+{
+    int s = 0;
+    while (data) {
+        const int i = std::countr_zero(data);
+        data &= data - 1;
+        s ^= kTables.data_pos[i];
+    }
+    return s;
+}
+
+} // namespace
+
+uint8_t
+eccEncode(uint64_t data)
+{
+    const int s = dataSyndrome(data);
+    uint8_t check = static_cast<uint8_t>(s & 0x7f);
+    // Overall parity: make the popcount of the full 72-bit codeword even.
+    const int ones = std::popcount(data) + std::popcount(check);
+    if (ones & 1)
+        check |= 0x80;
+    return check;
+}
+
+const char *
+eccStatusName(EccStatus status)
+{
+    switch (status) {
+      case EccStatus::Ok: return "ok";
+      case EccStatus::CorrectedData: return "corrected-data";
+      case EccStatus::CorrectedCheck: return "corrected-check";
+      case EccStatus::DetectedUncorrectable: return "detected-uncorrectable";
+    }
+    return "?";
+}
+
+EccDecoded
+eccDecode(uint64_t data, uint8_t check)
+{
+    // Syndrome: XOR of set data-bit positions and set check-bit masks.
+    // For a clean codeword the stored check bits equal the data syndrome,
+    // so the XOR cancels to zero.
+    int s = dataSyndrome(data) ^ (check & 0x7f);
+    const bool parity_odd =
+        ((std::popcount(data) + std::popcount(check)) & 1) != 0;
+
+    EccDecoded out;
+    out.data = data;
+    if (s == 0 && !parity_odd)
+        return out; // clean
+
+    if (parity_odd) {
+        // An odd number of flips; a single flip is the only correctable
+        // interpretation, located by the syndrome.
+        if (s == 0) {
+            out.status = EccStatus::CorrectedCheck; // the parity bit itself
+            out.bit = 71;
+            return out;
+        }
+        if ((s & (s - 1)) == 0 && s <= 64) {
+            // A check-bit position (power of two): data is intact.
+            out.status = EccStatus::CorrectedCheck;
+            out.bit = 64 + std::countr_zero(static_cast<unsigned>(s));
+            return out;
+        }
+        if (s <= 71 && kTables.pos_data[s] >= 0) {
+            const int i = kTables.pos_data[s];
+            out.data = data ^ (1ull << i);
+            out.status = EccStatus::CorrectedData;
+            out.bit = i;
+            return out;
+        }
+        // Syndrome points outside the codeword: provably multi-bit.
+        out.status = EccStatus::DetectedUncorrectable;
+        return out;
+    }
+
+    // Even flip count with a nonzero syndrome: the double-error signature.
+    out.status = EccStatus::DetectedUncorrectable;
+    return out;
+}
+
+void
+eccFlipBit(uint64_t &data, uint8_t &check, int bit)
+{
+    ENMC_ASSERT(bit >= 0 && bit < kEccCodewordBits, "bad codeword bit ", bit);
+    if (bit < kEccDataBits)
+        data ^= 1ull << bit;
+    else
+        check ^= static_cast<uint8_t>(1u << (bit - kEccDataBits));
+}
+
+} // namespace enmc::fault

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SECDED(72,64) error-correcting code: the standard Hamming code with an
+ * added overall-parity bit, the scheme server DIMMs (and Ramulator2's ECC
+ * model) attach to every 64-bit data word. Corrects any single-bit error
+ * (data, check, or parity bit) and detects every double-bit error.
+ *
+ * Codeword layout used here: 64 data bits plus an 8-bit check byte whose
+ * bits 0-6 are the Hamming check bits (covering positions with the
+ * corresponding index bit set) and bit 7 is the overall parity over the
+ * whole 72-bit codeword. For injection purposes the codeword bits are
+ * numbered 0-71: 0-63 = data bit i, 64-70 = check bit (i - 64),
+ * 71 = overall parity.
+ */
+
+#ifndef ENMC_FAULT_ECC_H
+#define ENMC_FAULT_ECC_H
+
+#include <cstdint>
+
+namespace enmc::fault {
+
+/** Number of bits in one SECDED(72,64) codeword. */
+inline constexpr int kEccCodewordBits = 72;
+/** Data bits per codeword. */
+inline constexpr int kEccDataBits = 64;
+
+/** Compute the 8-bit check byte for a 64-bit data word. */
+uint8_t eccEncode(uint64_t data);
+
+/** Outcome of decoding one (possibly corrupted) codeword. */
+enum class EccStatus : uint8_t {
+    Ok = 0,              //!< no error observed
+    CorrectedData = 1,   //!< single-bit error in a data bit, repaired
+    CorrectedCheck = 2,  //!< single-bit error in a check/parity bit
+    DetectedUncorrectable = 3, //!< multi-bit error detected, data unusable
+};
+
+const char *eccStatusName(EccStatus status);
+
+/** Decode result: repaired data plus the classification. */
+struct EccDecoded
+{
+    uint64_t data = 0;     //!< data after any correction
+    EccStatus status = EccStatus::Ok;
+    /** Corrected codeword bit (0-71 as in the header comment), or -1. */
+    int bit = -1;
+};
+
+/**
+ * Decode a stored (data, check) pair. Guarantees: any single flipped
+ * codeword bit is corrected; any two flipped bits yield
+ * DetectedUncorrectable. Three or more flips may miscorrect (silent data
+ * corruption) — exactly the residual-error behaviour real SECDED has.
+ */
+EccDecoded eccDecode(uint64_t data, uint8_t check);
+
+/**
+ * Flip codeword bit `bit` (0-71) of a (data, check) pair in place.
+ * Used by the fault injector to model raw DRAM bit errors.
+ */
+void eccFlipBit(uint64_t &data, uint8_t &check, int bit);
+
+} // namespace enmc::fault
+
+#endif // ENMC_FAULT_ECC_H

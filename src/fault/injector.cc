@@ -1,0 +1,309 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "fault/ecc.h"
+
+namespace enmc::fault {
+
+namespace {
+
+// Domain-separation salts: one per distinct kind of draw, so the flip
+// count, the flip positions, the instruction fates and the timing-only
+// burst classification are independent streams of the same seed.
+constexpr uint64_t kSaltFlipCount = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kSaltFlipBits = 0xbf58476d1ce4e5b9ull;
+constexpr uint64_t kSaltInstDrop = 0x94d049bb133111ebull;
+constexpr uint64_t kSaltInstCorrupt = 0x2545f4914f6cdd1dull;
+constexpr uint64_t kSaltBurst = 0xd6e8feb86659fd93ull;
+
+/** splitmix64 finalizer: a high-quality 64 -> 64 bit mixer. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+double
+parseEnvDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atof(v) : fallback;
+}
+
+uint64_t
+parseEnvU64(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+} // namespace
+
+bool
+FaultConfig::rankStuck(uint32_t rank) const
+{
+    return std::find(stuck_ranks.begin(), stuck_ranks.end(), rank) !=
+           stuck_ranks.end();
+}
+
+FaultConfig
+FaultConfig::fromEnv()
+{
+    FaultConfig cfg;
+    cfg.enabled = parseEnvU64("ENMC_FAULT", 0) != 0;
+    cfg.seed = parseEnvU64("ENMC_FAULT_SEED", cfg.seed);
+    cfg.data_ber = parseEnvDouble("ENMC_FAULT_BER", cfg.data_ber);
+    cfg.inst_drop_p =
+        parseEnvDouble("ENMC_FAULT_INST_DROP", cfg.inst_drop_p);
+    cfg.inst_corrupt_p =
+        parseEnvDouble("ENMC_FAULT_INST_CORRUPT", cfg.inst_corrupt_p);
+    cfg.ecc = parseEnvU64("ENMC_FAULT_ECC", 1) != 0;
+    if (const char *list = std::getenv("ENMC_FAULT_STUCK_RANKS")) {
+        const char *p = list;
+        while (*p) {
+            char *end = nullptr;
+            const unsigned long r = std::strtoul(p, &end, 10);
+            if (end == p)
+                break;
+            cfg.stuck_ranks.push_back(static_cast<uint32_t>(r));
+            p = (*end == ',') ? end + 1 : end;
+        }
+    }
+    return cfg;
+}
+
+FaultCounters &
+FaultCounters::operator+=(const FaultCounters &o)
+{
+    injected_words += o.injected_words;
+    injected_bits += o.injected_bits;
+    single_bit_words += o.single_bit_words;
+    corrected += o.corrected;
+    detected += o.detected;
+    escaped += o.escaped;
+    inst_dropped += o.inst_dropped;
+    inst_corrupted += o.inst_corrupted;
+    stuck_reads += o.stuck_reads;
+    return *this;
+}
+
+FaultCounters &
+FaultCounters::operator-=(const FaultCounters &o)
+{
+    injected_words -= o.injected_words;
+    injected_bits -= o.injected_bits;
+    single_bit_words -= o.single_bit_words;
+    corrected -= o.corrected;
+    detected -= o.detected;
+    escaped -= o.escaped;
+    inst_dropped -= o.inst_dropped;
+    inst_corrupted -= o.inst_corrupted;
+    stuck_reads -= o.stuck_reads;
+    return *this;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg, uint64_t stream)
+    : cfg_(cfg), stream_(stream)
+{
+    ENMC_ASSERT(cfg.data_ber >= 0.0 && cfg.data_ber <= 1.0,
+                "bit-error rate out of range");
+}
+
+double
+FaultInjector::uniformAt(uint64_t index, uint64_t salt) const
+{
+    const uint64_t h =
+        mix64(cfg_.seed ^ mix64(stream_ ^ salt) ^ mix64(index + salt));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+int
+FaultInjector::sampleFlipCount(uint64_t index, int nbits) const
+{
+    const double p = cfg_.data_ber;
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return nbits;
+    // Inverse-CDF binomial draw: walk the pmf from k = 0. For realistic
+    // rates the first term absorbs nearly all the mass, so this is one
+    // multiply per word in the common case.
+    double u = uniformAt(index, kSaltFlipCount);
+    double pmf = 1.0;
+    for (int i = 0; i < nbits; ++i)
+        pmf *= 1.0 - p;
+    int k = 0;
+    while (u >= pmf && k < nbits) {
+        u -= pmf;
+        pmf *= (static_cast<double>(nbits - k) / (k + 1)) * (p / (1.0 - p));
+        ++k;
+    }
+    return k;
+}
+
+void
+FaultInjector::sampleFlipBits(uint64_t index, int nbits, int k,
+                              int *out) const
+{
+    int chosen = 0;
+    for (uint64_t j = 0; chosen < k; ++j) {
+        const int pos = static_cast<int>(
+            mix64(cfg_.seed ^ mix64(stream_ ^ kSaltFlipBits) ^
+                  mix64(index * 73 + j)) %
+            static_cast<uint64_t>(nbits));
+        bool dup = false;
+        for (int i = 0; i < chosen; ++i)
+            dup |= out[i] == pos;
+        if (!dup)
+            out[chosen++] = pos;
+    }
+}
+
+uint64_t
+FaultInjector::faultWord(uint64_t word, uint64_t index, int k,
+                         bool *uncorrectable, bool *silent) const
+{
+    *uncorrectable = false;
+    *silent = false;
+    int bits[kEccCodewordBits];
+
+    if (!cfg_.ecc) {
+        // No ECC: every flip lands in the data and nobody notices.
+        sampleFlipBits(index, kEccDataBits, k, bits);
+        for (int i = 0; i < k; ++i)
+            word ^= 1ull << bits[i];
+        *silent = true;
+        return word;
+    }
+
+    uint64_t data = word;
+    uint8_t check = eccEncode(word);
+    sampleFlipBits(index, kEccCodewordBits, k, bits);
+    for (int i = 0; i < k; ++i)
+        eccFlipBit(data, check, bits[i]);
+
+    const EccDecoded dec = eccDecode(data, check);
+    if (dec.status == EccStatus::DetectedUncorrectable) {
+        *uncorrectable = true;
+        return data; // raw corrupted bits; the caller knows they are bad
+    }
+    if (dec.data == word)
+        return word; // corrected (or flips confined to check bits)
+    // Miscorrection: >= 3 flips aliased to a valid single-error syndrome.
+    *silent = true;
+    return dec.data;
+}
+
+uint64_t
+FaultInjector::readWord(uint64_t word, uint64_t index, bool *uncorrectable)
+{
+    *uncorrectable = false;
+    if (!cfg_.enabled || cfg_.data_ber <= 0.0)
+        return word;
+    const int nbits = cfg_.ecc ? kEccCodewordBits : kEccDataBits;
+    const int k = sampleFlipCount(index, nbits);
+    if (k == 0)
+        return word;
+
+    counters_.injected_words += 1;
+    counters_.injected_bits += static_cast<uint64_t>(k);
+    if (k == 1)
+        counters_.single_bit_words += 1;
+
+    bool silent = false;
+    const uint64_t out = faultWord(word, index, k, uncorrectable, &silent);
+    if (*uncorrectable)
+        counters_.detected += 1;
+    else if (silent)
+        counters_.escaped += 1;
+    else
+        counters_.corrected += 1;
+    return out;
+}
+
+uint64_t
+FaultInjector::readBuffer(std::span<uint8_t> bytes, uint64_t index_base)
+{
+    if (!cfg_.enabled || cfg_.data_ber <= 0.0)
+        return 0;
+    uint64_t uncorrectable_words = 0;
+    size_t off = 0;
+    uint64_t idx = index_base;
+    while (off < bytes.size()) {
+        const size_t n = std::min<size_t>(8, bytes.size() - off);
+        uint64_t word = 0;
+        std::memcpy(&word, bytes.data() + off, n);
+        bool unc = false;
+        word = readWord(word, idx++, &unc);
+        if (unc) {
+            word = 0; // erasure: known-bad data never reaches compute
+            ++uncorrectable_words;
+        }
+        std::memcpy(bytes.data() + off, &word, n);
+        off += n;
+    }
+    return uncorrectable_words;
+}
+
+FaultInjector::InstFate
+FaultInjector::instructionFate(uint64_t attempt)
+{
+    if (!cfg_.enabled)
+        return InstFate::Deliver;
+    if (cfg_.inst_drop_p > 0.0 &&
+        uniformAt(attempt, kSaltInstDrop) < cfg_.inst_drop_p) {
+        counters_.inst_dropped += 1;
+        return InstFate::Drop;
+    }
+    if (cfg_.inst_corrupt_p > 0.0 &&
+        uniformAt(attempt, kSaltInstCorrupt) < cfg_.inst_corrupt_p) {
+        counters_.inst_corrupted += 1;
+        return InstFate::Corrupt;
+    }
+    return InstFate::Deliver;
+}
+
+FaultInjector::BurstOutcome
+FaultInjector::classifyBurst(uint64_t words, uint64_t index_base) const
+{
+    BurstOutcome out;
+    if (!cfg_.enabled || cfg_.data_ber <= 0.0)
+        return out;
+    const int nbits = cfg_.ecc ? kEccCodewordBits : kEccDataBits;
+    for (uint64_t w = 0; w < words; ++w) {
+        const uint64_t idx = mix64(index_base + w) ^ kSaltBurst;
+        const int k = sampleFlipCount(idx, nbits);
+        if (k == 0)
+            continue;
+        if (!cfg_.ecc) {
+            out.escaped += 1;
+            continue;
+        }
+        if (k == 1) {
+            out.corrected += 1; // SECDED guarantee
+            continue;
+        }
+        // The timing path carries no data; classify a hash-derived word
+        // so multi-bit outcomes follow the real codec's statistics.
+        bool unc = false;
+        bool silent = false;
+        const uint64_t probe = mix64(idx ^ kSaltBurst);
+        (void)faultWord(probe, idx, k, &unc, &silent);
+        if (unc)
+            out.detected += 1;
+        else if (silent)
+            out.escaped += 1;
+        else
+            out.corrected += 1;
+    }
+    return out;
+}
+
+} // namespace enmc::fault

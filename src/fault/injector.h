@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Seeded, rate-configurable fault injection for the ENMC memory system.
+ *
+ * Three fault classes (the ones a rank-level NMP deployment actually
+ * sees):
+ *  - bit flips on DRAM read data (single/double/multi per 64-bit word,
+ *    sampled per-bit from a raw bit-error rate and pushed through the
+ *    SECDED(72,64) model in ecc.h when ECC is enabled);
+ *  - stuck-at rank failures (every read from a listed rank is
+ *    detected-uncorrectable — the failure mode rank blacklisting exists
+ *    for);
+ *  - dropped or corrupted PRECHARGE-tunneled ENMC instructions (the C/A
+ *    encoding carries parity, so both manifest as a failed delivery the
+ *    host must repeat).
+ *
+ * Determinism contract: every sample is a pure function of
+ * (seed, stream, index) via splitmix64 hashing — independent of call
+ * order, thread count and previous draws. Each rank slice gets its own
+ * injector (its own stream), so pooled simulations stay bit-identical
+ * to serial ones and a run can be replayed from its seed.
+ */
+
+#ifndef ENMC_FAULT_INJECTOR_H
+#define ENMC_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace enmc::fault {
+
+/** Fault-model configuration (all off by default: bit-identical runs). */
+struct FaultConfig
+{
+    bool enabled = false;       //!< master switch
+    uint64_t seed = 1;          //!< injection seed (replayable)
+    double data_ber = 0.0;      //!< raw per-bit flip probability on reads
+    double inst_drop_p = 0.0;   //!< instruction delivery dropped
+    double inst_corrupt_p = 0.0; //!< instruction C/A word corrupted
+    bool ecc = true;            //!< SECDED(72,64) on read data
+    std::vector<uint32_t> stuck_ranks; //!< ranks whose reads always fail
+
+    bool rankStuck(uint32_t rank) const;
+
+    /**
+     * Build a config from ENMC_FAULT_* environment variables:
+     * ENMC_FAULT=1 (master), ENMC_FAULT_SEED, ENMC_FAULT_BER,
+     * ENMC_FAULT_INST_DROP, ENMC_FAULT_INST_CORRUPT, ENMC_FAULT_ECC=0|1,
+     * ENMC_FAULT_STUCK_RANKS=comma,separated,ids.
+     */
+    static FaultConfig fromEnv();
+};
+
+/** Resilience policy applied by the backend layer on top of ECC. */
+struct ResilienceConfig
+{
+    /** Re-runs of a slice that returned detected-uncorrectable data. */
+    uint32_t max_retries = 2;
+    /** Latency penalty of the first retry; doubles per further attempt. */
+    Cycles retry_backoff_cycles = 2048;
+    /** Consecutive slice failures before a rank is blacklisted. */
+    uint32_t blacklist_after = 2;
+    /** Accept approximate-only logits once retries are exhausted. */
+    bool degrade = true;
+};
+
+/**
+ * Bookkeeping of everything the injector did. The accounting invariant
+ * (checked by the differential harness) is that every faulty word is
+ * classified exactly once: injected_words == corrected + detected +
+ * escaped.
+ */
+struct FaultCounters
+{
+    uint64_t injected_words = 0;   //!< 64-bit words with >= 1 flip
+    uint64_t injected_bits = 0;    //!< raw bit flips injected
+    uint64_t single_bit_words = 0; //!< words with exactly one flip
+    uint64_t corrected = 0;        //!< words repaired by ECC
+    uint64_t detected = 0;         //!< detected-uncorrectable words
+    uint64_t escaped = 0;          //!< silent corruption reaching compute
+    uint64_t inst_dropped = 0;     //!< instruction deliveries dropped
+    uint64_t inst_corrupted = 0;   //!< instruction deliveries corrupted
+    uint64_t stuck_reads = 0;      //!< reads served by a stuck rank
+
+    FaultCounters &operator+=(const FaultCounters &o);
+    /** Subtract a baseline snapshot (delta accounting for shared streams). */
+    FaultCounters &operator-=(const FaultCounters &o);
+
+    /** Every faulty word classified exactly once? */
+    bool balanced() const
+    {
+        return injected_words == corrected + detected + escaped;
+    }
+};
+
+/** One seeded fault stream (one per rank slice / simulated component). */
+class FaultInjector
+{
+  public:
+    /** @param stream Distinguishes independent streams of one seed. */
+    explicit FaultInjector(const FaultConfig &cfg, uint64_t stream = 0);
+
+    const FaultConfig &config() const { return cfg_; }
+    bool enabled() const { return cfg_.enabled; }
+    uint64_t stream() const { return stream_; }
+
+    /**
+     * Read one 64-bit word through the fault + ECC model. `index` must be
+     * unique per architectural read (same index -> same outcome).
+     * @param uncorrectable Set true when ECC detected an uncorrectable
+     *        error (returned data is the raw corrupted word).
+     * @return the word as delivered to the compute units.
+     */
+    uint64_t readWord(uint64_t word, uint64_t index, bool *uncorrectable);
+
+    /**
+     * Read a byte buffer word-by-word (tail bytes are zero-padded into a
+     * final word). Detected-uncorrectable words are zeroed (erasure) —
+     * callers decide whether to retry or degrade.
+     * @param index_base First word index; the call consumes
+     *        ceil(bytes/8) indices.
+     * @return number of detected-uncorrectable words.
+     */
+    uint64_t readBuffer(std::span<uint8_t> bytes, uint64_t index_base);
+
+    /** Fate of one instruction-delivery attempt. */
+    enum class InstFate { Deliver, Drop, Corrupt };
+
+    /** Sample (and count) the fate of delivery attempt `attempt`. */
+    InstFate instructionFate(uint64_t attempt);
+
+    /** Per-outcome word counts of a data-less (timing-only) read burst. */
+    struct BurstOutcome
+    {
+        uint64_t corrected = 0;
+        uint64_t detected = 0;
+        uint64_t escaped = 0;
+    };
+
+    /**
+     * Classify `words` 64-bit words of a timing-only read burst without
+     * touching this injector's counters (callers keep their own stats —
+     * the dram::Controller surfaces these through its StatGroup).
+     */
+    BurstOutcome classifyBurst(uint64_t words, uint64_t index_base) const;
+
+    FaultCounters &counters() { return counters_; }
+    const FaultCounters &counters() const { return counters_; }
+
+  private:
+    /** Uniform double in [0, 1), pure in (seed, stream, index, salt). */
+    double uniformAt(uint64_t index, uint64_t salt) const;
+    /** Binomial draw: flips among `nbits` bits at the configured BER. */
+    int sampleFlipCount(uint64_t index, int nbits) const;
+    /** The k distinct flipped bit positions for word `index`. */
+    void sampleFlipBits(uint64_t index, int nbits, int k, int *out) const;
+    /** Fault one word; classification only (no counter updates). */
+    uint64_t faultWord(uint64_t word, uint64_t index, int k,
+                       bool *uncorrectable, bool *silent) const;
+
+    FaultConfig cfg_;
+    uint64_t stream_;
+    FaultCounters counters_;
+};
+
+} // namespace enmc::fault
+
+#endif // ENMC_FAULT_INJECTOR_H

@@ -6,6 +6,7 @@
 #include "enmc/rank.h"
 #include "runtime/compiler.h"
 #include "runtime/partition.h"
+#include "runtime/resilience.h"
 
 namespace enmc::runtime {
 
@@ -200,6 +201,9 @@ BackendRegistry::BackendRegistry()
 {
     add("enmc", [](const SystemConfig &cfg) {
         return std::make_unique<EnmcBackend>(cfg);
+    });
+    add("enmc-resilient", [](const SystemConfig &cfg) {
+        return std::make_unique<ResilientBackend>(cfg);
     });
     add("nda", [](const SystemConfig &cfg) {
         return std::make_unique<NmpBackend>(

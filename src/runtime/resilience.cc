@@ -1,0 +1,166 @@
+#include "runtime/resilience.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/partition.h"
+
+namespace enmc::runtime {
+
+ResilientBackend::ResilientBackend(const SystemConfig &cfg)
+    : Backend(cfg), inner_(cfg)
+{
+}
+
+BackendCapabilities
+ResilientBackend::capabilities() const
+{
+    BackendCapabilities caps;
+    caps.functional = true;
+    caps.description = "ENMC rank model with SECDED-driven resilience: "
+                       "slice retry with backoff, stuck-rank blacklisting "
+                       "and approximate-logit degradation";
+    return caps;
+}
+
+std::vector<uint32_t>
+ResilientBackend::healthyRanks() const
+{
+    std::vector<uint32_t> out;
+    for (uint32_t r = 0; r < cfg_.totalRanks(); ++r) {
+        // A stuck rank fails every slice deterministically, so it always
+        // reaches the blacklist threshold; `blacklist_after` only sets
+        // how many failed probes the host pays before dropping it.
+        if (cfg_.fault.enabled && cfg_.fault.rankStuck(r))
+            continue;
+        out.push_back(r);
+    }
+    return out;
+}
+
+arch::RankResult
+ResilientBackend::runWithRetry(const arch::RankTask &task,
+                               bool functional) const
+{
+    auto execute = [&](const arch::RankTask &t) {
+        return functional ? inner_.runFunctionalSlice(t)
+                          : inner_.runSlice(t);
+    };
+
+    arch::RankResult res = execute(task);
+    fault::FaultInjector *injector = task.injector;
+    if (injector == nullptr || !injector->enabled())
+        return res;
+
+    // A stuck rank fails deterministically: retrying is wasted work, and
+    // the blacklisting path (runJob/runFunctionalJob) handles it.
+    const bool stuck = injector->config().rankStuck(task.rank_index);
+
+    Cycles backoff = cfg_.resilience.retry_backoff_cycles;
+    Cycles penalty = 0;
+    uint64_t retries = 0;
+    while (res.uncorrectable_words > 0 && !stuck &&
+           retries < cfg_.resilience.max_retries) {
+        ++retries;
+        penalty += backoff;
+        backoff *= 2;
+        // A retry re-reads DRAM: transient faults draw fresh samples from
+        // a per-attempt stream; its counters merge back into the caller's
+        // injector so the accounting invariant spans all attempts.
+        fault::FaultInjector retry_injector(
+            injector->config(),
+            injector->stream() + (retries << 32));
+        arch::RankTask retry_task = task;
+        retry_task.injector = &retry_injector;
+        res = execute(retry_task);
+        injector->counters() += retry_injector.counters();
+    }
+    res.cycles += penalty;
+    res.fault_retries = retries;
+
+    if (res.uncorrectable_words > 0 && !stuck && !cfg_.resilience.degrade)
+        ENMC_PANIC("slice still uncorrectable after ", retries,
+                   " retries and degradation is disabled");
+    return res;
+}
+
+arch::RankResult
+ResilientBackend::runSlice(const arch::RankTask &task) const
+{
+    return runWithRetry(task, /*functional=*/false);
+}
+
+arch::RankResult
+ResilientBackend::runFunctionalSlice(const arch::RankTask &task) const
+{
+    return runWithRetry(task, /*functional=*/true);
+}
+
+TimingResult
+ResilientBackend::runJob(const JobSpec &spec) const
+{
+    const std::vector<uint32_t> healthy = healthyRanks();
+    ENMC_ASSERT(!healthy.empty(), "every rank is blacklisted");
+    const uint64_t ranks = healthy.size();
+
+    // Repartition over the survivors: fewer ranks, bigger slices.
+    arch::RankTask task = EnmcSystem::makeSliceTask(
+        spec, RankPartitioner::sliceRows(spec.categories, ranks),
+        RankPartitioner::evenShare(spec.candidates, ranks));
+    task.rank_index = healthy.front();
+
+    // Same truncate-and-scale policy as the generic backend path.
+    const uint64_t max_rows = 64 * 1024;
+    double scale = 1.0;
+    if (task.categories > max_rows) {
+        scale = static_cast<double>(task.categories) / max_rows;
+        task.expected_candidates = std::max<uint64_t>(
+            1, static_cast<uint64_t>(task.expected_candidates / scale));
+        task.categories = max_rows;
+    }
+
+    const arch::RankResult r = runSlice(task);
+    TimingResult res;
+    res.rank = r;
+    res.ranks = ranks;
+    res.extrapolated = scale != 1.0;
+    res.rank_cycles = static_cast<Cycles>(r.cycles * scale);
+    // Discovering each dead rank cost the host `blacklist_after` failed
+    // probe slices of one backoff each before it was dropped.
+    const uint64_t blacklisted = cfg_.totalRanks() - ranks;
+    res.rank_cycles += blacklisted * cfg_.resilience.blacklist_after *
+                       cfg_.resilience.retry_backoff_cycles;
+    res.seconds = cyclesToSeconds(res.rank_cycles, cfg_.timing.freq_hz);
+    if (res.extrapolated) {
+        res.rank.cycles = res.rank_cycles;
+        res.rank.screen_bytes =
+            static_cast<uint64_t>(r.screen_bytes * scale);
+        res.rank.exec_bytes = static_cast<uint64_t>(r.exec_bytes * scale);
+        res.rank.output_bytes =
+            static_cast<uint64_t>(r.output_bytes * scale);
+        res.rank.dram_reads = static_cast<uint64_t>(r.dram_reads * scale);
+        res.rank.dram_writes = static_cast<uint64_t>(r.dram_writes * scale);
+        res.rank.dram_acts = static_cast<uint64_t>(r.dram_acts * scale);
+        res.rank.dram_refs = static_cast<uint64_t>(r.dram_refs * scale);
+    }
+    return res;
+}
+
+EnmcSystem::FunctionalResult
+ResilientBackend::runFunctionalJob(const nn::Classifier &classifier,
+                                   const screening::Screener &screener,
+                                   const std::vector<tensor::Vector> &h_batch,
+                                   uint64_t ranks_to_use) const
+{
+    const std::vector<uint32_t> healthy = healthyRanks();
+    ENMC_ASSERT(!healthy.empty(), "every rank is blacklisted");
+    SystemConfig cfg = cfg_;
+    cfg.functional_rank_ids = healthy;
+    cfg.resilient = true;
+    const uint64_t ranks =
+        std::min<uint64_t>(ranks_to_use, healthy.size());
+    return EnmcSystem(cfg).runFunctional(classifier, screener, h_batch,
+                                         ranks);
+}
+
+} // namespace enmc::runtime

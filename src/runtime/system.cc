@@ -7,6 +7,7 @@
 #include "runtime/backend.h"
 #include "runtime/compiler.h"
 #include "runtime/partition.h"
+#include "runtime/resilience.h"
 #include "tensor/ops.h"
 
 namespace enmc::runtime {
@@ -149,7 +150,11 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
     const tensor::QuantizedMatrix &wq = screener.quantizedWeights();
     const std::vector<RowSlice> slices =
         RankPartitioner::partition(row_begin, row_count, ranks);
-    const EnmcBackend backend(cfg_);
+    const EnmcBackend plain_backend(cfg_);
+    const ResilientBackend resilient_backend(cfg_);
+    const Backend &backend =
+        cfg_.resilient ? static_cast<const Backend &>(resilient_backend)
+                       : plain_backend;
 
     // Each slice is a self-contained rank simulation: workers build their
     // own tensor slices and EnmcRank instance, park the RankResult in a
@@ -201,13 +206,33 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
         // place the reserve policy lives).
         TaskLayout::assign(task);
 
+        // Per-slice fault streams: every sample is pure in (seed, stream,
+        // index), so pooled runs stay bit-identical to serial ones.
+        const uint32_t rank_id =
+            cfg_.functional_rank_ids.empty()
+                ? static_cast<uint32_t>(s)
+                : cfg_.functional_rank_ids[s %
+                                           cfg_.functional_rank_ids.size()];
+        task.rank_index = rank_id;
+        fault::FaultInjector injector(cfg_.fault, /*stream=*/rank_id);
+        if (cfg_.fault.enabled)
+            task.injector = &injector;
+
         results[s] = backend.runFunctionalSlice(task);
+        // The slice injector accumulates every attempt (retries merge
+        // their counters back into it); the result's own delta only
+        // covers the final attempt.
+        if (task.injector != nullptr)
+            results[s].faults = injector.counters();
     });
 
     for (size_t s = 0; s < slices.size(); ++s) {
         const uint64_t row0 = slices[s].begin;
         const RankResult &rr = results[s];
         out.rank_cycles = std::max(out.rank_cycles, rr.cycles);
+        out.faults += rr.faults;
+        out.uncorrectable_words += rr.uncorrectable_words;
+        out.degraded_candidates += rr.degraded_candidates;
         for (uint64_t item = 0; item < batch; ++item) {
             std::copy(rr.logits[item].begin(), rr.logits[item].end(),
                       out.logits[item].begin() + row0);

@@ -22,6 +22,7 @@
 #include "dram/timing.h"
 #include "enmc/config.h"
 #include "enmc/rank.h"
+#include "fault/injector.h"
 #include "nn/classifier.h"
 #include "screening/screener.h"
 
@@ -42,6 +43,25 @@ struct SystemConfig
      * order, so results are bit-identical for every setting.
      */
     uint64_t sim_threads = 0;
+
+    /**
+     * Fault model applied to every simulated rank's reads and instruction
+     * deliveries. Off by default: all figures stay bit-identical.
+     */
+    fault::FaultConfig fault;
+    /** Retry / blacklist / degrade policy of the resilient backend. */
+    fault::ResilienceConfig resilience;
+    /**
+     * Route functional slices through the resilient backend wrapper
+     * (retry-with-backoff on detected-uncorrectable data).
+     */
+    bool resilient = false;
+    /**
+     * Physical rank ids backing the functional slices (slice s runs on
+     * functional_rank_ids[s]); empty = identity. The resilient backend
+     * repartitions around blacklisted ranks by listing only healthy ids.
+     */
+    std::vector<uint32_t> functional_rank_ids;
 
     uint64_t totalRanks() const
     {
@@ -110,6 +130,10 @@ class EnmcSystem
         std::vector<std::vector<uint32_t>> candidates;
         Cycles rank_cycles = 0;
         double seconds = 0.0;
+        /** Aggregated fault/ECC activity across slices (zero by default). */
+        fault::FaultCounters faults;
+        uint64_t uncorrectable_words = 0;
+        uint64_t degraded_candidates = 0;
     };
     FunctionalResult runFunctional(
         const nn::Classifier &classifier,

@@ -23,6 +23,35 @@ costSpeedup(const Cost &baseline, const Cost &candidate, double bytes_per_flop)
     return tb / tc;
 }
 
+double
+precisionAt1(const std::vector<tensor::Vector> &exact,
+             const std::vector<tensor::Vector> &approx)
+{
+    ENMC_ASSERT(!exact.empty() && exact.size() == approx.size(),
+                "precisionAt1: batch mismatch");
+    double hits = 0.0;
+    for (size_t i = 0; i < exact.size(); ++i) {
+        const auto ref = tensor::topkIndices(exact[i], 1);
+        const auto got = tensor::topkIndices(approx[i], 1);
+        hits += (ref[0] == got[0]) ? 1.0 : 0.0;
+    }
+    return hits / static_cast<double>(exact.size());
+}
+
+double
+candidateRecallAtK(const std::vector<tensor::Vector> &exact,
+                   const std::vector<std::vector<uint32_t>> &candidates,
+                   size_t k)
+{
+    ENMC_ASSERT(!exact.empty() && exact.size() == candidates.size(),
+                "candidateRecallAtK: batch mismatch");
+    double recall = 0.0;
+    for (size_t i = 0; i < exact.size(); ++i)
+        recall += tensor::recall(candidates[i],
+                                 tensor::topkIndices(exact[i], k));
+    return recall / static_cast<double>(exact.size());
+}
+
 QualityReport
 evaluateQuality(const Pipeline &pipeline,
                 const std::vector<tensor::Vector> &eval_h, size_t k)

@@ -49,6 +49,23 @@ QualityReport evaluateQuality(const Pipeline &pipeline,
 double costSpeedup(const Cost &baseline, const Cost &candidate,
                    double bytes_per_flop = 0.064);
 
+/**
+ * P@1 of per-item approximate logits against an exact reference: the
+ * fraction of items whose argmax agrees. Used by the fault sweep, where
+ * the "approximate" logits additionally carry injected memory errors.
+ */
+double precisionAt1(const std::vector<tensor::Vector> &exact,
+                    const std::vector<tensor::Vector> &approx);
+
+/**
+ * Mean fraction of each item's exact top-k categories present in its
+ * candidate set.
+ */
+double
+candidateRecallAtK(const std::vector<tensor::Vector> &exact,
+                   const std::vector<std::vector<uint32_t>> &candidates,
+                   size_t k);
+
 } // namespace enmc::screening
 
 #endif // ENMC_SCREENING_METRICS_H

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -92,6 +93,64 @@ TEST(ThreadPool, FreeFunctionDedicatedWorkers)
     parallelFor(0, 100, 4, [&](size_t i) { ++hits[i]; });
     for (size_t i = 0; i < 100; ++i)
         EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionsAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 256,
+                                  [](size_t i) {
+                                      if (i == 17)
+                                          throw std::runtime_error(
+                                              "iteration 17 failed");
+                                  }),
+                 std::runtime_error);
+
+    // The workers drained cleanly: the next loop runs normally.
+    std::atomic<int> done{0};
+    pool.parallelFor(0, 64, [&](size_t) { ++done; });
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, PropagatedExceptionCarriesTheOriginalMessage)
+{
+    ThreadPool pool(2);
+    try {
+        pool.parallelFor(0, 8, [](size_t i) {
+            if (i == 3)
+                throw std::runtime_error("bad slice");
+        });
+        FAIL() << "expected the exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "bad slice");
+    }
+}
+
+TEST(ThreadPool, SerialPathStopsAtTheThrow)
+{
+    // workers == 1 runs inline, so the throw aborts the loop immediately
+    // (matching a plain for loop) instead of skip-draining.
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [&](size_t i) {
+                                      ++ran;
+                                      if (i == 5)
+                                          throw std::logic_error("stop");
+                                  }),
+                 std::logic_error);
+    EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(ThreadPool, FreeFunctionPropagatesFromDedicatedWorkers)
+{
+    EXPECT_THROW(parallelFor(0, 128, 4,
+                             [](size_t i) {
+                                 if (i % 2 == 0)
+                                     throw std::runtime_error(
+                                         "even failure");
+                             }),
+                 std::runtime_error);
 }
 
 TEST(ThreadPool, GlobalPoolIsUsable)

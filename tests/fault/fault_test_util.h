@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared fixture for the fault/resilience tests: a small trained
+ * threshold-mode screener + classifier (the same recipe the functional
+ * system tests use) plus exact full-classification reference logits.
+ */
+
+#ifndef ENMC_TESTS_FAULT_FAULT_TEST_UTIL_H
+#define ENMC_TESTS_FAULT_FAULT_TEST_UTIL_H
+
+#include <memory>
+#include <vector>
+
+#include "screening/pipeline.h"
+#include "screening/trainer.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::fault_test {
+
+struct SmallModel
+{
+    std::unique_ptr<workloads::SyntheticModel> synthetic;
+    std::unique_ptr<screening::Screener> screener;
+    std::vector<tensor::Vector> h_batch;
+    std::vector<tensor::Vector> exact; //!< full-classification logits
+
+    const nn::Classifier &classifier() const
+    {
+        return synthetic->classifier();
+    }
+};
+
+inline SmallModel
+makeSmallModel(uint64_t categories = 2048, uint64_t hidden = 64,
+               uint64_t batch = 4, uint64_t budget = 48)
+{
+    SmallModel m;
+    workloads::SyntheticConfig wcfg;
+    wcfg.categories = categories;
+    wcfg.hidden = hidden;
+    m.synthetic = std::make_unique<workloads::SyntheticModel>(wcfg);
+
+    screening::ScreenerConfig scfg;
+    scfg.categories = categories;
+    scfg.hidden = hidden;
+    scfg.selection = screening::SelectionMode::Threshold;
+    Rng rng(3);
+    m.screener = std::make_unique<screening::Screener>(scfg, rng);
+
+    Rng data = m.synthetic->makeRng(1);
+    const auto train = m.synthetic->sampleHiddenBatch(data, 160);
+    screening::Trainer trainer(m.classifier(), *m.screener,
+                               screening::TrainerConfig{});
+    trainer.train(train, {});
+    m.screener->freezeQuantized();
+    const float cut = screening::tuneThreshold(*m.screener, train, budget);
+    m.screener->setSelection(screening::SelectionMode::Threshold, budget,
+                             cut);
+
+    m.h_batch = m.synthetic->sampleHiddenBatch(data, batch);
+    const screening::Pipeline pipe(m.classifier(), *m.screener);
+    for (const auto &h : m.h_batch)
+        m.exact.push_back(pipe.inferFull(h).logits);
+    return m;
+}
+
+} // namespace enmc::fault_test
+
+#endif // ENMC_TESTS_FAULT_FAULT_TEST_UTIL_H

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Differential harness for the fault + ECC layer: the fault-enabled
+ * system is compared against the pristine one on the same model, batch
+ * and seed.
+ *
+ * Invariants proven here:
+ *  - injection rate 0 (and faults disabled outright) are bit-identical
+ *    to the pristine run — the layer is free when off;
+ *  - with ECC on, P@1 stays within a seeded tolerance of fault-free and
+ *    every single-bit word error is corrected;
+ *  - the accounting invariant injected == corrected + detected + escaped
+ *    holds end-to-end through the full system at every swept rate;
+ *  - instruction-delivery faults cost cycles but never answers;
+ *  - results and counters are independent of the worker-thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault_test_util.h"
+#include "runtime/system.h"
+#include "screening/metrics.h"
+
+namespace enmc::runtime {
+namespace {
+
+using fault_test::SmallModel;
+using fault_test::makeSmallModel;
+
+class FaultDifferential : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        model_ = new SmallModel(makeSmallModel());
+        SystemConfig cfg;
+        clean_ = new EnmcSystem::FunctionalResult(
+            EnmcSystem(cfg).runFunctional(model_->classifier(),
+                                          *model_->screener,
+                                          model_->h_batch, 4));
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete clean_;
+        delete model_;
+        clean_ = nullptr;
+        model_ = nullptr;
+    }
+
+    static EnmcSystem::FunctionalResult runFaulty(double ber, bool ecc,
+                                                  uint64_t seed = 1)
+    {
+        SystemConfig cfg;
+        cfg.fault.enabled = true;
+        cfg.fault.seed = seed;
+        cfg.fault.data_ber = ber;
+        cfg.fault.ecc = ecc;
+        cfg.resilient = true;
+        return EnmcSystem(cfg).runFunctional(model_->classifier(),
+                                             *model_->screener,
+                                             model_->h_batch, 4);
+    }
+
+    static void expectBitIdentical(
+        const EnmcSystem::FunctionalResult &out)
+    {
+        ASSERT_EQ(out.logits.size(), clean_->logits.size());
+        for (size_t i = 0; i < clean_->logits.size(); ++i)
+            EXPECT_EQ(out.logits[i], clean_->logits[i]) << "item " << i;
+        EXPECT_EQ(out.candidates, clean_->candidates);
+        for (size_t i = 0; i < clean_->probabilities.size(); ++i)
+            EXPECT_EQ(out.probabilities[i], clean_->probabilities[i]);
+    }
+
+    static SmallModel *model_;
+    static EnmcSystem::FunctionalResult *clean_;
+};
+
+SmallModel *FaultDifferential::model_ = nullptr;
+EnmcSystem::FunctionalResult *FaultDifferential::clean_ = nullptr;
+
+TEST_F(FaultDifferential, RateZeroIsBitIdentical)
+{
+    // Injection machinery armed but rate 0: every output must match the
+    // pristine run bit-for-bit and no counter may move.
+    const auto out = runFaulty(/*ber=*/0.0, /*ecc=*/true);
+    expectBitIdentical(out);
+    EXPECT_EQ(out.rank_cycles, clean_->rank_cycles);
+    EXPECT_EQ(out.faults.injected_words, 0u);
+    EXPECT_EQ(out.faults.injected_bits, 0u);
+    EXPECT_EQ(out.uncorrectable_words, 0u);
+    EXPECT_EQ(out.degraded_candidates, 0u);
+}
+
+TEST_F(FaultDifferential, EccHoldsPrecisionAtRealisticRates)
+{
+    const double clean_p1 =
+        screening::precisionAt1(model_->exact, clean_->logits);
+    const double clean_recall = screening::candidateRecallAtK(
+        model_->exact, clean_->candidates, 10);
+
+    for (const double ber : {1e-6, 1e-4}) {
+        const auto out = runFaulty(ber, /*ecc=*/true);
+        const double p1 =
+            screening::precisionAt1(model_->exact, out.logits);
+        const double recall = screening::candidateRecallAtK(
+            model_->exact, out.candidates, 10);
+        // Seeded tolerance: SECDED + retry recovers the fault-free
+        // operating point at DRAM-realistic error rates.
+        EXPECT_GE(p1, clean_p1 - 1e-12) << "ber " << ber;
+        EXPECT_GE(recall, clean_recall - 1e-12) << "ber " << ber;
+        EXPECT_TRUE(out.faults.balanced());
+    }
+}
+
+TEST_F(FaultDifferential, EverySingleBitWordErrorIsCorrected)
+{
+    // System-level restatement of the SECDED guarantee: a word that took
+    // exactly one flip can never be detected-uncorrectable or escape, so
+    // corrections must at least cover the single-flip words.
+    const auto out = runFaulty(/*ber=*/1e-4, /*ecc=*/true);
+    EXPECT_GT(out.faults.single_bit_words, 0u)
+        << "rate too low to exercise the codec at this model size";
+    EXPECT_GE(out.faults.corrected, out.faults.single_bit_words);
+    EXPECT_TRUE(out.faults.balanced());
+}
+
+TEST_F(FaultDifferential, CounterInvariantHoldsThroughTheFullSystem)
+{
+    for (const double ber : {1e-5, 1e-4, 1e-3}) {
+        for (const bool ecc : {true, false}) {
+            const auto out = runFaulty(ber, ecc);
+            EXPECT_TRUE(out.faults.balanced())
+                << "ber " << ber << " ecc " << ecc << ": "
+                << out.faults.injected_words << " != "
+                << out.faults.corrected << " + " << out.faults.detected
+                << " + " << out.faults.escaped;
+            if (!ecc) {
+                EXPECT_EQ(out.faults.corrected, 0u);
+                EXPECT_EQ(out.faults.detected, 0u);
+            }
+        }
+    }
+}
+
+TEST_F(FaultDifferential, WithoutEccFaultsEscapeSilently)
+{
+    const auto out = runFaulty(/*ber=*/1e-3, /*ecc=*/false);
+    EXPECT_GT(out.faults.escaped, 0u);
+    EXPECT_EQ(out.faults.escaped, out.faults.injected_words);
+    EXPECT_EQ(out.uncorrectable_words, 0u)
+        << "without ECC nothing is ever *detected*";
+}
+
+TEST_F(FaultDifferential, InstructionFaultsCostCyclesNotAnswers)
+{
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 1;
+    cfg.fault.inst_drop_p = 0.1;
+    cfg.fault.inst_corrupt_p = 0.05;
+    const auto out = EnmcSystem(cfg).runFunctional(model_->classifier(),
+                                                   *model_->screener,
+                                                   model_->h_batch, 4);
+
+    // Failed deliveries are repeated by the host, so the data path (and
+    // therefore every logit and candidate) is untouched...
+    expectBitIdentical(out);
+    // ...but the repeats are visible in the counters and the clock.
+    EXPECT_GT(out.faults.inst_dropped + out.faults.inst_corrupted, 0u);
+    EXPECT_GT(out.rank_cycles, clean_->rank_cycles);
+}
+
+TEST_F(FaultDifferential, ResultsAreIndependentOfWorkerThreadCount)
+{
+    auto run = [&](uint64_t threads) {
+        SystemConfig cfg;
+        cfg.sim_threads = threads;
+        cfg.fault.enabled = true;
+        cfg.fault.seed = 7;
+        cfg.fault.data_ber = 1e-3;
+        cfg.resilient = true;
+        return EnmcSystem(cfg).runFunctional(model_->classifier(),
+                                             *model_->screener,
+                                             model_->h_batch, 4);
+    };
+    const auto serial = run(1);
+    const auto pooled = run(4);
+
+    for (size_t i = 0; i < serial.logits.size(); ++i)
+        EXPECT_EQ(pooled.logits[i], serial.logits[i]) << "item " << i;
+    EXPECT_EQ(pooled.candidates, serial.candidates);
+    EXPECT_EQ(pooled.rank_cycles, serial.rank_cycles);
+    EXPECT_EQ(pooled.faults.injected_words, serial.faults.injected_words);
+    EXPECT_EQ(pooled.faults.injected_bits, serial.faults.injected_bits);
+    EXPECT_EQ(pooled.faults.corrected, serial.faults.corrected);
+    EXPECT_EQ(pooled.faults.detected, serial.faults.detected);
+    EXPECT_EQ(pooled.faults.escaped, serial.faults.escaped);
+    EXPECT_EQ(pooled.degraded_candidates, serial.degraded_candidates);
+}
+
+} // namespace
+} // namespace enmc::runtime

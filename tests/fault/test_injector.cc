@@ -1,0 +1,281 @@
+/**
+ * @file
+ * FaultInjector tests: determinism of the (seed, stream, index) contract,
+ * per-word ECC classification, erasure semantics of buffer reads,
+ * instruction fates, stuck-rank config, env parsing, and the statistical
+ * sanity of the flip sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace enmc::fault {
+namespace {
+
+FaultConfig
+faultCfg(double ber, bool ecc = true, uint64_t seed = 1)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = seed;
+    cfg.data_ber = ber;
+    cfg.ecc = ecc;
+    return cfg;
+}
+
+TEST(FaultInjector, DisabledAndRateZeroAreNoops)
+{
+    FaultConfig off;
+    off.data_ber = 0.5; // ignored: master switch off
+    FaultInjector disabled(off);
+    FaultConfig zero = faultCfg(0.0);
+    FaultInjector rate_zero(zero);
+
+    for (uint64_t i = 0; i < 200; ++i) {
+        bool unc = true;
+        EXPECT_EQ(disabled.readWord(0xabcdull * i, i, &unc), 0xabcdull * i);
+        EXPECT_FALSE(unc);
+        EXPECT_EQ(rate_zero.readWord(0xabcdull * i, i, &unc),
+                  0xabcdull * i);
+        EXPECT_FALSE(unc);
+    }
+    EXPECT_EQ(disabled.counters().injected_words, 0u);
+    EXPECT_EQ(rate_zero.counters().injected_words, 0u);
+}
+
+TEST(FaultInjector, OutcomesArePureInSeedStreamIndex)
+{
+    const FaultConfig cfg = faultCfg(0.01);
+    FaultInjector a(cfg, /*stream=*/3);
+    FaultInjector b(cfg, /*stream=*/3);
+
+    // b consumes the same indices in reverse order: per-index outcomes
+    // must match a's exactly (order independence).
+    std::vector<uint64_t> fwd(512), rev(512);
+    for (uint64_t i = 0; i < 512; ++i) {
+        bool unc = false;
+        fwd[i] = a.readWord(0x1111111111111111ull, i, &unc);
+    }
+    for (uint64_t i = 512; i-- > 0;) {
+        bool unc = false;
+        rev[i] = b.readWord(0x1111111111111111ull, i, &unc);
+    }
+    EXPECT_EQ(fwd, rev);
+    EXPECT_EQ(a.counters().injected_words, b.counters().injected_words);
+    EXPECT_EQ(a.counters().injected_bits, b.counters().injected_bits);
+}
+
+TEST(FaultInjector, StreamsAndSeedsAreIndependent)
+{
+    FaultInjector s0(faultCfg(0.02), 0);
+    FaultInjector s1(faultCfg(0.02), 1);
+    FaultInjector other_seed(faultCfg(0.02, true, 99), 0);
+
+    uint64_t diff_stream = 0, diff_seed = 0;
+    for (uint64_t i = 0; i < 2048; ++i) {
+        bool unc = false;
+        const uint64_t w0 = s0.readWord(0, i, &unc);
+        const uint64_t w1 = s1.readWord(0, i, &unc);
+        const uint64_t w2 = other_seed.readWord(0, i, &unc);
+        diff_stream += w0 != w1;
+        diff_seed += w0 != w2;
+    }
+    EXPECT_GT(diff_stream, 0u);
+    EXPECT_GT(diff_seed, 0u);
+}
+
+TEST(FaultInjector, SingleBitErrorsAlwaysCorrectedWithEcc)
+{
+    FaultInjector inj(faultCfg(0.004));
+    uint64_t singles = 0;
+    FaultCounters prev;
+    for (uint64_t i = 0; i < 20000; ++i) {
+        bool unc = false;
+        const uint64_t word = 0x0123456789abcdefull ^ i;
+        const uint64_t out = inj.readWord(word, i, &unc);
+        const FaultCounters &c = inj.counters();
+        if (c.single_bit_words == prev.single_bit_words + 1) {
+            // This word took exactly one flip: SECDED must return it
+            // unchanged and count a correction.
+            EXPECT_EQ(out, word) << "index " << i;
+            EXPECT_FALSE(unc);
+            EXPECT_EQ(c.corrected, prev.corrected + 1);
+            ++singles;
+        }
+        prev = c;
+    }
+    EXPECT_GT(singles, 100u) << "rate too low to exercise the codec";
+    EXPECT_TRUE(inj.counters().balanced());
+}
+
+TEST(FaultInjector, WithoutEccEveryFaultEscapes)
+{
+    FaultInjector inj(faultCfg(0.01, /*ecc=*/false));
+    for (uint64_t i = 0; i < 5000; ++i) {
+        bool unc = false;
+        inj.readWord(0, i, &unc);
+        EXPECT_FALSE(unc) << "no ECC -> nothing is ever detected";
+    }
+    const FaultCounters &c = inj.counters();
+    EXPECT_GT(c.injected_words, 0u);
+    EXPECT_EQ(c.corrected, 0u);
+    EXPECT_EQ(c.detected, 0u);
+    EXPECT_EQ(c.escaped, c.injected_words);
+    EXPECT_TRUE(c.balanced());
+}
+
+TEST(FaultInjector, CounterInvariantHoldsAcrossRates)
+{
+    for (const double ber : {1e-4, 1e-3, 1e-2, 0.1}) {
+        for (const bool ecc : {true, false}) {
+            FaultInjector inj(faultCfg(ber, ecc));
+            for (uint64_t i = 0; i < 3000; ++i) {
+                bool unc = false;
+                inj.readWord(i * 0x9e3779b97f4a7c15ull, i, &unc);
+            }
+            EXPECT_TRUE(inj.counters().balanced())
+                << "ber " << ber << " ecc " << ecc;
+        }
+    }
+}
+
+TEST(FaultInjector, ReadBufferErasesDetectedWords)
+{
+    FaultInjector inj(faultCfg(0.02));
+    std::vector<uint8_t> buf(4096, 0xff);
+    const uint64_t unc = inj.readBuffer(buf, 0);
+    EXPECT_EQ(unc, inj.counters().detected);
+    EXPECT_GT(inj.counters().injected_words, 0u);
+    // Every detected word was zeroed: count 8-byte words that are all 0.
+    uint64_t zero_words = 0;
+    for (size_t off = 0; off < buf.size(); off += 8) {
+        uint64_t w = 0;
+        std::memcpy(&w, buf.data() + off, 8);
+        zero_words += w == 0;
+    }
+    EXPECT_GE(zero_words, unc);
+    EXPECT_TRUE(inj.counters().balanced());
+}
+
+TEST(FaultInjector, ReadBufferHandlesUnalignedTail)
+{
+    FaultInjector a(faultCfg(0.05));
+    FaultInjector b(faultCfg(0.05));
+    std::vector<uint8_t> buf_a(13, 0x5a), buf_b(13, 0x5a);
+    a.readBuffer(buf_a, 7);
+    b.readBuffer(buf_b, 7);
+    EXPECT_EQ(buf_a, buf_b) << "tail handling must be deterministic";
+    EXPECT_TRUE(a.counters().balanced());
+}
+
+TEST(FaultInjector, InstructionFatesFollowConfiguredRates)
+{
+    FaultConfig drop = faultCfg(0.0);
+    drop.inst_drop_p = 1.0;
+    drop.inst_corrupt_p = 1.0; // drop is checked first
+    FaultInjector always_drop(drop);
+    EXPECT_EQ(always_drop.instructionFate(0),
+              FaultInjector::InstFate::Drop);
+    EXPECT_EQ(always_drop.counters().inst_dropped, 1u);
+    EXPECT_EQ(always_drop.counters().inst_corrupted, 0u);
+
+    FaultConfig corrupt = faultCfg(0.0);
+    corrupt.inst_corrupt_p = 1.0;
+    FaultInjector always_corrupt(corrupt);
+    EXPECT_EQ(always_corrupt.instructionFate(0),
+              FaultInjector::InstFate::Corrupt);
+    EXPECT_EQ(always_corrupt.counters().inst_corrupted, 1u);
+
+    FaultInjector never(faultCfg(0.0));
+    for (uint64_t a = 0; a < 100; ++a)
+        EXPECT_EQ(never.instructionFate(a),
+                  FaultInjector::InstFate::Deliver);
+    EXPECT_EQ(never.counters().inst_dropped, 0u);
+
+    // Fresh samples per attempt: a 50% drop rate cannot drop forever.
+    FaultConfig half = faultCfg(0.0);
+    half.inst_drop_p = 0.5;
+    FaultInjector coin(half);
+    uint64_t delivered = 0;
+    for (uint64_t a = 0; a < 200; ++a)
+        delivered +=
+            coin.instructionFate(a) == FaultInjector::InstFate::Deliver;
+    EXPECT_GT(delivered, 50u);
+    EXPECT_LT(delivered, 150u);
+}
+
+TEST(FaultInjector, StuckRankLookup)
+{
+    FaultConfig cfg = faultCfg(0.0);
+    cfg.stuck_ranks = {1, 17};
+    EXPECT_TRUE(cfg.rankStuck(1));
+    EXPECT_TRUE(cfg.rankStuck(17));
+    EXPECT_FALSE(cfg.rankStuck(0));
+    EXPECT_FALSE(cfg.rankStuck(16));
+}
+
+TEST(FaultInjector, ConfigFromEnvironment)
+{
+    ::setenv("ENMC_FAULT", "1", 1);
+    ::setenv("ENMC_FAULT_SEED", "77", 1);
+    ::setenv("ENMC_FAULT_BER", "1e-6", 1);
+    ::setenv("ENMC_FAULT_INST_DROP", "0.25", 1);
+    ::setenv("ENMC_FAULT_ECC", "0", 1);
+    ::setenv("ENMC_FAULT_STUCK_RANKS", "2,5,11", 1);
+    const FaultConfig cfg = FaultConfig::fromEnv();
+    ::unsetenv("ENMC_FAULT");
+    ::unsetenv("ENMC_FAULT_SEED");
+    ::unsetenv("ENMC_FAULT_BER");
+    ::unsetenv("ENMC_FAULT_INST_DROP");
+    ::unsetenv("ENMC_FAULT_ECC");
+    ::unsetenv("ENMC_FAULT_STUCK_RANKS");
+
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_EQ(cfg.seed, 77u);
+    EXPECT_DOUBLE_EQ(cfg.data_ber, 1e-6);
+    EXPECT_DOUBLE_EQ(cfg.inst_drop_p, 0.25);
+    EXPECT_FALSE(cfg.ecc);
+    EXPECT_EQ(cfg.stuck_ranks, (std::vector<uint32_t>{2, 5, 11}));
+
+    const FaultConfig off = FaultConfig::fromEnv();
+    EXPECT_FALSE(off.enabled);
+    EXPECT_TRUE(off.ecc);
+}
+
+TEST(FaultInjector, FlipRateMatchesConfiguredBer)
+{
+    // 10k words x 72 bits at BER 0.01: expect ~7200 flips; the draw is
+    // deterministic, so a generous band is a regression check, not flake.
+    FaultInjector inj(faultCfg(0.01));
+    for (uint64_t i = 0; i < 10000; ++i) {
+        bool unc = false;
+        inj.readWord(0, i, &unc);
+    }
+    const double rate = static_cast<double>(inj.counters().injected_bits) /
+                        (10000.0 * 72.0);
+    EXPECT_NEAR(rate, 0.01, 0.002);
+}
+
+TEST(FaultInjector, ClassifyBurstIsStatOnlyAndSane)
+{
+    FaultInjector inj(faultCfg(0.01));
+    const auto out = inj.classifyBurst(5000, 0);
+    EXPECT_EQ(inj.counters().injected_words, 0u)
+        << "classifyBurst must not touch the data-path counters";
+    EXPECT_GT(out.corrected, 0u);
+    EXPECT_LE(out.corrected + out.detected + out.escaped, 5000u);
+
+    // Deterministic in (seed, index_base).
+    const auto again = inj.classifyBurst(5000, 0);
+    EXPECT_EQ(out.corrected, again.corrected);
+    EXPECT_EQ(out.detected, again.detected);
+    EXPECT_EQ(out.escaped, again.escaped);
+}
+
+} // namespace
+} // namespace enmc::fault

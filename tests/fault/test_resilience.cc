@@ -1,0 +1,182 @@
+/**
+ * @file
+ * ResilientBackend tests: registry wiring, bit-identity with faults off,
+ * retry-with-backoff accounting, stuck-rank blacklisting and the
+ * degradation-disabled panic path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fault_test_util.h"
+#include "runtime/backend.h"
+#include "runtime/resilience.h"
+#include "runtime/system.h"
+#include "screening/metrics.h"
+
+namespace enmc::runtime {
+namespace {
+
+using fault_test::SmallModel;
+using fault_test::makeSmallModel;
+
+TEST(ResilientBackend, RegisteredAndAdvertisesFunctional)
+{
+    ASSERT_TRUE(BackendRegistry::instance().contains("enmc-resilient"));
+    const auto names = backendNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "enmc-resilient"),
+              names.end());
+
+    const auto backend = createBackend("enmc-resilient");
+    EXPECT_EQ(backend->name(), "enmc-resilient");
+    EXPECT_TRUE(backend->capabilities().functional);
+}
+
+TEST(ResilientBackend, FaultsOffMatchesPlainBackendBitExactly)
+{
+    const SmallModel m = makeSmallModel();
+
+    SystemConfig plain_cfg;
+    const EnmcSystem plain(plain_cfg);
+    const auto base =
+        plain.runFunctional(m.classifier(), *m.screener, m.h_batch, 4);
+
+    SystemConfig res_cfg;
+    res_cfg.resilient = true; // faults stay off: policy must be inert
+    const EnmcSystem resilient(res_cfg);
+    const auto out =
+        resilient.runFunctional(m.classifier(), *m.screener, m.h_batch, 4);
+
+    ASSERT_EQ(out.logits.size(), base.logits.size());
+    for (size_t i = 0; i < base.logits.size(); ++i)
+        EXPECT_EQ(out.logits[i], base.logits[i]) << "item " << i;
+    EXPECT_EQ(out.candidates, base.candidates);
+    EXPECT_EQ(out.rank_cycles, base.rank_cycles);
+    EXPECT_EQ(out.faults.injected_words, 0u);
+}
+
+TEST(ResilientBackend, RetryAddsBackoffCyclesAndClearsErrors)
+{
+    const SmallModel m = makeSmallModel();
+
+    SystemConfig clean_cfg;
+    const auto clean = EnmcSystem(clean_cfg).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+
+    // At BER 1e-3 with ECC some words come back detected-uncorrectable;
+    // the retry path re-reads with fresh fault samples and pays backoff.
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 1;
+    cfg.fault.data_ber = 1e-3;
+    cfg.resilient = true;
+    const auto out = EnmcSystem(cfg).runFunctional(m.classifier(),
+                                                   *m.screener, m.h_batch,
+                                                   4);
+
+    EXPECT_GT(out.faults.detected, 0u)
+        << "operating point no longer exercises the retry path";
+    EXPECT_GT(out.rank_cycles, clean.rank_cycles)
+        << "retries must show up as added latency";
+    EXPECT_TRUE(out.faults.balanced());
+
+    // Accuracy survives: corrected + retried + (at worst) degraded-to-
+    // approximate logits keep P@1 at the fault-free value on this seed.
+    const double clean_p1 =
+        screening::precisionAt1(m.exact, clean.logits);
+    const double fault_p1 = screening::precisionAt1(m.exact, out.logits);
+    EXPECT_GE(fault_p1, clean_p1 - 0.25 - 1e-12);
+}
+
+TEST(ResilientBackend, StuckRankIsBlacklistedAndAnswersStayExact)
+{
+    const SmallModel m = makeSmallModel();
+
+    SystemConfig clean_cfg;
+    const auto clean = EnmcSystem(clean_cfg).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.stuck_ranks = {1}; // data_ber stays 0: only the dead rank
+    const ResilientBackend backend(cfg);
+
+    const auto healthy = backend.healthyRanks();
+    EXPECT_EQ(healthy.size(), cfg.totalRanks() - 1);
+    EXPECT_EQ(std::find(healthy.begin(), healthy.end(), 1u),
+              healthy.end());
+
+    // The repartitioned job avoids the stuck rank entirely, so with no
+    // other fault source the logits are bit-identical to the clean run
+    // (functional results are partition-invariant).
+    const auto out = backend.runFunctionalJob(m.classifier(), *m.screener,
+                                              m.h_batch, 4);
+    for (size_t i = 0; i < clean.logits.size(); ++i)
+        EXPECT_EQ(out.logits[i], clean.logits[i]) << "item " << i;
+    EXPECT_EQ(out.candidates, clean.candidates);
+    EXPECT_EQ(out.faults.stuck_reads, 0u)
+        << "a blacklisted rank must never be read";
+}
+
+TEST(ResilientBackend, RunJobChargesBlacklistProbesAndRepartitions)
+{
+    JobSpec spec;
+    spec.categories = 100000;
+    spec.hidden = 512;
+    spec.reduced = 128;
+    spec.candidates = 2000;
+
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.stuck_ranks = {1};
+    const ResilientBackend degraded(cfg);
+    const TimingResult t_degraded = degraded.runJob(spec);
+
+    const EnmcBackend plain{SystemConfig{}};
+    const TimingResult t_all = plain.runJob(spec);
+
+    EXPECT_EQ(t_degraded.ranks, cfg.totalRanks() - 1);
+    EXPECT_GT(t_degraded.seconds, t_all.seconds)
+        << "losing a rank must cost throughput";
+}
+
+TEST(ResilientBackend, DegradationDisabledPanicsOnPersistentErrors)
+{
+    const SmallModel m = makeSmallModel(/*categories=*/512,
+                                        /*hidden=*/32,
+                                        /*batch=*/1);
+
+    // BER high enough that every attempt (original + retries) sees
+    // detected-uncorrectable words; with degrade off that is fatal.
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 1;
+    cfg.fault.data_ber = 5e-3;
+    cfg.resilient = true;
+    cfg.resilience.max_retries = 1;
+    cfg.resilience.degrade = false;
+    const EnmcSystem sys(cfg);
+    EXPECT_DEATH(sys.runFunctional(m.classifier(), *m.screener, m.h_batch,
+                                   1),
+                 "uncorrectable");
+}
+
+TEST(ResilientBackend, AllRanksBlacklistedIsFatal)
+{
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    for (uint32_t r = 0; r < cfg.totalRanks(); ++r)
+        cfg.fault.stuck_ranks.push_back(r);
+    const ResilientBackend backend(cfg);
+    JobSpec spec;
+    spec.categories = 4096;
+    spec.hidden = 64;
+    spec.reduced = 16;
+    spec.candidates = 64;
+    EXPECT_DEATH(backend.runJob(spec), "blacklisted");
+}
+
+} // namespace
+} // namespace enmc::runtime

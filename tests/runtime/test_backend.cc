@@ -48,6 +48,8 @@ TEST(BackendRegistry, ListsAllBuiltins)
 TEST(BackendRegistry, CreatesEveryRegisteredBackend)
 {
     for (const auto &name : backendNames()) {
+        if (name.rfind("test-", 0) == 0)
+            continue; // entries other tests registered
         const auto backend = createBackend(name);
         ASSERT_NE(backend, nullptr);
         EXPECT_EQ(backend->name(), name);
@@ -61,12 +63,53 @@ TEST(BackendRegistry, UnknownNameDies)
     EXPECT_DEATH((void)createBackend("not-a-backend"), "unknown backend");
 }
 
-TEST(BackendRegistry, OnlyEnmcIsFunctional)
+TEST(BackendRegistry, UnknownNameDeathListsTheRegistry)
+{
+    // The miss message must enumerate what *is* registered, so a typo'd
+    // --backend flag is self-diagnosing.
+    EXPECT_DEATH((void)createBackend("not-a-backend"),
+                 "registered:.*enmc");
+}
+
+TEST(BackendRegistry, ContainsReflectsRegistration)
+{
+    auto &reg = BackendRegistry::instance();
+    EXPECT_FALSE(reg.contains("test-contains"));
+    reg.add("test-contains", [](const SystemConfig &cfg) {
+        return std::make_unique<EnmcBackend>(cfg);
+    });
+    EXPECT_TRUE(reg.contains("test-contains"));
+    const auto names = backendNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "test-contains"),
+              names.end());
+}
+
+TEST(BackendRegistry, DuplicateRegistrationReplacesTheFactory)
+{
+    auto &reg = BackendRegistry::instance();
+    int first_calls = 0, second_calls = 0;
+    reg.add("test-dup", [&](const SystemConfig &cfg) {
+        ++first_calls;
+        return std::make_unique<EnmcBackend>(cfg);
+    });
+    reg.add("test-dup", [&](const SystemConfig &cfg) {
+        ++second_calls;
+        return std::make_unique<EnmcBackend>(cfg);
+    });
+    (void)createBackend("test-dup");
+    EXPECT_EQ(first_calls, 0) << "replaced factory must never run";
+    EXPECT_EQ(second_calls, 1);
+}
+
+TEST(BackendRegistry, FunctionalCapabilityIsTheEnmcFamilyOnly)
 {
     for (const auto &name : backendNames()) {
+        if (name.rfind("test-", 0) == 0)
+            continue;
         const auto backend = createBackend(name);
-        EXPECT_EQ(backend->capabilities().functional, name == "enmc")
-            << name;
+        const bool expected =
+            name == "enmc" || name == "enmc-resilient";
+        EXPECT_EQ(backend->capabilities().functional, expected) << name;
     }
 }
 

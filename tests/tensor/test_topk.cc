@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "tensor/topk.h"
 
 namespace enmc::tensor {
@@ -110,6 +111,36 @@ TEST(ThresholdForCount, ConsistentWithThresholdIndices)
         // At least m entries are >= the m-th largest value.
         EXPECT_GE(selected.size(), m);
     }
+}
+
+TEST(ThresholdForCount, ConcurrentCallersMatchSerial)
+{
+    // The selection scratch buffers are thread_local; concurrent callers
+    // (the FILTER tuning path under parallelFor) must get the same cuts
+    // as a serial sweep, with no cross-thread interference.
+    Rng rng(11);
+    constexpr size_t kVectors = 64;
+    std::vector<std::vector<float>> zs(kVectors);
+    std::vector<size_t> ms(kVectors);
+    for (size_t v = 0; v < kVectors; ++v) {
+        zs[v].resize(50 + 13 * v);
+        for (auto &x : zs[v])
+            x = static_cast<float>(rng.normal());
+        ms[v] = 1 + v % 40;
+    }
+
+    std::vector<float> serial(kVectors);
+    for (size_t v = 0; v < kVectors; ++v)
+        serial[v] = thresholdForCount(zs[v], ms[v]);
+
+    std::vector<float> concurrent(kVectors);
+    parallelFor(0, kVectors, 8, [&](size_t v) {
+        // Repeat to exercise scratch reuse within one worker thread.
+        for (int r = 0; r < 4; ++r)
+            concurrent[v] = thresholdForCount(zs[v], ms[v]);
+    });
+    for (size_t v = 0; v < kVectors; ++v)
+        EXPECT_EQ(concurrent[v], serial[v]) << "vector " << v;
 }
 
 TEST(Recall, FullAndPartial)

@@ -17,8 +17,10 @@
 
 #include "common/logging.h"
 #include "energy/model.h"
+#include "fault/injector.h"
 #include "nmp/cpu.h"
 #include "nmp/engine.h"
+#include "runtime/resilience.h"
 #include "runtime/system.h"
 #include "workloads/registry.h"
 
@@ -136,6 +138,24 @@ runEnmc(const runtime::JobSpec &spec, bool sequencer)
 {
     runtime::SystemConfig cfg;
     cfg.enmc.hw_tile_sequencer = sequencer;
+    // ENMC_FAULT=1 (+ ENMC_FAULT_BER / _SEED / _ECC / _STUCK_RANKS ...)
+    // runs the job through the resilient backend instead: stuck ranks
+    // are blacklisted and retry backoff shows up in the latency.
+    cfg.fault = fault::FaultConfig::fromEnv();
+    if (cfg.fault.enabled) {
+        cfg.resilient = true;
+        const runtime::ResilientBackend backend(cfg);
+        const auto r = backend.runJob(spec);
+        std::printf("ENMC under fault injection (seed=%llu BER=%g ECC=%s, "
+                    "%llu/%llu healthy ranks):\n",
+                    static_cast<unsigned long long>(cfg.fault.seed),
+                    cfg.fault.data_ber, cfg.fault.ecc ? "on" : "off",
+                    static_cast<unsigned long long>(r.ranks),
+                    static_cast<unsigned long long>(cfg.totalRanks()));
+        std::printf("  latency: %.2f us%s\n\n", 1e6 * r.seconds,
+                    r.extrapolated ? " (truncated + scaled)" : "");
+        return;
+    }
     runtime::EnmcSystem sys(cfg);
     const auto r = sys.runTiming(spec);
     std::printf("ENMC (8ch x 8 ranks, DDR4-2400%s):\n",
