@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/percentiles.h"
 #include "runtime/resilience.h"
 #include "runtime/system.h"
 #include "screening/metrics.h"
@@ -45,7 +47,8 @@ struct SweepPoint
     bool ecc = true;
     double p_at_1 = 0.0;
     double recall = 0.0;
-    Cycles rank_cycles = 0;
+    Cycles rank_cycles = 0;      //!< slowest slice (the job's latency)
+    Cycles p50_cycles = 0;       //!< median slice (nearest rank)
     fault::FaultCounters faults;
     uint64_t uncorrectable_words = 0;
     uint64_t degraded_candidates = 0;
@@ -111,6 +114,12 @@ runPoint(const Model &m, uint64_t seed, double ber, bool ecc)
     p.recall = screening::candidateRecallAtK(m.exact, out.candidates,
                                              kRecallK);
     p.rank_cycles = out.rank_cycles;
+    if (!out.slice_cycles.empty()) {
+        std::vector<double> cycles(out.slice_cycles.begin(),
+                                   out.slice_cycles.end());
+        p.p50_cycles = static_cast<Cycles>(
+            obs::Percentiles(std::move(cycles)).at(0.50));
+    }
     p.faults = out.faults;
     p.uncorrectable_words = out.uncorrectable_words;
     p.degraded_candidates = out.degraded_candidates;
@@ -162,13 +171,15 @@ writeJson(const std::string &path, uint64_t seed, uint64_t batch,
             f,
             "    {\"ber\": %.3e, \"ecc\": %s, \"p_at_1\": %.6f, "
             "\"recall_at_%zu\": %.6f, \"rank_cycles\": %" PRIu64 ", "
+            "\"slice_cycles_p50\": %" PRIu64 ", "
             "\"injected_words\": %" PRIu64 ", \"injected_bits\": %" PRIu64
             ", \"corrected\": %" PRIu64 ", \"detected\": %" PRIu64
             ", \"escaped\": %" PRIu64 ", \"uncorrectable_words\": %" PRIu64
             ", \"degraded_candidates\": %" PRIu64 ", \"retries\": %" PRIu64
             "}%s\n",
             p.ber, p.ecc ? "true" : "false", p.p_at_1, kRecallK, p.recall,
-            static_cast<uint64_t>(p.rank_cycles), p.faults.injected_words,
+            static_cast<uint64_t>(p.rank_cycles),
+            static_cast<uint64_t>(p.p50_cycles), p.faults.injected_words,
             p.faults.injected_bits, p.faults.corrected, p.faults.detected,
             p.faults.escaped, p.uncorrectable_words, p.degraded_candidates,
             p.faults.inst_dropped + p.faults.inst_corrupted,
@@ -191,6 +202,8 @@ writeJson(const std::string &path, uint64_t seed, uint64_t batch,
 int
 run(int argc, char **argv)
 {
+    const obs::MetricsOptions metrics =
+        obs::initMetrics(argc, argv, "fault_sweep");
     const uint64_t seed = parseFlag(argc, argv, "seed", 1);
     const uint64_t batch = parseFlag(argc, argv, "batch", 8);
     const std::string json_path = parseJsonPath(argc, argv);
@@ -216,7 +229,7 @@ run(int argc, char **argv)
                 clean_p1, kRecallK, clean_recall,
                 static_cast<uint64_t>(clean_out.rank_cycles));
     printRow({"BER", "ECC", "P@1", "recall", "inj.w", "corr", "det", "esc",
-              "degr", "cycles"},
+              "degr", "cycles", "p50cyc"},
              9);
 
     const double bers[] = {1e-9, 1e-6, 1e-5, 1e-4, 1e-3};
@@ -231,7 +244,8 @@ run(int argc, char **argv)
                       std::to_string(p.faults.detected),
                       std::to_string(p.faults.escaped),
                       std::to_string(p.degraded_candidates),
-                      std::to_string(p.rank_cycles)},
+                      std::to_string(p.rank_cycles),
+                      std::to_string(p.p50_cycles)},
                      9);
             sweep.push_back(p);
         }
@@ -277,6 +291,7 @@ run(int argc, char **argv)
         writeJson(json_path, seed, batch, clean_p1, clean_recall,
                   clean_out.rank_cycles, sweep, bp, healthy, t_all,
                   t_degraded);
+    obs::writeMetrics(metrics);
     return 0;
 }
 

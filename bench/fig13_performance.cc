@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 
 using namespace enmc;
 using namespace enmc::bench;
@@ -21,6 +22,8 @@ using namespace enmc::bench;
 int
 main(int argc, char **argv)
 {
+    const obs::MetricsOptions metrics =
+        obs::initMetrics(argc, argv, "fig13_performance");
     const std::string only = parseBackendFlag(argc, argv);
     const std::vector<std::string> names =
         only.empty() ? std::vector<std::string>{"cpu", "nda", "chameleon",
@@ -90,5 +93,6 @@ main(int argc, char **argv)
         "Chameleon / TensorDIMM); the XMLCNN-670K column shows the biggest\n"
         "ENMC win; Chameleon is the weakest baseline at batch 1 (systolic\n"
         "underutilization) and catches up by batch 4.\n");
+    obs::writeMetrics(metrics);
     return 0;
 }

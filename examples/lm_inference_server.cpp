@@ -8,20 +8,25 @@
  * Request latency varies with the candidate count the FILTER selects —
  * hot prompts (sharp logit distributions) pass fewer categories than
  * cold ones — so the distribution, not just the mean, is the serving
- * metric that matters.
+ * metric that matters. Percentiles use the shared nearest-rank helper
+ * (obs::Percentiles); the previous hand-rolled `p * (requests - 1)`
+ * index truncated toward lower samples (p99 of 48 requests picked the
+ * 47th instead of the 48th).
  *
- * Usage: lm_inference_server [backend ...]
+ * Usage: lm_inference_server [backend ...] [--metrics-json=FILE]
  *   e.g. `lm_inference_server enmc tensordimm cpu`
- *   (no arguments = enmc + tensordimm + cpu + cpu-full)
+ *   (no backend arguments = enmc + tensordimm + cpu + cpu-full)
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/percentiles.h"
+#include "obs/registry.h"
 #include "runtime/api.h"
 #include "runtime/backend.h"
 #include "runtime/system.h"
@@ -32,9 +37,15 @@ using namespace enmc;
 int
 main(int argc, char **argv)
 {
+    const obs::MetricsOptions metrics =
+        obs::initMetrics(argc, argv, "lm_inference_server");
+
     std::vector<std::string> names;
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--", 0) == 0)
+            continue; // observability flags, not backend names
         names.push_back(argv[i]);
+    }
     if (names.empty())
         names = {"enmc", "tensordimm", "cpu", "cpu-full"};
 
@@ -47,6 +58,17 @@ main(int argc, char **argv)
     std::printf("serving %s: l=%llu categories, d=%llu\n", wl.abbr.c_str(),
                 static_cast<unsigned long long>(wl.categories),
                 static_cast<unsigned long long>(wl.hidden));
+
+    // The server's own observable state: request latencies and FILTER
+    // candidate counts, exported with every component group.
+    StatGroup server_stats("example.lmServer");
+    obs::StatRegistration server_reg(server_stats);
+    Counter &served = server_stats.addCounter("requests", "requests served");
+    Histogram &cand_hist = server_stats.addHistogram(
+        "candidates", "FILTER candidate count per request (functional "
+                      "scale)", 0, 1024, 16);
+    Histogram &lat_hist = server_stats.addHistogram(
+        "latencyUs", "enmc request latency in us", 0, 400, 40);
 
     // Functional-scale model for candidate-count realism; per-request
     // timing is then simulated at full scale with the measured counts.
@@ -62,7 +84,6 @@ main(int argc, char **argv)
     // every backend then serves the same request stream.
     const size_t requests = 48;
     std::vector<runtime::JobSpec> jobs;
-    Histogram cand_hist(0, 1024, 16);
     for (size_t i = 0; i < requests; ++i) {
         const auto h = model.sampleHiddenBatch(rng, 1);
         const auto out = clf.forward(h, 1);
@@ -91,21 +112,19 @@ main(int argc, char **argv)
         std::vector<double> lat_us;
         for (const auto &job : jobs)
             lat_us.push_back(backend->runJob(job).seconds * 1e6);
-        std::sort(lat_us.begin(), lat_us.end());
-        auto pct = [&](double p) {
-            return lat_us[static_cast<size_t>(p * (requests - 1))];
-        };
-        double sum = 0;
-        for (double v : lat_us)
-            sum += v;
-        std::printf("  %-18s %9.1f %9.1f %9.1f %9.1f %9.1f %12.0f\n",
-                    backend->name().c_str(), sum / requests, pct(0.50),
-                    pct(0.95), pct(0.99), lat_us.back(),
-                    1e6 / (sum / requests));
+        served += lat_us.size();
         if (backend->name() == "enmc")
-            enmc_p50 = pct(0.50);
+            for (double v : lat_us)
+                lat_hist.sample(v);
+        const obs::Percentiles pct(std::move(lat_us));
+        std::printf("  %-18s %9.1f %9.1f %9.1f %9.1f %9.1f %12.0f\n",
+                    backend->name().c_str(), pct.mean(), pct.at(0.50),
+                    pct.at(0.95), pct.at(0.99), pct.max(),
+                    1e6 / pct.mean());
+        if (backend->name() == "enmc")
+            enmc_p50 = pct.at(0.50);
         if (backend->name() == "cpu-full")
-            cpu_full_p50 = pct(0.50);
+            cpu_full_p50 = pct.at(0.50);
     }
     if (enmc_p50 > 0.0 && cpu_full_p50 > 0.0)
         std::printf("\n  ENMC is %.0fx faster than CPU full "
@@ -122,5 +141,7 @@ main(int argc, char **argv)
                     cand_hist.binHi(b),
                     static_cast<unsigned long long>(cand_hist.bin(b)));
     }
+
+    obs::writeMetrics(metrics);
     return 0;
 }

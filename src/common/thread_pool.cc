@@ -8,6 +8,13 @@
 namespace enmc {
 
 ThreadPool::ThreadPool(size_t workers)
+    : stats_("common.threadPool"),
+      jobs_executed_(stats_.addCounter("jobsExecuted",
+                                       "jobs run by worker threads")),
+      parallel_fors_(stats_.addCounter("parallelFors",
+                                       "parallelFor loops dispatched")),
+      iterations_(stats_.addCounter("iterations",
+                                    "parallelFor iterations executed"))
 {
     if (workers == 0) {
         workers = std::thread::hardware_concurrency();
@@ -67,6 +74,7 @@ ThreadPool::workerLoop()
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --in_flight_;
+            ++jobs_executed_;
         }
         done_cv_.notify_all();
     }
@@ -79,6 +87,11 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     if (begin >= end)
         return;
     const size_t n = end - begin;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++parallel_fors_;
+        iterations_ += n;
+    }
     if (workers() <= 1 || n == 1) {
         for (size_t i = begin; i < end; ++i)
             fn(i);

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
+
 namespace enmc {
 
 /** Fixed set of workers executing submitted jobs FIFO. */
@@ -68,8 +70,21 @@ class ThreadPool
      */
     static ThreadPool &global();
 
+    /**
+     * Pool utilization stats ("common.threadPool"). The pool lives below
+     * the obs layer, so it does not self-register with the StatRegistry;
+     * obs::initMetrics enrolls the global pool's group when metrics are
+     * requested.
+     */
+    StatGroup &stats() { return stats_; }
+
   private:
     void workerLoop();
+
+    StatGroup stats_;
+    Counter &jobs_executed_;
+    Counter &parallel_fors_;
+    Counter &iterations_;
 
     std::vector<std::thread> threads_;
     std::mutex mutex_;

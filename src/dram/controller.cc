@@ -30,7 +30,11 @@ Controller::Controller(const Organization &org, const Timing &timing,
       read_latency_(stats_.addScalar("readLatency",
                                      "request latency in cycles")),
       queue_occupancy_(stats_.addScalar("queueOccupancy",
-                                        "queue entries per cycle"))
+                                        "queue entries per cycle")),
+      read_latency_hist_(stats_.addHistogram(
+          "readLatencyHist", "request latency distribution in cycles",
+          0.0, 256.0, 32)),
+      stats_registration_(stats_)
 {
 }
 
@@ -165,6 +169,8 @@ Controller::finishRequest(Entry &entry, Cycles data_end)
         ++writes_;
     }
     read_latency_.sample(static_cast<double>(data_end - entry.req.arrive));
+    read_latency_hist_.sample(
+        static_cast<double>(data_end - entry.req.arrive));
     Completion c{data_end, std::move(entry.req)};
     inflight_.push(std::move(c));
 }

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "dram/channel.h"
 #include "dram/request.h"
+#include "obs/registry.h"
 
 namespace enmc::fault {
 class FaultInjector;
@@ -132,6 +133,9 @@ class Controller
     Counter &stuck_reads_;
     ScalarStat &read_latency_;
     ScalarStat &queue_occupancy_;
+    Histogram &read_latency_hist_;
+    // Declared last so the group unregisters before any stat dies.
+    obs::StatRegistration stats_registration_;
 };
 
 } // namespace enmc::dram

@@ -35,7 +35,30 @@ EnmcRank::EnmcRank(const EnmcConfig &cfg, const dram::Organization &org,
       screen_psum_sram_("screener.psum", cfg.psum_buf),
       exec_stage_sram_("executor.stage",
                        cfg.exec_weight_buf + cfg.exec_feature_buf),
-      output_sram_("output", cfg.output_buf)
+      output_sram_("output", cfg.output_buf),
+      stats_("enmc.rank"),
+      stat_instructions_(stats_.addCounter("instructions",
+                                           "host instructions executed")),
+      stat_generated_(stats_.addCounter(
+          "generatedInstructions", "sequencer-generated instructions")),
+      stat_candidates_(stats_.addCounter("candidates",
+                                         "rows passing the screen filter")),
+      stat_screen_bytes_(stats_.addCounter("screenBytes",
+                                           "bytes streamed by the screener")),
+      stat_exec_bytes_(stats_.addCounter("execBytes",
+                                         "bytes streamed by the executor")),
+      stat_output_bytes_(stats_.addCounter("outputBytes",
+                                           "bytes returned to the host")),
+      stat_uncorrectable_(stats_.addCounter(
+          "uncorrectableWords", "detected-uncorrectable words consumed")),
+      stat_fault_retries_(stats_.addCounter("faultRetries",
+                                            "instruction delivery retries")),
+      stat_cycles_(stats_.addScalar("cycles", "DDR cycles per program run")),
+      stat_screener_util_(stats_.addScalar(
+          "screenerUtil", "screener MAC-array busy fraction")),
+      stat_executor_util_(stats_.addScalar(
+          "executorUtil", "executor MAC-array busy fraction")),
+      stats_registration_(stats_)
 {
     ENMC_ASSERT(org.channels == 1 && org.ranks == 1,
                 "EnmcRank owns exactly one rank");
@@ -725,6 +748,22 @@ EnmcRank::takeResult()
         result_.faults -= fault_base_; // delta for shared streams
     }
     regs_[static_cast<size_t>(StatusReg::InstCount)] = result_.instructions;
+
+    stat_instructions_ += result_.instructions;
+    stat_generated_ += result_.generated_instructions;
+    stat_candidates_ += result_.candidates;
+    stat_screen_bytes_ += result_.screen_bytes;
+    stat_exec_bytes_ += result_.exec_bytes;
+    stat_output_bytes_ += result_.output_bytes;
+    stat_uncorrectable_ += result_.uncorrectable_words;
+    stat_fault_retries_ += result_.fault_retries;
+    stat_cycles_.sample(static_cast<double>(result_.cycles));
+    if (result_.cycles > 0) {
+        stat_screener_util_.sample(
+            static_cast<double>(result_.screener_busy) / result_.cycles);
+        stat_executor_util_.sample(
+            static_cast<double>(result_.executor_busy) / result_.cycles);
+    }
     return std::move(result_);
 }
 

@@ -30,6 +30,7 @@
 #include "enmc/config.h"
 #include "enmc/isa.h"
 #include "enmc/task.h"
+#include "obs/registry.h"
 
 namespace enmc::arch {
 
@@ -222,6 +223,23 @@ class EnmcRank
     const RankTask *task_ = nullptr;
     RankResult result_;
     Cycles now_ = 0;
+
+    // Observability: per-rank stats, folded into the process-wide
+    // "enmc.rank" aggregate when this (usually slice-lived) rank retires.
+    StatGroup stats_;
+    Counter &stat_instructions_;
+    Counter &stat_generated_;
+    Counter &stat_candidates_;
+    Counter &stat_screen_bytes_;
+    Counter &stat_exec_bytes_;
+    Counter &stat_output_bytes_;
+    Counter &stat_uncorrectable_;
+    Counter &stat_fault_retries_;
+    ScalarStat &stat_cycles_;
+    ScalarStat &stat_screener_util_;
+    ScalarStat &stat_executor_util_;
+    // Declared last so the group unregisters before any stat dies.
+    obs::StatRegistration stats_registration_;
 };
 
 } // namespace enmc::arch

@@ -82,7 +82,19 @@ EngineConfig::tensorDimmLarge()
 
 NmpEngine::NmpEngine(const EngineConfig &cfg, const dram::Organization &org,
                      const dram::Timing &timing)
-    : cfg_(cfg), org_(org)
+    : cfg_(cfg), org_(org),
+      stats_(std::string("nmp.") + engineKindName(cfg.kind)),
+      stat_runs_(stats_.addCounter("runs", "slice programs executed")),
+      stat_candidates_(stats_.addCounter("candidates",
+                                         "rows passing the screen filter")),
+      stat_screen_bytes_(stats_.addCounter("screenBytes",
+                                           "bytes streamed while screening")),
+      stat_exec_bytes_(stats_.addCounter(
+          "execBytes", "bytes streamed during exact classification")),
+      stat_output_bytes_(stats_.addCounter("outputBytes",
+                                           "bytes returned to the host")),
+      stat_cycles_(stats_.addScalar("cycles", "DDR cycles per slice run")),
+      stats_registration_(stats_)
 {
     ENMC_ASSERT(org.channels == 1 && org.ranks == 1,
                 "NmpEngine owns exactly one rank");
@@ -199,6 +211,7 @@ NmpEngine::run(const arch::RankTask &task, Cycles max_cycles)
     res.dram_acts = dram_->channel().commandCount(dram::Cmd::Act);
     res.dram_refs = dram_->channel().commandCount(dram::Cmd::Ref);
     res.cycles = now_;
+    recordRun(res);
     return res;
 }
 
@@ -239,7 +252,19 @@ NmpEngine::runFull(const arch::RankTask &task, Cycles max_cycles)
     res.dram_acts = dram_->channel().commandCount(dram::Cmd::Act);
     res.dram_refs = dram_->channel().commandCount(dram::Cmd::Ref);
     res.cycles = now_;
+    recordRun(res);
     return res;
+}
+
+void
+NmpEngine::recordRun(const arch::RankResult &res)
+{
+    ++stat_runs_;
+    stat_candidates_ += res.candidates;
+    stat_screen_bytes_ += res.screen_bytes;
+    stat_exec_bytes_ += res.exec_bytes;
+    stat_output_bytes_ += res.output_bytes;
+    stat_cycles_.sample(static_cast<double>(res.cycles));
 }
 
 } // namespace enmc::nmp

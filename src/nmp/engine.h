@@ -27,10 +27,12 @@
 #include <memory>
 #include <string>
 
+#include "common/stats.h"
 #include "common/units.h"
 #include "dram/controller.h"
 #include "dram/stream.h"
 #include "enmc/task.h"
+#include "obs/registry.h"
 
 namespace enmc::nmp {
 
@@ -88,10 +90,23 @@ class NmpEngine
 
     Cycles macCycles(uint64_t macs, double efficiency) const;
 
+    /** Tally a finished run into the engine's stat group. */
+    void recordRun(const arch::RankResult &res);
+
     EngineConfig cfg_;
     dram::Organization org_;
     std::unique_ptr<dram::Controller> dram_;
     Cycles now_ = 0;
+
+    StatGroup stats_;
+    Counter &stat_runs_;
+    Counter &stat_candidates_;
+    Counter &stat_screen_bytes_;
+    Counter &stat_exec_bytes_;
+    Counter &stat_output_bytes_;
+    ScalarStat &stat_cycles_;
+    // Declared last so the group unregisters before any stat dies.
+    obs::StatRegistration stats_registration_;
 };
 
 } // namespace enmc::nmp

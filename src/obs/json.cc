@@ -1,0 +1,444 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace enmc::obs {
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    ENMC_ASSERT(type_ == Type::Object, "set() on a non-object Json");
+    for (auto &[k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (v == nullptr)
+        ENMC_PANIC("missing JSON member '", key, "'");
+    return *v;
+}
+
+Json &
+Json::push(Json value)
+{
+    ENMC_ASSERT(type_ == Type::Array, "push() on a non-array Json");
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    ENMC_ASSERT(type_ == Type::Array, "at(index) on a non-array Json");
+    ENMC_ASSERT(i < items_.size(), "JSON array index out of range");
+    return items_[i];
+}
+
+size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return items_.size();
+    if (type_ == Type::Object)
+        return members_.size();
+    return 0;
+}
+
+double
+Json::asDouble() const
+{
+    ENMC_ASSERT(type_ == Type::Number, "asDouble() on a non-number Json");
+    return num_;
+}
+
+uint64_t
+Json::asU64() const
+{
+    ENMC_ASSERT(type_ == Type::Number, "asU64() on a non-number Json");
+    ENMC_ASSERT(num_ >= 0 && num_ == std::floor(num_),
+                "JSON number is not a non-negative integer");
+    return static_cast<uint64_t>(num_);
+}
+
+bool
+Json::asBool() const
+{
+    ENMC_ASSERT(type_ == Type::Bool, "asBool() on a non-bool Json");
+    return bool_;
+}
+
+const std::string &
+Json::asString() const
+{
+    ENMC_ASSERT(type_ == Type::String, "asString() on a non-string Json");
+    return str_;
+}
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; emit null (parsers reject bare words).
+        os << "null";
+        return;
+    }
+    char buf[32];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    ENMC_ASSERT(ec == std::errc(), "number formatting failed");
+    os.write(buf, end - buf);
+}
+
+} // namespace
+
+void
+Json::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    const std::string pad(static_cast<size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<size_t>(indent) * depth, ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Number:
+        writeNumber(os, num_);
+        break;
+      case Type::String:
+        writeEscaped(os, str_);
+        break;
+      case Type::Array:
+        if (items_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (indent > 0)
+                os << pad;
+            items_[i].writeIndented(os, indent, depth + 1);
+            if (i + 1 < items_.size())
+                os << ',';
+            os << nl;
+        }
+        if (indent > 0)
+            os << close_pad;
+        os << ']';
+        break;
+      case Type::Object:
+        if (members_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (indent > 0)
+                os << pad;
+            writeEscaped(os, members_[i].first);
+            os << colon;
+            members_[i].second.writeIndented(os, indent, depth + 1);
+            if (i + 1 < members_.size())
+                os << ',';
+            os << nl;
+        }
+        if (indent > 0)
+            os << close_pad;
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream oss;
+    write(oss, indent);
+    return oss.str();
+}
+
+// ------------------------------------------------------------- parser
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &msg)
+    {
+        error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Basic-multilingual-plane only; encode as UTF-8.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json value;
+                if (!parseValue(value))
+                    return false;
+                out.set(key, std::move(value));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                Json value;
+                if (!parseValue(value))
+                    return false;
+                out.push(std::move(value));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out = Json(true);
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out = Json(false);
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out = Json();
+            return true;
+        }
+        // number
+        const size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a value");
+        double v = 0.0;
+        const auto res =
+            std::from_chars(text.data() + start, text.data() + pos, v);
+        if (res.ec != std::errc() || res.ptr != text.data() + pos)
+            return fail("malformed number");
+        out = Json(v);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+Json::parse(std::string_view text, Json &out, std::string *err)
+{
+    Parser p{text, 0, {}};
+    if (!p.parseValue(out)) {
+        if (err != nullptr)
+            *err = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err != nullptr)
+            *err = "trailing characters at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+Json
+Json::parseOrDie(std::string_view text)
+{
+    Json out;
+    std::string err;
+    if (!parse(text, out, &err))
+        ENMC_PANIC("JSON parse error: ", err);
+    return out;
+}
+
+} // namespace enmc::obs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON value type with a writer and parser — just enough for the
+ * observability layer (metrics export, Chrome trace_event emission) and
+ * its round-trip tests. No external dependencies; not a general-purpose
+ * JSON library (no \u escapes beyond pass-through, numbers are doubles).
+ */
+
+#ifndef ENMC_OBS_JSON_H
+#define ENMC_OBS_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace enmc::obs {
+
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double v) : type_(Type::Number), num_(v) {}
+    Json(int v) : type_(Type::Number), num_(v) {}
+    Json(int64_t v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(uint64_t v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isBool() const { return type_ == Type::Bool; }
+
+    // --- object operations (insertion-ordered for stable output) ---
+    /** Set `key` (replacing an existing entry). Panics on non-objects. */
+    Json &set(const std::string &key, Json value);
+    /** Member lookup; nullptr when missing (or not an object). */
+    const Json *find(const std::string &key) const;
+    /** Member lookup; panics when missing. */
+    const Json &at(const std::string &key) const;
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+
+    // --- array operations ---
+    Json &push(Json value);
+    const Json &at(size_t i) const;
+    const std::vector<Json> &items() const { return items_; }
+
+    /** Array/object element count; 0 for scalars. */
+    size_t size() const;
+
+    // --- scalar accessors (panic on type mismatch) ---
+    double asDouble() const;
+    uint64_t asU64() const;
+    bool asBool() const;
+    const std::string &asString() const;
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    void write(std::ostream &os, int indent = 0) const;
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a complete JSON document.
+     * @return false (with `err` set when given) on malformed input.
+     */
+    static bool parse(std::string_view text, Json &out,
+                      std::string *err = nullptr);
+    /** Parse, panicking on malformed input (tests / trusted input). */
+    static Json parseOrDie(std::string_view text);
+
+  private:
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> items_;                             //!< Array
+    std::vector<std::pair<std::string, Json>> members_;   //!< Object
+};
+
+} // namespace enmc::obs
+
+#endif // ENMC_OBS_JSON_H

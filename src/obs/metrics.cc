@@ -1,0 +1,142 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace enmc::obs {
+
+namespace {
+
+std::string
+flagValue(int argc, char **argv, const char *prefix)
+{
+    const size_t len = std::strlen(prefix);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix, len) == 0)
+            return argv[i] + len;
+    }
+    return {};
+}
+
+std::string
+envValue(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v ? v : "";
+}
+
+Json
+groupJson(const StatGroup &g)
+{
+    Json out = Json::object();
+
+    Json counters = Json::object();
+    for (const auto &[name, c] : g.counters()) {
+        Json j = Json::object();
+        j.set("value", c.value.value());
+        j.set("desc", c.desc);
+        counters.set(name, std::move(j));
+    }
+    out.set("counters", std::move(counters));
+
+    Json scalars = Json::object();
+    for (const auto &[name, s] : g.scalars()) {
+        Json j = Json::object();
+        j.set("count", s.value.count());
+        j.set("sum", s.value.sum());
+        j.set("min", s.value.min());
+        j.set("max", s.value.max());
+        j.set("mean", s.value.mean());
+        j.set("desc", s.desc);
+        scalars.set(name, std::move(j));
+    }
+    out.set("scalars", std::move(scalars));
+
+    Json histograms = Json::object();
+    for (const auto &[name, h] : g.histograms()) {
+        Json j = Json::object();
+        j.set("lo", h.value.lo());
+        j.set("hi", h.value.hi());
+        Json bins = Json::array();
+        for (size_t i = 0; i < h.value.numBins(); ++i)
+            bins.push(Json(h.value.bin(i)));
+        j.set("bins", std::move(bins));
+        j.set("underflow", h.value.underflow());
+        j.set("overflow", h.value.overflow());
+        j.set("total", h.value.total());
+        j.set("desc", h.desc);
+        histograms.set(name, std::move(j));
+    }
+    out.set("histograms", std::move(histograms));
+
+    return out;
+}
+
+} // namespace
+
+MetricsOptions
+initMetrics(int argc, char **argv, const std::string &tool)
+{
+    MetricsOptions opts;
+    opts.tool = tool;
+    opts.metrics_path = flagValue(argc, argv, "--metrics-json=");
+    if (opts.metrics_path.empty())
+        opts.metrics_path = envValue("ENMC_METRICS_JSON");
+    opts.trace_path = flagValue(argc, argv, "--trace-json=");
+    if (opts.trace_path.empty())
+        opts.trace_path = envValue("ENMC_TRACE_JSON");
+    if (opts.requested()) {
+        Tracer::instance().setEnabled(true);
+        // The thread pool sits below the obs layer and cannot
+        // self-register; enroll the global pool's group here (once).
+        static std::once_flag once;
+        std::call_once(once, [] {
+            StatRegistry::instance().add(&ThreadPool::global().stats());
+        });
+    }
+    return opts;
+}
+
+Json
+metricsDocument(const std::string &tool)
+{
+    Json doc = Json::object();
+    doc.set("schema", kMetricsSchemaName);
+    doc.set("schema_version", kMetricsSchemaVersion);
+    doc.set("tool", tool);
+
+    Json groups = Json::object();
+    for (const auto &[name, group] : StatRegistry::instance().snapshot())
+        groups.set(name, groupJson(group));
+    doc.set("groups", std::move(groups));
+
+    doc.set("traceEvents", Tracer::instance().eventsJson());
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+void
+writeMetrics(const MetricsOptions &opts)
+{
+    if (!opts.metrics_path.empty()) {
+        const Json doc = metricsDocument(opts.tool);
+        std::ofstream os(opts.metrics_path);
+        if (!os)
+            ENMC_FATAL("cannot open ", opts.metrics_path, " for writing");
+        doc.write(os, 2);
+        os << "\n";
+        if (!os.good())
+            ENMC_FATAL("failed writing metrics to ", opts.metrics_path);
+    }
+    if (!opts.trace_path.empty())
+        Tracer::instance().writeTraceFile(opts.trace_path);
+}
+
+} // namespace enmc::obs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Schema-versioned JSON metrics export.
+ *
+ * Every tool and bench shares one document format:
+ *
+ *     {
+ *       "schema": "enmc.metrics",
+ *       "schema_version": 1,
+ *       "tool": "enmc_sim",
+ *       "groups": {
+ *         "dram.ctrl": {
+ *           "counters": {"reads": {"value": N, "desc": "..."}, ...},
+ *           "scalars":  {"queueDepth": {"count":, "sum":, "min":,
+ *                                        "max":, "mean":, "desc":}, ...},
+ *           "histograms": {"readLatency": {"lo":, "hi":, "bins": [...],
+ *                                          "underflow":, "overflow":,
+ *                                          "total":, "desc":}, ...}
+ *         }, ...
+ *       },
+ *       "traceEvents": [...]   // Chrome trace_event spans (may be empty)
+ *     }
+ *
+ * `traceEvents` lives at the top level so the metrics file itself loads
+ * directly in chrome://tracing / Perfetto.
+ *
+ * Command-line/environment convention (parsed by `initMetrics`):
+ *   --metrics-json=PATH   or  ENMC_METRICS_JSON=PATH
+ *   --trace-json=PATH     or  ENMC_TRACE_JSON=PATH
+ * Either one switches the tracer on; when only `--trace-json=` is given,
+ * a bare `{"traceEvents": [...]}` file is written instead.
+ */
+
+#ifndef ENMC_OBS_METRICS_H
+#define ENMC_OBS_METRICS_H
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace enmc::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+inline constexpr const char *kMetricsSchemaName = "enmc.metrics";
+
+struct MetricsOptions
+{
+    std::string metrics_path; //!< empty = no metrics document requested
+    std::string trace_path;   //!< empty = no standalone trace requested
+    std::string tool;         //!< stamped into the document's "tool" field
+
+    bool requested() const
+    {
+        return !metrics_path.empty() || !trace_path.empty();
+    }
+};
+
+/**
+ * Scan argv for `--metrics-json=` / `--trace-json=` (falling back to the
+ * ENMC_METRICS_JSON / ENMC_TRACE_JSON environment variables) and enable
+ * the tracer when either is present. Does not consume argv entries; the
+ * caller's own parser should skip these flags.
+ */
+MetricsOptions initMetrics(int argc, char **argv, const std::string &tool);
+
+/**
+ * Build the full metrics document from the current StatRegistry snapshot
+ * and the tracer's recorded events.
+ */
+Json metricsDocument(const std::string &tool);
+
+/**
+ * Write the metrics document and/or standalone trace file per `opts`.
+ * No-op when neither path is set.
+ */
+void writeMetrics(const MetricsOptions &opts);
+
+} // namespace enmc::obs
+
+#endif // ENMC_OBS_METRICS_H

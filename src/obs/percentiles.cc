@@ -1,0 +1,61 @@
+#include "obs/percentiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enmc::obs {
+
+Percentiles::Percentiles(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+    for (const double v : sorted_)
+        sum_ += v;
+}
+
+double
+Percentiles::min() const
+{
+    ENMC_ASSERT(!sorted_.empty(), "percentile of an empty sample set");
+    return sorted_.front();
+}
+
+double
+Percentiles::max() const
+{
+    ENMC_ASSERT(!sorted_.empty(), "percentile of an empty sample set");
+    return sorted_.back();
+}
+
+double
+Percentiles::mean() const
+{
+    return sorted_.empty() ? 0.0
+                           : sum_ / static_cast<double>(sorted_.size());
+}
+
+double
+Percentiles::at(double p) const
+{
+    ENMC_ASSERT(!sorted_.empty(), "percentile of an empty sample set");
+    ENMC_ASSERT(p > 0.0 && p <= 1.0, "percentile p must be in (0, 1]");
+    const double n = static_cast<double>(sorted_.size());
+    // Nearest rank: the ceil(p*n)-th smallest (1-indexed). The epsilon
+    // keeps an exact product that floating point computes one ulp high
+    // (e.g. 0.99 * 100 -> 99.00000000000001) from rounding up a rank.
+    const double raw = std::ceil(p * n - 1e-9);
+    size_t rank = raw < 1.0 ? 1 : static_cast<size_t>(raw);
+    if (rank > sorted_.size())
+        rank = sorted_.size();
+    return sorted_[rank - 1];
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    return Percentiles(std::move(samples)).at(p);
+}
+
+} // namespace enmc::obs

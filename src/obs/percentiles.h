@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared nearest-rank percentile helper.
+ *
+ * Definition (the classic nearest-rank method): for a sample set of size
+ * n sorted ascending, the p-th percentile (p in (0, 1]) is the
+ * ceil(p * n)-th smallest sample — the smallest sample whose cumulative
+ * relative rank is >= p. This always returns an actual sample (no
+ * interpolation), p == 1.0 is the maximum, and the p99 of 100 samples is
+ * the 99th smallest — not the 98th, which the hand-rolled
+ * `sorted[size_t(p * (n-1))]` snippets this helper replaces computed.
+ */
+
+#ifndef ENMC_OBS_PERCENTILES_H
+#define ENMC_OBS_PERCENTILES_H
+
+#include <cstddef>
+#include <vector>
+
+namespace enmc::obs {
+
+/** An immutable sorted sample set answering percentile queries. */
+class Percentiles
+{
+  public:
+    /** Takes (and sorts) the sample set. */
+    explicit Percentiles(std::vector<double> samples);
+
+    bool empty() const { return sorted_.empty(); }
+    size_t count() const { return sorted_.size(); }
+
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+    double mean() const;
+
+    /** Nearest-rank percentile; p in (0, 1]. Panics on an empty set. */
+    double at(double p) const;
+
+  private:
+    std::vector<double> sorted_;
+    double sum_ = 0.0;
+};
+
+/** One-shot nearest-rank percentile of an unsorted sample set. */
+double percentile(std::vector<double> samples, double p);
+
+} // namespace enmc::obs
+
+#endif // ENMC_OBS_PERCENTILES_H

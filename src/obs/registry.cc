@@ -1,0 +1,96 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace enmc::obs {
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+void
+StatRegistry::add(StatGroup *group)
+{
+    ENMC_ASSERT(group != nullptr, "registering a null stat group");
+    std::lock_guard<std::mutex> lock(mutex_);
+    ENMC_ASSERT(std::find(live_.begin(), live_.end(), group) ==
+                    live_.end(),
+                "stat group registered twice: ", group->name());
+    live_.push_back(group);
+}
+
+void
+StatRegistry::remove(StatGroup *group)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::find(live_.begin(), live_.end(), group);
+    ENMC_ASSERT(it != live_.end(), "removing an unregistered stat group");
+    live_.erase(it);
+    auto [slot, inserted] =
+        retired_.try_emplace(group->name(), group->name());
+    (void)inserted;
+    slot->second.mergeFrom(*group);
+}
+
+std::map<std::string, StatGroup>
+StatRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, StatGroup> out = retired_;
+    for (const StatGroup *g : live_) {
+        auto [slot, inserted] = out.try_emplace(g->name(), g->name());
+        (void)inserted;
+        slot->second.mergeFrom(*g);
+    }
+    return out;
+}
+
+std::vector<StatGroup *>
+StatRegistry::live() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return live_;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::set<std::string> names;
+    for (const auto &[name, group] : retired_)
+        names.insert(name);
+    for (const StatGroup *g : live_)
+        names.insert(g->name());
+    return {names.begin(), names.end()};
+}
+
+void
+StatRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (StatGroup *g : live_)
+        g->reset();
+    retired_.clear();
+}
+
+void
+StatRegistry::dumpAll(std::ostream &os) const
+{
+    for (const auto &[name, group] : snapshot())
+        group.dump(os);
+}
+
+size_t
+StatRegistry::liveCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return live_.size();
+}
+
+} // namespace enmc::obs

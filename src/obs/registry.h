@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Process-wide statistics registry: one place that can enumerate, dump,
+ * reset and export every component's StatGroup.
+ *
+ * Components enroll by holding an `obs::StatRegistration` member next to
+ * their StatGroup (declare it *after* the group so it unregisters first).
+ * Many simulator components are short-lived — an `EnmcRank` and its DRAM
+ * controller exist only for the duration of one slice simulation — so the
+ * registry *retires* a group on unregistration: its final values merge
+ * into a per-name aggregate that survives the owner. A snapshot therefore
+ * always reflects everything the process has simulated, merged by group
+ * name (eight per-channel controllers named "dram.ctrl" export as one
+ * aggregated "dram.ctrl" entry).
+ *
+ * Thread safety: add/remove/snapshot are mutex-protected (slice workers
+ * construct ranks concurrently). Live counters themselves are owned and
+ * bumped by exactly one simulation thread; take snapshots only between
+ * runs, not while slices are in flight.
+ */
+
+#ifndef ENMC_OBS_REGISTRY_H
+#define ENMC_OBS_REGISTRY_H
+
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace enmc::obs {
+
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    /** Enroll a live group. The pointer must outlive the registration. */
+    void add(StatGroup *group);
+
+    /** Unenroll `group`, folding its final values into the aggregate. */
+    void remove(StatGroup *group);
+
+    /**
+     * Merged-by-name view of every group ever registered: retired totals
+     * plus the current values of live groups.
+     */
+    std::map<std::string, StatGroup> snapshot() const;
+
+    /** Currently registered groups, in registration order. */
+    std::vector<StatGroup *> live() const;
+
+    /** Distinct group names with any recorded history. */
+    std::vector<std::string> names() const;
+
+    /** Reset every live group and drop all retired totals. */
+    void resetAll();
+
+    /** Dump the snapshot, sorted by group name. */
+    void dumpAll(std::ostream &os) const;
+
+    size_t liveCount() const;
+
+  private:
+    StatRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::vector<StatGroup *> live_;
+    std::map<std::string, StatGroup> retired_;
+};
+
+/**
+ * RAII enrollment of one StatGroup in the process-wide registry.
+ * Non-copyable; declare after the StatGroup it registers.
+ */
+class StatRegistration
+{
+  public:
+    explicit StatRegistration(StatGroup &group) : group_(&group)
+    {
+        StatRegistry::instance().add(group_);
+    }
+    ~StatRegistration() { StatRegistry::instance().remove(group_); }
+
+    StatRegistration(const StatRegistration &) = delete;
+    StatRegistration &operator=(const StatRegistration &) = delete;
+
+  private:
+    StatGroup *group_;
+};
+
+} // namespace enmc::obs
+
+#endif // ENMC_OBS_REGISTRY_H

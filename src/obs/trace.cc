@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace enmc::obs {
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (on && !enabled_.load(std::memory_order_relaxed))
+        epoch_ = std::chrono::steady_clock::now();
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+double
+Tracer::nowUs() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - epoch_).count();
+}
+
+void
+Tracer::record(Event e)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::complete(const char *name, const char *cat, int pid, uint64_t tid,
+                 double ts_us, double dur_us,
+                 std::initializer_list<Arg> args)
+{
+    if (!enabled())
+        return;
+    Event e{'X', name, cat, pid, tid, ts_us, dur_us, {}};
+    for (const Arg &a : args)
+        e.args.emplace_back(a.key, a.value);
+    record(std::move(e));
+}
+
+void
+Tracer::instant(const char *name, const char *cat, int pid, uint64_t tid,
+                double ts_us, std::initializer_list<Arg> args)
+{
+    if (!enabled())
+        return;
+    Event e{'i', name, cat, pid, tid, ts_us, 0.0, {}};
+    for (const Arg &a : args)
+        e.args.emplace_back(a.key, a.value);
+    record(std::move(e));
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+Json
+Tracer::eventsJson() const
+{
+    Json out = Json::array();
+
+    // Name the two timelines so trace viewers label them usefully.
+    const std::pair<int, const char *> timelines[] = {
+        {kWallPid, "host (wall clock)"},
+        {kSimPid, "simulated rank timeline (DDR clock)"},
+    };
+    for (const auto &[pid, label] : timelines) {
+        Json meta = Json::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", pid);
+        meta.set("tid", uint64_t{0});
+        Json args = Json::object();
+        args.set("name", label);
+        meta.set("args", std::move(args));
+        out.push(std::move(meta));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Event &e : events_) {
+        Json j = Json::object();
+        j.set("name", e.name);
+        j.set("cat", e.cat);
+        j.set("ph", std::string(1, e.ph));
+        j.set("pid", e.pid);
+        j.set("tid", e.tid);
+        j.set("ts", e.ts_us);
+        if (e.ph == 'X')
+            j.set("dur", e.dur_us);
+        if (!e.args.empty()) {
+            Json args = Json::object();
+            for (const auto &[key, value] : e.args)
+                args.set(key, value);
+            j.set("args", std::move(args));
+        }
+        out.push(std::move(j));
+    }
+    return out;
+}
+
+void
+Tracer::writeTraceFile(const std::string &path) const
+{
+    Json doc = Json::object();
+    doc.set("traceEvents", eventsJson());
+    doc.set("displayTimeUnit", "ms");
+    std::ofstream os(path);
+    if (!os)
+        ENMC_FATAL("cannot open ", path, " for writing");
+    doc.write(os, 2);
+    os << "\n";
+    if (!os.good())
+        ENMC_FATAL("failed writing trace to ", path);
+}
+
+TraceSpan::TraceSpan(const char *name, const char *cat, uint64_t tid)
+    : name_(name), cat_(cat), tid_(tid)
+{
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled())
+        return;
+    active_ = true;
+    start_us_ = tracer.nowUs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled())
+        return;
+    const double end_us = tracer.nowUs();
+    Tracer::Event e{'X',    name_,     cat_,
+                    kWallPid, tid_,    start_us_,
+                    end_us - start_us_, {}};
+    for (const Tracer::Arg &a : args_)
+        e.args.emplace_back(a.key, a.value);
+    tracer.record(std::move(e));
+}
+
+void
+TraceSpan::arg(const char *key, double value)
+{
+    if (active_)
+        args_.push_back({key, value});
+}
+
+} // namespace enmc::obs

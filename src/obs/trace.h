@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Structured tracing in the Chrome `trace_event` JSON format, loadable in
+ * chrome://tracing and Perfetto (ui.perfetto.dev).
+ *
+ * Two timelines ("processes" in the trace model):
+ *  - pid 1 (`kWallPid`): host wall-clock spans — what the simulator
+ *    process itself spends time on (request pipeline: screen -> slices ->
+ *    merge);
+ *  - pid 2 (`kSimPid`): the simulated DDR-clock timeline — per-rank
+ *    screen/filter/exec busy windows reconstructed from each slice's
+ *    RankResult, with the rank id as the track (tid).
+ *
+ * Tracing is OFF by default and is zero-cost when off: every emission
+ * site guards on one relaxed atomic load, and `TraceSpan` records nothing
+ * when constructed with the tracer disabled. Benches therefore stay
+ * bit-identical unless `--trace-json=` / `--metrics-json=` (or the
+ * ENMC_TRACE_JSON / ENMC_METRICS_JSON environment variables) enable it.
+ */
+
+#ifndef ENMC_OBS_TRACE_H
+#define ENMC_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace enmc::obs {
+
+/** Trace timeline ids (Chrome trace "pid"). */
+inline constexpr int kWallPid = 1; //!< host wall-clock timeline
+inline constexpr int kSimPid = 2;  //!< simulated DDR-clock timeline
+
+class Tracer
+{
+  public:
+    /** A small numeric annotation attached to an event. */
+    struct Arg
+    {
+        const char *key;
+        double value;
+    };
+
+    static Tracer &instance();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool on);
+
+    /** Microseconds since the tracer was (last) enabled. */
+    double nowUs() const;
+
+    /** A complete ("X") span at an explicit timestamp/duration. */
+    void complete(const char *name, const char *cat, int pid,
+                  uint64_t tid, double ts_us, double dur_us,
+                  std::initializer_list<Arg> args = {});
+
+    /** An instant ("i") event. */
+    void instant(const char *name, const char *cat, int pid, uint64_t tid,
+                 double ts_us, std::initializer_list<Arg> args = {});
+
+    size_t eventCount() const;
+    void clear();
+
+    /**
+     * All recorded events as a Chrome trace_event array, prefixed with
+     * process_name metadata for the two timelines.
+     */
+    Json eventsJson() const;
+
+    /** Write `{"traceEvents": [...]}` to `path` (fatal on I/O error). */
+    void writeTraceFile(const std::string &path) const;
+
+  private:
+    friend class TraceSpan;
+
+    struct Event
+    {
+        char ph;             //!< 'X' complete, 'i' instant
+        std::string name;
+        std::string cat;
+        int pid;
+        uint64_t tid;
+        double ts_us;
+        double dur_us;
+        std::vector<std::pair<std::string, double>> args;
+    };
+
+    Tracer() = default;
+    void record(Event e);
+
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_{};
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+};
+
+/**
+ * RAII wall-clock span on the `kWallPid` timeline. Captures the start
+ * time at construction and emits a complete event at destruction; a
+ * no-op (no clock read, no allocation) when the tracer is off.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *name, const char *cat, uint64_t tid = 0);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Attach a numeric annotation (kept until destruction). */
+    void arg(const char *key, double value);
+
+  private:
+    const char *name_;
+    const char *cat_;
+    uint64_t tid_;
+    double start_us_ = 0.0;
+    bool active_ = false;
+    std::vector<Tracer::Arg> args_;
+};
+
+} // namespace enmc::obs
+
+#endif // ENMC_OBS_TRACE_H

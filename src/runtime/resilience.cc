@@ -8,7 +8,19 @@
 namespace enmc::runtime {
 
 ResilientBackend::ResilientBackend(const SystemConfig &cfg)
-    : Backend(cfg), inner_(cfg)
+    : Backend(cfg), inner_(cfg),
+      stats_("runtime.resilient"),
+      stat_slices_(stats_.addCounter("slices", "slice executions")),
+      stat_retries_(stats_.addCounter("retries",
+                                      "uncorrectable-slice re-executions")),
+      stat_degraded_(stats_.addCounter(
+          "degradedSlices",
+          "slices answered with approximate logits after retry exhaustion")),
+      stat_penalty_cycles_(stats_.addCounter(
+          "penaltyCycles", "backoff cycles added by retries")),
+      stat_blacklisted_(stats_.addCounter("blacklistedRanks",
+                                          "stuck ranks dropped from jobs")),
+      stats_registration_(stats_)
 {
 }
 
@@ -49,8 +61,11 @@ ResilientBackend::runWithRetry(const arch::RankTask &task,
 
     arch::RankResult res = execute(task);
     fault::FaultInjector *injector = task.injector;
-    if (injector == nullptr || !injector->enabled())
+    if (injector == nullptr || !injector->enabled()) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stat_slices_;
         return res;
+    }
 
     // A stuck rank fails deterministically: retrying is wasted work, and
     // the blacklisting path (runJob/runFunctionalJob) handles it.
@@ -81,6 +96,15 @@ ResilientBackend::runWithRetry(const arch::RankTask &task,
     if (res.uncorrectable_words > 0 && !stuck && !cfg_.resilience.degrade)
         ENMC_PANIC("slice still uncorrectable after ", retries,
                    " retries and degradation is disabled");
+
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stat_slices_;
+        stat_retries_ += retries;
+        stat_penalty_cycles_ += penalty;
+        if (res.uncorrectable_words > 0 && !stuck)
+            ++stat_degraded_;
+    }
     return res;
 }
 
@@ -128,6 +152,10 @@ ResilientBackend::runJob(const JobSpec &spec) const
     // Discovering each dead rank cost the host `blacklist_after` failed
     // probe slices of one backoff each before it was dropped.
     const uint64_t blacklisted = cfg_.totalRanks() - ranks;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stat_blacklisted_ += blacklisted;
+    }
     res.rank_cycles += blacklisted * cfg_.resilience.blacklist_after *
                        cfg_.resilience.retry_backoff_cycles;
     res.seconds = cyclesToSeconds(res.rank_cycles, cfg_.timing.freq_hz);

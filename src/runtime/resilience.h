@@ -25,8 +25,11 @@
 #ifndef ENMC_RUNTIME_RESILIENCE_H
 #define ENMC_RUNTIME_RESILIENCE_H
 
+#include <mutex>
 #include <vector>
 
+#include "common/stats.h"
+#include "obs/registry.h"
 #include "runtime/backend.h"
 
 namespace enmc::runtime {
@@ -84,6 +87,19 @@ class ResilientBackend : public Backend
                                   bool functional) const;
 
     EnmcBackend inner_;
+
+    // Policy-layer stats ("runtime.resilient"). Slices run concurrently
+    // on pool workers, so updates lock stats_mutex_ (the counters are
+    // plain uint64s); member references let const slice methods tally.
+    mutable std::mutex stats_mutex_;
+    StatGroup stats_;
+    Counter &stat_slices_;
+    Counter &stat_retries_;
+    Counter &stat_degraded_;
+    Counter &stat_penalty_cycles_;
+    Counter &stat_blacklisted_;
+    // Declared last so the group unregisters before any stat dies.
+    obs::StatRegistration stats_registration_;
 };
 
 } // namespace enmc::runtime

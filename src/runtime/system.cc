@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "runtime/backend.h"
 #include "runtime/compiler.h"
 #include "runtime/partition.h"
@@ -16,9 +17,51 @@ using arch::RankResult;
 using arch::RankTask;
 
 EnmcSystem::EnmcSystem(const SystemConfig &cfg)
-    : cfg_(cfg)
+    : cfg_(cfg),
+      stats_("runtime.system"),
+      stat_functional_runs_(stats_.addCounter("functionalRuns",
+                                              "functional jobs executed")),
+      stat_timing_runs_(stats_.addCounter("timingRuns",
+                                          "timing jobs executed")),
+      stat_slices_(stats_.addCounter("slices", "rank slices merged")),
+      stat_batch_items_(stats_.addCounter("batchItems",
+                                          "batch items classified")),
+      stat_candidates_(stats_.addCounter("candidates",
+                                         "candidate rows exactly scored")),
+      stat_fault_injected_(stats_.addCounter(
+          "faultInjectedWords", "data words with injected faults")),
+      stat_fault_corrected_(stats_.addCounter(
+          "faultCorrected", "faulty words repaired by SECDED")),
+      stat_fault_detected_(stats_.addCounter(
+          "faultDetected", "faulty words detected uncorrectable")),
+      stat_fault_escaped_(stats_.addCounter(
+          "faultEscaped", "faulty words silently corrupted")),
+      stat_uncorrectable_(stats_.addCounter(
+          "uncorrectableWords", "uncorrectable words after resilience")),
+      stat_degraded_(stats_.addCounter(
+          "degradedCandidates", "candidates answered approximately")),
+      stat_slice_cycles_(stats_.addScalar("sliceCycles",
+                                          "simulated cycles per slice")),
+      stat_slice_skew_(stats_.addHistogram(
+          "sliceSkew", "slice cycles relative to the slowest slice",
+          0.0, 1.0, 20)),
+      stats_registration_(stats_)
 {
     ENMC_ASSERT(cfg.totalRanks() >= 1, "system needs at least one rank");
+}
+
+void
+EnmcSystem::recordSlice(const RankResult &res) const
+{
+    ++stat_slices_;
+    stat_candidates_ += res.candidates;
+    stat_fault_injected_ += res.faults.injected_words;
+    stat_fault_corrected_ += res.faults.corrected;
+    stat_fault_detected_ += res.faults.detected;
+    stat_fault_escaped_ += res.faults.escaped;
+    stat_uncorrectable_ += res.uncorrectable_words;
+    stat_degraded_ += res.degraded_candidates;
+    stat_slice_cycles_.sample(static_cast<double>(res.cycles));
 }
 
 RankTask
@@ -59,12 +102,35 @@ EnmcSystem::runRank(const RankTask &task) const
     res.rank_cycles = res.rank.cycles;
     res.ranks = cfg_.totalRanks();
     res.seconds = cyclesToSeconds(res.rank_cycles, cfg_.timing.freq_hz);
+    recordSlice(res.rank);
+
+    // The representative rank's simulated screen/exec busy windows on the
+    // DDR-clock timeline (same reconstruction as the functional path).
+    obs::Tracer &tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+        const double us_per_cycle = 1e6 / cfg_.timing.freq_hz;
+        const double end_us = res.rank.cycles * us_per_cycle;
+        const double screen_us = res.rank.screener_busy * us_per_cycle;
+        const double exec_us = res.rank.executor_busy * us_per_cycle;
+        const uint32_t rank_id = task.rank_index;
+        tracer.complete("screen", "sim", obs::kSimPid, rank_id, 0.0,
+                        screen_us);
+        tracer.instant("filter", "sim", obs::kSimPid, rank_id, screen_us,
+                       {{"candidates",
+                         static_cast<double>(res.rank.candidates)}});
+        tracer.complete("exec", "sim", obs::kSimPid, rank_id,
+                        end_us - exec_us, exec_us);
+    }
     return res;
 }
 
 TimingResult
 EnmcSystem::runTiming(const JobSpec &spec) const
 {
+    ++stat_timing_runs_;
+    obs::TraceSpan span("runTiming", "pipeline");
+    span.arg("categories", static_cast<double>(spec.categories));
+    span.arg("batch", static_cast<double>(spec.batch));
     RankTask task = makeRankTask(spec);
     const uint64_t tile_rows = screeningTileRows(task, cfg_.enmc);
     const uint64_t tiles = ceilDiv(task.categories, tile_rows);
@@ -140,12 +206,22 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
     const uint64_t ranks = std::min<uint64_t>(ranks_to_use, row_count);
     const uint64_t batch = h_batch.size();
 
+    ++stat_functional_runs_;
+    stat_batch_items_ += batch;
+    obs::TraceSpan request_span("request", "pipeline");
+    request_span.arg("rows", static_cast<double>(row_count));
+    request_span.arg("batch", static_cast<double>(batch));
+    request_span.arg("ranks", static_cast<double>(ranks));
+
     // Per-item projected + quantized features (computed once, shared by
     // all ranks, exactly as the host broadcast works).
     std::vector<tensor::QuantizedVector> yq;
-    for (const auto &h : h_batch)
-        yq.push_back(tensor::quantize(screener.project(h),
-                                      screener.config().quant));
+    {
+        obs::TraceSpan span("screen.project", "pipeline");
+        for (const auto &h : h_batch)
+            yq.push_back(tensor::quantize(screener.project(h),
+                                          screener.config().quant));
+    }
 
     const tensor::QuantizedMatrix &wq = screener.quantizedWeights();
     const std::vector<RowSlice> slices =
@@ -160,10 +236,23 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
     // own tensor slices and EnmcRank instance, park the RankResult in a
     // per-slice slot, and the merge below walks the slots in slice order —
     // so the output is bit-identical for any worker count.
+    // Maps slice index -> the physical rank simulating it (also the trace
+    // track the slice's spans land on).
+    auto sliceRankId = [&](size_t s) {
+        return cfg_.functional_rank_ids.empty()
+                   ? static_cast<uint32_t>(s)
+                   : cfg_.functional_rank_ids[s %
+                                              cfg_.functional_rank_ids
+                                                  .size()];
+    };
+
     std::vector<RankResult> results(slices.size());
     parallelFor(0, slices.size(), cfg_.sim_threads, [&](size_t s) {
         const uint64_t row0 = slices[s].begin;
         const uint64_t rows = slices[s].rows;
+        obs::TraceSpan slice_span("slice.sim", "pipeline", sliceRankId(s));
+        slice_span.arg("slice", static_cast<double>(s));
+        slice_span.arg("rows", static_cast<double>(rows));
 
         // Slice the screener + classifier tensors for this rank.
         tensor::QuantizedMatrix wq_slice;
@@ -208,11 +297,7 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
 
         // Per-slice fault streams: every sample is pure in (seed, stream,
         // index), so pooled runs stay bit-identical to serial ones.
-        const uint32_t rank_id =
-            cfg_.functional_rank_ids.empty()
-                ? static_cast<uint32_t>(s)
-                : cfg_.functional_rank_ids[s %
-                                           cfg_.functional_rank_ids.size()];
+        const uint32_t rank_id = sliceRankId(s);
         task.rank_index = rank_id;
         fault::FaultInjector injector(cfg_.fault, /*stream=*/rank_id);
         if (cfg_.fault.enabled)
@@ -226,22 +311,64 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
             results[s].faults = injector.counters();
     });
 
-    for (size_t s = 0; s < slices.size(); ++s) {
-        const uint64_t row0 = slices[s].begin;
-        const RankResult &rr = results[s];
-        out.rank_cycles = std::max(out.rank_cycles, rr.cycles);
-        out.faults += rr.faults;
-        out.uncorrectable_words += rr.uncorrectable_words;
-        out.degraded_candidates += rr.degraded_candidates;
-        for (uint64_t item = 0; item < batch; ++item) {
-            std::copy(rr.logits[item].begin(), rr.logits[item].end(),
-                      out.logits[item].begin() + row0);
-            for (uint32_t c : rr.candidate_ids[item])
-                out.candidates[item].push_back(
-                    static_cast<uint32_t>(row0 + c));
+    {
+        obs::TraceSpan merge_span("merge", "pipeline");
+        for (size_t s = 0; s < slices.size(); ++s) {
+            const uint64_t row0 = slices[s].begin;
+            const RankResult &rr = results[s];
+            out.rank_cycles = std::max(out.rank_cycles, rr.cycles);
+            out.faults += rr.faults;
+            out.uncorrectable_words += rr.uncorrectable_words;
+            out.degraded_candidates += rr.degraded_candidates;
+            out.slice_cycles.push_back(rr.cycles);
+            recordSlice(rr);
+            for (uint64_t item = 0; item < batch; ++item) {
+                std::copy(rr.logits[item].begin(), rr.logits[item].end(),
+                          out.logits[item].begin() + row0);
+                for (uint32_t c : rr.candidate_ids[item])
+                    out.candidates[item].push_back(
+                        static_cast<uint32_t>(row0 + c));
+            }
         }
     }
     out.seconds = cyclesToSeconds(out.rank_cycles, cfg_.timing.freq_hz);
+
+    // Load-imbalance histogram: each slice's cycles relative to the
+    // slowest slice (1.0 = critical path).
+    if (out.rank_cycles > 0) {
+        for (size_t s = 0; s < slices.size(); ++s)
+            stat_slice_skew_.sample(
+                static_cast<double>(results[s].cycles) /
+                static_cast<double>(out.rank_cycles));
+    }
+
+    // Reconstruct each rank's simulated timeline (screen || exec on the
+    // DDR clock) as trace spans on the kSimPid timeline: the screener
+    // streams from cycle 0, the executor's busy window ends at the
+    // slice's last cycle, and the filter handoff is the instant the
+    // screener goes idle.
+    obs::Tracer &tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+        const double us_per_cycle = 1e6 / cfg_.timing.freq_hz;
+        for (size_t s = 0; s < slices.size(); ++s) {
+            const RankResult &rr = results[s];
+            const uint32_t rank_id = sliceRankId(s);
+            const double end_us = rr.cycles * us_per_cycle;
+            const double screen_us = rr.screener_busy * us_per_cycle;
+            const double exec_us = rr.executor_busy * us_per_cycle;
+            tracer.complete("screen", "sim", obs::kSimPid, rank_id, 0.0,
+                            screen_us,
+                            {{"rows", static_cast<double>(slices[s].rows)}});
+            tracer.instant("filter", "sim", obs::kSimPid, rank_id,
+                           screen_us,
+                           {{"candidates",
+                             static_cast<double>(rr.candidates)}});
+            tracer.complete("exec", "sim", obs::kSimPid, rank_id,
+                            end_us - exec_us, exec_us,
+                            {{"candidates",
+                              static_cast<double>(rr.candidates)}});
+        }
+    }
 }
 
 EnmcSystem::FunctionalResult

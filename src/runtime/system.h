@@ -18,12 +18,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "dram/config.h"
 #include "dram/timing.h"
 #include "enmc/config.h"
 #include "enmc/rank.h"
 #include "fault/injector.h"
 #include "nn/classifier.h"
+#include "obs/registry.h"
 #include "screening/screener.h"
 
 namespace enmc::runtime {
@@ -134,6 +136,12 @@ class EnmcSystem
         fault::FaultCounters faults;
         uint64_t uncorrectable_words = 0;
         uint64_t degraded_candidates = 0;
+        /**
+         * Per-slice simulated cycle counts, in slice order (one entry per
+         * rank slice). The job finishes at max(slice_cycles); the spread
+         * is the load imbalance benches report percentiles over.
+         */
+        std::vector<Cycles> slice_cycles;
     };
     FunctionalResult runFunctional(
         const nn::Classifier &classifier,
@@ -159,7 +167,32 @@ class EnmcSystem
   private:
     TimingResult runRank(const arch::RankTask &task) const;
 
+    /** Tally one merged slice result into the system stat group. */
+    void recordSlice(const arch::RankResult &res) const;
+
     SystemConfig cfg_;
+
+    // Job-level stats ("runtime.system"): slices are tallied in the
+    // (serial) merge loop, so no lock is needed. The fault mirrors let
+    // the metrics consumer check the ECC accounting invariant
+    // (faultInjectedWords == faultCorrected + faultDetected +
+    // faultEscaped) from the exported JSON alone.
+    StatGroup stats_;
+    Counter &stat_functional_runs_;
+    Counter &stat_timing_runs_;
+    Counter &stat_slices_;
+    Counter &stat_batch_items_;
+    Counter &stat_candidates_;
+    Counter &stat_fault_injected_;
+    Counter &stat_fault_corrected_;
+    Counter &stat_fault_detected_;
+    Counter &stat_fault_escaped_;
+    Counter &stat_uncorrectable_;
+    Counter &stat_degraded_;
+    ScalarStat &stat_slice_cycles_;
+    Histogram &stat_slice_skew_;
+    // Declared last so the group unregisters before any stat dies.
+    obs::StatRegistration stats_registration_;
 };
 
 } // namespace enmc::runtime

@@ -73,6 +73,82 @@ TEST(Histogram, Reset)
     EXPECT_EQ(h.bin(0), 0u);
 }
 
+TEST(Histogram, LastBinHiIsExactlyHi)
+{
+    // binHi(numBins()-1) must return hi exactly — not lo + n*width, which
+    // floating point can place one ulp off.
+    Histogram h(0.0, 0.3, 3); // width 0.1 is not exact in binary
+    EXPECT_EQ(h.binHi(h.numBins() - 1), 0.3);
+    Histogram h2(1.0, 256.0, 7);
+    EXPECT_EQ(h2.binHi(h2.numBins() - 1), 256.0);
+}
+
+TEST(Histogram, ExactHiLandsInOverflow)
+{
+    // The range is half-open: [lo, hi). v == hi is out of range.
+    Histogram h(0.0, 10.0, 5);
+    h.sample(10.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bin(4), 0u);
+}
+
+TEST(Histogram, BoundarySamplesRespectBinEdges)
+{
+    // (v - lo) / width on an exact bin edge can round to either side;
+    // the selected bin must still satisfy binLo(i) <= v < binHi(i).
+    // 0.1 * k edges are the classic trap (none are exact in binary).
+    Histogram h(0.0, 1.0, 10);
+    for (int k = 0; k < 10; ++k) {
+        const double v = k * 0.1;
+        Histogram probe(0.0, 1.0, 10);
+        probe.sample(v);
+        // find the bin it landed in
+        size_t idx = probe.numBins();
+        for (size_t i = 0; i < probe.numBins(); ++i) {
+            if (probe.bin(i) == 1) {
+                idx = i;
+                break;
+            }
+        }
+        ASSERT_LT(idx, probe.numBins()) << "v=" << v << " not binned";
+        EXPECT_LE(probe.binLo(idx), v) << "v=" << v;
+        EXPECT_LT(v, probe.binHi(idx)) << "v=" << v;
+    }
+    // A negative-lo range exercises edges on both sides of zero.
+    for (int k = -5; k <= 4; ++k) {
+        const double v = k * 0.3;
+        Histogram probe(-1.5, 1.5, 10);
+        probe.sample(v);
+        size_t idx = probe.numBins();
+        for (size_t i = 0; i < probe.numBins(); ++i) {
+            if (probe.bin(i) == 1) {
+                idx = i;
+                break;
+            }
+        }
+        ASSERT_LT(idx, probe.numBins()) << "v=" << v << " not binned";
+        EXPECT_LE(probe.binLo(idx), v) << "v=" << v;
+        EXPECT_LT(v, probe.binHi(idx)) << "v=" << v;
+    }
+}
+
+TEST(Histogram, MergeAddsBinwise)
+{
+    Histogram a(0.0, 10.0, 5);
+    Histogram b(0.0, 10.0, 5);
+    a.sample(1.0);
+    b.sample(1.5);
+    b.sample(9.0);
+    b.sample(-2.0);
+    b.sample(11.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.bin(0), 2u);
+    EXPECT_EQ(a.bin(4), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
 TEST(StatGroup, RegisterAndLookup)
 {
     StatGroup g("unit");
@@ -84,12 +160,28 @@ TEST(StatGroup, RegisterAndLookup)
     EXPECT_FALSE(g.hasCounter("missing"));
 }
 
-TEST(StatGroup, DuplicateRegistrationReturnsSameStat)
+TEST(StatGroupDeathTest, DuplicateCounterRegistrationPanics)
+{
+    // Silent dedupe used to hand the second caller the first stat (and
+    // drop its description) — two components aggregating into one counter
+    // without anyone noticing. Now it's an assertion failure.
+    StatGroup g("unit");
+    g.addCounter("x", "first");
+    EXPECT_DEATH(g.addCounter("x", "second"), "duplicate");
+}
+
+TEST(StatGroupDeathTest, DuplicateScalarRegistrationPanics)
 {
     StatGroup g("unit");
-    Counter &a = g.addCounter("x", "first");
-    Counter &b = g.addCounter("x", "second");
-    EXPECT_EQ(&a, &b);
+    g.addScalar("s", "first");
+    EXPECT_DEATH(g.addScalar("s", "second"), "duplicate");
+}
+
+TEST(StatGroupDeathTest, DuplicateHistogramRegistrationPanics)
+{
+    StatGroup g("unit");
+    g.addHistogram("h", "first", 0.0, 1.0, 4);
+    EXPECT_DEATH(g.addHistogram("h", "second", 0.0, 1.0, 4), "duplicate");
 }
 
 TEST(StatGroup, DumpFormat)
@@ -119,6 +211,33 @@ TEST(StatGroupDeathTest, UnknownCounterPanics)
 {
     StatGroup g("g");
     EXPECT_DEATH((void)g.counter("nope"), "unknown counter");
+}
+
+TEST(StatGroup, HistogramRegistrationAndDump)
+{
+    StatGroup g("mem");
+    Histogram &h = g.addHistogram("lat", "latency dist", 0.0, 8.0, 4);
+    h.sample(1.0);
+    h.sample(5.0);
+    EXPECT_TRUE(g.hasHistogram("lat"));
+    EXPECT_EQ(g.histogram("lat").total(), 2u);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("mem.lat"), std::string::npos);
+}
+
+TEST(StatGroup, MergeFromAccumulatesAndCreates)
+{
+    StatGroup a("g");
+    StatGroup b("g");
+    a.addCounter("c", "") += 2;
+    b.addCounter("c", "") += 3;
+    b.addScalar("s", "only in b").sample(4.0);
+    b.addHistogram("h", "", 0.0, 1.0, 2).sample(0.25);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counter("c").value(), 5u);
+    EXPECT_EQ(a.scalar("s").count(), 1u);
+    EXPECT_EQ(a.histogram("h").bin(0), 1u);
 }
 
 } // namespace

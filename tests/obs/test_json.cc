@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the minimal JSON value type: construction, serialization,
+ * parsing, and write -> parse round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace enmc::obs {
+namespace {
+
+TEST(Json, ScalarTypesAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_DOUBLE_EQ(Json(2.5).asDouble(), 2.5);
+    EXPECT_EQ(Json(uint64_t{42}).asU64(), 42u);
+    EXPECT_EQ(Json("hi").asString(), "hi");
+}
+
+TEST(Json, ObjectInsertionOrderAndReplace)
+{
+    Json o = Json::object();
+    o.set("b", 1);
+    o.set("a", 2);
+    o.set("b", 3); // replace keeps position
+    ASSERT_EQ(o.size(), 2u);
+    EXPECT_EQ(o.members()[0].first, "b");
+    EXPECT_EQ(o.members()[1].first, "a");
+    EXPECT_EQ(o.at("b").asU64(), 3u);
+    EXPECT_EQ(o.find("missing"), nullptr);
+    EXPECT_TRUE(o.has("a"));
+}
+
+TEST(Json, ArrayPushAndIndex)
+{
+    Json a = Json::array();
+    a.push(1);
+    a.push("two");
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.at(size_t{0}).asU64(), 1u);
+    EXPECT_EQ(a.at(size_t{1}).asString(), "two");
+}
+
+TEST(Json, DumpCompactAndPretty)
+{
+    Json o = Json::object();
+    o.set("n", 1);
+    Json arr = Json::array();
+    arr.push(2);
+    o.set("a", std::move(arr));
+    EXPECT_EQ(o.dump(), "{\"n\":1,\"a\":[2]}");
+    const std::string pretty = o.dump(2);
+    EXPECT_NE(pretty.find("\n"), std::string::npos);
+    EXPECT_NE(pretty.find("  \"n\": 1"), std::string::npos);
+}
+
+TEST(Json, IntegersPrintWithoutExponent)
+{
+    // Counters are uint64s; 1e6 must print as 1000000, not 1e+06.
+    EXPECT_EQ(Json(uint64_t{1000000}).dump(), "1000000");
+    EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ParseBasicDocument)
+{
+    const Json j = Json::parseOrDie(
+        R"({"s": "x", "n": -2.5, "b": true, "z": null, "a": [1, 2]})");
+    EXPECT_EQ(j.at("s").asString(), "x");
+    EXPECT_DOUBLE_EQ(j.at("n").asDouble(), -2.5);
+    EXPECT_TRUE(j.at("b").asBool());
+    EXPECT_TRUE(j.at("z").isNull());
+    EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(Json, ParseStringEscapes)
+{
+    const Json j = Json::parseOrDie(R"("a\"b\\c\nd\u0041")");
+    EXPECT_EQ(j.asString(), "a\"b\\c\ndA");
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    Json out;
+    std::string err;
+    EXPECT_FALSE(Json::parse("{", out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(Json::parse("[1,]", out));
+    EXPECT_FALSE(Json::parse("1 2", out)); // trailing characters
+    EXPECT_FALSE(Json::parse("", out));
+}
+
+TEST(Json, RoundTripPreservesStructure)
+{
+    Json o = Json::object();
+    o.set("name", "enmc");
+    o.set("pi", 3.25);
+    Json arr = Json::array();
+    for (int i = 0; i < 4; ++i)
+        arr.push(i);
+    o.set("bins", std::move(arr));
+    Json nested = Json::object();
+    nested.set("deep", true);
+    o.set("inner", std::move(nested));
+
+    for (int indent : {0, 2}) {
+        const Json back = Json::parseOrDie(o.dump(indent));
+        EXPECT_EQ(back.at("name").asString(), "enmc");
+        EXPECT_DOUBLE_EQ(back.at("pi").asDouble(), 3.25);
+        EXPECT_EQ(back.at("bins").size(), 4u);
+        EXPECT_EQ(back.at("bins").at(size_t{3}).asU64(), 3u);
+        EXPECT_TRUE(back.at("inner").at("deep").asBool());
+        EXPECT_EQ(back.dump(), o.dump());
+    }
+}
+
+} // namespace
+} // namespace enmc::obs

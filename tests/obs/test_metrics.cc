@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Round-trip tests for the JSON metrics exporter: schema fields, group
+ * serialization, file output, and — on a real fault-injected functional
+ * run — the ECC accounting invariant checked from the exported document
+ * alone: faultInjectedWords == faultCorrected + faultDetected +
+ * faultEscaped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "runtime/system.h"
+#include "screening/trainer.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::obs {
+namespace {
+
+TEST(Metrics, DocumentCarriesSchemaAndTool)
+{
+    const Json doc = metricsDocument("unit_test");
+    EXPECT_EQ(doc.at("schema").asString(), kMetricsSchemaName);
+    EXPECT_EQ(doc.at("schema_version").asU64(),
+              static_cast<uint64_t>(kMetricsSchemaVersion));
+    EXPECT_EQ(doc.at("tool").asString(), "unit_test");
+    EXPECT_TRUE(doc.has("groups"));
+    EXPECT_TRUE(doc.has("traceEvents"));
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    // The trace array always carries the two timeline-name metadata
+    // records, so the document loads directly in Perfetto.
+    EXPECT_GE(doc.at("traceEvents").size(), 2u);
+}
+
+TEST(Metrics, GroupSerializationRoundTrip)
+{
+    StatGroup g("obstest.metrics");
+    StatRegistration r(g);
+    g.addCounter("events", "things that happened") += 11;
+    ScalarStat &s = g.addScalar("depth", "queue depth");
+    s.sample(2.0);
+    s.sample(6.0);
+    Histogram &h = g.addHistogram("lat", "latency", 0.0, 8.0, 4);
+    h.sample(1.0);  // bin 0
+    h.sample(7.0);  // bin 3
+    h.sample(-1.0); // underflow
+    h.sample(9.0);  // overflow
+
+    // Dump -> parse: the consumer-side view must match what we recorded.
+    const Json doc = Json::parseOrDie(metricsDocument("t").dump(2));
+    const Json *grp = doc.at("groups").find("obstest.metrics");
+    ASSERT_NE(grp, nullptr);
+
+    const Json &c = grp->at("counters").at("events");
+    EXPECT_EQ(c.at("value").asU64(), 11u);
+    EXPECT_EQ(c.at("desc").asString(), "things that happened");
+
+    const Json &sc = grp->at("scalars").at("depth");
+    EXPECT_EQ(sc.at("count").asU64(), 2u);
+    EXPECT_DOUBLE_EQ(sc.at("sum").asDouble(), 8.0);
+    EXPECT_DOUBLE_EQ(sc.at("min").asDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(sc.at("max").asDouble(), 6.0);
+    EXPECT_DOUBLE_EQ(sc.at("mean").asDouble(), 4.0);
+
+    const Json &hist = grp->at("histograms").at("lat");
+    EXPECT_DOUBLE_EQ(hist.at("lo").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.at("hi").asDouble(), 8.0);
+    ASSERT_EQ(hist.at("bins").size(), 4u);
+    EXPECT_EQ(hist.at("bins").at(size_t{0}).asU64(), 1u);
+    EXPECT_EQ(hist.at("bins").at(size_t{3}).asU64(), 1u);
+    EXPECT_EQ(hist.at("underflow").asU64(), 1u);
+    EXPECT_EQ(hist.at("overflow").asU64(), 1u);
+    EXPECT_EQ(hist.at("total").asU64(), 4u);
+}
+
+TEST(Metrics, WriteMetricsProducesParseableFile)
+{
+    StatGroup g("obstest.file");
+    StatRegistration r(g);
+    ++g.addCounter("c", "");
+
+    MetricsOptions opts;
+    opts.tool = "unit_test";
+    opts.metrics_path = ::testing::TempDir() + "/enmc_test_metrics.json";
+    writeMetrics(opts);
+
+    std::ifstream is(opts.metrics_path);
+    ASSERT_TRUE(is.good());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const Json doc = Json::parseOrDie(buf.str());
+    EXPECT_EQ(doc.at("schema").asString(), "enmc.metrics");
+    EXPECT_EQ(doc.at("tool").asString(), "unit_test");
+    EXPECT_NE(doc.at("groups").find("obstest.file"), nullptr);
+}
+
+TEST(Metrics, WriteMetricsNoOpWithoutPaths)
+{
+    // Must not crash or create files when nothing was requested.
+    writeMetrics(MetricsOptions{});
+}
+
+/**
+ * End-to-end invariant: run a functional job with fault injection on, and
+ * check the ECC accounting of the exported document. Every injected word
+ * must be accounted for as corrected, detected, or escaped — the JSON
+ * consumer (tools/check_metrics.py in CI) relies on exactly this.
+ */
+TEST(Metrics, FaultCountersBalanceInExportedDocument)
+{
+    StatRegistry::instance().resetAll(); // isolate this run's counters
+
+    workloads::SyntheticConfig mc;
+    mc.categories = 2048;
+    mc.hidden = 64;
+    workloads::SyntheticModel model(mc);
+
+    screening::ScreenerConfig scfg;
+    scfg.categories = 2048;
+    scfg.hidden = 64;
+    scfg.selection = screening::SelectionMode::Threshold;
+    Rng rng(3);
+    screening::Screener screener(scfg, rng);
+    Rng data = model.makeRng(1);
+    auto train = model.sampleHiddenBatch(data, 96);
+    screening::Trainer trainer(model.classifier(), screener,
+                               screening::TrainerConfig{});
+    trainer.train(train, {});
+    screener.freezeQuantized();
+    const float cut = screening::tuneThreshold(screener, train, 48);
+    screener.setSelection(screening::SelectionMode::Threshold, 48, cut);
+    const auto h_batch = model.sampleHiddenBatch(data, 2);
+
+    runtime::SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 7;
+    cfg.fault.data_ber = 1e-3;
+    cfg.fault.ecc = true;
+    runtime::EnmcSystem sys(cfg);
+    const auto out =
+        sys.runFunctional(model.classifier(), screener, h_batch, 4);
+    EXPECT_GT(out.faults.injected_words, 0u) << "BER produced no faults";
+    EXPECT_EQ(out.slice_cycles.size(), 4u);
+
+    const Json doc = Json::parseOrDie(metricsDocument("t").dump());
+    const Json *g = doc.at("groups").find("runtime.system");
+    ASSERT_NE(g, nullptr);
+    const Json &c = g->at("counters");
+    const uint64_t injected = c.at("faultInjectedWords").at("value").asU64();
+    const uint64_t corrected = c.at("faultCorrected").at("value").asU64();
+    const uint64_t detected = c.at("faultDetected").at("value").asU64();
+    const uint64_t escaped = c.at("faultEscaped").at("value").asU64();
+    EXPECT_GT(injected, 0u);
+    EXPECT_EQ(injected, corrected + detected + escaped)
+        << "ECC accounting must balance in the exported JSON";
+    EXPECT_EQ(injected, out.faults.injected_words);
+    EXPECT_EQ(c.at("slices").at("value").asU64(), 4u);
+    EXPECT_EQ(c.at("batchItems").at("value").asU64(), 2u);
+    EXPECT_EQ(c.at("functionalRuns").at("value").asU64(), 1u);
+
+    // The per-component rank/DRAM groups retire into the snapshot too —
+    // the "four component groups" the acceptance bar asks for.
+    EXPECT_NE(doc.at("groups").find("enmc.rank"), nullptr);
+    EXPECT_NE(doc.at("groups").find("enmc.rank.dram"), nullptr);
+}
+
+} // namespace
+} // namespace enmc::obs

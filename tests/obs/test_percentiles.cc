@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the shared nearest-rank percentile helper, including a
+ * brute-force check against the definition: the p-th percentile is the
+ * smallest sample whose cumulative relative rank is >= p.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/percentiles.h"
+
+namespace enmc::obs {
+namespace {
+
+TEST(Percentiles, BasicMoments)
+{
+    const Percentiles p({3.0, 1.0, 2.0});
+    EXPECT_EQ(p.count(), 3u);
+    EXPECT_DOUBLE_EQ(p.min(), 1.0);
+    EXPECT_DOUBLE_EQ(p.max(), 3.0);
+    EXPECT_DOUBLE_EQ(p.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 2.0);
+    EXPECT_FALSE(p.empty());
+}
+
+TEST(Percentiles, NearestRankDefinition)
+{
+    // 100 samples 1..100: the p-th percentile is exactly p*100 (the
+    // ceil(p*n)-th smallest). The old `sorted[p * (n-1)]` snippet
+    // returned 99 for p99 of 1..100; nearest rank returns... 99 too,
+    // but 50.0 -> 50 not 49.5-ish index truncation. Spot-check ranks.
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    const Percentiles p(v);
+    EXPECT_DOUBLE_EQ(p.at(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(p.at(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(p.at(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(p.at(1.00), 100.0);
+    EXPECT_DOUBLE_EQ(p.at(0.001), 1.0); // rank clamps up to 1
+}
+
+TEST(Percentiles, FloatingPointProductDoesNotSkipRank)
+{
+    // 0.99 * 100 computes as 99.00000000000001; a plain ceil would pick
+    // rank 100 (the max) instead of 99.
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    EXPECT_DOUBLE_EQ(Percentiles(v).at(0.99), 99.0);
+    // Same trap at 0.3 * 10 = 3.0000000000000004.
+    std::vector<double> ten;
+    for (int i = 1; i <= 10; ++i)
+        ten.push_back(i);
+    EXPECT_DOUBLE_EQ(Percentiles(ten).at(0.3), 3.0);
+}
+
+TEST(Percentiles, BruteForceAgainstDefinition)
+{
+    // For each (n, p), the nearest-rank percentile must be the smallest
+    // sample x such that at least ceil(p*n) samples are <= x.
+    for (size_t n : {1u, 2u, 3u, 7u, 48u, 100u}) {
+        std::vector<double> v;
+        for (size_t i = 0; i < n; ++i)
+            v.push_back(static_cast<double>(i * 3 + 1)); // distinct, sorted
+        const Percentiles ps(v);
+        for (double p : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+            const double got = ps.at(p);
+            size_t at_or_below = 0;
+            for (double x : v)
+                if (x <= got)
+                    ++at_or_below;
+            // Enough mass at or below the answer...
+            EXPECT_GE(static_cast<double>(at_or_below) + 1e-9,
+                      p * static_cast<double>(n))
+                << "n=" << n << " p=" << p;
+            // ...and the answer is the smallest such sample.
+            for (double x : v) {
+                if (x >= got)
+                    continue;
+                size_t below = 0;
+                for (double y : v)
+                    if (y <= x)
+                        ++below;
+                EXPECT_LT(static_cast<double>(below) + 1e-9,
+                          p * static_cast<double>(n))
+                    << "n=" << n << " p=" << p << ": " << x
+                    << " already satisfies the rank";
+            }
+        }
+    }
+}
+
+TEST(Percentiles, TheLmServerBugIsFixed)
+{
+    // 48 request latencies (the lm_inference_server case). The old
+    // `static_cast<size_t>(p * (requests - 1))` picked index 46 for p99
+    // (the 47th smallest); nearest rank requires ceil(0.99*48) = 48,
+    // i.e. the maximum.
+    std::vector<double> lat;
+    for (int i = 1; i <= 48; ++i)
+        lat.push_back(i * 10.0);
+    const Percentiles p(lat);
+    EXPECT_DOUBLE_EQ(p.at(0.99), 480.0);
+    EXPECT_DOUBLE_EQ(p.at(0.95), 460.0); // ceil(45.6) = 46th
+    EXPECT_DOUBLE_EQ(p.at(0.50), 240.0); // ceil(24) = 24th
+}
+
+TEST(Percentiles, SingleSample)
+{
+    const Percentiles p({7.0});
+    EXPECT_DOUBLE_EQ(p.at(0.01), 7.0);
+    EXPECT_DOUBLE_EQ(p.at(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(p.at(1.0), 7.0);
+}
+
+TEST(Percentiles, FreeFunctionMatchesClass)
+{
+    std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), Percentiles(v).at(0.5));
+}
+
+TEST(PercentilesDeathTest, EmptyAndOutOfRangePanic)
+{
+    const Percentiles empty((std::vector<double>()));
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DEATH((void)empty.at(0.5), "empty");
+    const Percentiles one({1.0});
+    EXPECT_DEATH((void)one.at(0.0), "in \\(0, 1\\]");
+    EXPECT_DEATH((void)one.at(1.5), "in \\(0, 1\\]");
+}
+
+} // namespace
+} // namespace enmc::obs

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the process-wide StatRegistry: RAII enrollment, retire-merge
+ * on unregistration, merged-by-name snapshots, and reset.
+ *
+ * The registry is a process-wide singleton shared with every other test
+ * in this binary, so tests use unique group names and delta-based
+ * assertions instead of assuming a pristine registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/registry.h"
+
+namespace enmc::obs {
+namespace {
+
+bool
+contains(const std::vector<std::string> &v, const std::string &s)
+{
+    for (const auto &x : v)
+        if (x == s)
+            return true;
+    return false;
+}
+
+TEST(StatRegistry, RegistrationLifecycle)
+{
+    StatRegistry &reg = StatRegistry::instance();
+    const size_t before = reg.liveCount();
+    {
+        StatGroup g("obstest.live");
+        StatRegistration r(g);
+        EXPECT_EQ(reg.liveCount(), before + 1);
+        bool found = false;
+        for (StatGroup *live : reg.live())
+            if (live == &g)
+                found = true;
+        EXPECT_TRUE(found);
+    }
+    EXPECT_EQ(reg.liveCount(), before);
+}
+
+TEST(StatRegistry, RetireMergesFinalValuesAcrossLifetimes)
+{
+    // Two short-lived groups with the same name (the EnmcRank pattern):
+    // the snapshot must aggregate both lifetimes.
+    StatRegistry &reg = StatRegistry::instance();
+    for (uint64_t add : {3u, 4u}) {
+        StatGroup g("obstest.retire");
+        StatRegistration r(g);
+        g.addCounter("c", "events") += add;
+        g.addScalar("s", "samples").sample(static_cast<double>(add));
+        g.addHistogram("h", "dist", 0.0, 10.0, 5)
+            .sample(static_cast<double>(add));
+    }
+    const auto snap = reg.snapshot();
+    const auto it = snap.find("obstest.retire");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second.counter("c").value(), 7u);
+    EXPECT_EQ(it->second.scalar("s").count(), 2u);
+    EXPECT_DOUBLE_EQ(it->second.scalar("s").sum(), 7.0);
+    EXPECT_EQ(it->second.histogram("h").total(), 2u);
+    EXPECT_EQ(it->second.histogram("h").bin(1), 1u); // 3 -> [2,4)
+    EXPECT_EQ(it->second.histogram("h").bin(2), 1u); // 4 -> [4,6)
+    EXPECT_TRUE(contains(reg.names(), "obstest.retire"));
+}
+
+TEST(StatRegistry, SnapshotMergesRetiredAndLive)
+{
+    StatRegistry &reg = StatRegistry::instance();
+    {
+        StatGroup dead("obstest.mixed");
+        StatRegistration r(dead);
+        dead.addCounter("c", "") += 5;
+    }
+    StatGroup live("obstest.mixed");
+    StatRegistration r(live);
+    live.addCounter("c", "") += 2;
+    const auto snap = reg.snapshot();
+    const auto it = snap.find("obstest.mixed");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second.counter("c").value(), 7u);
+    // The live group itself is untouched by taking a snapshot.
+    EXPECT_EQ(live.counter("c").value(), 2u);
+}
+
+TEST(StatRegistry, SameNameLiveGroupsAggregate)
+{
+    // Eight per-channel controllers all named "dram.ctrl" export as one
+    // entry; model that with two concurrent groups.
+    StatGroup a("obstest.same");
+    StatGroup b("obstest.same");
+    StatRegistration ra(a);
+    StatRegistration rb(b);
+    ++a.addCounter("c", "");
+    ++b.addCounter("c", "");
+    const auto snap = StatRegistry::instance().snapshot();
+    const auto it = snap.find("obstest.same");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second.counter("c").value(), 2u);
+}
+
+TEST(StatRegistry, ResetAllDropsRetiredAndZeroesLive)
+{
+    StatRegistry &reg = StatRegistry::instance();
+    {
+        StatGroup dead("obstest.reset.retired");
+        StatRegistration r(dead);
+        ++dead.addCounter("c", "");
+    }
+    StatGroup live("obstest.reset.live");
+    StatRegistration r(live);
+    live.addCounter("c", "") += 9;
+
+    reg.resetAll();
+
+    const auto snap = reg.snapshot();
+    // Fully retired history is gone...
+    EXPECT_EQ(snap.find("obstest.reset.retired"), snap.end());
+    // ...while live groups stay enrolled, zeroed.
+    const auto it = snap.find("obstest.reset.live");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second.counter("c").value(), 0u);
+    EXPECT_EQ(live.counter("c").value(), 0u);
+}
+
+TEST(StatRegistry, DumpAllListsGroups)
+{
+    StatGroup g("obstest.dump");
+    StatRegistration r(g);
+    ++g.addCounter("visible", "a described counter");
+    std::ostringstream oss;
+    StatRegistry::instance().dumpAll(oss);
+    EXPECT_NE(oss.str().find("obstest.dump.visible"), std::string::npos);
+}
+
+} // namespace
+} // namespace enmc::obs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the Chrome trace_event tracer: zero-cost-when-off guarantees,
+ * span/instant recording, JSON structure, and trace file round trips.
+ *
+ * The tracer is a process-wide singleton, so every test starts and ends
+ * disabled with an empty event buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace enmc::obs {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Tracer::instance().setEnabled(false);
+        Tracer::instance().clear();
+    }
+    void TearDown() override
+    {
+        Tracer::instance().setEnabled(false);
+        Tracer::instance().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    Tracer &t = Tracer::instance();
+    EXPECT_FALSE(t.enabled());
+    t.complete("a", "cat", kWallPid, 0, 1.0, 2.0);
+    t.instant("b", "cat", kSimPid, 0, 3.0);
+    {
+        TraceSpan span("c", "cat");
+        span.arg("x", 1.0);
+    }
+    EXPECT_EQ(t.eventCount(), 0u);
+}
+
+TEST_F(TraceTest, MetadataNamesBothTimelines)
+{
+    // Even an empty trace carries process_name metadata so viewers label
+    // the wall-clock and DDR-clock timelines.
+    const Json events = Tracer::instance().eventsJson();
+    ASSERT_EQ(events.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        const Json &m = events.at(i);
+        EXPECT_EQ(m.at("ph").asString(), "M");
+        EXPECT_EQ(m.at("name").asString(), "process_name");
+        EXPECT_FALSE(m.at("args").at("name").asString().empty());
+    }
+    EXPECT_EQ(events.at(size_t{0}).at("pid").asU64(),
+              static_cast<uint64_t>(kWallPid));
+    EXPECT_EQ(events.at(size_t{1}).at("pid").asU64(),
+              static_cast<uint64_t>(kSimPid));
+}
+
+TEST_F(TraceTest, CompleteAndInstantEvents)
+{
+    Tracer &t = Tracer::instance();
+    t.setEnabled(true);
+    t.complete("screen", "pipeline", kSimPid, 3, 10.0, 5.0,
+               {{"rows", 64.0}});
+    t.instant("filter", "pipeline", kSimPid, 3, 15.0,
+              {{"candidates", 8.0}});
+    EXPECT_EQ(t.eventCount(), 2u);
+
+    const Json events = t.eventsJson();
+    ASSERT_EQ(events.size(), 4u); // 2 metadata + 2 recorded
+
+    const Json &x = events.at(size_t{2});
+    EXPECT_EQ(x.at("name").asString(), "screen");
+    EXPECT_EQ(x.at("cat").asString(), "pipeline");
+    EXPECT_EQ(x.at("ph").asString(), "X");
+    EXPECT_EQ(x.at("pid").asU64(), static_cast<uint64_t>(kSimPid));
+    EXPECT_EQ(x.at("tid").asU64(), 3u);
+    EXPECT_DOUBLE_EQ(x.at("ts").asDouble(), 10.0);
+    EXPECT_DOUBLE_EQ(x.at("dur").asDouble(), 5.0);
+    EXPECT_DOUBLE_EQ(x.at("args").at("rows").asDouble(), 64.0);
+
+    const Json &i = events.at(size_t{3});
+    EXPECT_EQ(i.at("ph").asString(), "i");
+    EXPECT_FALSE(i.has("dur")); // instants carry no duration
+    EXPECT_DOUBLE_EQ(i.at("args").at("candidates").asDouble(), 8.0);
+}
+
+TEST_F(TraceTest, SpanEmitsCompleteEventOnDestruction)
+{
+    Tracer &t = Tracer::instance();
+    t.setEnabled(true);
+    {
+        TraceSpan span("slice.sim", "pipeline", 7);
+        span.arg("slice", 2.0);
+    }
+    ASSERT_EQ(t.eventCount(), 1u);
+    const Json events = t.eventsJson();
+    const Json &e = events.at(size_t{2});
+    EXPECT_EQ(e.at("name").asString(), "slice.sim");
+    EXPECT_EQ(e.at("ph").asString(), "X");
+    EXPECT_EQ(e.at("pid").asU64(), static_cast<uint64_t>(kWallPid));
+    EXPECT_EQ(e.at("tid").asU64(), 7u);
+    EXPECT_GE(e.at("dur").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(e.at("args").at("slice").asDouble(), 2.0);
+}
+
+TEST_F(TraceTest, SpanOpenedBeforeDisableDropsItsEvent)
+{
+    // A span that outlives a disable must not record half-baked data.
+    Tracer &t = Tracer::instance();
+    t.setEnabled(true);
+    {
+        TraceSpan span("late", "pipeline");
+        t.setEnabled(false);
+    }
+    EXPECT_EQ(t.eventCount(), 0u);
+}
+
+TEST_F(TraceTest, ClearDropsRecordedEvents)
+{
+    Tracer &t = Tracer::instance();
+    t.setEnabled(true);
+    t.instant("x", "c", kWallPid, 0, 0.0);
+    ASSERT_EQ(t.eventCount(), 1u);
+    t.clear();
+    EXPECT_EQ(t.eventCount(), 0u);
+}
+
+TEST_F(TraceTest, EnableRestartsTheClock)
+{
+    Tracer &t = Tracer::instance();
+    t.setEnabled(true);
+    // Freshly enabled: the epoch is "now", so nowUs() is tiny (well under
+    // a second even on a loaded CI machine).
+    EXPECT_LT(t.nowUs(), 1e6);
+    EXPECT_GE(t.nowUs(), 0.0);
+}
+
+TEST_F(TraceTest, WriteTraceFileRoundTrip)
+{
+    Tracer &t = Tracer::instance();
+    t.setEnabled(true);
+    t.complete("exec", "pipeline", kSimPid, 1, 0.0, 42.0);
+    const std::string path =
+        ::testing::TempDir() + "/enmc_test_trace.json";
+    t.writeTraceFile(path);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const Json doc = Json::parseOrDie(buf.str());
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events.at(size_t{2}).at("name").asString(), "exec");
+    EXPECT_DOUBLE_EQ(events.at(size_t{2}).at("dur").asDouble(), 42.0);
+}
+
+} // namespace
+} // namespace enmc::obs

@@ -1,15 +1,41 @@
 #!/usr/bin/env bash
-# Run the kernel microbenchmarks across every available dispatch target and
-# archive the results as BENCH_kernels.json at the repo root.
+# Archive bench results as JSON at the repo root.
 #
-# Usage: tools/bench_to_json.sh [build-dir] [output-file] [min-time]
+# Kernel mode (default — unchanged CI interface):
+#   tools/bench_to_json.sh [build-dir] [output-file] [min-time]
+# runs the kernel microbenchmarks across every available dispatch target
+# and writes google-benchmark JSON. The kernels binary registers a
+# <scalar>/<sse2>/<avx2> variant of each kernel benchmark at startup, so a
+# single run records the full dispatch comparison (e.g.
+# BM_GemvFp32<avx2>/65536 vs BM_GemvFp32<scalar>/65536).
 #
-# The kernels binary registers a <scalar>/<sse2>/<avx2> variant of each
-# kernel benchmark at startup, so a single run records the full dispatch
-# comparison (e.g. BM_GemvFp32<avx2>/65536 vs BM_GemvFp32<scalar>/65536).
+# Metrics mode:
+#   tools/bench_to_json.sh --metrics <binary> [output-file] [args...]
+# runs any bench/tool binary with --metrics-json= pointing at the output
+# file, then validates the document (schema, counter invariants) with
+# tools/check_metrics.py. Example:
+#   tools/bench_to_json.sh --metrics build/bench/fig13_performance \
+#       METRICS_fig13.json --backend=enmc
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${1:-}" = "--metrics" ]; then
+    shift
+    bench_bin="${1:?usage: bench_to_json.sh --metrics <binary> [out] [args...]}"
+    shift
+    out_file="${1:-$repo_root/METRICS_$(basename "$bench_bin").json}"
+    [ "$#" -gt 0 ] && shift
+    if [ ! -x "$bench_bin" ]; then
+        echo "error: $bench_bin not built" >&2
+        exit 1
+    fi
+    "$bench_bin" "--metrics-json=$out_file" "$@"
+    python3 "$repo_root/tools/check_metrics.py" "$out_file"
+    echo "wrote $out_file" >&2
+    exit 0
+fi
+
 build_dir="${1:-$repo_root/build}"
 out_file="${2:-$repo_root/BENCH_kernels.json}"
 min_time="${3:-0.1}"

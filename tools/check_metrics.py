@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate an ENMC metrics JSON document (schema + counter invariants).
+
+Usage: tools/check_metrics.py metrics.json [more.json ...]
+
+Checks, per file:
+  - schema == "enmc.metrics" and schema_version == 1;
+  - at least one stat group, each with counters/scalars/histograms maps;
+  - histogram bookkeeping: total == sum(bins) + underflow + overflow,
+    and len(bins) >= 1 with lo < hi;
+  - scalar bookkeeping: count == 0 implies sum == 0; count > 0 implies
+    min <= mean <= max;
+  - ECC accounting, wherever a group carries the fault mirror counters:
+    faultInjectedWords == faultCorrected + faultDetected + faultEscaped;
+  - traceEvents is a list whose entries carry name/ph/pid/ts (complete
+    "X" events also carry dur >= 0).
+
+Exits non-zero with a per-file report on the first violated file.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_group(path, name, group):
+    errors = 0
+    for section in ("counters", "scalars", "histograms"):
+        if not isinstance(group.get(section), dict):
+            errors += fail(path, f"group {name!r} missing map {section!r}")
+    if errors:
+        return errors
+
+    for sname, s in group["scalars"].items():
+        if s["count"] == 0:
+            if s["sum"] != 0:
+                errors += fail(
+                    path, f"{name}.{sname}: count == 0 but sum == {s['sum']}")
+        elif not (s["min"] <= s["mean"] <= s["max"]):
+            errors += fail(
+                path,
+                f"{name}.{sname}: min/mean/max out of order: "
+                f"{s['min']}/{s['mean']}/{s['max']}")
+
+    for hname, h in group["histograms"].items():
+        if not h["bins"]:
+            errors += fail(path, f"{name}.{hname}: empty bins")
+            continue
+        if not h["lo"] < h["hi"]:
+            errors += fail(path, f"{name}.{hname}: lo {h['lo']} >= hi {h['hi']}")
+        accounted = sum(h["bins"]) + h["underflow"] + h["overflow"]
+        if accounted != h["total"]:
+            errors += fail(
+                path,
+                f"{name}.{hname}: total {h['total']} != bins+under+over "
+                f"{accounted}")
+
+    counters = group["counters"]
+    if "faultInjectedWords" in counters:
+        injected = counters["faultInjectedWords"]["value"]
+        parts = sum(counters[k]["value"]
+                    for k in ("faultCorrected", "faultDetected",
+                              "faultEscaped"))
+        if injected != parts:
+            errors += fail(
+                path,
+                f"{name}: ECC accounting broken: injected {injected} != "
+                f"corrected+detected+escaped {parts}")
+    return errors
+
+
+def check_trace(path, events):
+    errors = 0
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not a list")
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "ts"):
+            if key not in e and not (key == "ts" and e.get("ph") == "M"):
+                errors += fail(path, f"traceEvents[{i}] missing {key!r}")
+        if e.get("ph") == "X" and e.get("dur", -1.0) < 0:
+            errors += fail(path, f"traceEvents[{i}]: X event without dur >= 0")
+    return errors
+
+
+def check_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    errors = 0
+    if doc.get("schema") != "enmc.metrics":
+        errors += fail(path, f"schema is {doc.get('schema')!r}")
+    if doc.get("schema_version") != 1:
+        errors += fail(path, f"schema_version is {doc.get('schema_version')!r}")
+    if not doc.get("tool"):
+        errors += fail(path, "missing tool field")
+
+    groups = doc.get("groups")
+    if not isinstance(groups, dict) or not groups:
+        errors += fail(path, "no stat groups exported")
+    else:
+        for name, group in groups.items():
+            errors += check_group(path, name, group)
+
+    errors += check_trace(path, doc.get("traceEvents", []))
+
+    if not errors:
+        n_spans = sum(1 for e in doc.get("traceEvents", [])
+                      if e.get("ph") in ("X", "i"))
+        print(f"{path}: OK ({len(groups)} groups, {n_spans} trace events)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        errors += check_file(path)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

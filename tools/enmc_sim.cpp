@@ -9,6 +9,10 @@
  *   enmc_sim --workload XMLCNN-670K --engine enmc --batch 2
  *   enmc_sim --categories 5000000 --hidden 512 --engine tensordimm
  *   enmc_sim --workload S10M --engine all
+ *
+ * `--metrics-json=FILE` exports every component's stats plus trace spans
+ * as one schema-versioned JSON document; `--trace-json=FILE` writes just
+ * the Chrome trace (loadable in chrome://tracing / Perfetto).
  */
 
 #include <cstdio>
@@ -17,6 +21,7 @@
 
 #include "common/logging.h"
 #include "energy/model.h"
+#include "obs/metrics.h"
 #include "fault/injector.h"
 #include "nmp/cpu.h"
 #include "nmp/engine.h"
@@ -47,7 +52,8 @@ usage()
         "usage: enmc_sim [--workload ABBR | --categories N [--hidden D]]\n"
         "                [--batch B] [--candidates M]\n"
         "                [--engine enmc|nda|chameleon|tensordimm|cpu|all]\n"
-        "                [--no-sequencer]\n\n"
+        "                [--no-sequencer]\n"
+        "                [--metrics-json=FILE] [--trace-json=FILE]\n\n"
         "workloads: LSTM-W33K Transformer-W268K GNMT-E32K XMLCNN-670K\n"
         "           S1M S10M S100M\n");
     std::exit(2);
@@ -88,6 +94,9 @@ parseArgs(int argc, char **argv)
             opt.engine = next();
         else if (a == "--no-sequencer")
             opt.sequencer = false;
+        else if (a.rfind("--metrics-json=", 0) == 0 ||
+                 a.rfind("--trace-json=", 0) == 0)
+            continue; // handled by obs::initMetrics
         else
             usage();
     }
@@ -227,6 +236,8 @@ runCpu(const runtime::JobSpec &spec)
 int
 main(int argc, char **argv)
 {
+    const obs::MetricsOptions metrics =
+        obs::initMetrics(argc, argv, "enmc_sim");
     const Options opt = parseArgs(argc, argv);
     const runtime::JobSpec spec = makeJob(opt);
     printJob(spec);
@@ -242,5 +253,6 @@ main(int argc, char **argv)
         runBaseline(spec, nmp::EngineConfig::tensorDimm());
     if (all || opt.engine == "enmc")
         runEnmc(spec, opt.sequencer);
+    obs::writeMetrics(metrics);
     return 0;
 }
