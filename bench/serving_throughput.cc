@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Serving-throughput load generator for the serve layer: dynamic
+ * batching vs batch-1 serving on one execution backend.
+ *
+ * Two load models, both deterministic virtual-time simulations (results
+ * are a pure function of the flags — see src/serve/loop.h):
+ *
+ *  - **closed loop** (default): `--clients` clients each keep one
+ *    request in flight, `--requests` times. This is the serving regime
+ *    where dynamic batching pays: the per-offload handoff (NMPO's
+ *    offload-initiation + completion-detection cost) amortizes across
+ *    the batch while batch-1 serving pays it per request.
+ *  - **open loop** (`--poisson-qps=R`): Poisson arrivals at rate R with
+ *    a fixed seed, replayed through the same loop.
+ *
+ * `--check` asserts the PR's headline claim — batched throughput at
+ * least 2x batch-1 throughput at no-worse p99 latency — and exits
+ * non-zero when it does not hold.
+ *
+ * Usage:
+ *   serving_throughput [--backend=enmc] [--workload=XMLCNN-670K]
+ *                      [--clients=16] [--requests=8] [--max-batch=16]
+ *                      [--max-delay-us=200] [--handoff-us=25]
+ *                      [--poisson-qps=R] [--check]
+ *                      [--metrics-json=FILE] [--trace-json=FILE]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/percentiles.h"
+#include "obs/registry.h"
+#include "serve/loop.h"
+#include "workloads/registry.h"
+
+using namespace enmc;
+
+namespace {
+
+/** `--name=value` lookup; returns fallback when absent. */
+std::string
+flagValue(int argc, char **argv, const std::string &name,
+          const std::string &fallback)
+{
+    const std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    return fallback;
+}
+
+double
+flagDouble(int argc, char **argv, const std::string &name, double fallback)
+{
+    const std::string v = flagValue(argc, argv, name, "");
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+bool
+flagPresent(int argc, char **argv, const std::string &name)
+{
+    const std::string flag = "--" + name;
+    for (int i = 1; i < argc; ++i)
+        if (flag == argv[i])
+            return true;
+    return false;
+}
+
+struct RunResult
+{
+    std::string label;
+    serve::ServeReport report;
+    double qps = 0.0;
+    obs::Percentiles latency{std::vector<double>{}};
+    double mean_batch = 0.0;
+};
+
+RunResult
+runClosed(const serve::ServeConfig &cfg, const runtime::JobSpec &job,
+          const std::string &label, size_t clients, size_t per_client)
+{
+    serve::ServeLoop loop(cfg, job);
+    RunResult out;
+    out.label = label;
+    out.report = loop.runClosedLoop(
+        clients, per_client,
+        [](serve::RequestId, size_t) { return serve::Request{}; });
+    out.qps = out.report.queriesPerSecond();
+    out.latency = out.report.measuredLatency();
+    double batch_sum = 0.0;
+    size_t n = 0;
+    for (const serve::Response &r : out.report.responses)
+        if (r.admission == serve::Admission::Admitted) {
+            batch_sum += r.batch_size;
+            ++n;
+        }
+    out.mean_batch = n ? batch_sum / static_cast<double>(n) : 0.0;
+    return out;
+}
+
+RunResult
+runPoisson(const serve::ServeConfig &cfg, const runtime::JobSpec &job,
+           const std::string &label, size_t requests, double qps_in)
+{
+    serve::ArrivalTrace trace;
+    Rng rng(42);
+    double t = 0.0;
+    for (size_t i = 0; i < requests; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_us = t;
+        trace.requests.push_back(r);
+        // Exponential interarrival at `qps_in` requests/sec.
+        t += -std::log(1.0 - rng.uniform(0.0, 1.0)) * 1e6 / qps_in;
+    }
+
+    serve::ServeLoop loop(cfg, job);
+    RunResult out;
+    out.label = label;
+    out.report = loop.replay(trace);
+    out.qps = out.report.queriesPerSecond();
+    out.latency = out.report.measuredLatency();
+    return out;
+}
+
+void
+printResult(const RunResult &r)
+{
+    std::printf("  %-14s %8.0f %9.1f %9.1f %9.1f %9.1f %7.2f %5zu/%zu\n",
+                r.label.c_str(), r.qps, r.latency.at(0.50),
+                r.latency.at(0.95), r.latency.at(0.99), r.latency.max(),
+                r.mean_batch, r.report.admittedCount(),
+                r.report.responses.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const obs::MetricsOptions metrics =
+        obs::initMetrics(argc, argv, "serving_throughput");
+
+    const std::string backend = flagValue(argc, argv, "backend", "enmc");
+    const std::string wl_name =
+        flagValue(argc, argv, "workload", "XMLCNN-670K");
+    const size_t clients =
+        static_cast<size_t>(flagDouble(argc, argv, "clients", 16));
+    const size_t per_client =
+        static_cast<size_t>(flagDouble(argc, argv, "requests", 8));
+    const size_t max_batch =
+        static_cast<size_t>(flagDouble(argc, argv, "max-batch", 16));
+    const double poisson_qps = flagDouble(argc, argv, "poisson-qps", 0.0);
+    const bool check = flagPresent(argc, argv, "check");
+
+    const workloads::Workload wl = workloads::findWorkload(wl_name);
+    const runtime::JobSpec job = bench::jobSpecFor(wl, 1, true);
+
+    serve::ServeConfig base = serve::serveConfigFromEnv();
+    base.backend = backend;
+    base.max_batch = max_batch;
+    base.max_delay_us = flagDouble(argc, argv, "max-delay-us", 200.0);
+    base.handoff_us = flagDouble(argc, argv, "handoff-us", 25.0);
+    base.compute_logits = false; // timing-only load generation
+    base.warmup_requests =
+        std::min(base.warmup_requests, clients * per_client / 4);
+
+    serve::ServeConfig serial = base;
+    serial.max_batch = 1;
+    serial.max_delay_us = 0.0;
+
+    std::printf("serving %s (l=%llu, d=%llu) on backend '%s': "
+                "%zu clients x %zu requests, handoff %.0f us\n",
+                wl.abbr.c_str(),
+                static_cast<unsigned long long>(wl.categories),
+                static_cast<unsigned long long>(wl.hidden),
+                backend.c_str(), clients, per_client, base.handoff_us);
+    std::printf("\n  %-14s %8s %9s %9s %9s %9s %7s %9s\n", "mode", "qps",
+                "p50us", "p95us", "p99us", "maxus", "batch", "served");
+
+    const RunResult serial_run =
+        runClosed(serial, job, "batch-1", clients, per_client);
+    printResult(serial_run);
+    const RunResult batched_run = runClosed(
+        base, job, "batch-" + std::to_string(max_batch), clients,
+        per_client);
+    printResult(batched_run);
+
+    const double speedup =
+        serial_run.qps > 0.0 ? batched_run.qps / serial_run.qps : 0.0;
+    std::printf("\n  dynamic batching: %.2fx throughput, p99 %+.1f us vs "
+                "batch-1\n",
+                speedup,
+                batched_run.latency.at(0.99) - serial_run.latency.at(0.99));
+
+    if (poisson_qps > 0.0) {
+        std::printf("\nopen loop, Poisson arrivals at %.0f qps:\n",
+                    poisson_qps);
+        std::printf("  %-14s %8s %9s %9s %9s %9s %7s %9s\n", "mode", "qps",
+                    "p50us", "p95us", "p99us", "maxus", "batch", "served");
+        printResult(runPoisson(base, job, "poisson",
+                               clients * per_client, poisson_qps));
+    }
+
+    // Export the bench's own headline numbers with the component groups.
+    StatGroup bench_stats("bench.serving");
+    obs::StatRegistration bench_reg(bench_stats);
+    bench_stats.addScalar("serialQps", "batch-1 closed-loop throughput")
+        .sample(serial_run.qps);
+    bench_stats.addScalar("batchedQps", "dynamic-batching throughput")
+        .sample(batched_run.qps);
+    bench_stats.addScalar("speedup", "batched over batch-1 throughput")
+        .sample(speedup);
+    bench_stats.addScalar("serialP99Us", "batch-1 p99 latency")
+        .sample(serial_run.latency.at(0.99));
+    bench_stats.addScalar("batchedP99Us", "dynamic-batching p99 latency")
+        .sample(batched_run.latency.at(0.99));
+    obs::writeMetrics(metrics);
+
+    if (check) {
+        const bool qps_ok = speedup >= 2.0;
+        const bool p99_ok =
+            batched_run.latency.at(0.99) <= serial_run.latency.at(0.99);
+        std::printf("\ncheck: %.2fx >= 2.0x: %s; batched p99 <= batch-1 "
+                    "p99: %s\n",
+                    speedup, qps_ok ? "yes" : "NO", p99_ok ? "yes" : "NO");
+        if (!qps_ok || !p99_ok) {
+            std::printf("check: FAIL\n");
+            return 1;
+        }
+        std::printf("check: PASS\n");
+    }
+    return 0;
+}

@@ -1,17 +1,19 @@
 /**
  * @file
  * Language-model inference "server": a stream of single-token
- * classification requests (batch 1, the paper's low-latency case) served
- * through the execution-backend registry, reporting the latency
- * distribution (p50/p95/p99) and throughput per backend in one run.
+ * classification requests (batch 1, the paper's low-latency case),
+ * driven through the serve layer (src/serve/) in deterministic replay
+ * mode and reported per backend.
  *
  * Request latency varies with the candidate count the FILTER selects —
  * hot prompts (sharp logit distributions) pass fewer categories than
  * cold ones — so the distribution, not just the mean, is the serving
- * metric that matters. Percentiles use the shared nearest-rank helper
- * (obs::Percentiles); the previous hand-rolled `p * (requests - 1)`
- * index truncated toward lower samples (p99 of 48 requests picked the
- * 47th instead of the 48th).
+ * metric that matters. The serve loop owns what this example used to
+ * hand-roll: the leading requests are flagged warm-up and excluded from
+ * every percentile (cold-start allocations and cache misses were
+ * previously timed together with steady-state requests, biasing the
+ * tail), and each latency decomposes into time-in-queue plus
+ * time-in-backend.
  *
  * Usage: lm_inference_server [backend ...] [--metrics-json=FILE]
  *   e.g. `lm_inference_server enmc tensordimm cpu`
@@ -19,7 +21,6 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,7 +30,7 @@
 #include "obs/registry.h"
 #include "runtime/api.h"
 #include "runtime/backend.h"
-#include "runtime/system.h"
+#include "serve/loop.h"
 #include "workloads/registry.h"
 
 using namespace enmc;
@@ -48,10 +49,9 @@ main(int argc, char **argv)
     }
     if (names.empty())
         names = {"enmc", "tensordimm", "cpu", "cpu-full"};
-
-    std::vector<std::unique_ptr<runtime::Backend>> backends;
     for (const auto &n : names)
-        backends.push_back(runtime::createBackend(n)); // fatal if unknown
+        if (!runtime::BackendRegistry::instance().contains(n))
+            ENMC_FATAL("unknown backend '", n, "'");
 
     const workloads::Workload wl =
         workloads::findWorkload("Transformer-W268K");
@@ -59,16 +59,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(wl.categories),
                 static_cast<unsigned long long>(wl.hidden));
 
-    // The server's own observable state: request latencies and FILTER
-    // candidate counts, exported with every component group.
+    // The server's own observable state: FILTER candidate counts at
+    // functional scale, exported with every component group.
     StatGroup server_stats("example.lmServer");
     obs::StatRegistration server_reg(server_stats);
     Counter &served = server_stats.addCounter("requests", "requests served");
     Histogram &cand_hist = server_stats.addHistogram(
         "candidates", "FILTER candidate count per request (functional "
                       "scale)", 0, 1024, 16);
-    Histogram &lat_hist = server_stats.addHistogram(
-        "latencyUs", "enmc request latency in us", 0, 400, 40);
 
     // Functional-scale model for candidate-count realism; per-request
     // timing is then simulated at full scale with the measured counts.
@@ -80,11 +78,14 @@ main(int argc, char **argv)
     clf.calibrate(model.sampleHiddenBatch(rng, 256),
                   model.sampleHiddenBatch(rng, 64));
 
-    // Measure each request's candidate count once at functional scale;
-    // every backend then serves the same request stream.
-    const size_t requests = 48;
-    std::vector<runtime::JobSpec> jobs;
-    for (size_t i = 0; i < requests; ++i) {
+    // Measure each request's candidate count once at functional scale
+    // and build one arrival trace every backend replays: single-token
+    // requests arriving far apart (the low-latency regime — no
+    // co-travellers to batch with), the first few flagged warm-up.
+    const size_t warmup = 4;
+    const size_t measured = 48;
+    serve::ArrivalTrace trace;
+    for (size_t i = 0; i < warmup + measured; ++i) {
         const auto h = model.sampleHiddenBatch(rng, 1);
         const auto out = clf.forward(h, 1);
         const double cand_frac =
@@ -92,38 +93,47 @@ main(int argc, char **argv)
             model.classifier().categories();
         cand_hist.sample(static_cast<double>(out[0].candidates.size()));
 
-        runtime::JobSpec job;
-        job.categories = wl.categories;
-        job.hidden = wl.hidden;
-        job.reduced = wl.hidden / 4;
-        job.batch = 1;
-        job.candidates = std::max<uint64_t>(
+        serve::Request r;
+        r.id = i;
+        r.arrival_us = static_cast<double>(i) * 10e3; // idle server
+        r.candidates = std::max<uint64_t>(
             1, static_cast<uint64_t>(cand_frac * wl.categories));
-        jobs.push_back(job);
+        trace.requests.push_back(r);
     }
 
-    std::printf("\nlatency over %zu requests, per backend (us):\n",
-                requests);
+    runtime::JobSpec job;
+    job.categories = wl.categories;
+    job.hidden = wl.hidden;
+    job.reduced = wl.hidden / 4;
+    job.sigmoid = wl.normalization == nn::Normalization::Sigmoid;
+
+    serve::ServeConfig cfg;
+    cfg.max_batch = 1; // single-token low-latency serving
+    cfg.max_delay_us = 0.0;
+    cfg.warmup_requests = warmup;
+    cfg.compute_logits = false; // logits were computed at functional scale
+
+    std::printf("\nlatency over %zu requests (+%zu warm-up, excluded), "
+                "per backend (us, incl. %.0f us offload handoff):\n",
+                measured, warmup, cfg.handoff_us);
     std::printf("  %-18s %9s %9s %9s %9s %9s %12s\n", "backend", "mean",
                 "p50", "p95", "p99", "max", "req/s");
 
     double enmc_p50 = 0.0, cpu_full_p50 = 0.0;
-    for (const auto &backend : backends) {
-        std::vector<double> lat_us;
-        for (const auto &job : jobs)
-            lat_us.push_back(backend->runJob(job).seconds * 1e6);
-        served += lat_us.size();
-        if (backend->name() == "enmc")
-            for (double v : lat_us)
-                lat_hist.sample(v);
-        const obs::Percentiles pct(std::move(lat_us));
+    for (const auto &name : names) {
+        serve::ServeConfig backend_cfg = cfg;
+        backend_cfg.backend = name;
+        serve::ServeLoop loop(backend_cfg, job);
+        const serve::ServeReport report = loop.replay(trace);
+        served += report.measuredCount();
+
+        const obs::Percentiles pct = report.measuredLatency();
         std::printf("  %-18s %9.1f %9.1f %9.1f %9.1f %9.1f %12.0f\n",
-                    backend->name().c_str(), pct.mean(), pct.at(0.50),
-                    pct.at(0.95), pct.at(0.99), pct.max(),
-                    1e6 / pct.mean());
-        if (backend->name() == "enmc")
+                    name.c_str(), pct.mean(), pct.at(0.50), pct.at(0.95),
+                    pct.at(0.99), pct.max(), 1e6 / pct.mean());
+        if (name == "enmc")
             enmc_p50 = pct.at(0.50);
-        if (backend->name() == "cpu-full")
+        if (name == "cpu-full")
             cpu_full_p50 = pct.at(0.50);
     }
     if (enmc_p50 > 0.0 && cpu_full_p50 > 0.0)

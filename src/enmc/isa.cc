@@ -118,17 +118,42 @@ packOpcode(Opcode op)
     return static_cast<uint16_t>(v << 8);
 }
 
+/** Buffer ids occupy a 4-bit field but only 8 buffers exist. */
+BufferId
+checkedBuffer(uint16_t nibble)
+{
+    if (nibble >= 8)
+        ENMC_PANIC("malformed C/A word: buffer id ", nibble,
+                   " out of range");
+    return static_cast<BufferId>(nibble);
+}
+
+/** True iff `op` carries a DQ payload (Fig. 8: LDR/STR addresses and
+ *  REG INIT data travel on the data bus; everything else is C/A-only). */
+bool
+expectsPayload(Opcode op, bool reg_write)
+{
+    return op == Opcode::Ldr || op == Opcode::Str ||
+           (op == Opcode::Reg && reg_write);
+}
+
 } // namespace
 
 EncodedInstruction
 encode(const Instruction &inst)
 {
+    ENMC_ASSERT(static_cast<uint8_t>(inst.buf0) < 8 &&
+                    static_cast<uint8_t>(inst.buf1) < 8,
+                "buffer id out of range");
+    ENMC_ASSERT(inst.has_payload == expectsPayload(inst.op, inst.reg_write),
+                "payload flag inconsistent with ", opcodeName(inst.op));
     EncodedInstruction enc;
     enc.ca = packOpcode(inst.op);
     switch (inst.op) {
       case Opcode::Reg: {
         const auto reg = static_cast<uint16_t>(inst.reg);
-        ENMC_ASSERT(reg < 32, "register id exceeds 5 bits");
+        ENMC_ASSERT(reg < static_cast<uint16_t>(StatusReg::NumRegs),
+                    "register id out of range");
         enc.ca |= static_cast<uint16_t>(inst.reg_write ? 1 : 0) << 7;
         enc.ca |= static_cast<uint16_t>(reg << 2);
         enc.has_payload = inst.reg_write;
@@ -172,19 +197,31 @@ encode(const Instruction &inst)
 Instruction
 decode(const EncodedInstruction &enc)
 {
-    ENMC_ASSERT((enc.ca & ~kCaMask) == 0, "malformed C/A word");
+    if ((enc.ca & ~kCaMask) != 0)
+        ENMC_PANIC("malformed C/A word: bits beyond A12 set");
     Instruction inst;
     inst.op = static_cast<Opcode>((enc.ca >> 8) & 0x1f);
+    const uint16_t operand = enc.ca & 0xff;
     switch (inst.op) {
-      case Opcode::Reg:
+      case Opcode::Reg: {
         inst.reg_write = ((enc.ca >> 7) & 1) != 0;
-        inst.reg = static_cast<StatusReg>((enc.ca >> 2) & 0x1f);
+        const uint16_t reg = (enc.ca >> 2) & 0x1f;
+        if (reg >= static_cast<uint16_t>(StatusReg::NumRegs))
+            ENMC_PANIC("malformed C/A word: register id ", reg,
+                       " out of range");
+        if ((enc.ca & 0x3) != 0)
+            ENMC_PANIC("malformed C/A word: stray bits in REG operand");
+        inst.reg = static_cast<StatusReg>(reg);
         inst.has_payload = inst.reg_write;
         inst.payload = enc.payload;
         break;
+      }
       case Opcode::Ldr:
       case Opcode::Str:
-        inst.buf0 = static_cast<BufferId>((enc.ca >> 4) & 0xf);
+        if ((enc.ca & 0xf) != 0)
+            ENMC_PANIC("malformed C/A word: stray bits in ",
+                       opcodeName(inst.op), " operand");
+        inst.buf0 = checkedBuffer((enc.ca >> 4) & 0xf);
         inst.has_payload = true;
         inst.payload = enc.payload;
         break;
@@ -195,11 +232,13 @@ decode(const EncodedInstruction &enc)
       case Opcode::MulInt4:
       case Opcode::AddFp32:
       case Opcode::MulFp32:
-        inst.buf0 = static_cast<BufferId>((enc.ca >> 4) & 0xf);
-        inst.buf1 = static_cast<BufferId>(enc.ca & 0xf);
+        inst.buf0 = checkedBuffer((enc.ca >> 4) & 0xf);
+        inst.buf1 = checkedBuffer(enc.ca & 0xf);
         break;
       case Opcode::Filter:
-        inst.buf0 = static_cast<BufferId>((enc.ca >> 4) & 0xf);
+        if ((enc.ca & 0xf) != 0)
+            ENMC_PANIC("malformed C/A word: stray bits in FILTER operand");
+        inst.buf0 = checkedBuffer((enc.ca >> 4) & 0xf);
         break;
       case Opcode::Nop:
       case Opcode::Softmax:
@@ -207,10 +246,18 @@ decode(const EncodedInstruction &enc)
       case Opcode::Barrier:
       case Opcode::Return:
       case Opcode::Clr:
+        if (operand != 0)
+            ENMC_PANIC("malformed C/A word: ", opcodeName(inst.op),
+                       " takes no operand bits");
         break;
       default:
-        ENMC_PANIC("unknown opcode in C/A word");
+        ENMC_PANIC("malformed C/A word: unknown opcode ",
+                   (enc.ca >> 8) & 0x1f);
     }
+    if (enc.has_payload != expectsPayload(inst.op, inst.reg_write))
+        ENMC_PANIC("malformed instruction: ", opcodeName(inst.op),
+                   enc.has_payload ? " carries an unexpected DQ payload"
+                                   : " is missing its DQ payload");
     return inst;
 }
 

@@ -84,6 +84,7 @@ Tracer::eventsJson() const
     const std::pair<int, const char *> timelines[] = {
         {kWallPid, "host (wall clock)"},
         {kSimPid, "simulated rank timeline (DDR clock)"},
+        {kServePid, "serving timeline (virtual time)"},
     };
     for (const auto &[pid, label] : timelines) {
         Json meta = Json::object();

@@ -34,8 +34,9 @@
 namespace enmc::obs {
 
 /** Trace timeline ids (Chrome trace "pid"). */
-inline constexpr int kWallPid = 1; //!< host wall-clock timeline
-inline constexpr int kSimPid = 2;  //!< simulated DDR-clock timeline
+inline constexpr int kWallPid = 1;  //!< host wall-clock timeline
+inline constexpr int kSimPid = 2;   //!< simulated DDR-clock timeline
+inline constexpr int kServePid = 3; //!< serving timeline (virtual time)
 
 class Tracer
 {

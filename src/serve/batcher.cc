@@ -1,0 +1,74 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace enmc::serve {
+
+const char *
+flushReasonName(FlushReason r)
+{
+    switch (r) {
+      case FlushReason::Size: return "size";
+      case FlushReason::Deadline: return "deadline";
+      case FlushReason::Drain: return "drain";
+    }
+    return "?";
+}
+
+DynamicBatcher::DynamicBatcher(size_t max_batch, double max_delay_us)
+    : max_batch_(max_batch),
+      max_delay_us_(max_delay_us),
+      stats_("serve.batcher"),
+      stat_batches_(stats_.addCounter("batches", "batches dispatched")),
+      stat_flush_size_(stats_.addCounter(
+          "flushSize", "flushes triggered by a full batch")),
+      stat_flush_deadline_(stats_.addCounter(
+          "flushDeadline", "flushes triggered by the max-delay deadline")),
+      stat_flush_drain_(stats_.addCounter(
+          "flushDrain", "flushes triggered by drain/shutdown")),
+      // Fixed shape regardless of max_batch: the registry merges
+      // same-named groups across instances, so shapes must agree.
+      stat_batch_size_(stats_.addHistogram(
+          "batchSize", "requests per dispatched batch", 1.0, 65.0, 32)),
+      stats_registration_(stats_)
+{
+    ENMC_ASSERT(max_batch_ >= 1, "max_batch must be >= 1");
+    ENMC_ASSERT(max_delay_us_ >= 0.0, "max_delay_us must be >= 0");
+}
+
+bool
+DynamicBatcher::shouldFlush(size_t queued, double oldest_us, double now_us,
+                            bool draining, FlushReason &reason) const
+{
+    if (queued == 0)
+        return false;
+    if (queued >= max_batch_) {
+        reason = FlushReason::Size;
+        return true;
+    }
+    if (draining) {
+        reason = FlushReason::Drain;
+        return true;
+    }
+    if (now_us >= deadlineUs(oldest_us)) {
+        reason = FlushReason::Deadline;
+        return true;
+    }
+    return false;
+}
+
+void
+DynamicBatcher::recordFlush(size_t batch_size, FlushReason reason)
+{
+    ++stat_batches_;
+    stat_batch_size_.sample(static_cast<double>(batch_size));
+    switch (reason) {
+      case FlushReason::Size: ++stat_flush_size_; break;
+      case FlushReason::Deadline: ++stat_flush_deadline_; break;
+      case FlushReason::Drain: ++stat_flush_drain_; break;
+    }
+}
+
+} // namespace enmc::serve

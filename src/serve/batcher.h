@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The dynamic-batching policy: when does a set of queued requests become
+ * a backend call?
+ *
+ * Two triggers, evaluated oldest-request-first:
+ *  - **size**: `max_batch` requests are waiting — flush immediately (the
+ *    backend amortizes its per-offload handoff and weight streaming best
+ *    at the largest batch);
+ *  - **deadline**: the oldest request has waited `max_delay_us` — flush
+ *    whatever is there (bounding the latency cost a lonely request pays
+ *    for batching).
+ * A third reason, **drain**, covers shutdown: no more arrivals can ever
+ * come, so waiting for either trigger would be pure latency.
+ *
+ * The policy itself is a pure function of (queued count, oldest arrival,
+ * now) — it holds no clock and no thread, which is what lets the live
+ * loop and the virtual-time replay share it verbatim and what makes it
+ * unit-testable without sleeping.
+ */
+
+#ifndef ENMC_SERVE_BATCHER_H
+#define ENMC_SERVE_BATCHER_H
+
+#include <cstddef>
+#include <limits>
+
+#include "common/stats.h"
+#include "obs/registry.h"
+
+namespace enmc::serve {
+
+/** Why a batch was flushed. */
+enum class FlushReason : uint8_t {
+    Size = 0,   //!< max_batch requests coalesced
+    Deadline,   //!< oldest request hit max_delay_us
+    Drain,      //!< shutdown/end-of-trace: no further arrivals possible
+};
+
+const char *flushReasonName(FlushReason r);
+
+class DynamicBatcher
+{
+  public:
+    DynamicBatcher(size_t max_batch, double max_delay_us);
+
+    size_t maxBatch() const { return max_batch_; }
+    double maxDelayUs() const { return max_delay_us_; }
+
+    /** The instant a batch whose oldest member arrived at `oldest_us`
+     *  must flush even if under-full. */
+    double deadlineUs(double oldest_us) const
+    {
+        return oldest_us + max_delay_us_;
+    }
+
+    /**
+     * Flush decision for a queue of `queued` requests whose oldest
+     * member was admitted at `oldest_us`, evaluated at `now_us`.
+     * `draining` = no further arrivals are possible.
+     * Returns true and sets `reason` when a batch should be cut now.
+     */
+    bool shouldFlush(size_t queued, double oldest_us, double now_us,
+                     bool draining, FlushReason &reason) const;
+
+    /** Record a cut batch (size histogram + per-reason counters). */
+    void recordFlush(size_t batch_size, FlushReason reason);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    const size_t max_batch_;
+    const double max_delay_us_;
+
+    StatGroup stats_;
+    Counter &stat_batches_;
+    Counter &stat_flush_size_;
+    Counter &stat_flush_deadline_;
+    Counter &stat_flush_drain_;
+    Histogram &stat_batch_size_;
+    obs::StatRegistration stats_registration_;
+};
+
+} // namespace enmc::serve
+
+#endif // ENMC_SERVE_BATCHER_H

@@ -1,0 +1,78 @@
+#include "serve/config.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace enmc::serve {
+
+namespace {
+
+const char *
+envStr(const char *name)
+{
+    const char *v = std::getenv(name);
+    return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *v = envStr(name);
+    if (v == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0')
+        ENMC_FATAL(name, " must be an unsigned integer, got '", v, "'");
+    return parsed;
+}
+
+double
+envF64(const char *name, double fallback)
+{
+    const char *v = envStr(name);
+    if (v == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0')
+        ENMC_FATAL(name, " must be a number, got '", v, "'");
+    return parsed;
+}
+
+} // namespace
+
+ServeConfig
+serveConfigFromEnv(ServeConfig base)
+{
+    if (const char *v = envStr("ENMC_SERVE_BACKEND"))
+        base.backend = v;
+    base.queue_capacity = envU64("ENMC_SERVE_QUEUE_CAP", base.queue_capacity);
+    base.max_batch = envU64("ENMC_SERVE_MAX_BATCH", base.max_batch);
+    base.max_delay_us = envF64("ENMC_SERVE_MAX_DELAY_US", base.max_delay_us);
+    base.handoff_us = envF64("ENMC_SERVE_HANDOFF_US", base.handoff_us);
+    base.warmup_requests = envU64("ENMC_SERVE_WARMUP", base.warmup_requests);
+    base.slo_us = envF64("ENMC_SERVE_SLO_US", base.slo_us);
+    validate(base);
+    return base;
+}
+
+void
+validate(const ServeConfig &cfg)
+{
+    if (cfg.queue_capacity == 0)
+        ENMC_FATAL("serve: queue_capacity must be >= 1");
+    if (cfg.max_batch == 0)
+        ENMC_FATAL("serve: max_batch must be >= 1");
+    if (cfg.max_batch > cfg.queue_capacity)
+        ENMC_FATAL("serve: max_batch (", cfg.max_batch,
+                   ") exceeds queue_capacity (", cfg.queue_capacity, ")");
+    if (cfg.max_delay_us < 0.0 || cfg.handoff_us < 0.0 || cfg.slo_us < 0.0)
+        ENMC_FATAL("serve: delays and SLO must be non-negative");
+    if (cfg.backend.empty())
+        ENMC_FATAL("serve: backend name must be non-empty");
+}
+
+} // namespace enmc::serve

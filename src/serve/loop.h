@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The serve loop: request scheduling + dynamic batching in front of an
+ * execution backend, in two modes sharing one policy.
+ *
+ * **Replay mode** (`replay`, `runClosedLoop`) is a deterministic
+ * discrete-event simulation in *virtual* time: arrivals come from a
+ * fixed trace (or are generated closed-loop), admission is decided
+ * against the modeled queue occupancy, batches are cut by the
+ * `DynamicBatcher` policy, and each batch's service time is
+ * `handoff_us + backend.runJob(batch)` in the backend's simulated clock
+ * domain. Everything is a pure function of (trace, config): latencies,
+ * admission decisions and batch compositions are bit-identical for every
+ * `ENMC_THREADS`. Functional outputs are computed per batch in flush
+ * order (the slice simulation inside parallelizes on the thread pool and
+ * merges in slice order), so logits are bit-identical too.
+ *
+ * **Live mode** (`start`/`submit*`/`stop`) runs the same queue and
+ * batching policy with real threads and wall-clock deadlines: producers
+ * push into the bounded MPMC `RequestQueue`, a dispatcher thread cuts
+ * batches and *prepares* them (feature gather + job shaping) while an
+ * executor thread runs the previous batch — a two-stage pipeline whose
+ * heavy compute lands on the process-wide `ThreadPool`. Per-request
+ * probabilities are batch-composition-invariant (batched kernels are
+ * bit-identical per query to their single-query forms), so live results
+ * match replay results request for request even though wall-clock batch
+ * boundaries are not reproducible.
+ */
+
+#ifndef ENMC_SERVE_LOOP_H
+#define ENMC_SERVE_LOOP_H
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/registry.h"
+#include "runtime/api.h"
+#include "runtime/backend.h"
+#include "runtime/system.h"
+#include "serve/batcher.h"
+#include "serve/config.h"
+#include "serve/queue.h"
+#include "serve/report.h"
+#include "serve/request.h"
+
+namespace enmc::serve {
+
+class ServeLoop
+{
+  public:
+    /**
+     * @param cfg  Serving policy (queue/batch/SLO/warm-up knobs).
+     * @param job  Full-scale job dimensions timing is computed at;
+     *             `batch` and `candidates` are overridden per batch.
+     * @param sys  System configuration the timing backend is built with.
+     */
+    ServeLoop(const ServeConfig &cfg, const runtime::JobSpec &job,
+              const runtime::SystemConfig &sys = runtime::SystemConfig{});
+    ~ServeLoop();
+
+    ServeLoop(const ServeLoop &) = delete;
+    ServeLoop &operator=(const ServeLoop &) = delete;
+
+    /**
+     * Attach the functional-scale classifier batches are served from.
+     * Must be calibrated and outlive the loop. Without one (or with
+     * `compute_logits` off) the loop serves timing-only responses.
+     */
+    void attachClassifier(runtime::EnmcClassifier &clf);
+
+    const ServeConfig &config() const { return cfg_; }
+
+    // --- deterministic virtual-time serving ---------------------------
+
+    /** Serve a fixed arrival schedule (open-loop). */
+    ServeReport replay(const ArrivalTrace &trace);
+
+    /**
+     * Closed-loop serving: `clients` clients each keep exactly one
+     * request in flight, issuing the next the instant the previous
+     * completes, `per_client` times. `make(id, client)` builds request
+     * bodies (id/arrival are overwritten by the loop).
+     */
+    ServeReport runClosedLoop(
+        size_t clients, size_t per_client,
+        const std::function<Request(RequestId, size_t)> &make);
+
+    // --- live threaded serving ----------------------------------------
+
+    /** Spawn the dispatcher/executor pipeline. */
+    void start();
+
+    /** Non-blocking admission (load shedding). */
+    std::future<Response> submit(Request r);
+    /** Blocking admission (backpressure). */
+    std::future<Response> submitBlocking(Request r);
+    /** Admission serialized by request id (see RequestQueue). */
+    std::future<Response> submitOrdered(Request r);
+
+    /** Close, drain, join; the report covers every submitted request. */
+    ServeReport stop();
+
+    /**
+     * Simulated service time (us) of a batch: per-offload handoff plus
+     * the backend's batched job latency. Memoized on (batch, candidates)
+     * — the timing model is deterministic in the job spec.
+     */
+    double batchServiceUs(uint64_t batch, uint64_t candidates);
+
+    /** Mean per-request candidate budget of a batch (job default for
+     *  requests that left `candidates` at 0), rounded up. */
+    uint64_t batchCandidates(const std::vector<const Request *> &reqs) const;
+
+    RequestQueue &queue() { return queue_; }
+    DynamicBatcher &batcher() { return batcher_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct PreparedBatch
+    {
+        std::vector<QueuedRequest> items;
+        uint64_t candidates = 0;
+        FlushReason reason = FlushReason::Drain;
+        bool stop = false;            //!< executor shutdown sentinel
+    };
+
+    /**
+     * Shared discrete-event core behind replay()/runClosedLoop().
+     * `on_done(resp, now, inject)` fires as each request finalizes
+     * (completion or rejection) and may append follow-up arrivals at
+     * times >= now to `inject` — that is how the closed loop closes.
+     */
+    ServeReport runVirtual(
+        std::vector<Request> initial,
+        const std::function<void(const Response &, double,
+                                 std::vector<Request> &)> &on_done);
+
+    /** Functional forward of one batch; fills probabilities/topk. */
+    void computeBatch(const std::vector<const Request *> &reqs,
+                      std::vector<Response *> &resps);
+
+    /** Tally one finished response into loop + tenant stats. */
+    void account(const Response &r);
+    StatGroup &tenantStats(const std::string &tenant);
+
+    void dispatcherLoop();
+    void executorLoop();
+    double wallUs() const;
+
+    ServeConfig cfg_;
+    runtime::JobSpec job_;
+    std::unique_ptr<runtime::Backend> backend_;
+    runtime::EnmcClassifier *classifier_ = nullptr;
+
+    RequestQueue queue_;
+    DynamicBatcher batcher_;
+    std::map<std::pair<uint64_t, uint64_t>, double> service_memo_;
+    std::mutex memo_mutex_;
+
+    // Live-mode pipeline.
+    bool live_ = false;
+    std::thread dispatcher_;
+    std::thread executor_;
+    std::mutex handoff_mutex_;
+    std::condition_variable handoff_cv_;
+    std::unique_ptr<PreparedBatch> handoff_;   //!< depth-1 pipeline slot
+    std::chrono::steady_clock::time_point live_epoch_;
+    std::mutex live_mutex_;                    //!< guards live_responses_
+    std::vector<Response> live_responses_;
+
+    // Loop-level stats ("serve.loop").
+    StatGroup stats_;
+    Counter &stat_requests_;
+    Counter &stat_warmup_;
+    Counter &stat_measured_;
+    Counter &stat_rejected_;
+    Counter &stat_slo_violations_;
+    ScalarStat &stat_queue_us_;
+    ScalarStat &stat_backend_us_;
+    Histogram &stat_latency_hist_;
+    struct TenantStats;
+    std::map<std::string, std::unique_ptr<TenantStats>> tenants_;
+    std::mutex tenants_mutex_;
+    obs::StatRegistration stats_registration_;
+};
+
+} // namespace enmc::serve
+
+#endif // ENMC_SERVE_LOOP_H

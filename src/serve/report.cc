@@ -1,0 +1,90 @@
+#include "serve/report.h"
+
+#include <algorithm>
+
+namespace enmc::serve {
+
+size_t
+ServeReport::admittedCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(responses.begin(), responses.end(),
+                      [](const Response &r) {
+                          return r.admission == Admission::Admitted;
+                      }));
+}
+
+size_t
+ServeReport::rejectedCount() const
+{
+    return responses.size() - admittedCount();
+}
+
+size_t
+ServeReport::rejectedCount(Admission reason) const
+{
+    return static_cast<size_t>(
+        std::count_if(responses.begin(), responses.end(),
+                      [&](const Response &r) {
+                          return r.admission == reason;
+                      }));
+}
+
+size_t
+ServeReport::warmupCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(responses.begin(), responses.end(),
+                      [](const Response &r) {
+                          return r.admission == Admission::Admitted &&
+                                 r.warmup;
+                      }));
+}
+
+size_t
+ServeReport::measuredCount() const
+{
+    return admittedCount() - warmupCount();
+}
+
+std::vector<double>
+ServeReport::measuredLatencies() const
+{
+    std::vector<double> out;
+    for (const Response &r : responses)
+        if (r.admission == Admission::Admitted && !r.warmup)
+            out.push_back(r.latencyUs());
+    return out;
+}
+
+std::vector<double>
+ServeReport::warmupLatencies() const
+{
+    std::vector<double> out;
+    for (const Response &r : responses)
+        if (r.admission == Admission::Admitted && r.warmup)
+            out.push_back(r.latencyUs());
+    return out;
+}
+
+double
+ServeReport::queriesPerSecond() const
+{
+    double first_admit = 0.0, last_complete = 0.0;
+    size_t n = 0;
+    for (const Response &r : responses) {
+        if (r.admission != Admission::Admitted || r.warmup)
+            continue;
+        if (n == 0 || r.admit_us < first_admit)
+            first_admit = r.admit_us;
+        if (n == 0 || r.complete_us > last_complete)
+            last_complete = r.complete_us;
+        ++n;
+    }
+    const double span_us = last_complete - first_admit;
+    if (n == 0 || span_us <= 0.0)
+        return 0.0;
+    return static_cast<double>(n) * 1e6 / span_us;
+}
+
+} // namespace enmc::serve

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The outcome of one serving run, with warm-up-aware latency accounting.
+ *
+ * The first `warmup` admitted requests of a run are cold: allocator
+ * growth, page faults, and (in live mode) lazily built thread pools all
+ * land on them. Timing them together with steady-state requests biases
+ * every percentile — the bug the old `lm_inference_server` loop had.
+ * The report therefore splits responses into warm-up and *measured*
+ * populations; `measuredLatency()` is the only percentile source, and
+ * the warm-up population is reported separately so nothing is silently
+ * dropped.
+ */
+
+#ifndef ENMC_SERVE_REPORT_H
+#define ENMC_SERVE_REPORT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/percentiles.h"
+#include "serve/request.h"
+
+namespace enmc::serve {
+
+struct ServeReport
+{
+    /** Every request's outcome, ordered by request id (rejections too). */
+    std::vector<Response> responses;
+
+    size_t admittedCount() const;
+    size_t rejectedCount() const;
+    /** Admitted responses flagged warm-up. */
+    size_t warmupCount() const;
+    /** Admitted responses that count toward percentiles. */
+    size_t measuredCount() const;
+
+    /** End-to-end latencies (us) of the measured population only. */
+    std::vector<double> measuredLatencies() const;
+    /** End-to-end latencies (us) of the warm-up population only. */
+    std::vector<double> warmupLatencies() const;
+
+    /** Nearest-rank percentiles over the measured population. */
+    obs::Percentiles measuredLatency() const
+    {
+        return obs::Percentiles(measuredLatencies());
+    }
+
+    /**
+     * Measured throughput in queries/sec: measured completions over the
+     * [first measured admission, last measured completion) window.
+     * Warm-up requests are outside the window by construction.
+     */
+    double queriesPerSecond() const;
+
+    /** Rejections broken down by reason. */
+    size_t rejectedCount(Admission reason) const;
+};
+
+} // namespace enmc::serve
+
+#endif // ENMC_SERVE_REPORT_H

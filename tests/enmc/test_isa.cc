@@ -127,6 +127,86 @@ TEST(IsaDeathTest, MalformedCaWordPanics)
     EXPECT_DEATH((void)decode(e), "malformed");
 }
 
+/** Builds a raw 13-bit C/A word (opcode in bits 12..8, operand 7..0). */
+EncodedInstruction
+rawWord(uint16_t opcode, uint16_t operand, bool payload = false)
+{
+    EncodedInstruction e;
+    e.ca = static_cast<uint16_t>((opcode << 8) | operand);
+    e.has_payload = payload;
+    return e;
+}
+
+TEST(IsaDeathTest, UnknownOpcodesPanic)
+{
+    // Opcodes 17..31 are unassigned; every one must be rejected.
+    for (uint16_t op = 17; op < 32; ++op)
+        EXPECT_DEATH((void)decode(rawWord(op, 0)), "malformed") << op;
+}
+
+TEST(IsaDeathTest, RegisterIdOutOfRangePanics)
+{
+    // REG with reg ids NumRegs..31 (valid 5-bit field, no such register).
+    for (uint16_t reg = static_cast<uint16_t>(StatusReg::NumRegs); reg < 32;
+         ++reg) {
+        const auto operand = static_cast<uint16_t>((1u << 7) | (reg << 2));
+        EXPECT_DEATH((void)decode(rawWord(9, operand, true)), "malformed")
+            << reg;
+    }
+}
+
+TEST(IsaDeathTest, StrayRegOperandBitsPanic)
+{
+    // Bits 1..0 of a REG word are reserved and must be zero.
+    const auto operand = static_cast<uint16_t>(
+        (static_cast<uint16_t>(StatusReg::Categories) << 2) | 0x1);
+    EXPECT_DEATH((void)decode(rawWord(9, operand)), "malformed");
+}
+
+TEST(IsaDeathTest, BufferIdOutOfRangePanics)
+{
+    // Only 8 buffers exist; the 4-bit fields must stay below 8.
+    EXPECT_DEATH((void)decode(rawWord(7, 0x90, true)), "malformed");  // LDR
+    EXPECT_DEATH((void)decode(rawWord(10, 0x0f)), "malformed");  // MOVE buf1
+    EXPECT_DEATH((void)decode(rawWord(10, 0xf0)), "malformed");  // MOVE buf0
+    EXPECT_DEATH((void)decode(rawWord(1, 0x8f, false)), "malformed");
+}
+
+TEST(IsaDeathTest, StrayLoadStoreOperandBitsPanic)
+{
+    // LDR/STR use only the high operand nibble; low nibble is reserved.
+    EXPECT_DEATH((void)decode(rawWord(7, 0x11, true)), "malformed");
+    EXPECT_DEATH((void)decode(rawWord(8, 0x63, true)), "malformed");
+}
+
+TEST(IsaDeathTest, SpecialsWithOperandBitsPanic)
+{
+    // NOP/SOFTMAX/SIGMOID/BARRIER/RETURN/CLR carry no operand bits.
+    for (uint16_t op : {0, 12, 13, 14, 15, 16})
+        EXPECT_DEATH((void)decode(rawWord(op, 0x01)), "malformed") << op;
+}
+
+TEST(IsaDeathTest, PayloadPresenceMismatchPanics)
+{
+    // A LDR without its DQ address burst is undeliverable...
+    EXPECT_DEATH((void)decode(rawWord(7, 0x10, false)), "malformed");
+    // ...as is a REG QUERY or a BARRIER towing an unexpected payload.
+    const auto query = static_cast<uint16_t>(
+        static_cast<uint16_t>(StatusReg::Status) << 2);
+    EXPECT_DEATH((void)decode(rawWord(9, query, true)), "malformed");
+    EXPECT_DEATH((void)decode(rawWord(14, 0, true)), "malformed");
+}
+
+TEST(IsaDeathTest, EncodeRejectsInconsistentPayloadFlag)
+{
+    Instruction ldr = makeLdr(BufferId::ScreenWeight, 0x80);
+    ldr.has_payload = false;
+    EXPECT_DEATH((void)encode(ldr), "payload");
+    Instruction nop = makeSpecial(Opcode::Nop);
+    nop.has_payload = true;
+    EXPECT_DEATH((void)encode(nop), "payload");
+}
+
 } // namespace
 } // namespace enmc::arch
 
@@ -163,6 +243,96 @@ TEST(IsaFuzz, RandomInstructionsRoundTrip)
         if (inst.has_payload) {
             ASSERT_EQ(back.payload, inst.payload) << i;
         }
+    }
+}
+
+/** Every field of a decoded instruction must survive the round trip. */
+void
+expectRoundTrips(const Instruction &inst)
+{
+    const EncodedInstruction enc = encode(inst);
+    ASSERT_EQ(enc.ca & ~0x1fffu, 0u) << inst.toString();
+    const Instruction back = decode(enc);
+    ASSERT_EQ(back.op, inst.op) << inst.toString();
+    ASSERT_EQ(back.buf0, inst.buf0) << inst.toString();
+    ASSERT_EQ(back.reg_write, inst.reg_write) << inst.toString();
+    ASSERT_EQ(back.has_payload, inst.has_payload) << inst.toString();
+    if (inst.has_payload)
+        ASSERT_EQ(back.payload, inst.payload) << inst.toString();
+    // Two-buffer shapes also preserve the second operand.
+    switch (inst.op) {
+      case Opcode::Move:
+      case Opcode::MulAddInt4:
+      case Opcode::MulAddFp32:
+      case Opcode::AddInt4:
+      case Opcode::MulInt4:
+      case Opcode::AddFp32:
+      case Opcode::MulFp32:
+        ASSERT_EQ(back.buf1, inst.buf1) << inst.toString();
+        break;
+      case Opcode::Reg:
+        ASSERT_EQ(back.reg, inst.reg) << inst.toString();
+        break;
+      default:
+        break;
+    }
+}
+
+/**
+ * Property test over the ENTIRE valid instruction space: every reachable
+ * (opcode, operand) combination round-trips encode -> decode exactly,
+ * with seeded random 64-bit DQ payloads where the shape tunnels one.
+ */
+TEST(IsaProperty, ExhaustiveInstructionSpaceRoundTrips)
+{
+    Rng rng(20260806);
+    size_t count = 0;
+
+    for (auto op : {Opcode::Move, Opcode::MulAddInt4, Opcode::MulAddFp32,
+                    Opcode::AddInt4, Opcode::MulInt4, Opcode::AddFp32,
+                    Opcode::MulFp32}) {
+        for (int a = 0; a < 8; ++a)
+            for (int b = 0; b < 8; ++b) {
+                expectRoundTrips(makeCompute(op, static_cast<BufferId>(a),
+                                             static_cast<BufferId>(b)));
+                ++count;
+            }
+    }
+    for (int a = 0; a < 8; ++a) {
+        expectRoundTrips(makeLdr(static_cast<BufferId>(a), rng()));
+        expectRoundTrips(makeStr(static_cast<BufferId>(a), rng()));
+        expectRoundTrips(makeFilter(static_cast<BufferId>(a)));
+        count += 3;
+    }
+    for (int r = 0; r < static_cast<int>(StatusReg::NumRegs); ++r) {
+        expectRoundTrips(makeInit(static_cast<StatusReg>(r), rng()));
+        expectRoundTrips(makeQuery(static_cast<StatusReg>(r)));
+        count += 2;
+    }
+    for (auto op : {Opcode::Nop, Opcode::Softmax, Opcode::Sigmoid,
+                    Opcode::Barrier, Opcode::Return, Opcode::Clr}) {
+        expectRoundTrips(makeSpecial(op));
+        ++count;
+    }
+    // 7*64 compute + 3*8 buffer ops + 2*15 registers + 6 specials.
+    EXPECT_EQ(count, 7u * 64u + 24u + 30u + 6u);
+}
+
+/** The DQ payload field must tunnel all 64 bits bit-exactly. */
+TEST(IsaProperty, PayloadTunnelsFullDqWidth)
+{
+    Rng rng(7);
+    std::vector<uint64_t> payloads{0ull, 1ull, ~0ull, 1ull << 63,
+                                   0x5555555555555555ull};
+    for (int i = 0; i < 64; ++i)
+        payloads.push_back(1ull << i);
+    for (int i = 0; i < 1000; ++i)
+        payloads.push_back(rng());
+    for (uint64_t p : payloads) {
+        EXPECT_EQ(decode(encode(makeLdr(BufferId::ExecWeight, p))).payload,
+                  p);
+        EXPECT_EQ(decode(encode(makeInit(StatusReg::Threshold, p))).payload,
+                  p);
     }
 }
 

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the dynamic-batching flush policy: a pure function of
+ * (queued, oldest arrival, now, draining), so every trigger is testable
+ * without threads or clocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+
+namespace enmc::serve {
+namespace {
+
+TEST(DynamicBatcher, EmptyQueueNeverFlushes)
+{
+    DynamicBatcher b(8, 100.0);
+    FlushReason reason;
+    EXPECT_FALSE(b.shouldFlush(0, 0.0, 1e9, false, reason));
+    EXPECT_FALSE(b.shouldFlush(0, 0.0, 1e9, true, reason));
+}
+
+TEST(DynamicBatcher, FullBatchFlushesImmediately)
+{
+    DynamicBatcher b(8, 100.0);
+    FlushReason reason;
+    ASSERT_TRUE(b.shouldFlush(8, 0.0, 0.0, false, reason));
+    EXPECT_EQ(reason, FlushReason::Size);
+    ASSERT_TRUE(b.shouldFlush(9, 0.0, 0.0, false, reason));
+    EXPECT_EQ(reason, FlushReason::Size);
+}
+
+TEST(DynamicBatcher, UnderfullBatchWaitsUntilDeadline)
+{
+    DynamicBatcher b(8, 100.0);
+    FlushReason reason;
+    // Oldest admitted at t=50: no flush before t=150...
+    EXPECT_FALSE(b.shouldFlush(3, 50.0, 149.9, false, reason));
+    // ...flush exactly at and after the deadline.
+    ASSERT_TRUE(b.shouldFlush(3, 50.0, 150.0, false, reason));
+    EXPECT_EQ(reason, FlushReason::Deadline);
+    ASSERT_TRUE(b.shouldFlush(3, 50.0, 1e6, false, reason));
+    EXPECT_EQ(reason, FlushReason::Deadline);
+    EXPECT_DOUBLE_EQ(b.deadlineUs(50.0), 150.0);
+}
+
+TEST(DynamicBatcher, DrainFlushesWithoutWaiting)
+{
+    DynamicBatcher b(8, 100.0);
+    FlushReason reason;
+    ASSERT_TRUE(b.shouldFlush(1, 0.0, 0.0, true, reason));
+    EXPECT_EQ(reason, FlushReason::Drain);
+}
+
+TEST(DynamicBatcher, SizeTakesPriorityOverDrainAndDeadline)
+{
+    DynamicBatcher b(4, 100.0);
+    FlushReason reason;
+    ASSERT_TRUE(b.shouldFlush(4, 0.0, 500.0, true, reason));
+    EXPECT_EQ(reason, FlushReason::Size);
+}
+
+TEST(DynamicBatcher, ZeroDelayDegeneratesToImmediateFlush)
+{
+    // max_delay_us = 0 is the "no batching delay" configuration: any
+    // queued request is already past its deadline.
+    DynamicBatcher b(8, 0.0);
+    FlushReason reason;
+    ASSERT_TRUE(b.shouldFlush(1, 25.0, 25.0, false, reason));
+    EXPECT_EQ(reason, FlushReason::Deadline);
+}
+
+TEST(DynamicBatcher, RecordFlushFeedsCountersAndHistogram)
+{
+    DynamicBatcher b(8, 100.0);
+    b.recordFlush(8, FlushReason::Size);
+    b.recordFlush(3, FlushReason::Deadline);
+    b.recordFlush(1, FlushReason::Drain);
+    b.recordFlush(8, FlushReason::Size);
+    EXPECT_EQ(b.stats().counter("batches").value(), 4u);
+    EXPECT_EQ(b.stats().counter("flushSize").value(), 2u);
+    EXPECT_EQ(b.stats().counter("flushDeadline").value(), 1u);
+    EXPECT_EQ(b.stats().counter("flushDrain").value(), 1u);
+    // Every dispatched batch lands in the size histogram.
+    EXPECT_EQ(b.stats().histogram("batchSize").total(), 4u);
+}
+
+} // namespace
+} // namespace enmc::serve

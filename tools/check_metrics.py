@@ -12,6 +12,9 @@ Checks, per file:
     min <= mean <= max;
   - ECC accounting, wherever a group carries the fault mirror counters:
     faultInjectedWords == faultCorrected + faultDetected + faultEscaped;
+  - batcher accounting, wherever a group carries the dynamic-batching
+    counters: batches == flushSize + flushDeadline + flushDrain, and the
+    batchSize histogram records exactly one sample per dispatched batch;
   - traceEvents is a list whose entries carry name/ph/pid/ts (complete
     "X" events also carry dur >= 0).
 
@@ -70,6 +73,22 @@ def check_group(path, name, group):
                 path,
                 f"{name}: ECC accounting broken: injected {injected} != "
                 f"corrected+detected+escaped {parts}")
+
+    if "batches" in counters and "flushSize" in counters:
+        batches = counters["batches"]["value"]
+        reasons = sum(counters[k]["value"]
+                      for k in ("flushSize", "flushDeadline", "flushDrain"))
+        if batches != reasons:
+            errors += fail(
+                path,
+                f"{name}: batch accounting broken: batches {batches} != "
+                f"size+deadline+drain {reasons}")
+        sizes = group["histograms"].get("batchSize")
+        if sizes is not None and sizes["total"] != batches:
+            errors += fail(
+                path,
+                f"{name}: batchSize histogram total {sizes['total']} != "
+                f"batches counter {batches}")
     return errors
 
 
