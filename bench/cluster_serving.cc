@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Cluster-fabric serving drill: Poisson load over an S100M-scale label
+ * space sharded across N simulated ENMC nodes, with a scripted node kill
+ * fired mid-run.
+ *
+ * Two phases, both deterministic (pure functions of the flags):
+ *
+ *  - **Phase 1 — timing.** The S100M (default) workload is sharded
+ *    across `--nodes` with `--replication`-way chained declustering and
+ *    driven by open-loop Poisson arrivals (fixed seed). Node
+ *    `--kill-node` is killed after `--kill-after` routed batches; the
+ *    run must finish with zero dispatches to the dead node and a p99
+ *    within the SLO (`--slo-x` times the steady-state batch service
+ *    time).
+ *  - **Phase 2 — correctness.** The same cluster shape serves a
+ *    synthetic-scale classifier with per-request logits and the same
+ *    scripted kill; every admitted response is checked bit-for-bit
+ *    against the unsharded single-query reference forward. The run must
+ *    finish with zero wrong answers.
+ *
+ * `--check` exits non-zero unless both phases hold (the CI smoke gate).
+ *
+ * Usage:
+ *   cluster_serving [--nodes=4] [--replication=2] [--workload=S100M]
+ *                   [--requests=256] [--poisson-qps=R (0 = 50% capacity)]
+ *                   [--max-batch=16] [--kill-node=1] [--kill-after=8]
+ *                   [--slo-x=5] [--check] [--metrics-json=FILE]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/router.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/percentiles.h"
+#include "obs/registry.h"
+#include "runtime/api.h"
+#include "serve/loop.h"
+#include "workloads/registry.h"
+#include "workloads/synthetic.h"
+
+using namespace enmc;
+
+namespace {
+
+std::string
+flagValue(int argc, char **argv, const std::string &name,
+          const std::string &fallback)
+{
+    const std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    return fallback;
+}
+
+double
+flagDouble(int argc, char **argv, const std::string &name, double fallback)
+{
+    const std::string v = flagValue(argc, argv, name, "");
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+bool
+flagPresent(int argc, char **argv, const std::string &name)
+{
+    const std::string flag = "--" + name;
+    for (int i = 1; i < argc; ++i)
+        if (flag == argv[i])
+            return true;
+    return false;
+}
+
+serve::ArrivalTrace
+poissonTrace(size_t requests, double qps)
+{
+    serve::ArrivalTrace trace;
+    Rng rng(42);
+    double t = 0.0;
+    for (size_t i = 0; i < requests; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_us = t;
+        trace.requests.push_back(r);
+        t += -std::log(1.0 - rng.uniform(0.0, 1.0)) * 1e6 / qps;
+    }
+    return trace;
+}
+
+/** Router health/accounting after a killed run; false = inconsistent. */
+bool
+auditRouter(cluster::ClusterRouter &router, bool expect_kill)
+{
+    bool ok = true;
+    const uint64_t dead =
+        router.stats().counter("deadDispatches").value();
+    if (dead != 0) {
+        std::printf("  AUDIT FAIL: %llu dispatches to dead nodes\n",
+                    static_cast<unsigned long long>(dead));
+        ok = false;
+    }
+    uint64_t node_total = 0;
+    for (size_t n = 0; n < router.nodeCount(); ++n)
+        node_total +=
+            router.node(n).stats().counter("dispatchedBatches").value();
+    const uint64_t fan_out =
+        router.stats().counter("shardDispatches").value();
+    if (node_total != fan_out) {
+        std::printf("  AUDIT FAIL: node dispatch sum %llu != router "
+                    "fan-out %llu\n",
+                    static_cast<unsigned long long>(node_total),
+                    static_cast<unsigned long long>(fan_out));
+        ok = false;
+    }
+    if (expect_kill &&
+        router.stats().counter("nodeKills").value() == 0) {
+        std::printf("  AUDIT FAIL: scripted kill never fired\n");
+        ok = false;
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const obs::MetricsOptions metrics =
+        obs::initMetrics(argc, argv, "cluster_serving");
+
+    const uint64_t nodes =
+        static_cast<uint64_t>(flagDouble(argc, argv, "nodes", 4));
+    const uint64_t replication =
+        static_cast<uint64_t>(flagDouble(argc, argv, "replication", 2));
+    const std::string wl_name =
+        flagValue(argc, argv, "workload", "S100M");
+    const size_t requests =
+        static_cast<size_t>(flagDouble(argc, argv, "requests", 256));
+    const size_t max_batch =
+        static_cast<size_t>(flagDouble(argc, argv, "max-batch", 16));
+    const int64_t kill_node =
+        static_cast<int64_t>(flagDouble(argc, argv, "kill-node", 1));
+    const uint64_t kill_after =
+        static_cast<uint64_t>(flagDouble(argc, argv, "kill-after", 8));
+    const double slo_x = flagDouble(argc, argv, "slo-x", 5.0);
+    const bool check = flagPresent(argc, argv, "check");
+
+    // ----- Phase 1: Poisson load at S100M scale, node killed mid-run ----
+    const workloads::Workload wl = workloads::findWorkload(wl_name);
+    const runtime::JobSpec job = bench::jobSpecFor(wl, 1, true);
+
+    serve::ServeConfig cfg = serve::serveConfigFromEnv();
+    cfg.backend = "cluster";
+    cfg.cluster.nodes = nodes;
+    cfg.cluster.replication = replication;
+    cfg.cluster.kill.node = kill_node;
+    cfg.cluster.kill.after_batches = kill_after;
+    cfg.max_batch = max_batch;
+    cfg.queue_capacity = std::max(cfg.queue_capacity, max_batch * 8);
+    cfg.compute_logits = false; // timing-only load generation
+    cfg.warmup_requests = std::min<size_t>(cfg.warmup_requests,
+                                           requests / 8);
+
+    serve::ServeLoop loop(cfg, job);
+    // Steady-state full-batch service time anchors both the offered load
+    // (default 50% of capacity) and the SLO.
+    const double svc_us = loop.batchServiceUs(max_batch, job.candidates);
+    const double capacity_qps = 1e6 * max_batch / svc_us;
+    double qps = flagDouble(argc, argv, "poisson-qps", 0.0);
+    if (qps <= 0.0)
+        qps = 0.5 * capacity_qps;
+    const double slo_us = slo_x * svc_us;
+
+    std::printf("cluster %s (l=%llu): %llu nodes, %llu-way replication, "
+                "kill node %lld after %llu batches\n",
+                wl.abbr.c_str(),
+                static_cast<unsigned long long>(wl.categories),
+                static_cast<unsigned long long>(nodes),
+                static_cast<unsigned long long>(replication),
+                static_cast<long long>(kill_node),
+                static_cast<unsigned long long>(kill_after));
+    std::printf("  batch-%zu service %.1f us, capacity %.0f qps, "
+                "offering %.0f qps, SLO %.0f us\n",
+                max_batch, svc_us, capacity_qps, qps, slo_us);
+
+    const serve::ServeReport report =
+        loop.replay(poissonTrace(requests, qps));
+    const obs::Percentiles lat = report.measuredLatency();
+
+    cluster::ClusterRouter *router = loop.clusterRouter();
+    const uint64_t live = router->liveNodeCount();
+    std::printf("\n  %8s %9s %9s %9s %9s %7s %9s\n", "qps", "p50us",
+                "p95us", "p99us", "maxus", "live", "served");
+    std::printf("  %8.0f %9.1f %9.1f %9.1f %9.1f %4llu/%llu %5zu/%zu\n",
+                report.queriesPerSecond(), lat.at(0.50), lat.at(0.95),
+                lat.at(0.99), lat.max(),
+                static_cast<unsigned long long>(live),
+                static_cast<unsigned long long>(nodes),
+                report.admittedCount(), report.responses.size());
+    std::printf("  failover: %llu reroutes, %llu node kills\n",
+                static_cast<unsigned long long>(
+                    router->stats().counter("reroutes").value()),
+                static_cast<unsigned long long>(
+                    router->stats().counter("nodeKills").value()));
+
+    const bool timing_audit_ok = auditRouter(*router, kill_node >= 0);
+    const bool p99_ok = lat.at(0.99) <= slo_us;
+
+    // ----- Phase 2: per-request answers checked against reference ------
+    std::printf("\ncorrectness drill (synthetic scale, same cluster "
+                "shape, same kill):\n");
+    workloads::SyntheticConfig syn;
+    syn.categories = 1024;
+    syn.hidden = 64;
+    workloads::SyntheticModel model(syn);
+    Rng data = model.makeRng(1);
+    const auto train = model.sampleHiddenBatch(data, 160);
+    const auto val = model.sampleHiddenBatch(data, 48);
+    const auto queries = model.sampleHiddenBatch(data, 32);
+
+    runtime::ClassifierOptions opt;
+    opt.candidates = 48;
+    runtime::EnmcClassifier clf(model.classifier(), opt,
+                                runtime::SystemConfig{});
+    clf.calibrate(train, val);
+    runtime::EnmcClassifier reference(model.classifier(), opt,
+                                      runtime::SystemConfig{});
+    reference.calibrate(train, val);
+
+    serve::ServeConfig fcfg = cfg;
+    fcfg.compute_logits = true;
+    fcfg.topk = 5;
+    fcfg.max_batch = 8;
+    fcfg.max_delay_us = 50.0;
+    fcfg.warmup_requests = 0;
+    fcfg.cluster.kill.after_batches = 2;
+
+    serve::ArrivalTrace ftrace;
+    for (size_t i = 0; i < queries.size(); ++i) {
+        serve::Request r;
+        r.id = i;
+        r.hidden = queries[i];
+        r.arrival_us = static_cast<double>(i / 8) * 120.0;
+        ftrace.requests.push_back(r);
+    }
+
+    serve::ServeLoop floop(fcfg, job);
+    floop.attachClassifier(clf);
+    const serve::ServeReport freport = floop.replay(ftrace);
+
+    size_t wrong = 0, answered = 0;
+    for (const serve::Response &resp : freport.responses) {
+        if (resp.admission != serve::Admission::Admitted)
+            continue;
+        ++answered;
+        const auto ref = reference.forward({queries[resp.id]}, fcfg.topk);
+        const bool bits_ok =
+            resp.probabilities.size() == ref[0].probabilities.size() &&
+            std::memcmp(resp.probabilities.data(),
+                        ref[0].probabilities.data(),
+                        ref[0].probabilities.size() * sizeof(float)) == 0;
+        if (!bits_ok || resp.topk != ref[0].topk)
+            ++wrong;
+    }
+    cluster::ClusterRouter *frouter = floop.clusterRouter();
+    const bool func_audit_ok = auditRouter(*frouter, kill_node >= 0);
+    std::printf("  %zu/%zu answered, %zu wrong, %llu/%llu nodes live "
+                "after kill\n",
+                answered, queries.size(), wrong,
+                static_cast<unsigned long long>(frouter->liveNodeCount()),
+                static_cast<unsigned long long>(nodes));
+
+    // ----- metrics + check gate -----------------------------------------
+    StatGroup bench_stats("bench.cluster_serving");
+    obs::StatRegistration bench_reg(bench_stats);
+    bench_stats.addScalar("offeredQps", "Poisson arrival rate").sample(qps);
+    bench_stats.addScalar("achievedQps", "replay throughput")
+        .sample(report.queriesPerSecond());
+    bench_stats.addScalar("p99Us", "p99 latency under Poisson load")
+        .sample(lat.at(0.99));
+    bench_stats.addScalar("sloUs", "latency SLO").sample(slo_us);
+    bench_stats.addScalar("wrongAnswers",
+                          "responses differing from the reference")
+        .sample(static_cast<double>(wrong));
+    obs::writeMetrics(metrics);
+
+    if (check) {
+        const bool answers_ok = wrong == 0 && answered == queries.size();
+        std::printf("\ncheck: p99 %.1f us <= SLO %.0f us: %s; zero wrong "
+                    "answers: %s; routing audit: %s\n",
+                    lat.at(0.99), slo_us, p99_ok ? "yes" : "NO",
+                    answers_ok ? "yes" : "NO",
+                    (timing_audit_ok && func_audit_ok) ? "yes" : "NO");
+        if (!p99_ok || !answers_ok || !timing_audit_ok ||
+            !func_audit_ok) {
+            std::printf("check: FAIL\n");
+            return 1;
+        }
+        std::printf("check: PASS\n");
+    }
+    return 0;
+}

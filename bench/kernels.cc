@@ -102,6 +102,26 @@ BM_TopK(benchmark::State &state)
 BENCHMARK(BM_TopK)->Arg(8192)->Arg(65536)->Arg(262144);
 
 void
+BM_MergeTopK(benchmark::State &state)
+{
+    // The cluster gather path: merge per-shard top-64 lists into the
+    // global top-64 (shards hold disjoint, offset index ranges).
+    const size_t shards = state.range(0);
+    constexpr size_t kPerShard = 64;
+    std::vector<std::vector<Scored>> lists(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        const Vector z = randomVector(8192, 9 + s);
+        lists[s] = topkScored(z, kPerShard,
+                              static_cast<uint32_t>(s * 8192));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mergeTopK(lists, kPerShard));
+    state.SetItemsProcessed(int64_t(state.iterations()) * shards *
+                            kPerShard);
+}
+BENCHMARK(BM_MergeTopK)->Arg(2)->Arg(8)->Arg(64);
+
+void
 BM_ThresholdFilter(benchmark::State &state)
 {
     const size_t l = state.range(0);

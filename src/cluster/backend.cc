@@ -1,0 +1,76 @@
+#include "cluster/backend.h"
+
+#include "common/logging.h"
+
+namespace enmc::cluster {
+
+ClusterBackend::ClusterBackend(const ClusterConfig &cfg)
+    : Backend(cfg.node), cluster_cfg_(cfg)
+{
+    validate(cluster_cfg_);
+}
+
+runtime::BackendCapabilities
+ClusterBackend::capabilities() const
+{
+    runtime::BackendCapabilities caps;
+    caps.timing = true;
+    caps.functional = false; // functional batches go through the router
+    caps.description = std::to_string(cluster_cfg_.nodes) +
+                       "-node sharded ENMC cluster (replication " +
+                       std::to_string(cluster_cfg_.replication) + ", " +
+                       cluster_cfg_.node_backend + " nodes)";
+    return caps;
+}
+
+arch::RankResult
+ClusterBackend::runSlice(const arch::RankTask &) const
+{
+    ENMC_PANIC("the cluster backend has no single-rank slice view; "
+               "use runJob or route through a ClusterRouter");
+}
+
+ClusterRouter &
+ClusterBackend::router(const runtime::JobSpec &spec) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = routers_.find(spec.categories);
+    if (it == routers_.end())
+        it = routers_
+                 .emplace(spec.categories, std::make_unique<ClusterRouter>(
+                                               cluster_cfg_, spec))
+                 .first;
+    return *it->second;
+}
+
+runtime::TimingResult
+ClusterBackend::runJob(const runtime::JobSpec &spec) const
+{
+    runtime::TimingResult res;
+    res.seconds = router(spec).serviceUs(spec.batch, spec.candidates) / 1e6;
+    res.ranks = cluster_cfg_.nodes * cluster_cfg_.node.totalRanks();
+    return res;
+}
+
+void
+registerClusterBackend()
+{
+    static const bool registered = [] {
+        runtime::BackendRegistry::instance().add(
+            "cluster", [](const runtime::SystemConfig &sys) {
+                ClusterConfig base;
+                base.node = sys;
+                return std::make_unique<ClusterBackend>(
+                    clusterConfigFromEnv(base));
+            });
+        return true;
+    }();
+    (void)registered;
+}
+
+namespace {
+// Best-effort self-registration for binaries that link this TU anyway.
+const bool kRegistered = (registerClusterBackend(), true);
+} // namespace
+
+} // namespace enmc::cluster

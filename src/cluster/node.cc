@@ -1,0 +1,79 @@
+#include "cluster/node.h"
+
+#include "common/logging.h"
+
+namespace enmc::cluster {
+
+runtime::SystemConfig
+ClusterNode::nodeSystem(uint32_t id, const ClusterConfig &cfg)
+{
+    runtime::SystemConfig sys = cfg.node;
+    // Every node draws its own fault stream family: same seed on every
+    // node would fault the replicas identically, hiding exactly the
+    // failures replication exists to mask.
+    sys.fault.seed = cfg.node.fault.seed + id;
+    return sys;
+}
+
+ClusterNode::ClusterNode(uint32_t id, const ClusterConfig &cfg)
+    : backend_(id, runtime::createBackend(cfg.node_backend, nodeSystem(id, cfg)),
+               cfg.node.resilience),
+      system_(nodeSystem(id, cfg)),
+      stats_("cluster.node." + std::to_string(id)),
+      stat_dispatched_(stats_.addCounter(
+          "dispatchedBatches", "shard-batches routed to this node")),
+      stat_requests_(stats_.addCounter(
+          "servedRequests", "requests inside the shard-batches served")),
+      stat_killed_(stats_.addCounter(
+          "killed", "times this node was declared dead")),
+      stats_registration_(stats_)
+{
+}
+
+void
+ClusterNode::kill()
+{
+    if (!backend_.alive())
+        return;
+    backend_.kill();
+    ++stat_killed_;
+}
+
+void
+ClusterNode::recordDispatch(uint64_t requests)
+{
+    backend_.recordDispatch();
+    ++stat_dispatched_;
+    stat_requests_ += requests;
+}
+
+double
+ClusterNode::shardJobUs(const runtime::JobSpec &job, uint64_t rows,
+                        uint64_t batch, uint64_t candidates)
+{
+    const auto key = std::make_tuple(rows, batch, candidates);
+    auto it = job_memo_.find(key);
+    if (it != job_memo_.end())
+        return it->second;
+    runtime::JobSpec spec = job;
+    spec.categories = rows;
+    spec.batch = batch;
+    spec.candidates = candidates;
+    const double us = backend_.runJob(spec).seconds * 1e6;
+    job_memo_.emplace(key, us);
+    return us;
+}
+
+void
+ClusterNode::runShard(const nn::Classifier &classifier,
+                      const screening::Screener &screener,
+                      const std::vector<tensor::Vector> &h_batch,
+                      uint64_t ranks, uint64_t row_begin, uint64_t rows,
+                      runtime::EnmcSystem::FunctionalResult &out) const
+{
+    ENMC_ASSERT(backend_.alive(), "functional shard routed to a dead node");
+    system_.runFunctionalRange(classifier, screener, h_batch, ranks,
+                               row_begin, rows, out);
+}
+
+} // namespace enmc::cluster

@@ -1,0 +1,75 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace enmc {
+
+const char *
+envString(const char *name)
+{
+    return std::getenv(name);
+}
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    const char *p = v;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (*p == '\0')
+        ENMC_FATAL(name, " is set but empty (unset it to use the default)");
+    if (*p == '-' || *p == '+')
+        ENMC_FATAL(name, " must be a non-negative integer, got '", v, "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(p, &end, 10);
+    if (end == p || *end != '\0')
+        ENMC_FATAL(name, " must be an unsigned integer, got '", v, "'");
+    if (errno == ERANGE)
+        ENMC_FATAL(name, " overflows a 64-bit unsigned integer: '", v, "'");
+    return parsed;
+}
+
+double
+envF64(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    const char *p = v;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (*p == '\0')
+        ENMC_FATAL(name, " is set but empty (unset it to use the default)");
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(p, &end);
+    if (end == p || *end != '\0')
+        ENMC_FATAL(name, " must be a number, got '", v, "'");
+    if (errno == ERANGE || !std::isfinite(parsed))
+        ENMC_FATAL(name, " must be a finite number, got '", v, "'");
+    return parsed;
+}
+
+bool
+envBool(const char *name, bool fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    if (v[0] == '0' && v[1] == '\0')
+        return false;
+    if (v[0] == '1' && v[1] == '\0')
+        return true;
+    ENMC_FATAL(name, " must be 0 or 1, got '", v, "'");
+}
+
+} // namespace enmc

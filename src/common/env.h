@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hardened environment-variable parsing shared by every `ENMC_*`
+ * configuration surface (serve, fault, cluster).
+ *
+ * Contract: an *unset* variable falls back silently; a *set* variable
+ * must parse completely or the process exits with a configuration
+ * error. The failure mode this kills is the typo'd override that
+ * silently reverts to the default — `ENMC_SERVE_MAX_BATCH=1O` must
+ * abort the run, not serve at batch 16 while the operator believes
+ * batch 10 is in effect.
+ */
+
+#ifndef ENMC_COMMON_ENV_H
+#define ENMC_COMMON_ENV_H
+
+#include <cstdint>
+
+namespace enmc {
+
+/** Raw value of `name`, or nullptr when unset (empty string is "set"). */
+const char *envString(const char *name);
+
+/**
+ * Unsigned-integer override: `fallback` when unset; fatal on anything
+ * that is not a complete non-negative decimal integer fitting 64 bits
+ * (rejects empty values, signs — `strtoull` would silently wrap a
+ * leading '-' modulo 2^64 — trailing garbage and overflow).
+ */
+uint64_t envU64(const char *name, uint64_t fallback);
+
+/**
+ * Floating-point override: `fallback` when unset; fatal on malformed,
+ * incompletely-consumed, non-finite or out-of-range values.
+ */
+double envF64(const char *name, double fallback);
+
+/** Boolean override: `fallback` when unset; must be exactly "0" or "1". */
+bool envBool(const char *name, bool fallback);
+
+} // namespace enmc
+
+#endif // ENMC_COMMON_ENV_H

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "fault/ecc.h"
 
@@ -30,20 +31,6 @@ mix64(uint64_t x)
     return x ^ (x >> 31);
 }
 
-double
-parseEnvDouble(const char *name, double fallback)
-{
-    const char *v = std::getenv(name);
-    return v ? std::atof(v) : fallback;
-}
-
-uint64_t
-parseEnvU64(const char *name, uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 10) : fallback;
-}
-
 } // namespace
 
 bool
@@ -57,23 +44,31 @@ FaultConfig
 FaultConfig::fromEnv()
 {
     FaultConfig cfg;
-    cfg.enabled = parseEnvU64("ENMC_FAULT", 0) != 0;
-    cfg.seed = parseEnvU64("ENMC_FAULT_SEED", cfg.seed);
-    cfg.data_ber = parseEnvDouble("ENMC_FAULT_BER", cfg.data_ber);
-    cfg.inst_drop_p =
-        parseEnvDouble("ENMC_FAULT_INST_DROP", cfg.inst_drop_p);
+    cfg.enabled = envBool("ENMC_FAULT", false);
+    cfg.seed = envU64("ENMC_FAULT_SEED", cfg.seed);
+    cfg.data_ber = envF64("ENMC_FAULT_BER", cfg.data_ber);
+    cfg.inst_drop_p = envF64("ENMC_FAULT_INST_DROP", cfg.inst_drop_p);
     cfg.inst_corrupt_p =
-        parseEnvDouble("ENMC_FAULT_INST_CORRUPT", cfg.inst_corrupt_p);
-    cfg.ecc = parseEnvU64("ENMC_FAULT_ECC", 1) != 0;
-    if (const char *list = std::getenv("ENMC_FAULT_STUCK_RANKS")) {
+        envF64("ENMC_FAULT_INST_CORRUPT", cfg.inst_corrupt_p);
+    cfg.ecc = envBool("ENMC_FAULT_ECC", true);
+    if (const char *list = envString("ENMC_FAULT_STUCK_RANKS")) {
+        // Comma-separated rank ids; the whole list must parse.
         const char *p = list;
-        while (*p) {
+        while (true) {
             char *end = nullptr;
             const unsigned long r = std::strtoul(p, &end, 10);
             if (end == p)
-                break;
+                ENMC_FATAL("ENMC_FAULT_STUCK_RANKS must be a "
+                           "comma-separated list of rank ids, got '",
+                           list, "'");
             cfg.stuck_ranks.push_back(static_cast<uint32_t>(r));
-            p = (*end == ',') ? end + 1 : end;
+            if (*end == '\0')
+                break;
+            if (*end != ',')
+                ENMC_FATAL("ENMC_FAULT_STUCK_RANKS must be a "
+                           "comma-separated list of rank ids, got '",
+                           list, "'");
+            p = end + 1;
         }
     }
     return cfg;

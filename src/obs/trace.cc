@@ -85,6 +85,7 @@ Tracer::eventsJson() const
         {kWallPid, "host (wall clock)"},
         {kSimPid, "simulated rank timeline (DDR clock)"},
         {kServePid, "serving timeline (virtual time)"},
+        {kClusterPid, "cluster node timeline (tid = node id)"},
     };
     for (const auto &[pid, label] : timelines) {
         Json meta = Json::object();

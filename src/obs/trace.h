@@ -37,6 +37,7 @@ namespace enmc::obs {
 inline constexpr int kWallPid = 1;  //!< host wall-clock timeline
 inline constexpr int kSimPid = 2;   //!< simulated DDR-clock timeline
 inline constexpr int kServePid = 3; //!< serving timeline (virtual time)
+inline constexpr int kClusterPid = 4; //!< cluster node timeline (tid = node)
 
 class Tracer
 {

@@ -74,6 +74,8 @@ class EnmcClassifier
     /** Restore a previously saved screener; marks the model calibrated. */
     void load(const std::string &path);
 
+    const nn::Classifier &teacher() const { return teacher_; }
+    const ClassifierOptions &options() const { return options_; }
     const screening::Screener &screener() const { return *screener_; }
     const EnmcSystem &system() const { return system_; }
     bool calibrated() const { return calibrated_; }

@@ -1,0 +1,86 @@
+#include "runtime/node_backend.h"
+
+#include "common/logging.h"
+
+namespace enmc::runtime {
+
+const char *
+nodeHealthName(NodeHealth h)
+{
+    switch (h) {
+    case NodeHealth::Alive:
+        return "alive";
+    case NodeHealth::Suspect:
+        return "suspect";
+    case NodeHealth::Dead:
+        return "dead";
+    }
+    return "?";
+}
+
+NodeBackend::NodeBackend(uint32_t id, std::unique_ptr<Backend> inner,
+                         const fault::ResilienceConfig &resilience)
+    : Backend(inner->config()), id_(id), inner_(std::move(inner)),
+      resilience_(resilience)
+{
+    ENMC_ASSERT(resilience_.blacklist_after >= 1,
+                "node blacklist threshold must be >= 1");
+}
+
+std::string
+NodeBackend::name() const
+{
+    return "node" + std::to_string(id_) + ":" + inner_->name();
+}
+
+BackendCapabilities
+NodeBackend::capabilities() const
+{
+    return inner_->capabilities();
+}
+
+arch::RankResult
+NodeBackend::runSlice(const arch::RankTask &task) const
+{
+    return inner_->runSlice(task);
+}
+
+arch::RankResult
+NodeBackend::runFunctionalSlice(const arch::RankTask &task) const
+{
+    return inner_->runFunctionalSlice(task);
+}
+
+TimingResult
+NodeBackend::runJob(const JobSpec &spec) const
+{
+    return inner_->runJob(spec);
+}
+
+void
+NodeBackend::kill()
+{
+    health_ = NodeHealth::Dead;
+}
+
+void
+NodeBackend::recordFailure()
+{
+    if (health_ == NodeHealth::Dead)
+        return;
+    ++consecutive_failures_;
+    health_ = consecutive_failures_ >= resilience_.blacklist_after
+                  ? NodeHealth::Dead
+                  : NodeHealth::Suspect;
+}
+
+void
+NodeBackend::recordSuccess()
+{
+    if (health_ == NodeHealth::Dead)
+        return;
+    consecutive_failures_ = 0;
+    health_ = NodeHealth::Alive;
+}
+
+} // namespace enmc::runtime

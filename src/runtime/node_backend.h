@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One cluster node behind the uniform `Backend` interface.
+ *
+ * `NodeBackend` wraps any registry backend and adds the node-granularity
+ * health state machine the cluster fabric routes around — the
+ * rank-level stuck-rank blacklisting of `ResilientBackend` promoted one
+ * level: a node that keeps failing shard executions walks
+ * Alive -> Suspect -> Dead (after `ResilienceConfig::blacklist_after`
+ * consecutive failures), and a Dead node never receives traffic again.
+ * It also carries the cumulative dispatch count the router's
+ * least-loaded replica selection keys on. Because a NodeBackend *is* a
+ * `Backend`, a cluster of them composes behind the same interface the
+ * registry already serves.
+ */
+
+#ifndef ENMC_RUNTIME_NODE_BACKEND_H
+#define ENMC_RUNTIME_NODE_BACKEND_H
+
+#include <memory>
+#include <string>
+
+#include "fault/injector.h"
+#include "runtime/backend.h"
+
+namespace enmc::runtime {
+
+/** Failover state of one node (rank blacklisting, promoted a level). */
+enum class NodeHealth : uint8_t {
+    Alive = 0,   //!< serving traffic
+    Suspect,     //!< failed recently; still routable, one strike left
+    Dead,        //!< blacklisted or killed; never routed to again
+};
+
+const char *nodeHealthName(NodeHealth h);
+
+class NodeBackend : public Backend
+{
+  public:
+    /**
+     * @param id         Cluster-wide node id (trace track, stats name).
+     * @param inner      The execution backend this node runs.
+     * @param resilience Policy whose `blacklist_after` drives the
+     *                   Suspect -> Dead transition.
+     */
+    NodeBackend(uint32_t id, std::unique_ptr<Backend> inner,
+                const fault::ResilienceConfig &resilience);
+
+    // --- Backend interface (delegated) --------------------------------
+    std::string name() const override;
+    BackendCapabilities capabilities() const override;
+    arch::RankResult runSlice(const arch::RankTask &task) const override;
+    arch::RankResult
+    runFunctionalSlice(const arch::RankTask &task) const override;
+    TimingResult runJob(const JobSpec &spec) const override;
+
+    // --- node health + load -------------------------------------------
+    uint32_t id() const { return id_; }
+    NodeHealth health() const { return health_; }
+    bool alive() const { return health_ != NodeHealth::Dead; }
+
+    /** Operator/scripted kill: immediately Dead, no strikes. */
+    void kill();
+
+    /** One failed shard execution; Dead after `blacklist_after` strikes. */
+    void recordFailure();
+
+    /** One successful shard execution; resets strikes (unless Dead). */
+    void recordSuccess();
+
+    /** Cumulative dispatched shard-batches (least-loaded routing key). */
+    uint64_t load() const { return dispatched_; }
+    void recordDispatch(uint64_t batches = 1) { dispatched_ += batches; }
+
+    Backend &inner() { return *inner_; }
+
+  private:
+    uint32_t id_;
+    std::unique_ptr<Backend> inner_;
+    fault::ResilienceConfig resilience_;
+    NodeHealth health_ = NodeHealth::Alive;
+    uint32_t consecutive_failures_ = 0;
+    uint64_t dispatched_ = 0;
+};
+
+} // namespace enmc::runtime
+
+#endif // ENMC_RUNTIME_NODE_BACKEND_H

@@ -108,4 +108,32 @@ runScaleOutFunctional(const ScaleOutConfig &cfg,
     return out;
 }
 
+std::vector<std::vector<uint32_t>>
+scaleOutTopK(const EnmcSystem::FunctionalResult &result, uint64_t nodes,
+             size_t k)
+{
+    ENMC_ASSERT(nodes >= 1, "cluster needs at least one node");
+    std::vector<std::vector<uint32_t>> topk;
+    topk.reserve(result.probabilities.size());
+    for (const tensor::Vector &probs : result.probabilities) {
+        const uint64_t l = probs.size();
+        const std::vector<RowSlice> shards = RankPartitioner::partition(
+            0, l, std::min<uint64_t>(nodes, std::max<uint64_t>(l, 1)));
+        std::vector<std::vector<tensor::Scored>> shard_tops;
+        shard_tops.reserve(shards.size());
+        for (const RowSlice &s : shards)
+            shard_tops.push_back(tensor::topkScored(
+                std::span<const float>(probs.data() + s.begin, s.rows), k,
+                static_cast<uint32_t>(s.begin)));
+        const std::vector<tensor::Scored> merged =
+            tensor::mergeTopK(shard_tops, k);
+        std::vector<uint32_t> ids;
+        ids.reserve(merged.size());
+        for (const tensor::Scored &sc : merged)
+            ids.push_back(sc.index);
+        topk.push_back(std::move(ids));
+    }
+    return topk;
+}
+
 } // namespace enmc::runtime

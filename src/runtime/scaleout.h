@@ -17,8 +17,10 @@
 #define ENMC_RUNTIME_SCALEOUT_H
 
 #include <cstdint>
+#include <vector>
 
 #include "runtime/system.h"
+#include "tensor/topk.h"
 
 namespace enmc::runtime {
 
@@ -74,6 +76,17 @@ EnmcSystem::FunctionalResult runScaleOutFunctional(
     const screening::Screener &screener,
     const std::vector<tensor::Vector> &h_batch,
     uint64_t ranks_per_node = 2);
+
+/**
+ * Global top-k per batch item of a scale-out functional result, computed
+ * the way the gather actually works: each of the `nodes` shards reports
+ * only its local top-k (offset to global row ids) and the root merges
+ * the lists through `tensor::mergeTopK`. Equals
+ * `tensor::topkIndices(probabilities, k)` for every shard layout
+ * (partition invariance; asserted by tests).
+ */
+std::vector<std::vector<uint32_t>> scaleOutTopK(
+    const EnmcSystem::FunctionalResult &result, uint64_t nodes, size_t k);
 
 } // namespace enmc::runtime
 

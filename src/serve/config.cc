@@ -1,53 +1,14 @@
 #include "serve/config.h"
 
-#include <cstdlib>
-#include <string>
-
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace enmc::serve {
 
-namespace {
-
-const char *
-envStr(const char *name)
-{
-    const char *v = std::getenv(name);
-    return (v != nullptr && *v != '\0') ? v : nullptr;
-}
-
-uint64_t
-envU64(const char *name, uint64_t fallback)
-{
-    const char *v = envStr(name);
-    if (v == nullptr)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || *end != '\0')
-        ENMC_FATAL(name, " must be an unsigned integer, got '", v, "'");
-    return parsed;
-}
-
-double
-envF64(const char *name, double fallback)
-{
-    const char *v = envStr(name);
-    if (v == nullptr)
-        return fallback;
-    char *end = nullptr;
-    const double parsed = std::strtod(v, &end);
-    if (end == v || *end != '\0')
-        ENMC_FATAL(name, " must be a number, got '", v, "'");
-    return parsed;
-}
-
-} // namespace
-
 ServeConfig
 serveConfigFromEnv(ServeConfig base)
 {
-    if (const char *v = envStr("ENMC_SERVE_BACKEND"))
+    if (const char *v = envString("ENMC_SERVE_BACKEND"))
         base.backend = v;
     base.queue_capacity = envU64("ENMC_SERVE_QUEUE_CAP", base.queue_capacity);
     base.max_batch = envU64("ENMC_SERVE_MAX_BATCH", base.max_batch);
@@ -55,6 +16,9 @@ serveConfigFromEnv(ServeConfig base)
     base.handoff_us = envF64("ENMC_SERVE_HANDOFF_US", base.handoff_us);
     base.warmup_requests = envU64("ENMC_SERVE_WARMUP", base.warmup_requests);
     base.slo_us = envF64("ENMC_SERVE_SLO_US", base.slo_us);
+    base.compute_logits = envBool("ENMC_SERVE_LOGITS", base.compute_logits);
+    base.topk = envU64("ENMC_SERVE_TOPK", base.topk);
+    base.cluster = cluster::clusterConfigFromEnv(base.cluster);
     validate(base);
     return base;
 }
@@ -73,6 +37,8 @@ validate(const ServeConfig &cfg)
         ENMC_FATAL("serve: delays and SLO must be non-negative");
     if (cfg.backend.empty())
         ENMC_FATAL("serve: backend name must be non-empty");
+    if (cfg.backend == "cluster")
+        cluster::validate(cfg.cluster);
 }
 
 } // namespace enmc::serve

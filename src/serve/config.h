@@ -20,11 +20,17 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/config.h"
+
 namespace enmc::serve {
 
 struct ServeConfig
 {
-    /** Backend registry key batches are dispatched through. */
+    /**
+     * Backend registry key batches are dispatched through; the special
+     * name `"cluster"` dispatches through the sharded cluster fabric
+     * configured by `cluster` below instead of a single backend.
+     */
     std::string backend = "enmc";                 // ENMC_SERVE_BACKEND
 
     /** Bounded request-queue capacity (admission control). */
@@ -52,9 +58,12 @@ struct ServeConfig
     double slo_us = 2000.0;                       // ENMC_SERVE_SLO_US
 
     /** Compute per-request probabilities (off = timing-only serving). */
-    bool compute_logits = true;
+    bool compute_logits = true;                   // ENMC_SERVE_LOGITS
     /** Top-k indices returned per request when computing logits. */
-    size_t topk = 5;
+    size_t topk = 5;                              // ENMC_SERVE_TOPK
+
+    /** Cluster fabric shape, used when `backend == "cluster"`. */
+    cluster::ClusterConfig cluster;               // ENMC_CLUSTER_*
 };
 
 /**

@@ -1,0 +1,99 @@
+#include "serve/dispatch.h"
+
+#include "cluster/backend.h"
+#include "common/logging.h"
+
+namespace enmc::serve {
+
+BackendDispatcher::BackendDispatcher(
+    std::unique_ptr<runtime::Backend> backend, const runtime::JobSpec &job)
+    : backend_(std::move(backend)), job_(job)
+{
+}
+
+double
+BackendDispatcher::serviceUs(uint64_t batch, uint64_t candidates)
+{
+    const auto key = std::make_pair(batch, candidates);
+    {
+        std::lock_guard<std::mutex> lock(memo_mutex_);
+        auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+    }
+    runtime::JobSpec spec = job_;
+    spec.batch = batch;
+    spec.candidates = candidates;
+    const double us = backend_->runJob(spec).seconds * 1e6;
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    memo_.emplace(key, us);
+    return us;
+}
+
+std::vector<runtime::ClassifierOutput>
+BackendDispatcher::forward(const std::vector<tensor::Vector> &h_batch,
+                           size_t k)
+{
+    ENMC_ASSERT(classifier_ != nullptr,
+                "dispatch: forward without an attached classifier");
+    return classifier_->forward(h_batch, k);
+}
+
+ClusterDispatcher::ClusterDispatcher(const cluster::ClusterConfig &cfg,
+                                     const runtime::JobSpec &job)
+    : router_(cfg, job)
+{
+}
+
+std::string
+ClusterDispatcher::name() const
+{
+    return "cluster(" + std::to_string(router_.nodeCount()) + "x" +
+           router_.config().node_backend + ")";
+}
+
+void
+ClusterDispatcher::routeBatch(uint64_t batch, uint64_t candidates,
+                              double now_us)
+{
+    router_.routeBatch(batch, candidates, now_us);
+}
+
+double
+ClusterDispatcher::serviceUs(uint64_t batch, uint64_t candidates)
+{
+    // No memo here: the router memoizes per health epoch, so a node kill
+    // re-times subsequent batches instead of serving frozen numbers.
+    return router_.serviceUs(batch, candidates);
+}
+
+std::vector<runtime::ClassifierOutput>
+ClusterDispatcher::forward(const std::vector<tensor::Vector> &h_batch,
+                           size_t k)
+{
+    ENMC_ASSERT(classifier_ != nullptr,
+                "dispatch: forward without an attached classifier");
+    // Same ranks-per-node the classifier itself slices across, so a
+    // 1-node cluster is bit-identical to the classifier's own forward.
+    return router_.computeBatch(classifier_->teacher(),
+                                classifier_->screener(), h_batch, k,
+                                classifier_->options().ranks);
+}
+
+std::unique_ptr<Dispatcher>
+makeDispatcher(const ServeConfig &cfg, const runtime::JobSpec &job,
+               const runtime::SystemConfig &sys)
+{
+    // Keep the registry complete either way: "cluster" stays resolvable
+    // for consumers that go through createBackend().
+    cluster::registerClusterBackend();
+    if (cfg.backend == "cluster") {
+        cluster::ClusterConfig cc = cfg.cluster;
+        cc.node = sys;
+        return std::make_unique<ClusterDispatcher>(cc, job);
+    }
+    return std::make_unique<BackendDispatcher>(
+        runtime::createBackend(cfg.backend, sys), job);
+}
+
+} // namespace enmc::serve

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The serve loop's dispatch target, abstracted: one loop (queueing,
+ * batching, SLO accounting — see serve/loop.h) in front of either a
+ * single registry backend or a routed cluster fabric.
+ *
+ * `Dispatcher` is the seam: `serviceUs` is the simulated backend time of
+ * one batch (the loop adds its own per-offload handoff), `forward` is
+ * the functional execution, and `routeBatch` is the per-dispatch routing
+ * hook — a no-op for a single backend, a scatter/gather fan-out (plus
+ * any scripted node kill) for a cluster. The loop calls `routeBatch`
+ * exactly once per dispatched batch in *both* serving modes, so replay
+ * and live runs see the same routing sequence for the same batch
+ * sequence.
+ */
+
+#ifndef ENMC_SERVE_DISPATCH_H
+#define ENMC_SERVE_DISPATCH_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "runtime/api.h"
+#include "runtime/backend.h"
+#include "serve/config.h"
+
+namespace enmc::serve {
+
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    virtual std::string name() const = 0;
+
+    /** The functional-scale classifier `forward` serves from. */
+    virtual void attachClassifier(runtime::EnmcClassifier &clf)
+    {
+        classifier_ = &clf;
+    }
+
+    /**
+     * Per-dispatch routing hook, called exactly once per dispatched
+     * batch (replay and live). Single-backend dispatch has nothing to
+     * route; the cluster fans the batch out across shard replicas.
+     */
+    virtual void routeBatch(uint64_t /*batch*/, uint64_t /*candidates*/,
+                            double /*now_us*/)
+    {
+    }
+
+    /** Simulated backend time (us) of one batch, excluding the serve
+     *  loop's own handoff. Deterministic given the dispatch history. */
+    virtual double serviceUs(uint64_t batch, uint64_t candidates) = 0;
+
+    /** Functional forward of a batch (requires an attached classifier). */
+    virtual std::vector<runtime::ClassifierOutput>
+    forward(const std::vector<tensor::Vector> &h_batch, size_t k) = 0;
+
+    /** The cluster fabric behind this dispatcher, if any. */
+    virtual cluster::ClusterRouter *router() { return nullptr; }
+
+  protected:
+    runtime::EnmcClassifier *classifier_ = nullptr;
+};
+
+/** Classic dispatch: every batch goes to one registry backend. */
+class BackendDispatcher : public Dispatcher
+{
+  public:
+    BackendDispatcher(std::unique_ptr<runtime::Backend> backend,
+                      const runtime::JobSpec &job);
+
+    std::string name() const override { return backend_->name(); }
+    double serviceUs(uint64_t batch, uint64_t candidates) override;
+    std::vector<runtime::ClassifierOutput>
+    forward(const std::vector<tensor::Vector> &h_batch, size_t k) override;
+
+  private:
+    std::unique_ptr<runtime::Backend> backend_;
+    runtime::JobSpec job_;
+    // The timing model is deterministic in (batch, candidates); the memo
+    // makes replay O(distinct shapes) backend runs.
+    std::map<std::pair<uint64_t, uint64_t>, double> memo_;
+    std::mutex memo_mutex_;
+};
+
+/** Cluster dispatch: batches scatter/gather across the shard fabric. */
+class ClusterDispatcher : public Dispatcher
+{
+  public:
+    ClusterDispatcher(const cluster::ClusterConfig &cfg,
+                      const runtime::JobSpec &job);
+
+    std::string name() const override;
+    void routeBatch(uint64_t batch, uint64_t candidates,
+                    double now_us) override;
+    double serviceUs(uint64_t batch, uint64_t candidates) override;
+    std::vector<runtime::ClassifierOutput>
+    forward(const std::vector<tensor::Vector> &h_batch, size_t k) override;
+    cluster::ClusterRouter *router() override { return &router_; }
+
+  private:
+    cluster::ClusterRouter router_;
+};
+
+/**
+ * Build the dispatcher `cfg.backend` names: `"cluster"` builds the
+ * routed fabric from `cfg.cluster` (with `sys` as every node's local
+ * system); anything else resolves through the backend registry.
+ */
+std::unique_ptr<Dispatcher> makeDispatcher(const ServeConfig &cfg,
+                                           const runtime::JobSpec &job,
+                                           const runtime::SystemConfig &sys);
+
+} // namespace enmc::serve
+
+#endif // ENMC_SERVE_DISPATCH_H

@@ -50,7 +50,7 @@ ServeLoop::ServeLoop(const ServeConfig &cfg, const runtime::JobSpec &job,
                      const runtime::SystemConfig &sys)
     : cfg_(validated(cfg)),
       job_(job),
-      backend_(runtime::createBackend(cfg.backend, sys)),
+      dispatcher_(makeDispatcher(cfg_, job, sys)),
       queue_(cfg.queue_capacity),
       batcher_(cfg.max_batch, cfg.max_delay_us),
       stats_("serve.loop"),
@@ -90,25 +90,13 @@ ServeLoop::attachClassifier(runtime::EnmcClassifier &clf)
                 "serve: attach a calibrated classifier (call calibrate() "
                 "or load() first)");
     classifier_ = &clf;
+    dispatcher_->attachClassifier(clf);
 }
 
 double
 ServeLoop::batchServiceUs(uint64_t batch, uint64_t candidates)
 {
-    const auto key = std::make_pair(batch, candidates);
-    {
-        std::lock_guard<std::mutex> lock(memo_mutex_);
-        auto it = service_memo_.find(key);
-        if (it != service_memo_.end())
-            return it->second;
-    }
-    runtime::JobSpec spec = job_;
-    spec.batch = batch;
-    spec.candidates = candidates;
-    const double us = cfg_.handoff_us + backend_->runJob(spec).seconds * 1e6;
-    std::lock_guard<std::mutex> lock(memo_mutex_);
-    service_memo_.emplace(key, us);
-    return us;
+    return cfg_.handoff_us + dispatcher_->serviceUs(batch, candidates);
 }
 
 uint64_t
@@ -142,7 +130,7 @@ ServeLoop::computeBatch(const std::vector<const Request *> &reqs,
     if (h_batch.empty())
         return;
     std::vector<runtime::ClassifierOutput> outs =
-        classifier_->forward(h_batch, cfg_.topk);
+        dispatcher_->forward(h_batch, cfg_.topk);
     ENMC_ASSERT(outs.size() == with_hidden.size(),
                 "serve: classifier returned a short batch");
     for (size_t j = 0; j < with_hidden.size(); ++j) {
@@ -319,6 +307,9 @@ ServeLoop::runVirtual(
         for (size_t idx : inflight)
             reqs.push_back(&store[idx]);
         inflight_cands = batchCandidates(reqs);
+        // Route before timing: a health transition this dispatch causes
+        // (scripted kill, failover) must re-time this very batch.
+        dispatcher_->routeBatch(batch, inflight_cands, now);
         const double service = batchServiceUs(batch, inflight_cands);
         for (size_t idx : inflight) {
             rstore[idx].dispatch_us = now;
@@ -450,11 +441,11 @@ ServeLoop::wallUs() const
 void
 ServeLoop::start()
 {
-    ENMC_ASSERT(!live_ && !dispatcher_.joinable(),
+    ENMC_ASSERT(!live_ && !dispatcher_thread_.joinable(),
                 "serve loop already started (one start/stop per loop)");
     live_ = true;
     live_epoch_ = std::chrono::steady_clock::now();
-    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+    dispatcher_thread_ = std::thread([this] { dispatcherLoop(); });
     executor_ = std::thread([this] { executorLoop(); });
 }
 
@@ -641,6 +632,8 @@ ServeLoop::executorLoop()
             obs::TraceSpan span("batch.execute", "serve");
             span.arg("size", static_cast<double>(batch));
             span.arg("candidates", static_cast<double>(prepared->candidates));
+            dispatcher_->routeBatch(batch, prepared->candidates,
+                                    dispatch_us);
             computeBatch(reqs, resp_ptrs);
         }
         const double complete_us = wallUs();
@@ -661,7 +654,7 @@ ServeLoop::stop()
 {
     ENMC_ASSERT(live_, "stop() before start()");
     queue_.close();
-    dispatcher_.join();
+    dispatcher_thread_.join();
     executor_.join();
     live_ = false;
 

@@ -41,10 +41,10 @@
 #include "common/stats.h"
 #include "obs/registry.h"
 #include "runtime/api.h"
-#include "runtime/backend.h"
 #include "runtime/system.h"
 #include "serve/batcher.h"
 #include "serve/config.h"
+#include "serve/dispatch.h"
 #include "serve/queue.h"
 #include "serve/report.h"
 #include "serve/request.h"
@@ -108,8 +108,9 @@ class ServeLoop
 
     /**
      * Simulated service time (us) of a batch: per-offload handoff plus
-     * the backend's batched job latency. Memoized on (batch, candidates)
-     * — the timing model is deterministic in the job spec.
+     * the dispatcher's batched service latency. Deterministic given the
+     * dispatch history (a single backend memoizes on (batch, candidates);
+     * the cluster re-times after every health transition).
      */
     double batchServiceUs(uint64_t batch, uint64_t candidates);
 
@@ -120,6 +121,12 @@ class ServeLoop
     RequestQueue &queue() { return queue_; }
     DynamicBatcher &batcher() { return batcher_; }
     StatGroup &stats() { return stats_; }
+    Dispatcher &dispatcher() { return *dispatcher_; }
+    /** The cluster fabric batches route through; nullptr off-cluster. */
+    cluster::ClusterRouter *clusterRouter()
+    {
+        return dispatcher_->router();
+    }
 
   private:
     struct PreparedBatch
@@ -155,17 +162,15 @@ class ServeLoop
 
     ServeConfig cfg_;
     runtime::JobSpec job_;
-    std::unique_ptr<runtime::Backend> backend_;
+    std::unique_ptr<Dispatcher> dispatcher_;
     runtime::EnmcClassifier *classifier_ = nullptr;
 
     RequestQueue queue_;
     DynamicBatcher batcher_;
-    std::map<std::pair<uint64_t, uint64_t>, double> service_memo_;
-    std::mutex memo_mutex_;
 
     // Live-mode pipeline.
     bool live_ = false;
-    std::thread dispatcher_;
+    std::thread dispatcher_thread_;
     std::thread executor_;
     std::mutex handoff_mutex_;
     std::condition_variable handoff_cv_;

@@ -7,36 +7,72 @@
 
 namespace enmc::tensor {
 
-std::vector<uint32_t>
-topkIndices(std::span<const float> z, size_t k)
+namespace {
+
+/**
+ * Keep the best k entries seen so far. The heap top is the worst kept
+ * element under `scoredBefore`, so each candidate costs one compare and
+ * (rarely) one push/pop. O(n log k) with only k entries allocated — the
+ * selection runs once per inference, so avoiding the O(n) index array
+ * matters.
+ */
+void
+pushBounded(std::vector<Scored> &heap, size_t k, const Scored &s)
+{
+    if (heap.size() < k) {
+        heap.push_back(s);
+        std::push_heap(heap.begin(), heap.end(), scoredBefore);
+    } else if (k > 0 && scoredBefore(s, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), scoredBefore);
+        heap.back() = s;
+        std::push_heap(heap.begin(), heap.end(), scoredBefore);
+    }
+}
+
+} // namespace
+
+std::vector<Scored>
+topkScored(std::span<const float> z, size_t k, uint32_t index_offset)
 {
     const size_t n = z.size();
     if (k > n)
         k = n;
-    // Ranking order: descending value, ascending index on ties.
-    auto better = [&z](uint32_t a, uint32_t b) {
-        if (z[a] != z[b])
-            return z[a] > z[b];
-        return a < b;
-    };
-    // Bounded heap of the best k seen so far; the top is the worst kept
-    // element, so each candidate costs one compare and (rarely) one
-    // push/pop. O(n log k) with only k entries allocated — the selection
-    // runs once per inference, so avoiding the O(n) index array matters.
-    std::vector<uint32_t> heap;
+    std::vector<Scored> heap;
     heap.reserve(k);
-    for (uint32_t i = 0; i < n; ++i) {
-        if (heap.size() < k) {
-            heap.push_back(i);
-            std::push_heap(heap.begin(), heap.end(), better);
-        } else if (k > 0 && better(i, heap.front())) {
-            std::pop_heap(heap.begin(), heap.end(), better);
-            heap.back() = i;
-            std::push_heap(heap.begin(), heap.end(), better);
+    for (size_t i = 0; i < n; ++i)
+        pushBounded(heap, k,
+                    Scored{index_offset + static_cast<uint32_t>(i), z[i]});
+    std::sort(heap.begin(), heap.end(), scoredBefore);
+    return heap;
+}
+
+std::vector<Scored>
+mergeTopK(std::span<const std::vector<Scored>> shards, size_t k)
+{
+    std::vector<Scored> heap;
+    heap.reserve(k);
+    for (const std::vector<Scored> &shard : shards) {
+        for (const Scored &s : shard) {
+            // Shard lists are sorted by scoredBefore: once an entry
+            // cannot displace the worst kept element, none after it can.
+            if (heap.size() >= k && (k == 0 || !scoredBefore(s, heap.front())))
+                break;
+            pushBounded(heap, k, s);
         }
     }
-    std::sort(heap.begin(), heap.end(), better);
+    std::sort(heap.begin(), heap.end(), scoredBefore);
     return heap;
+}
+
+std::vector<uint32_t>
+topkIndices(std::span<const float> z, size_t k)
+{
+    const std::vector<Scored> best = topkScored(z, k);
+    std::vector<uint32_t> out;
+    out.reserve(best.size());
+    for (const Scored &s : best)
+        out.push_back(s.index);
+    return out;
 }
 
 std::vector<uint32_t>

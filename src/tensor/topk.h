@@ -16,6 +16,49 @@
 
 namespace enmc::tensor {
 
+/** One scored entry of a top-k selection: a global index + its score. */
+struct Scored
+{
+    uint32_t index = 0;
+    float value = 0.0f;
+
+    bool operator==(const Scored &) const = default;
+};
+
+/**
+ * The one ranking order every top-k consumer shares: descending value,
+ * ascending index on ties (deterministic under duplicates).
+ */
+inline bool
+scoredBefore(const Scored &a, const Scored &b)
+{
+    if (a.value != b.value)
+        return a.value > b.value;
+    return a.index < b.index;
+}
+
+/**
+ * The k best entries of `z` as (index, value) pairs sorted by
+ * `scoredBefore`. `index_offset` shifts the reported indices into a
+ * global id space, so a shard can score its local slice and still name
+ * global categories. The bounded-heap core behind `topkIndices` and
+ * `mergeTopK`.
+ */
+std::vector<Scored> topkScored(std::span<const float> z, size_t k,
+                               uint32_t index_offset = 0);
+
+/**
+ * Merge per-shard top-k lists over *disjoint* index spaces into the
+ * global top-k, sorted by `scoredBefore`. Each shard list must itself
+ * be sorted by `scoredBefore` (as `topkScored` returns it). The result
+ * equals `topkScored` over the concatenated score vectors whenever each
+ * shard contributed at least its own k best entries — the root-side
+ * merge of the paper's scale-out gather, shared by the cluster router,
+ * the scale-out layer and the benches.
+ */
+std::vector<Scored> mergeTopK(std::span<const std::vector<Scored>> shards,
+                              size_t k);
+
 /**
  * Indices of the k largest values, sorted by descending value.
  * Ties broken by lower index first (deterministic).

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the cluster fabric's building blocks: the shard map
+ * (RankPartitioner at node granularity, including degenerate shapes),
+ * chained-declustering replica placement, the NodeBackend health state
+ * machine, least-loaded routing, scripted kills + failover, and the
+ * epoch-keyed service-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/backend.h"
+#include "cluster/router.h"
+#include "runtime/node_backend.h"
+
+namespace enmc::cluster {
+namespace {
+
+runtime::JobSpec
+job(uint64_t categories = 32768)
+{
+    runtime::JobSpec spec;
+    spec.categories = categories;
+    spec.hidden = 128;
+    spec.reduced = 32;
+    spec.candidates = 512;
+    return spec;
+}
+
+ClusterConfig
+config(uint64_t nodes = 4, uint64_t replication = 2)
+{
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.replication = replication;
+    return cfg;
+}
+
+// --- shard map (RankPartitioner degenerate shapes) ----------------------
+
+TEST(Partitioner, FewerLabelsThanShardsDropsEmptyShards)
+{
+    // 3 labels over 8 parts: ceil slicing gives 1-row slices; the five
+    // trailing empty slices must be dropped, not emitted as zero-row
+    // shards a router would scatter work to.
+    const auto slices = runtime::RankPartitioner::partition(0, 3, 8);
+    ASSERT_EQ(slices.size(), 3u);
+    for (size_t s = 0; s < slices.size(); ++s) {
+        EXPECT_EQ(slices[s].begin, s);
+        EXPECT_EQ(slices[s].rows, 1u);
+    }
+}
+
+TEST(Partitioner, ZeroRowsYieldsNoShards)
+{
+    EXPECT_TRUE(runtime::RankPartitioner::partition(5, 0, 4).empty());
+}
+
+TEST(Partitioner, SinglePartTakesEverything)
+{
+    const auto slices = runtime::RankPartitioner::partition(7, 100, 1);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].begin, 7u);
+    EXPECT_EQ(slices[0].rows, 100u);
+}
+
+TEST(Partitioner, NonDividingRemainderCoversExactly)
+{
+    // 10 rows over 4 parts: 3+3+3+1, contiguous, disjoint, complete.
+    const auto slices = runtime::RankPartitioner::partition(0, 10, 4);
+    ASSERT_EQ(slices.size(), 4u);
+    uint64_t next = 0, total = 0;
+    for (const auto &s : slices) {
+        EXPECT_EQ(s.begin, next);
+        EXPECT_GT(s.rows, 0u);
+        next = s.begin + s.rows;
+        total += s.rows;
+    }
+    EXPECT_EQ(total, 10u);
+    EXPECT_EQ(slices.back().rows, 1u);
+}
+
+// --- node health state machine ------------------------------------------
+
+TEST(NodeBackend, WalksAliveSuspectDead)
+{
+    fault::ResilienceConfig resilience;
+    resilience.blacklist_after = 3;
+    runtime::NodeBackend node(2, runtime::createBackend("enmc"),
+                              resilience);
+    EXPECT_EQ(node.health(), runtime::NodeHealth::Alive);
+    EXPECT_TRUE(node.alive());
+    EXPECT_EQ(node.name(), "node2:enmc");
+
+    node.recordFailure();
+    EXPECT_EQ(node.health(), runtime::NodeHealth::Suspect);
+    EXPECT_TRUE(node.alive()); // suspect still serves traffic
+
+    node.recordSuccess(); // strike forgiven
+    EXPECT_EQ(node.health(), runtime::NodeHealth::Alive);
+
+    node.recordFailure();
+    node.recordFailure();
+    EXPECT_EQ(node.health(), runtime::NodeHealth::Suspect);
+    node.recordFailure(); // third consecutive strike
+    EXPECT_EQ(node.health(), runtime::NodeHealth::Dead);
+    EXPECT_FALSE(node.alive());
+
+    node.recordSuccess(); // dead nodes stay dead
+    EXPECT_EQ(node.health(), runtime::NodeHealth::Dead);
+}
+
+TEST(NodeBackend, KillIsImmediate)
+{
+    runtime::NodeBackend node(0, runtime::createBackend("enmc"),
+                              fault::ResilienceConfig{});
+    node.kill();
+    EXPECT_EQ(node.health(), runtime::NodeHealth::Dead);
+}
+
+TEST(NodeBackend, LoadTracksDispatches)
+{
+    runtime::NodeBackend node(0, runtime::createBackend("enmc"),
+                              fault::ResilienceConfig{});
+    EXPECT_EQ(node.load(), 0u);
+    node.recordDispatch();
+    node.recordDispatch(3);
+    EXPECT_EQ(node.load(), 4u);
+}
+
+// --- configuration validation -------------------------------------------
+
+TEST(ClusterConfigDeath, RejectsInconsistentShapes)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ClusterConfig bad = config();
+    bad.replication = 5; // > nodes
+    EXPECT_DEATH(validate(bad), "replication");
+
+    bad = config();
+    bad.nodes = 0;
+    EXPECT_DEATH(validate(bad), "nodes");
+
+    bad = config();
+    bad.kill.node = 4; // not a node id of a 4-node cluster
+    EXPECT_DEATH(validate(bad), "kill");
+}
+
+// --- router: shard map + replica placement ------------------------------
+
+TEST(Router, ShardsCoverLabelSpaceDisjointly)
+{
+    ClusterRouter router(config(4, 2), job(10'000));
+    ASSERT_EQ(router.shardCount(), 4u);
+    uint64_t next = 0, total = 0;
+    for (const auto &s : router.shards()) {
+        EXPECT_EQ(s.begin, next);
+        next = s.begin + s.rows;
+        total += s.rows;
+    }
+    EXPECT_EQ(total, 10'000u);
+}
+
+TEST(Router, SmallLabelSpaceDropsEmptyShards)
+{
+    // 3 labels, 8 nodes: only 3 shards exist; the other nodes are pure
+    // replica targets.
+    ClusterRouter router(config(8, 2), job(3));
+    EXPECT_EQ(router.shardCount(), 3u);
+    EXPECT_EQ(router.nodeCount(), 8u);
+}
+
+TEST(Router, ChainedDeclusteringPlacesReplicas)
+{
+    ClusterRouter router(config(4, 3), job());
+    EXPECT_EQ(router.replicasOf(0), (std::vector<uint32_t>{0, 1, 2}));
+    EXPECT_EQ(router.replicasOf(3), (std::vector<uint32_t>{3, 0, 1}));
+    // Distinct replicas per shard (replication <= nodes).
+    for (size_t s = 0; s < router.shardCount(); ++s) {
+        const auto reps = router.replicasOf(s);
+        std::set<uint32_t> uniq(reps.begin(), reps.end());
+        EXPECT_EQ(uniq.size(), reps.size());
+    }
+}
+
+// --- router: routing, kills, failover -----------------------------------
+
+TEST(Router, RouteBalancesAcrossReplicasDeterministically)
+{
+    ClusterRouter a(config(4, 2), job());
+    ClusterRouter b(config(4, 2), job());
+    for (int i = 0; i < 16; ++i) {
+        const auto ra = a.routeBatch(8, 64, 0.0);
+        const auto rb = b.routeBatch(8, 64, 0.0);
+        ASSERT_EQ(ra.size(), 4u); // every shard dispatched
+        for (size_t s = 0; s < ra.size(); ++s) {
+            EXPECT_EQ(ra[s].shard, s);
+            EXPECT_EQ(ra[s].node, rb[s].node) << "batch " << i;
+        }
+    }
+    // All nodes carried load (least-loaded spreads over the chain).
+    for (size_t n = 0; n < a.nodeCount(); ++n)
+        EXPECT_GT(a.node(n).load(), 0u) << "node " << n;
+    EXPECT_EQ(a.stats().counter("routedBatches").value(), 16u);
+    EXPECT_EQ(a.stats().counter("shardDispatches").value(), 64u);
+    EXPECT_EQ(a.stats().counter("deadDispatches").value(), 0u);
+}
+
+TEST(Router, FailoverReroutesAroundDeadNode)
+{
+    ClusterRouter router(config(4, 2), job());
+    router.routeBatch(8, 64, 0.0);
+    router.killNode(1);
+    EXPECT_EQ(router.liveNodeCount(), 3u);
+
+    for (int i = 0; i < 8; ++i) {
+        const auto assignments = router.routeBatch(8, 64, 1.0 + i);
+        for (const auto &a : assignments)
+            EXPECT_NE(a.node, 1u) << "dispatch to a dead node";
+    }
+    // Shard 1's primary is dead, so each post-kill batch reroutes it.
+    EXPECT_GE(router.stats().counter("reroutes").value(), 8u);
+    EXPECT_EQ(router.stats().counter("deadDispatches").value(), 0u);
+    EXPECT_EQ(router.stats().counter("nodeKills").value(), 1u);
+    EXPECT_EQ(router.node(1).stats().counter("killed").value(), 1u);
+    // Killing again is a no-op, not a double-count.
+    router.killNode(1);
+    EXPECT_EQ(router.stats().counter("nodeKills").value(), 1u);
+}
+
+TEST(Router, ScriptedKillFiresAtTheConfiguredBatch)
+{
+    ClusterConfig cfg = config(4, 2);
+    cfg.kill.node = 2;
+    cfg.kill.after_batches = 3;
+    ClusterRouter router(cfg, job());
+    for (int i = 0; i < 3; ++i) {
+        router.routeBatch(8, 64, static_cast<double>(i));
+        EXPECT_EQ(router.liveNodeCount(), 4u) << "kill fired early";
+    }
+    router.routeBatch(8, 64, 3.0); // fourth batch: kill fires first
+    EXPECT_EQ(router.liveNodeCount(), 3u);
+    EXPECT_FALSE(router.node(2).alive());
+}
+
+TEST(RouterDeath, DiesWhenNoLiveReplicaRemains)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // replication 1: killing any node orphans its shard.
+    ClusterConfig cfg = config(2, 1);
+    ClusterRouter router(cfg, job());
+    router.killNode(0);
+    EXPECT_DEATH(router.routeBatch(8, 64, 0.0), "no live replica");
+}
+
+// --- router: service-time model -----------------------------------------
+
+TEST(Router, SingleNodeServiceTimeMatchesPlainBackend)
+{
+    // The degenerate fabric: no scatter/gather/handoff terms, so the
+    // 1-node cluster must time bit-identically to the plain backend.
+    const runtime::JobSpec spec = job();
+    ClusterConfig cfg = config(1, 1);
+    ClusterRouter router(cfg, spec);
+
+    auto backend = runtime::createBackend("enmc", cfg.node);
+    runtime::JobSpec ref = spec;
+    ref.batch = 8;
+    ref.candidates = 64;
+    const double plain_us = backend->runJob(ref).seconds * 1e6;
+    EXPECT_DOUBLE_EQ(router.serviceUs(8, 64), plain_us);
+}
+
+TEST(Router, MultiNodeServiceAddsNetworkAndShrinksCompute)
+{
+    const runtime::JobSpec spec = job(1'000'000);
+    ClusterRouter one(config(1, 1), spec);
+    ClusterRouter four(config(4, 2), spec);
+    const double t1 = one.serviceUs(8, 512);
+    const double t4 = four.serviceUs(8, 512);
+    EXPECT_GT(t4, 0.0);
+    EXPECT_LT(t4, t1); // sharding 1M labels 4-way wins despite network
+}
+
+TEST(Router, ServiceTimeRetimesAfterAKill)
+{
+    ClusterRouter router(config(4, 2), job(1'000'000));
+    const double before = router.serviceUs(8, 512);
+    router.killNode(0);
+    const double after = router.serviceUs(8, 512);
+    // Node 0's shard fails over to node 1, which now runs two shards
+    // serially: the batch must get slower, not serve a frozen memo.
+    EXPECT_GT(after, before);
+}
+
+// --- the "cluster" registry backend -------------------------------------
+
+TEST(ClusterBackend, RegistersAndTimesJobs)
+{
+    registerClusterBackend();
+    ASSERT_TRUE(runtime::BackendRegistry::instance().contains("cluster"));
+    auto backend = runtime::createBackend("cluster");
+    EXPECT_EQ(backend->name(), "cluster");
+    EXPECT_FALSE(backend->capabilities().functional);
+    runtime::JobSpec spec = job();
+    spec.batch = 8;
+    spec.candidates = 64;
+    const runtime::TimingResult r = backend->runJob(spec);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.ranks, 0u);
+}
+
+} // namespace
+} // namespace enmc::cluster

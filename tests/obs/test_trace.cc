@@ -48,10 +48,10 @@ TEST_F(TraceTest, DisabledRecordsNothing)
 TEST_F(TraceTest, MetadataNamesAllTimelines)
 {
     // Even an empty trace carries process_name metadata so viewers label
-    // the wall-clock, DDR-clock, and serving timelines.
+    // the wall-clock, DDR-clock, serving and cluster timelines.
     const Json events = Tracer::instance().eventsJson();
-    ASSERT_EQ(events.size(), 3u);
-    for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
         const Json &m = events.at(i);
         EXPECT_EQ(m.at("ph").asString(), "M");
         EXPECT_EQ(m.at("name").asString(), "process_name");
@@ -63,6 +63,8 @@ TEST_F(TraceTest, MetadataNamesAllTimelines)
               static_cast<uint64_t>(kSimPid));
     EXPECT_EQ(events.at(size_t{2}).at("pid").asU64(),
               static_cast<uint64_t>(kServePid));
+    EXPECT_EQ(events.at(size_t{3}).at("pid").asU64(),
+              static_cast<uint64_t>(kClusterPid));
 }
 
 TEST_F(TraceTest, CompleteAndInstantEvents)
@@ -76,9 +78,9 @@ TEST_F(TraceTest, CompleteAndInstantEvents)
     EXPECT_EQ(t.eventCount(), 2u);
 
     const Json events = t.eventsJson();
-    ASSERT_EQ(events.size(), 5u); // 3 metadata + 2 recorded
+    ASSERT_EQ(events.size(), 6u); // 4 metadata + 2 recorded
 
-    const Json &x = events.at(size_t{3});
+    const Json &x = events.at(size_t{4});
     EXPECT_EQ(x.at("name").asString(), "screen");
     EXPECT_EQ(x.at("cat").asString(), "pipeline");
     EXPECT_EQ(x.at("ph").asString(), "X");
@@ -88,7 +90,7 @@ TEST_F(TraceTest, CompleteAndInstantEvents)
     EXPECT_DOUBLE_EQ(x.at("dur").asDouble(), 5.0);
     EXPECT_DOUBLE_EQ(x.at("args").at("rows").asDouble(), 64.0);
 
-    const Json &i = events.at(size_t{4});
+    const Json &i = events.at(size_t{5});
     EXPECT_EQ(i.at("ph").asString(), "i");
     EXPECT_FALSE(i.has("dur")); // instants carry no duration
     EXPECT_DOUBLE_EQ(i.at("args").at("candidates").asDouble(), 8.0);
@@ -104,7 +106,7 @@ TEST_F(TraceTest, SpanEmitsCompleteEventOnDestruction)
     }
     ASSERT_EQ(t.eventCount(), 1u);
     const Json events = t.eventsJson();
-    const Json &e = events.at(size_t{3});
+    const Json &e = events.at(size_t{4});
     EXPECT_EQ(e.at("name").asString(), "slice.sim");
     EXPECT_EQ(e.at("ph").asString(), "X");
     EXPECT_EQ(e.at("pid").asU64(), static_cast<uint64_t>(kWallPid));
@@ -161,9 +163,9 @@ TEST_F(TraceTest, WriteTraceFileRoundTrip)
     const Json doc = Json::parseOrDie(buf.str());
     EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
     const Json &events = doc.at("traceEvents");
-    ASSERT_EQ(events.size(), 4u);
-    EXPECT_EQ(events.at(size_t{3}).at("name").asString(), "exec");
-    EXPECT_DOUBLE_EQ(events.at(size_t{3}).at("dur").asDouble(), 42.0);
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events.at(size_t{4}).at("name").asString(), "exec");
+    EXPECT_DOUBLE_EQ(events.at(size_t{4}).at("dur").asDouble(), 42.0);
 }
 
 } // namespace

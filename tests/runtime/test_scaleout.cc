@@ -153,6 +153,25 @@ TEST_P(NodeCount, MergeEqualsSingleNode)
 
 INSTANTIATE_TEST_SUITE_P(Nodes, NodeCount, ::testing::Values(2, 3, 8));
 
+TEST_F(ScaleOutFunctional, ShardedTopKMatchesGlobalTopK)
+{
+    // The gather-side merge: per-shard top-k lists through mergeTopK
+    // must equal the unsharded selection for every cluster width.
+    ScaleOutConfig cfg;
+    cfg.nodes = 4;
+    const auto res = runScaleOutFunctional(cfg, model_.classifier(),
+                                           *screener_, h_batch_, 2);
+    for (const uint64_t nodes : {1ull, 2ull, 5ull, 64ull, 5000ull}) {
+        const auto sharded = scaleOutTopK(res, nodes, 10);
+        ASSERT_EQ(sharded.size(), h_batch_.size());
+        for (size_t item = 0; item < h_batch_.size(); ++item) {
+            const auto ref =
+                tensor::topkIndices(res.probabilities[item], 10);
+            EXPECT_EQ(sharded[item], ref) << "nodes=" << nodes;
+        }
+    }
+}
+
 TEST_F(ScaleOutFunctional, MatchesPlainFunctionalRun)
 {
     ScaleOutConfig cfg;

@@ -70,6 +70,91 @@ TEST(TopK, ManyDuplicatesKeepLowestIndices)
         EXPECT_EQ(idx[i], i);
 }
 
+TEST(TopKScored, CarriesValuesAndOffsets)
+{
+    std::vector<float> z{0.1f, 0.9f, 0.5f};
+    const auto scored = topkScored(z, 2, /*index_offset=*/100);
+    ASSERT_EQ(scored.size(), 2u);
+    EXPECT_EQ(scored[0].index, 101u);
+    EXPECT_FLOAT_EQ(scored[0].value, 0.9f);
+    EXPECT_EQ(scored[1].index, 102u);
+    EXPECT_FLOAT_EQ(scored[1].value, 0.5f);
+}
+
+TEST(MergeTopK, BasicAcrossTwoShards)
+{
+    // Shard 0 owns rows [0,3), shard 1 owns rows [3,6).
+    std::vector<float> a{0.1f, 0.8f, 0.3f};
+    std::vector<float> b{0.9f, 0.2f, 0.7f};
+    std::vector<std::vector<Scored>> shards{topkScored(a, 3, 0),
+                                            topkScored(b, 3, 3)};
+    const auto merged = mergeTopK(shards, 3);
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].index, 3u); // 0.9
+    EXPECT_EQ(merged[1].index, 1u); // 0.8
+    EXPECT_EQ(merged[2].index, 5u); // 0.7
+}
+
+TEST(MergeTopK, TiesAcrossShardsBreakByGlobalIndex)
+{
+    std::vector<float> a{5.0f, 1.0f};
+    std::vector<float> b{5.0f, 5.0f};
+    std::vector<std::vector<Scored>> shards{topkScored(a, 3, 0),
+                                            topkScored(b, 3, 2)};
+    const auto merged = mergeTopK(shards, 3);
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].index, 0u);
+    EXPECT_EQ(merged[1].index, 2u);
+    EXPECT_EQ(merged[2].index, 3u);
+}
+
+TEST(MergeTopK, EmptyAndShortShards)
+{
+    std::vector<float> only{0.4f};
+    std::vector<std::vector<Scored>> shards{{}, topkScored(only, 5, 7), {}};
+    const auto merged = mergeTopK(shards, 5);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].index, 7u);
+    EXPECT_TRUE(mergeTopK({}, 5).empty());
+    EXPECT_TRUE(mergeTopK(shards, 0).empty());
+}
+
+TEST(MergeTopK, MatchesGlobalTopKOnRandomPartitions)
+{
+    // Partition invariance: merging per-shard top-k lists must equal the
+    // unsharded top-k, for any shard layout — the property the cluster
+    // router's scatter/gather correctness rests on.
+    Rng rng(13);
+    std::vector<float> z(400);
+    for (auto &v : z)
+        v = static_cast<float>(rng.normal());
+    // Inject duplicates so cross-shard ties are actually exercised.
+    for (size_t i = 0; i < z.size(); i += 17)
+        z[i] = 1.25f;
+
+    for (const size_t parts : {1u, 2u, 3u, 7u, 32u, 400u}) {
+        for (const size_t k : {1u, 5u, 64u, 500u}) {
+            std::vector<std::vector<Scored>> shards;
+            const size_t rows = (z.size() + parts - 1) / parts;
+            for (size_t begin = 0; begin < z.size(); begin += rows) {
+                const size_t n = std::min(rows, z.size() - begin);
+                shards.push_back(topkScored(
+                    std::span<const float>(z.data() + begin, n), k,
+                    static_cast<uint32_t>(begin)));
+            }
+            const auto merged = mergeTopK(shards, k);
+            const auto ref = topkIndices(z, k);
+            ASSERT_EQ(merged.size(), ref.size())
+                << "parts=" << parts << " k=" << k;
+            for (size_t i = 0; i < ref.size(); ++i) {
+                EXPECT_EQ(merged[i].index, ref[i])
+                    << "parts=" << parts << " k=" << k << " i=" << i;
+                EXPECT_FLOAT_EQ(merged[i].value, z[ref[i]]);
+            }
+        }
+    }
+}
+
 TEST(Threshold, SelectsAllAtOrAbove)
 {
     std::vector<float> z{1.0f, 3.0f, 2.0f, 3.0f};

@@ -15,6 +15,11 @@ Checks, per file:
   - batcher accounting, wherever a group carries the dynamic-batching
     counters: batches == flushSize + flushDeadline + flushDrain, and the
     batchSize histogram records exactly one sample per dispatched batch;
+  - cluster accounting, whenever a cluster.router group is present: the
+    per-node dispatchedBatches counters (cluster.node.*) sum to the
+    router's shardDispatches fan-out total, deadDispatches == 0 (a dead
+    node must never receive traffic), and the fanOut histogram records
+    exactly one sample per routed batch;
   - traceEvents is a list whose entries carry name/ph/pid/ts (complete
     "X" events also carry dur >= 0).
 
@@ -92,6 +97,42 @@ def check_group(path, name, group):
     return errors
 
 
+def check_cluster(path, groups):
+    """Cross-group cluster-fabric invariants (router vs per-node tallies)."""
+    router = groups.get("cluster.router")
+    if router is None:
+        return 0
+    errors = 0
+    counters = router.get("counters", {})
+
+    dead = counters.get("deadDispatches", {}).get("value", 0)
+    if dead != 0:
+        errors += fail(
+            path,
+            f"cluster.router: {dead} dispatches were sent to a dead node")
+
+    fan_out = counters.get("shardDispatches", {}).get("value")
+    node_total = sum(
+        g.get("counters", {}).get("dispatchedBatches", {}).get("value", 0)
+        for gname, g in groups.items()
+        if gname.startswith("cluster.node."))
+    if fan_out is not None and node_total != fan_out:
+        errors += fail(
+            path,
+            f"cluster accounting broken: per-node dispatchedBatches sum "
+            f"{node_total} != router shardDispatches {fan_out}")
+
+    routed = counters.get("routedBatches", {}).get("value")
+    fanout_hist = router.get("histograms", {}).get("fanOut")
+    if routed is not None and fanout_hist is not None \
+            and fanout_hist["total"] != routed:
+        errors += fail(
+            path,
+            f"cluster.router: fanOut histogram total {fanout_hist['total']}"
+            f" != routedBatches counter {routed}")
+    return errors
+
+
 def check_trace(path, events):
     errors = 0
     if not isinstance(events, list):
@@ -123,6 +164,7 @@ def check_file(path):
     else:
         for name, group in groups.items():
             errors += check_group(path, name, group)
+        errors += check_cluster(path, groups)
 
     errors += check_trace(path, doc.get("traceEvents", []))
 
