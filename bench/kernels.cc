@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "common/rng.h"
@@ -16,6 +18,7 @@
 #include "tensor/projection.h"
 #include "tensor/quantize.h"
 #include "tensor/topk.h"
+#include "tensor/tune.h"
 
 using namespace enmc;
 using namespace enmc::tensor;
@@ -119,7 +122,7 @@ BM_MergeTopK(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * shards *
                             kPerShard);
 }
-BENCHMARK(BM_MergeTopK)->Arg(2)->Arg(8)->Arg(64);
+BENCHMARK(BM_MergeTopK)->Arg(2)->Arg(4)->Arg(16);
 
 void
 BM_ThresholdFilter(benchmark::State &state)
@@ -285,12 +288,128 @@ registerTargetVariants()
     }
 }
 
+// ---------------------------------------------------------------------
+// --check: the autotuning acceptance gate. The tuned configuration
+// (ENMC_TUNE_JSON + its kernel pin, or plain cpuid best) must not lose
+// to untuned AVX2 defaults on the two headline kernels. Timed as
+// min-of-N; a small tolerance absorbs scheduler noise on shared CI.
+
+double
+secondsGemvFp32(size_t iters)
+{
+    const size_t l = 65536, d = 128;
+    const Matrix w = randomMatrix(l, d, 1);
+    const Vector h = randomVector(d, 2);
+    Vector z(l);
+    double best = 1e30;
+    for (size_t i = 0; i < iters; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        kernels::gemvInto(w, h, {}, z, 1);
+        benchmark::DoNotOptimize(z.data());
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0).count());
+    }
+    return best;
+}
+
+double
+secondsGemvInt4(size_t iters)
+{
+    const size_t l = 65536, d = 128;
+    const QuantizedMatrix wq = quantize(randomMatrix(l, d, 3),
+                                        QuantBits::Int4);
+    const QuantizedVector hq = quantize(randomVector(d, 4),
+                                        QuantBits::Int4);
+    Vector z(l);
+    double best = 1e30;
+    for (size_t i = 0; i < iters; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        gemvQuantizedRows(wq, hq.values, hq.scale, {}, z, 0, l);
+        benchmark::DoNotOptimize(z.data());
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0).count());
+    }
+    return best;
+}
+
+int
+runCheck()
+{
+    const auto avail = kernels::availableTargets();
+    if (std::find(avail.begin(), avail.end(), kernels::Target::Avx2) ==
+        avail.end()) {
+        std::printf("check: SKIP (no AVX2 tier on this CPU/build)\n");
+        return 0;
+    }
+    // Tuned state as installed by loadFromEnv() (or startup defaults).
+    const kernels::TuneParams tuned = kernels::tune();
+    const kernels::Target tuned_target = kernels::activeTarget();
+
+    constexpr size_t kIters = 40;
+    kernels::setActiveTarget(kernels::Target::Avx2);
+    kernels::setTuneParams(kernels::TuneParams{});
+    secondsGemvFp32(4); // warm caches and the page map
+    const double base_fp32 = secondsGemvFp32(kIters);
+    const double base_int4 = secondsGemvInt4(kIters);
+
+    kernels::setActiveTarget(tuned_target);
+    kernels::setTuneParams(tuned);
+    const double tuned_fp32 = secondsGemvFp32(kIters);
+    const double tuned_int4 = secondsGemvInt4(kIters);
+
+    const double kTol = 1.05; // scheduler noise on min-of-N
+    bool ok = true;
+    const struct { const char *name; double base, opt; } rows[] = {
+        {"GemvFp32/65536", base_fp32, tuned_fp32},
+        {"GemvInt4/65536", base_int4, tuned_int4},
+    };
+    std::printf("check: autotuned (%s) vs untuned avx2, min of %zu runs\n",
+                kernels::targetName(tuned_target), kIters);
+    for (const auto &r : rows) {
+        const double speedup = r.base / r.opt;
+        const bool pass = r.opt <= r.base * kTol;
+        std::printf("check: %-16s untuned %8.1f us  tuned %8.1f us  "
+                    "(%.2fx) %s\n",
+                    r.name, 1e6 * r.base, 1e6 * r.opt, speedup,
+                    pass ? "ok" : "REGRESSION");
+        ok = ok && pass;
+    }
+    std::printf("check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    tune::loadFromEnv();
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--check") {
+            check = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    if (check)
+        return runCheck();
     registerTargetVariants();
+    // The stock library_build_type context field reflects how the
+    // google-benchmark *library* was compiled (the distro package says
+    // "debug"); record how the kernels under test were compiled so
+    // tools/bench_to_json.sh can refuse debug-build archives.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("enmc_build_type", "release");
+#else
+    benchmark::AddCustomContext("enmc_build_type", "debug");
+#endif
+    benchmark::AddCustomContext("enmc_microarch",
+                                kernels::microarchKey());
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -10,6 +10,7 @@
 #include "runtime/partition.h"
 #include "runtime/resilience.h"
 #include "tensor/ops.h"
+#include "tensor/tune.h"
 
 namespace enmc::runtime {
 
@@ -47,6 +48,9 @@ EnmcSystem::EnmcSystem(const SystemConfig &cfg)
           0.0, 1.0, 20)),
       stats_registration_(stats_)
 {
+    // Honour ENMC_TUNE_JSON before the first kernel call of any backend
+    // (idempotent; performance-only, never changes results).
+    tensor::tune::loadFromEnv();
     ENMC_ASSERT(cfg.totalRanks() >= 1, "system needs at least one rank");
 }
 

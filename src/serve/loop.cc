@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "obs/trace.h"
+#include "tensor/tune.h"
 
 namespace enmc::serve {
 
@@ -75,6 +76,9 @@ ServeLoop::ServeLoop(const ServeConfig &cfg, const runtime::JobSpec &job,
           40)),
       stats_registration_(stats_)
 {
+    // Honour ENMC_TUNE_JSON for serve deployments that construct a loop
+    // without going through EnmcSystem first (idempotent).
+    tensor::tune::loadFromEnv();
 }
 
 ServeLoop::~ServeLoop()

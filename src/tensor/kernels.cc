@@ -1,17 +1,23 @@
 /**
  * @file
- * Kernel dispatch (cpuid probe + ENMC_KERNELS override) and the
- * deterministic row-parallel GEMV wrappers.
+ * Kernel dispatch (cpuid probe + ENMC_KERNELS override), the process-wide
+ * TuneParams, and the deterministic row-parallel GEMV wrappers.
  */
 
 #include "tensor/kernels.h"
 
 #include <atomic>
-#include <cstdlib>
+#include <cstdio>
+#include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
 
 namespace enmc::tensor::kernels {
 
@@ -27,6 +33,19 @@ cpuHasAvx2Fma()
 #endif
 }
 
+bool
+cpuHasAvx512()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    // The tier uses foundation + byte/word instructions (the widened
+    // int8 MAC); both ship together on every AVX-512 server part.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw");
+#else
+    return false;
+#endif
+}
+
 const KernelOps *
 tableFor(Target t)
 {
@@ -37,6 +56,8 @@ tableFor(Target t)
         return sse2KernelOps();
       case Target::Avx2:
         return avx2KernelOps();
+      case Target::Avx512:
+        return avx512KernelOps();
     }
     return nullptr;
 }
@@ -46,34 +67,21 @@ targetAvailable(Target t)
 {
     if (t == Target::Avx2 && !cpuHasAvx2Fma())
         return false;
+    if (t == Target::Avx512 && !(cpuHasAvx2Fma() && cpuHasAvx512()))
+        return false;
     return tableFor(t) != nullptr;
 }
 
 Target
 bestAvailable()
 {
+    if (targetAvailable(Target::Avx512))
+        return Target::Avx512;
     if (targetAvailable(Target::Avx2))
         return Target::Avx2;
     if (targetAvailable(Target::Sse2))
         return Target::Sse2;
     return Target::Scalar;
-}
-
-Target
-selectInitialTarget()
-{
-    const char *env = std::getenv("ENMC_KERNELS");
-    if (env && *env) {
-        Target t;
-        if (!targetFromString(env, &t))
-            ENMC_PANIC("ENMC_KERNELS='", env,
-                       "' is not one of scalar|sse2|avx2");
-        if (targetAvailable(t))
-            return t;
-        warn("ENMC_KERNELS=", env, " not available on this CPU; using ",
-             targetName(bestAvailable()));
-    }
-    return bestAvailable();
 }
 
 /** Active table, published once then swapped only by setActiveTarget(). */
@@ -83,7 +91,7 @@ std::atomic<Target> g_target{Target::Scalar};
 const KernelOps *
 initActive()
 {
-    const Target t = selectInitialTarget();
+    const Target t = resolveTarget(envString("ENMC_KERNELS"));
     const KernelOps *table = tableFor(t);
     const KernelOps *expected = nullptr;
     if (g_active.compare_exchange_strong(expected, table))
@@ -91,7 +99,26 @@ initActive()
     return g_active.load();
 }
 
+TuneParams g_tune; // Written only by setTuneParams() (setup code).
+
 } // namespace
+
+Target
+resolveTarget(const char *requested)
+{
+    if (requested == nullptr || *requested == '\0')
+        return bestAvailable();
+    Target t;
+    if (!targetFromString(requested, &t))
+        ENMC_FATAL("ENMC_KERNELS='", requested,
+                   "' is not one of scalar|sse2|avx2|avx512");
+    if (!targetAvailable(t))
+        ENMC_FATAL("ENMC_KERNELS=", requested,
+                   " is not available on this CPU/build (best here: ",
+                   targetName(bestAvailable()),
+                   "); unset it or pick an available target");
+    return t;
+}
 
 const KernelOps &
 ops()
@@ -124,6 +151,8 @@ availableTargets()
         out.push_back(Target::Sse2);
     if (targetAvailable(Target::Avx2))
         out.push_back(Target::Avx2);
+    if (targetAvailable(Target::Avx512))
+        out.push_back(Target::Avx512);
     return out;
 }
 
@@ -137,6 +166,8 @@ targetName(Target t)
         return "sse2";
       case Target::Avx2:
         return "avx2";
+      case Target::Avx512:
+        return "avx512";
     }
     return "?";
 }
@@ -150,9 +181,59 @@ targetFromString(std::string_view s, Target *out)
         *out = Target::Sse2;
     else if (s == "avx2")
         *out = Target::Avx2;
+    else if (s == "avx512")
+        *out = Target::Avx512;
     else
         return false;
     return true;
+}
+
+const std::string &
+microarchKey()
+{
+    static const std::string key = [] {
+        std::string vendor = "unknown";
+        unsigned family = 0, model = 0;
+#if defined(__x86_64__) || defined(__i386__)
+        unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+        if (__get_cpuid(0, &eax, &ebx, &ecx, &edx)) {
+            char v[13] = {};
+            std::memcpy(v + 0, &ebx, 4);
+            std::memcpy(v + 4, &edx, 4);
+            std::memcpy(v + 8, &ecx, 4);
+            if (std::string_view(v) == "GenuineIntel")
+                vendor = "intel";
+            else if (std::string_view(v) == "AuthenticAMD")
+                vendor = "amd";
+            else
+                vendor = "x86";
+        }
+        if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+            family = ((eax >> 8) & 0xf) + ((eax >> 20) & 0xff);
+            model = ((eax >> 4) & 0xf) | (((eax >> 16) & 0xf) << 4);
+        }
+#endif
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s-f%um%u-%s", vendor.c_str(),
+                      family, model, targetName(bestAvailable()));
+        return std::string(buf);
+    }();
+    return key;
+}
+
+const TuneParams &
+tune()
+{
+    return g_tune;
+}
+
+void
+setTuneParams(const TuneParams &p)
+{
+    ENMC_ASSERT(p.gemv_row_chunk > 0, "gemv_row_chunk must be positive");
+    ENMC_ASSERT(p.batch_query_tile > 0, "batch_query_tile must be positive");
+    ENMC_ASSERT(p.batch_row_tile > 0, "batch_row_tile must be positive");
+    g_tune = p;
 }
 
 float
@@ -178,23 +259,25 @@ absMax(std::span<const float> v)
 namespace {
 
 /**
- * Shared chunking driver: run `body(r0, r1)` over fixed kRowChunk blocks
- * of [0, rows). Chunk boundaries depend only on `rows`, and each block
- * writes a disjoint output range, so the merged result is bit-identical
- * for every worker count.
+ * Shared chunking driver: run `body(r0, r1)` over fixed `chunk`-row
+ * blocks of [0, rows). Chunk boundaries depend only on `rows` and the
+ * installed tunables — never the worker count — and each block writes a
+ * disjoint output range, so the merged result is bit-identical for every
+ * worker count.
  */
 template <typename Body>
 void
-forEachRowChunk(size_t rows, size_t cols, size_t workers, const Body &body)
+forEachRowChunk(size_t rows, size_t work, size_t chunk, size_t workers,
+                const Body &body)
 {
-    if (rows * cols < kParallelMinWork || rows <= kRowChunk) {
+    if (work < tune().gemv_parallel_min_work || rows <= chunk) {
         body(0, rows);
         return;
     }
-    const size_t chunks = ceilDiv(rows, kRowChunk);
+    const size_t chunks = ceilDiv(rows, chunk);
     parallelFor(0, chunks, workers, [&](size_t c) {
-        const size_t r0 = c * kRowChunk;
-        body(r0, std::min(rows, r0 + kRowChunk));
+        const size_t r0 = c * chunk;
+        body(r0, std::min(rows, r0 + chunk));
     });
 }
 
@@ -210,7 +293,8 @@ gemvInto(const Matrix &w, std::span<const float> h,
     ENMC_ASSERT(out.size() == w.rows(), "gemv: output size mismatch");
     const KernelOps &k = ops();
     const float *b = bias.empty() ? nullptr : bias.data();
-    forEachRowChunk(w.rows(), w.cols(), workers, [&](size_t r0, size_t r1) {
+    forEachRowChunk(w.rows(), w.rows() * w.cols(), tune().gemv_row_chunk,
+                    workers, [&](size_t r0, size_t r1) {
         k.gemvRows(w.data(), w.cols(), h.data(), b, out.data(), r0, r1);
     });
 }
@@ -225,12 +309,21 @@ gemvBatchInto(const Matrix &w, const float *const *hs, float *const *outs,
                 "gemvBatch: bias size mismatch");
     const KernelOps &k = ops();
     const float *b = bias.empty() ? nullptr : bias.data();
-    // Batched work scales with nq: parallelize whenever the total crosses
-    // the threshold, still chunked over rows only.
-    const size_t eff_cols = w.cols() * nq;
-    forEachRowChunk(w.rows(), eff_cols, workers, [&](size_t r0, size_t r1) {
-        k.gemvBatchRows(w.data(), w.cols(), hs, outs, nq, b, r0, r1);
-    });
+    // Tiles are (batch_query_tile x batch_row_tile): each query tile
+    // streams the weight rows once, and rows are the parallel dimension.
+    // Per-query results are bit-equal to gemvRows whatever the tile
+    // shape (register-blocked pairs inside a tile are bit-equal to
+    // independent dots), so tiling never changes an output.
+    const size_t qtile = tune().batch_query_tile;
+    for (size_t q0 = 0; q0 < nq; q0 += qtile) {
+        const size_t qn = std::min(qtile, nq - q0);
+        const size_t work = w.rows() * w.cols() * qn;
+        forEachRowChunk(w.rows(), work, tune().batch_row_tile, workers,
+                        [&](size_t r0, size_t r1) {
+            k.gemvBatchRows(w.data(), w.cols(), hs + q0, outs + q0, qn, b,
+                            r0, r1);
+        });
+    }
 }
 
 void
@@ -248,7 +341,8 @@ gemvQuantInto(const int8_t *w, size_t rows, size_t cols, const float *scales,
                                ? scalarKernelOps()->gemvQuantRows
                                : k.gemvQuantRows;
     const float *b = bias.empty() ? nullptr : bias.data();
-    forEachRowChunk(rows, cols, workers, [&](size_t r0, size_t r1) {
+    forEachRowChunk(rows, rows * cols, tune().gemv_row_chunk, workers,
+                    [&](size_t r0, size_t r1) {
         rowKernel(w, cols, scales, h, hscale, b, out.data(), r0, r1);
     });
 }

@@ -5,11 +5,13 @@
  *
  * Every dense numeric loop the experiments bottom out in — `dot`, `axpy`,
  * GEMV (FP32 and quantized-integer), quantization, and the sparse
- * projection — is implemented once per dispatch target (AVX2+FMA, SSE2,
- * portable scalar) behind a single function-pointer table. The target is
- * selected once at startup from cpuid and can be forced with
- * `ENMC_KERNELS=scalar|sse2|avx2` (tests and benches may also switch at
- * runtime with setActiveTarget()).
+ * projection — is implemented once per dispatch target (AVX-512,
+ * AVX2+FMA, SSE2, portable scalar) behind a single function-pointer
+ * table. The target is selected once at startup from cpuid and can be
+ * forced with `ENMC_KERNELS=scalar|sse2|avx2|avx512` (tests and benches
+ * may also switch at runtime with setActiveTarget()). Forcing a target
+ * the CPU or build does not support is a fatal configuration error —
+ * never a silent fallback.
  *
  * Numerics contract (tested in tests/tensor/test_kernels.cc):
  *  - Integer kernels (`gemvQuantRows`) and element-wise kernels (`axpy`,
@@ -19,12 +21,20 @@
  *    accumulation pattern (scalar: the original 4x double accumulators;
  *    SSE2: 16 float lanes; AVX2: 16 float lanes + FMA), so the error vs.
  *    the scalar reference is bounded by ~(n/lanes) rounding steps —
- *    tests allow 64 * eps * sum_i |a_i * b_i|.
+ *    tests allow 64 * eps * sum_i |a_i * b_i|. The AVX-512 tier keeps
+ *    AVX2's exact 16-slot FMA pattern (one zmm register holds what AVX2
+ *    spreads over two ymm), so avx512 FP32 results are BIT-IDENTICAL to
+ *    avx2 — upgrading the dispatch tier never moves a paper figure.
  *  - Within one target the layer is self-consistent and deterministic:
  *    gemv(W,h)[r] == dot(W.row(r), h) + b[r] bit-for-bit, batched GEMV
  *    equals per-query GEMV bit-for-bit, and row-parallel GEMV partitions
  *    rows into fixed-size chunks with disjoint outputs, so results are
  *    bit-identical for ANY worker count (ENMC_THREADS).
+ *  - Every `TuneParams` value preserves all of the above bit-for-bit:
+ *    the tunables only move work-partitioning boundaries (row chunks,
+ *    batch tiles) or select between algorithms with identical outputs
+ *    (top-k heap vs. sort-scan under the total order `scoredBefore`),
+ *    never an accumulation pattern.
  */
 
 #ifndef ENMC_TENSOR_KERNELS_H
@@ -33,6 +43,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -40,11 +51,13 @@
 
 namespace enmc::tensor::kernels {
 
-/** Dispatch targets, best-first capability order is Avx2 > Sse2 > Scalar. */
+/** Dispatch targets, best-first capability order is
+ *  Avx512 > Avx2 > Sse2 > Scalar. */
 enum class Target {
     Scalar = 0,
     Sse2 = 1,
     Avx2 = 2,
+    Avx512 = 3,
 };
 
 /**
@@ -109,8 +122,9 @@ const KernelOps &ops();
 
 /**
  * The active dispatch target. First call probes cpuid and honours
- * ENMC_KERNELS=scalar|sse2|avx2 (unknown value panics; an unavailable
- * target warns and falls back to the best available one).
+ * ENMC_KERNELS=scalar|sse2|avx2|avx512 (unknown or unavailable values
+ * are fatal configuration errors — a forced target never silently falls
+ * back).
  */
 Target activeTarget();
 
@@ -121,13 +135,65 @@ Target activeTarget();
  */
 void setActiveTarget(Target t);
 
-/** Targets usable on this CPU, ordered Scalar, [Sse2,] [Avx2]. */
+/** Targets usable on this CPU, ordered Scalar, [Sse2,] [Avx2,] [Avx512]. */
 std::vector<Target> availableTargets();
 
 const char *targetName(Target t);
 
-/** Parse "scalar"/"sse2"/"avx2". Returns false on unknown names. */
+/** Parse "scalar"/"sse2"/"avx2"/"avx512". Returns false on unknown. */
 bool targetFromString(std::string_view s, Target *out);
+
+/**
+ * Resolve a requested `ENMC_KERNELS` value: nullptr/empty picks the best
+ * available target; a known, available name picks that target; anything
+ * else — unknown name or a target this CPU/build lacks — exits via the
+ * fatal configuration-error path (no silent fallback). Exposed so the
+ * regression tests can exercise the error paths directly.
+ */
+Target resolveTarget(const char *requested);
+
+/**
+ * Stable identifier of this machine's kernel-relevant microarchitecture:
+ * "<vendor>-f<family>m<model>-<best target>", e.g.
+ * "intel-f6m106-avx512". Autotuned configs are keyed by this string so
+ * an `enmc.tune` file is portable — a host only applies entries measured
+ * on matching hardware.
+ */
+const std::string &microarchKey();
+
+// ---------------------------------------------------------------------
+// Performance tunables. Every value is bit-exactness-preserving (see the
+// numerics contract above); the defaults reproduce the pre-tuning
+// constants. `tools/autotune` sweeps these and persists the best point
+// per microarchitecture; ENMC_TUNE_JSON= loads it back at startup.
+
+struct TuneParams
+{
+    /** Rows per parallel GEMV work item (chunk boundaries are a pure
+     *  function of the shape, so any value is worker-count stable). */
+    size_t gemv_row_chunk = 1024;
+    /** Minimum rows*cols (*nq for batches) before GEMV fans out. */
+    size_t gemv_parallel_min_work = size_t{1} << 21;
+    /** Batched-GEMV tile shape: queries per tile ... */
+    size_t batch_query_tile = 8;
+    /** ... by rows per tile (the batch path's parallel chunk). */
+    size_t batch_row_tile = 1024;
+    /** topkScored/mergeTopK switch to a sort-scan when the candidate
+     *  count is at most this (0 = always use the bounded heap). */
+    size_t topk_scan_cutoff = 0;
+
+    bool operator==(const TuneParams &) const = default;
+};
+
+/** The active tunables (process-wide; defaults until set). */
+const TuneParams &tune();
+
+/**
+ * Install tunables (startup / test / bench hook). Panics on degenerate
+ * values (zero chunk or tile sizes). Not thread-safe: call only from
+ * single-threaded setup code, like setActiveTarget().
+ */
+void setTuneParams(const TuneParams &p);
 
 // ---------------------------------------------------------------------
 // Span-level conveniences (active-target dispatch, serial).
@@ -137,17 +203,17 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y);
 float absMax(std::span<const float> v);
 
 // ---------------------------------------------------------------------
-// Row-parallel GEMV wrappers. Work is split into fixed kRowChunk-row
-// blocks (independent of worker count) executed on the shared pool when
-// the matrix is large enough; outputs are disjoint per block, so results
-// are bit-identical for every ENMC_THREADS value. `workers` follows
-// enmc::parallelFor: 0 = process-wide pool, 1 = inline serial, n = a
-// dedicated pool of n threads.
+// Row-parallel GEMV wrappers. Work is split into fixed-size row blocks
+// (tune().gemv_row_chunk rows; independent of worker count) executed on
+// the shared pool when the matrix is large enough; outputs are disjoint
+// per block, so results are bit-identical for every ENMC_THREADS value.
+// `workers` follows enmc::parallelFor: 0 = process-wide pool, 1 = inline
+// serial, n = a dedicated pool of n threads.
 
-/** Rows processed per parallel work item. */
+/** Default rows per parallel work item (TuneParams::gemv_row_chunk). */
 inline constexpr size_t kRowChunk = 1024;
 
-/** Minimum rows*cols before GEMV fans out to the pool. */
+/** Default minimum rows*cols before GEMV fans out to the pool. */
 inline constexpr size_t kParallelMinWork = size_t{1} << 21;
 
 /** z = W h (+ bias); out.size() == w.rows(). */
@@ -173,6 +239,7 @@ void gemvQuantInto(const int8_t *w, size_t rows, size_t cols,
 const KernelOps *scalarKernelOps();
 const KernelOps *sse2KernelOps();
 const KernelOps *avx2KernelOps();
+const KernelOps *avx512KernelOps();
 
 } // namespace enmc::tensor::kernels
 

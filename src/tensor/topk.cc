@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace enmc::tensor {
 
@@ -29,6 +30,27 @@ pushBounded(std::vector<Scored> &heap, size_t k, const Scored &s)
     }
 }
 
+/**
+ * Sort-scan alternative to the bounded heap for small inputs: stage all
+ * entries and partial_sort the best k to the front. `scoredBefore` is a
+ * strict total order (value desc, index asc), so the selected set and
+ * its order are exactly the heap path's — the tunable
+ * `topk_scan_cutoff` trades allocation for branchy heap maintenance
+ * without ever changing a result. The staging buffer persists across
+ * calls (selection runs once per inference on same-sized vectors).
+ */
+std::vector<Scored>
+scanTopK(std::vector<Scored> &stage, size_t k)
+{
+    if (k > stage.size())
+        k = stage.size();
+    std::partial_sort(stage.begin(), stage.begin() + k, stage.end(),
+                      scoredBefore);
+    return {stage.begin(), stage.begin() + k};
+}
+
+thread_local std::vector<Scored> t_stage;
+
 } // namespace
 
 std::vector<Scored>
@@ -37,6 +59,14 @@ topkScored(std::span<const float> z, size_t k, uint32_t index_offset)
     const size_t n = z.size();
     if (k > n)
         k = n;
+    if (n <= kernels::tune().topk_scan_cutoff) {
+        t_stage.clear();
+        t_stage.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            t_stage.push_back(
+                Scored{index_offset + static_cast<uint32_t>(i), z[i]});
+        return scanTopK(t_stage, k);
+    }
     std::vector<Scored> heap;
     heap.reserve(k);
     for (size_t i = 0; i < n; ++i)
@@ -49,6 +79,16 @@ topkScored(std::span<const float> z, size_t k, uint32_t index_offset)
 std::vector<Scored>
 mergeTopK(std::span<const std::vector<Scored>> shards, size_t k)
 {
+    size_t total = 0;
+    for (const std::vector<Scored> &shard : shards)
+        total += shard.size();
+    if (total <= kernels::tune().topk_scan_cutoff) {
+        t_stage.clear();
+        t_stage.reserve(total);
+        for (const std::vector<Scored> &shard : shards)
+            t_stage.insert(t_stage.end(), shard.begin(), shard.end());
+        return scanTopK(t_stage, k);
+    }
     std::vector<Scored> heap;
     heap.reserve(k);
     for (const std::vector<Scored> &shard : shards) {

@@ -5,6 +5,11 @@
  * The screening phase picks candidates either by top-m search or by a tuned
  * threshold (paper Section 4.2); both are provided. Selection is also the
  * functional model of the ENMC FILTER instruction.
+ *
+ * Selection runs a bounded heap for large inputs and a sort-scan below
+ * `kernels::tune().topk_scan_cutoff` candidates; `scoredBefore` is a
+ * strict total order, so both paths return the identical list — the
+ * cutoff is a pure performance tunable (autotuned per microarch).
  */
 
 #ifndef ENMC_TENSOR_TOPK_H

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * enmc.tune document (de)serialization and the ENMC_TUNE_JSON startup
+ * path. Failure philosophy follows common/env.cc: an unset variable
+ * falls back silently, a set one must load completely or the process
+ * exits — a half-applied tune file is worse than none.
+ */
+
+#include "tensor/tune.h"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace enmc::tensor::tune {
+
+namespace {
+
+uint64_t
+u64Field(const obs::Json &j, const std::string &key, uint64_t fallback)
+{
+    const obs::Json *f = j.find(key);
+    if (f == nullptr)
+        return fallback;
+    if (!f->isNumber() || f->asDouble() < 0)
+        ENMC_FATAL("enmc.tune: field '", key,
+                   "' must be a non-negative number");
+    return f->asU64();
+}
+
+} // namespace
+
+obs::Json
+configToJson(const TunedConfig &cfg)
+{
+    obs::Json host = obs::Json::object();
+    host.set("gemv_row_chunk", cfg.host.gemv_row_chunk);
+    host.set("gemv_parallel_min_work", cfg.host.gemv_parallel_min_work);
+    host.set("batch_query_tile", cfg.host.batch_query_tile);
+    host.set("batch_row_tile", cfg.host.batch_row_tile);
+    host.set("topk_scan_cutoff", cfg.host.topk_scan_cutoff);
+
+    obs::Json entry = obs::Json::object();
+    if (!cfg.kernels_target.empty())
+        entry.set("kernels", cfg.kernels_target);
+    entry.set("host", std::move(host));
+    if (cfg.sim.has_value()) {
+        obs::Json sim = obs::Json::object();
+        sim.set("ranks_per_channel", cfg.sim->ranks_per_channel);
+        sim.set("int4_macs", cfg.sim->int4_macs);
+        sim.set("inst_fifo_depth", cfg.sim->inst_fifo_depth);
+        sim.set("prefetch_tiles", cfg.sim->prefetch_tiles);
+        sim.set("ddr_cycles", cfg.sim->ddr_cycles);
+        entry.set("sim", std::move(sim));
+    }
+    return entry;
+}
+
+obs::Json
+makeDocument(const std::string &microarch_key, const TunedConfig &cfg)
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", "enmc.tune");
+    doc.set("schema_version", 1);
+    doc.set("tool", "autotune");
+    obs::Json configs = obs::Json::object();
+    configs.set(microarch_key, configToJson(cfg));
+    doc.set("configs", std::move(configs));
+    return doc;
+}
+
+TunedConfig
+configFromJson(const obs::Json &j)
+{
+    if (!j.isObject())
+        ENMC_FATAL("enmc.tune: config entry is not an object");
+    TunedConfig cfg;
+
+    if (const obs::Json *k = j.find("kernels"); k != nullptr) {
+        if (!k->isString())
+            ENMC_FATAL("enmc.tune: 'kernels' must be a string");
+        kernels::Target t;
+        if (!kernels::targetFromString(k->asString(), &t))
+            ENMC_FATAL("enmc.tune: unknown kernel target '", k->asString(),
+                       "'");
+        cfg.kernels_target = k->asString();
+    }
+
+    const obs::Json *host = j.find("host");
+    if (host == nullptr || !host->isObject())
+        ENMC_FATAL("enmc.tune: config entry missing 'host' object");
+    const kernels::TuneParams defaults;
+    cfg.host.gemv_row_chunk =
+        u64Field(*host, "gemv_row_chunk", defaults.gemv_row_chunk);
+    cfg.host.gemv_parallel_min_work = u64Field(
+        *host, "gemv_parallel_min_work", defaults.gemv_parallel_min_work);
+    cfg.host.batch_query_tile =
+        u64Field(*host, "batch_query_tile", defaults.batch_query_tile);
+    cfg.host.batch_row_tile =
+        u64Field(*host, "batch_row_tile", defaults.batch_row_tile);
+    cfg.host.topk_scan_cutoff =
+        u64Field(*host, "topk_scan_cutoff", defaults.topk_scan_cutoff);
+    if (cfg.host.gemv_row_chunk == 0 || cfg.host.batch_query_tile == 0 ||
+        cfg.host.batch_row_tile == 0)
+        ENMC_FATAL("enmc.tune: chunk/tile sizes must be positive");
+
+    if (const obs::Json *sim = j.find("sim"); sim != nullptr) {
+        if (!sim->isObject())
+            ENMC_FATAL("enmc.tune: 'sim' must be an object");
+        SimTune st;
+        st.ranks_per_channel =
+            u64Field(*sim, "ranks_per_channel", st.ranks_per_channel);
+        st.int4_macs = u64Field(*sim, "int4_macs", st.int4_macs);
+        st.inst_fifo_depth =
+            u64Field(*sim, "inst_fifo_depth", st.inst_fifo_depth);
+        st.prefetch_tiles =
+            u64Field(*sim, "prefetch_tiles", st.prefetch_tiles);
+        st.ddr_cycles = u64Field(*sim, "ddr_cycles", 0);
+        if (st.ranks_per_channel == 0 || st.int4_macs == 0 ||
+            st.inst_fifo_depth == 0)
+            ENMC_FATAL("enmc.tune: sim parameters must be positive");
+        cfg.sim = st;
+    }
+    return cfg;
+}
+
+std::optional<TunedConfig>
+findConfig(const obs::Json &doc, const std::string &microarch_key)
+{
+    if (!doc.isObject())
+        ENMC_FATAL("enmc.tune: document is not an object");
+    const obs::Json *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "enmc.tune")
+        ENMC_FATAL("enmc.tune: schema field is missing or not 'enmc.tune'");
+    const obs::Json *version = doc.find("schema_version");
+    if (version == nullptr || !version->isNumber() ||
+        version->asU64() != 1)
+        ENMC_FATAL("enmc.tune: unsupported schema_version (want 1)");
+    const obs::Json *configs = doc.find("configs");
+    if (configs == nullptr || !configs->isObject())
+        ENMC_FATAL("enmc.tune: missing 'configs' object");
+    const obs::Json *entry = configs->find(microarch_key);
+    if (entry == nullptr)
+        return std::nullopt;
+    return configFromJson(*entry);
+}
+
+bool
+loadAndApply(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ENMC_FATAL("cannot read tune config '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    obs::Json doc;
+    std::string err;
+    if (!obs::Json::parse(text.str(), doc, &err))
+        ENMC_FATAL("tune config '", path, "' is not valid JSON: ", err);
+
+    const std::string &key = kernels::microarchKey();
+    const std::optional<TunedConfig> cfg = findConfig(doc, key);
+    if (!cfg.has_value()) {
+        inform("tune config '", path, "' has no entry for this ",
+               "microarchitecture (", key, "); keeping defaults");
+        return false;
+    }
+
+    kernels::setTuneParams(cfg->host);
+    if (!cfg->kernels_target.empty()) {
+        // An explicit ENMC_KERNELS= always wins over the file's pin (and
+        // has already been validated as available by dispatch).
+        if (envString("ENMC_KERNELS") != nullptr) {
+            inform("ENMC_KERNELS overrides the tune file's kernel pin");
+        } else {
+            kernels::Target t;
+            kernels::targetFromString(cfg->kernels_target, &t);
+            // The entry was measured on this microarch, so the pinned
+            // target must exist here; a hand-edited mismatch is fatal.
+            bool available = false;
+            for (kernels::Target a : kernels::availableTargets())
+                available = available || a == t;
+            if (!available)
+                ENMC_FATAL("tune config pins kernels='",
+                           cfg->kernels_target,
+                           "' which this CPU/build lacks");
+            kernels::setActiveTarget(t);
+        }
+    }
+    inform("applied tuned config for ", key, " from '", path, "'");
+    return true;
+}
+
+bool
+loadFromEnv()
+{
+    static std::once_flag flag;
+    static bool applied = false;
+    std::call_once(flag, [] {
+        const char *path = envString("ENMC_TUNE_JSON");
+        if (path != nullptr && *path != '\0')
+            applied = loadAndApply(path);
+    });
+    return applied;
+}
+
+} // namespace enmc::tensor::tune

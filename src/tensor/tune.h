@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Persistence and startup loading of autotuned configurations — the
+ * `enmc.tune` JSON schema written by `tools/autotune` and consumed via
+ * `ENMC_TUNE_JSON=` at startup.
+ *
+ * Document shape (schema "enmc.tune", schema_version 1):
+ *
+ *   {
+ *     "schema": "enmc.tune", "schema_version": 1, "tool": "autotune",
+ *     "configs": {
+ *       "<microarch key>": {
+ *         "kernels": "avx512",              // optional dispatch pin
+ *         "host": { gemv_row_chunk, gemv_parallel_min_work,
+ *                   batch_query_tile, batch_row_tile, topk_scan_cutoff },
+ *         "sim":  { ranks_per_channel, int4_macs, inst_fifo_depth,
+ *                   prefetch_tiles, ddr_cycles },   // optional
+ *         "measurements": { ... }                    // optional, informative
+ *       }, ...
+ *     }
+ *   }
+ *
+ * Configs are keyed by `kernels::microarchKey()` so a file is portable:
+ * a host only applies an entry measured on matching hardware and keeps
+ * its defaults (with an inform message) otherwise. Applying a config
+ * changes performance only — every TuneParams value is bit-exactness
+ * preserving, and the "sim" block is a recorded design point for tools
+ * that opt in (it is NEVER applied implicitly; paper figures use the
+ * Table 3 defaults regardless of ENMC_TUNE_JSON).
+ */
+
+#ifndef ENMC_TENSOR_TUNE_H
+#define ENMC_TENSOR_TUNE_H
+
+#include <optional>
+#include <string>
+
+#include "tensor/kernels.h"
+
+namespace enmc::obs {
+class Json;
+}
+
+namespace enmc::tensor::tune {
+
+/** The simulated design point `tools/autotune` explores (Table 3 axes). */
+struct SimTune
+{
+    uint64_t ranks_per_channel = 4;  //!< dram::Organization::ranks
+    uint64_t int4_macs = 128;        //!< screener MAC array width
+    uint64_t inst_fifo_depth = 64;   //!< controller instruction FIFO
+    uint64_t prefetch_tiles = 8;     //!< in-flight weight-tile fetches
+    /** Simulated DDR cycles of the scoring job at this point. */
+    uint64_t ddr_cycles = 0;
+
+    bool operator==(const SimTune &) const = default;
+};
+
+/** One microarch's tuned entry as carried by the document. */
+struct TunedConfig
+{
+    kernels::TuneParams host;
+    /** Dispatch pin ("avx2"/"avx512"/...); empty = leave cpuid choice. */
+    std::string kernels_target;
+    std::optional<SimTune> sim;
+};
+
+/** Serialize one entry under `configs` (see the schema above). */
+obs::Json configToJson(const TunedConfig &cfg);
+
+/**
+ * Build a complete `enmc.tune` document holding `cfg` under
+ * `microarch_key` (callers may merge more keys before writing).
+ */
+obs::Json makeDocument(const std::string &microarch_key,
+                       const TunedConfig &cfg);
+
+/**
+ * Parse one entry of `configs`. Fatal (configuration error) on
+ * malformed fields — a typo'd tune file must abort, not half-apply.
+ */
+TunedConfig configFromJson(const obs::Json &j);
+
+/**
+ * Load an `enmc.tune` file and apply the entry matching this host's
+ * `kernels::microarchKey()`: installs the host TuneParams and, when the
+ * entry pins a kernel target, switches dispatch to it. `ENMC_KERNELS=`
+ * always wins over the pin. Fatal on unreadable files or schema
+ * mismatches; informs and leaves defaults when no entry matches this
+ * microarch.
+ *
+ * @return true when an entry was applied.
+ */
+bool loadAndApply(const std::string &path);
+
+/**
+ * Startup hook: apply `ENMC_TUNE_JSON=` once per process (idempotent,
+ * thread-safe). Called by the runtime (EnmcSystem), the serve loop, and
+ * the bench/tool mains, so every entry point honours the tuned config
+ * without plumbing.
+ *
+ * @return true when a config was applied (on any call).
+ */
+bool loadFromEnv();
+
+/** Parse a `TunedConfig` entry for `microarch_key` out of a document
+ *  already in memory; nullopt when the key is absent. Fatal on schema
+ *  violations. Exposed for tools (autotune's reload check) and tests. */
+std::optional<TunedConfig> findConfig(const obs::Json &doc,
+                                      const std::string &microarch_key);
+
+} // namespace enmc::tensor::tune
+
+#endif // ENMC_TENSOR_TUNE_H

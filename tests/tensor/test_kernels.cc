@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -17,16 +18,23 @@
 #include "tensor/ops.h"
 #include "tensor/projection.h"
 #include "tensor/quantize.h"
+#include "tensor/topk.h"
 
 namespace enmc::tensor::kernels {
 namespace {
 
-/** Restores the startup dispatch target when a test ends. */
+/** Restores the startup dispatch target and tune params when a test
+ *  ends. */
 class KernelsTest : public ::testing::Test
 {
   protected:
-    void TearDown() override { setActiveTarget(saved_); }
+    void TearDown() override
+    {
+        setActiveTarget(saved_);
+        setTuneParams(saved_tune_);
+    }
     Target saved_ = activeTarget();
+    TuneParams saved_tune_ = tune();
 };
 
 Vector
@@ -81,8 +89,38 @@ TEST_F(KernelsTest, TargetNamesRoundTrip)
         EXPECT_EQ(parsed, t);
     }
     Target dummy;
-    EXPECT_FALSE(targetFromString("avx512", &dummy));
+    EXPECT_TRUE(targetFromString("avx512", &dummy));
+    EXPECT_EQ(dummy, Target::Avx512);
+    EXPECT_FALSE(targetFromString("avx999", &dummy));
     EXPECT_FALSE(targetFromString("", &dummy));
+}
+
+TEST_F(KernelsTest, ResolveTargetEmptyPicksBestAvailable)
+{
+    EXPECT_EQ(resolveTarget(nullptr), availableTargets().back());
+    EXPECT_EQ(resolveTarget(""), availableTargets().back());
+    EXPECT_EQ(resolveTarget("scalar"), Target::Scalar);
+}
+
+using KernelsDeathTest = KernelsTest;
+
+TEST_F(KernelsDeathTest, ResolveTargetUnknownNameIsFatal)
+{
+    EXPECT_DEATH(resolveTarget("avx999"), "ENMC_KERNELS");
+}
+
+TEST_F(KernelsDeathTest, ResolveTargetUnavailableTargetIsFatal)
+{
+    // Find a target this CPU/build lacks; when every tier is available
+    // (full AVX-512 host), the fail-loud path has no reachable input.
+    const auto avail = availableTargets();
+    for (Target t : {Target::Sse2, Target::Avx2, Target::Avx512}) {
+        if (std::find(avail.begin(), avail.end(), t) != avail.end())
+            continue;
+        EXPECT_DEATH(resolveTarget(targetName(t)), "not available");
+        return;
+    }
+    GTEST_SKIP() << "every kernel target is available on this CPU";
 }
 
 TEST_F(KernelsTest, SetActiveTargetSwitchesTable)
@@ -351,6 +389,174 @@ TEST_F(KernelsTest, QuantizedVectorRoundTripsAcrossTargets)
         const QuantizedVector got = quantize(v, QuantBits::Int4);
         ASSERT_EQ(got.scale, want.scale) << "target=" << targetName(t);
         ASSERT_EQ(got.values, want.values) << "target=" << targetName(t);
+    }
+}
+
+/**
+ * The AVX-512 tier promises more than the envelope: its FP32 kernels
+ * keep AVX2's 16-slot accumulation pattern exactly, so results are
+ * bit-identical — the property that lets cpuid upgrade default dispatch
+ * on AVX-512 hosts without moving any golden figure.
+ */
+TEST_F(KernelsTest, Avx512BitIdenticalToAvx2)
+{
+    const auto avail = availableTargets();
+    const bool has512 =
+        std::find(avail.begin(), avail.end(), Target::Avx512) != avail.end();
+    if (!has512)
+        GTEST_SKIP() << "CPU/build lacks AVX-512; nothing to compare";
+    ASSERT_NE(avx512KernelOps(), nullptr);
+
+    Rng rng(47);
+    const Matrix w = randomMatrix(rng, 29, 333);
+    const Vector bias = randomVector(rng, 29);
+    std::vector<Vector> hs;
+    for (size_t q = 0; q < 5; ++q)
+        hs.push_back(randomVector(rng, w.cols()));
+
+    for (size_t n : kSizes) {
+        const Vector a = randomVector(rng, n);
+        const Vector b = randomVector(rng, n);
+        setActiveTarget(Target::Avx2);
+        const float want = ops().dot(a.data(), b.data(), n);
+        setActiveTarget(Target::Avx512);
+        ASSERT_EQ(ops().dot(a.data(), b.data(), n), want) << "n=" << n;
+    }
+
+    Vector z2(w.rows()), z5(w.rows());
+    setActiveTarget(Target::Avx2);
+    ops().gemvRows(w.data(), w.cols(), hs[0].data(), bias.data(), z2.data(),
+                   0, w.rows());
+    setActiveTarget(Target::Avx512);
+    ops().gemvRows(w.data(), w.cols(), hs[0].data(), bias.data(), z5.data(),
+                   0, w.rows());
+    ASSERT_EQ(std::vector<float>(z2.begin(), z2.end()),
+              std::vector<float>(z5.begin(), z5.end()));
+
+    std::vector<Vector> out2(hs.size(), Vector(w.rows())),
+        out5(hs.size(), Vector(w.rows()));
+    std::vector<const float *> hp;
+    std::vector<float *> op2, op5;
+    for (size_t q = 0; q < hs.size(); ++q) {
+        hp.push_back(hs[q].data());
+        op2.push_back(out2[q].data());
+        op5.push_back(out5[q].data());
+    }
+    setActiveTarget(Target::Avx2);
+    ops().gemvBatchRows(w.data(), w.cols(), hp.data(), op2.data(),
+                        hs.size(), bias.data(), 0, w.rows());
+    setActiveTarget(Target::Avx512);
+    ops().gemvBatchRows(w.data(), w.cols(), hp.data(), op5.data(),
+                        hs.size(), bias.data(), 0, w.rows());
+    for (size_t q = 0; q < hs.size(); ++q)
+        for (size_t r = 0; r < w.rows(); ++r)
+            ASSERT_EQ(out2[q][r], out5[q][r]) << "q=" << q << " r=" << r;
+
+    SparseProjection proj(48, w.cols(), rng);
+    setActiveTarget(Target::Avx2);
+    const Vector p2 = proj.apply(hs[1]);
+    setActiveTarget(Target::Avx512);
+    const Vector p5 = proj.apply(hs[1]);
+    for (size_t r = 0; r < p2.size(); ++r)
+        ASSERT_EQ(p2[r], p5[r]) << "r=" << r;
+}
+
+/**
+ * Property test for the TuneParams contract: every parameter value is a
+ * pure performance knob. GEMV (fp32 + int8), batch GEMV and top-k must
+ * return bit-identical results for every sampled TuneParams point, on
+ * every available target, at every worker count.
+ */
+TEST_F(KernelsTest, TuneParamsNeverChangeResults)
+{
+    Rng rng(53);
+    const size_t rows = 700, cols = 257;
+    const Matrix w = randomMatrix(rng, rows, cols);
+    const Vector bias = randomVector(rng, rows);
+    std::vector<Vector> hs;
+    for (size_t q = 0; q < 3; ++q)
+        hs.push_back(randomVector(rng, cols));
+    std::vector<int8_t> wq(rows * cols), hq(cols);
+    for (auto &x : wq)
+        x = static_cast<int8_t>(rng.uniformInt(-7, 7));
+    for (auto &x : hq)
+        x = static_cast<int8_t>(rng.uniformInt(-7, 7));
+    std::vector<float> scales(rows, 0.01f);
+    std::vector<float> z(rows);
+    for (size_t i = 0; i < rows; ++i)
+        z[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    // Duplicate scores exercise the index tie-break in both topk paths.
+    z[11] = z[607];
+    std::vector<std::vector<Scored>> shardLists;
+    for (uint32_t s = 0; s < 4; ++s)
+        shardLists.push_back(
+            topkScored({z.data() + 175 * s, 175}, 40, 175 * s));
+
+    const TuneParams points[] = {
+        {},                    // defaults
+        {1, 1, 1, 1, 0},       // degenerate chunks, heap-only topk
+        {64, 1u << 14, 2, 32, 1 << 20},  // tiny tiles, scan-only topk
+        {4096, 1u << 24, 16, 8192, 512}, // oversized tiles, mixed topk
+        {333, 1, 3, 251, 700}, // off-pattern sizes, cutoff == n
+    };
+
+    // References computed at defaults, workers=1, per target.
+    for (Target t : availableTargets()) {
+        setActiveTarget(t);
+        setTuneParams(TuneParams{});
+        Vector refGemv(rows), refQuant(rows);
+        gemvInto(w, hs[0], bias, refGemv, 1);
+        gemvQuantInto(wq.data(), rows, cols, scales.data(), hq.data(),
+                      0.02f, {}, refQuant, 1);
+        std::vector<const float *> hp;
+        for (const Vector &h : hs)
+            hp.push_back(h.data());
+        std::vector<Vector> refBatch(hs.size(), Vector(rows));
+        {
+            std::vector<float *> op;
+            for (Vector &o : refBatch)
+                op.push_back(o.data());
+            gemvBatchInto(w, hp.data(), op.data(), hs.size(), bias, 1);
+        }
+        const std::vector<Scored> refTopk = topkScored(z, 60);
+        const std::vector<Scored> refMerge = mergeTopK(shardLists, 60);
+
+        for (const TuneParams &p : points) {
+            setTuneParams(p);
+            for (size_t workers : {size_t{1}, size_t{3}, size_t{8}}) {
+                Vector gotGemv(rows), gotQuant(rows);
+                gemvInto(w, hs[0], bias, gotGemv, workers);
+                gemvQuantInto(wq.data(), rows, cols, scales.data(),
+                              hq.data(), 0.02f, {}, gotQuant, workers);
+                std::vector<Vector> gotBatch(hs.size(), Vector(rows));
+                {
+                    std::vector<float *> op;
+                    for (Vector &o : gotBatch)
+                        op.push_back(o.data());
+                    gemvBatchInto(w, hp.data(), op.data(), hs.size(), bias,
+                                  workers);
+                }
+                for (size_t r = 0; r < rows; ++r) {
+                    ASSERT_EQ(gotGemv[r], refGemv[r])
+                        << targetName(t) << " chunk=" << p.gemv_row_chunk
+                        << " workers=" << workers << " r=" << r;
+                    ASSERT_EQ(gotQuant[r], refQuant[r])
+                        << targetName(t) << " chunk=" << p.gemv_row_chunk
+                        << " workers=" << workers << " r=" << r;
+                }
+                for (size_t q = 0; q < hs.size(); ++q)
+                    for (size_t r = 0; r < rows; ++r)
+                        ASSERT_EQ(gotBatch[q][r], refBatch[q][r])
+                            << targetName(t)
+                            << " qtile=" << p.batch_query_tile
+                            << " workers=" << workers << " q=" << q
+                            << " r=" << r;
+            }
+            ASSERT_EQ(topkScored(z, 60), refTopk)
+                << "cutoff=" << p.topk_scan_cutoff;
+            ASSERT_EQ(mergeTopK(shardLists, 60), refMerge)
+                << "cutoff=" << p.topk_scan_cutoff;
+        }
     }
 }
 

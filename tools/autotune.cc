@@ -1,0 +1,488 @@
+/**
+ * @file
+ * One-driver design-space exploration across both tuning domains:
+ *
+ *  - the HOST space: kernel dispatch target + tensor::TuneParams
+ *    (GEMV chunking, batch tile shape, top-k cutoff), scored by timing
+ *    the library's own kernels on this machine;
+ *  - the SIMULATED space: ENMC design points (ranks per channel,
+ *    screener MAC width, instruction FIFO depth, prefetch tiles),
+ *    scored on simulated DDR cycles of a representative job.
+ *
+ * Both run the same search core — greedy coordinate descent over
+ * discrete axes with memoized scores — and the result is persisted as
+ * one schema-versioned `enmc.tune` document keyed by the host's
+ * microarchitecture (see src/tensor/tune.h). Runtimes pick the host
+ * block up via `ENMC_TUNE_JSON=`; the sim block is a recorded design
+ * point for tools that opt in, never applied implicitly.
+ *
+ * Usage: autotune [--quick] [--host-only|--sim-only] [--out=FILE]
+ *
+ * `--quick` shrinks every axis and the timing repeats for CI smoke
+ * runs; `--out` defaults to enmc_tune.json and existing entries for
+ * other microarchitectures in that file are preserved.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "obs/json.h"
+#include "runtime/system.h"
+#include "tensor/kernels.h"
+#include "tensor/matrix.h"
+#include "tensor/quantize.h"
+#include "tensor/topk.h"
+#include "tensor/tune.h"
+
+using namespace enmc;
+using namespace enmc::tensor;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// The shared search core.
+
+/** One discrete dimension of a design space. */
+struct Axis
+{
+    std::string name;
+    std::vector<uint64_t> values;
+    size_t start = 0; //!< index of the default value
+};
+
+/** A design point: one value index per axis. */
+using Point = std::vector<size_t>;
+
+/**
+ * Greedy coordinate descent: sweep the axes in order, holding the rest
+ * of the point fixed and keeping the best value of each, until a full
+ * sweep improves nothing (or `max_sweeps` is hit). Scores are memoized,
+ * so revisiting a point is free. Deterministic and derivative-free —
+ * the same core explores microseconds (host) and DDR cycles (sim).
+ */
+template <typename ScoreFn>
+Point
+coordinateDescent(const std::vector<Axis> &axes, ScoreFn &&score,
+                  size_t max_sweeps, double *best_out)
+{
+    std::map<Point, double> memo;
+    auto eval = [&](const Point &p) {
+        const auto it = memo.find(p);
+        if (it != memo.end())
+            return it->second;
+        const double s = score(p);
+        memo.emplace(p, s);
+        return s;
+    };
+
+    Point best(axes.size());
+    for (size_t a = 0; a < axes.size(); ++a)
+        best[a] = axes[a].start;
+    double best_score = eval(best);
+
+    for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool improved = false;
+        for (size_t a = 0; a < axes.size(); ++a) {
+            Point p = best;
+            for (size_t i = 0; i < axes[a].values.size(); ++i) {
+                p[a] = i;
+                const double s = eval(p);
+                if (s < best_score) {
+                    best_score = s;
+                    best = p;
+                    improved = true;
+                }
+            }
+            std::printf("  %-22s -> %-10llu (score %.4g)\n",
+                        axes[a].name.c_str(),
+                        static_cast<unsigned long long>(
+                            axes[a].values[best[a]]),
+                        best_score);
+        }
+        if (!improved)
+            break;
+    }
+    if (best_out != nullptr)
+        *best_out = best_score;
+    return best;
+}
+
+/** Index of the axis value closest to `v` (for seeding at defaults). */
+size_t
+closestIndex(const std::vector<uint64_t> &values, uint64_t v)
+{
+    size_t best = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+        const auto d = [&](size_t j) {
+            return values[j] > v ? values[j] - v : v - values[j];
+        };
+        if (d(i) < d(best))
+            best = i;
+    }
+    return best;
+}
+
+Axis
+makeAxis(std::string name, std::vector<uint64_t> values, uint64_t dflt)
+{
+    Axis a;
+    a.start = closestIndex(values, dflt);
+    a.name = std::move(name);
+    a.values = std::move(values);
+    return a;
+}
+
+// ---------------------------------------------------------------------
+// Host space: kernel target + TuneParams, scored in wall seconds.
+
+/** Fixed operand set for host scoring (built once, reused per point). */
+struct HostWorkload
+{
+    Matrix w;
+    Vector h;
+    std::vector<Vector> hs;
+    QuantizedMatrix wq;
+    QuantizedVector hq;
+    Vector scores;
+
+    explicit HostWorkload(size_t rows)
+        : w(rows, 128), h(128), scores(rows)
+    {
+        Rng rng(1234);
+        for (size_t i = 0; i < w.size(); ++i)
+            w.data()[i] = static_cast<float>(rng.normal());
+        for (auto &x : h)
+            x = static_cast<float>(rng.normal());
+        for (size_t q = 0; q < 8; ++q) {
+            hs.emplace_back(128);
+            for (auto &x : hs.back())
+                x = static_cast<float>(rng.normal());
+        }
+        wq = quantize(w, QuantBits::Int4);
+        hq = quantize(h, QuantBits::Int4);
+        for (auto &x : scores)
+            x = static_cast<float>(rng.normal());
+    }
+
+    /** One pass over the kernels TuneParams steers; returns seconds. */
+    double run() const
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        const size_t rows = w.rows();
+        Vector z(rows);
+        kernels::gemvInto(w, h, {}, z, 1);
+        gemvQuantizedRows(wq, hq.values, hq.scale, {}, z, 0, rows);
+        std::vector<Vector> outs(hs.size(), Vector(rows));
+        std::vector<const float *> hp;
+        std::vector<float *> op;
+        for (size_t q = 0; q < hs.size(); ++q) {
+            hp.push_back(hs[q].data());
+            op.push_back(outs[q].data());
+        }
+        kernels::gemvBatchInto(w, hp.data(), op.data(), hs.size(), {}, 1);
+        const auto top = topkScored(scores, 64);
+        std::vector<std::vector<Scored>> shards(4, top);
+        const auto merged = mergeTopK(shards, 64);
+        if (merged.empty() && rows > 0)
+            ENMC_FATAL("autotune: degenerate host workload");
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+};
+
+struct HostSpace
+{
+    std::vector<kernels::Target> targets;
+    std::vector<Axis> axes;
+};
+
+HostSpace
+hostSpace(bool quick)
+{
+    const kernels::TuneParams d;
+    HostSpace s;
+    s.targets = kernels::availableTargets();
+    // Scalar is the reference tier, never a contender; drop it when any
+    // vector tier exists so the sweep spends time where wins live.
+    if (s.targets.size() > 1)
+        s.targets.erase(s.targets.begin());
+    std::vector<uint64_t> tix(s.targets.size());
+    for (size_t i = 0; i < tix.size(); ++i)
+        tix[i] = i;
+    Axis target = makeAxis("kernels", tix, tix.size() - 1);
+    target.start = tix.size() - 1; // cpuid best
+    s.axes.push_back(std::move(target));
+
+    if (quick) {
+        s.axes.push_back(makeAxis("gemv_row_chunk", {512, 1024, 4096},
+                                  d.gemv_row_chunk));
+        s.axes.push_back(makeAxis("gemv_parallel_min_work",
+                                  {1u << 20, 1u << 21},
+                                  d.gemv_parallel_min_work));
+        s.axes.push_back(
+            makeAxis("batch_query_tile", {4, 8}, d.batch_query_tile));
+        s.axes.push_back(
+            makeAxis("batch_row_tile", {512, 1024}, d.batch_row_tile));
+        s.axes.push_back(makeAxis("topk_scan_cutoff", {0, 1u << 14},
+                                  d.topk_scan_cutoff));
+    } else {
+        s.axes.push_back(makeAxis("gemv_row_chunk",
+                                  {128, 256, 512, 1024, 2048, 4096, 8192},
+                                  d.gemv_row_chunk));
+        s.axes.push_back(makeAxis(
+            "gemv_parallel_min_work",
+            {1u << 18, 1u << 19, 1u << 20, 1u << 21, 1u << 22, 1u << 23},
+            d.gemv_parallel_min_work));
+        s.axes.push_back(makeAxis("batch_query_tile", {1, 2, 4, 8, 16, 32},
+                                  d.batch_query_tile));
+        s.axes.push_back(makeAxis("batch_row_tile",
+                                  {128, 256, 512, 1024, 2048, 4096},
+                                  d.batch_row_tile));
+        s.axes.push_back(makeAxis(
+            "topk_scan_cutoff",
+            {0, 1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18},
+            d.topk_scan_cutoff));
+    }
+    return s;
+}
+
+kernels::TuneParams
+paramsAt(const HostSpace &s, const Point &p)
+{
+    kernels::TuneParams t;
+    t.gemv_row_chunk = s.axes[1].values[p[1]];
+    t.gemv_parallel_min_work = s.axes[2].values[p[2]];
+    t.batch_query_tile = s.axes[3].values[p[3]];
+    t.batch_row_tile = s.axes[4].values[p[4]];
+    t.topk_scan_cutoff = s.axes[5].values[p[5]];
+    return t;
+}
+
+/** Best (microarch key, tuned host config) for this machine. */
+tune::TunedConfig
+tuneHost(bool quick, double *seconds_out)
+{
+    const size_t rows = quick ? 16384 : 65536;
+    const size_t repeats = quick ? 2 : 5;
+    const HostWorkload work(rows);
+    const HostSpace space = hostSpace(quick);
+
+    auto score = [&](const Point &p) {
+        kernels::setActiveTarget(space.targets[p[0]]);
+        kernels::setTuneParams(paramsAt(space, p));
+        work.run(); // warm caches / page in under this config
+        double best = 1e30;
+        for (size_t i = 0; i < repeats; ++i)
+            best = std::min(best, work.run());
+        return best;
+    };
+
+    std::printf("host space: %zu axes, %zu kernel targets, %zu rows\n",
+                space.axes.size(), space.targets.size(), rows);
+    double best_seconds = 0.0;
+    const Point best = coordinateDescent(space.axes, score,
+                                         quick ? 2 : 4, &best_seconds);
+
+    tune::TunedConfig cfg;
+    cfg.host = paramsAt(space, best);
+    cfg.kernels_target = kernels::targetName(space.targets[best[0]]);
+    if (seconds_out != nullptr)
+        *seconds_out = best_seconds;
+    // Leave the process in the tuned state (harmless; tool exits next).
+    kernels::setActiveTarget(space.targets[best[0]]);
+    kernels::setTuneParams(cfg.host);
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Simulated space: ENMC design points, scored in simulated DDR cycles.
+
+std::vector<Axis>
+simSpace(bool quick)
+{
+    const runtime::SystemConfig d;
+    std::vector<Axis> axes;
+    if (quick) {
+        axes.push_back(
+            makeAxis("ranks_per_channel", {4, 8}, d.org.ranks));
+        axes.push_back(makeAxis("int4_macs", {128, 256}, d.enmc.int4_macs));
+        axes.push_back(makeAxis("inst_fifo_depth", {64, 128},
+                                d.enmc.inst_fifo_depth));
+        axes.push_back(makeAxis("prefetch_tiles", {8, 16},
+                                d.enmc.prefetch_tiles));
+    } else {
+        axes.push_back(
+            makeAxis("ranks_per_channel", {2, 4, 8, 16}, d.org.ranks));
+        axes.push_back(makeAxis("int4_macs", {64, 128, 256, 512},
+                                d.enmc.int4_macs));
+        axes.push_back(makeAxis("inst_fifo_depth", {16, 32, 64, 128, 256},
+                                d.enmc.inst_fifo_depth));
+        axes.push_back(makeAxis("prefetch_tiles", {2, 4, 8, 16, 32},
+                                d.enmc.prefetch_tiles));
+    }
+    return axes;
+}
+
+runtime::JobSpec
+simJob(bool quick)
+{
+    runtime::JobSpec spec;
+    spec.categories = quick ? uint64_t{65536} : uint64_t{262144};
+    spec.hidden = 512;
+    spec.reduced = 128;
+    spec.batch = 4;
+    spec.candidates = 64;
+    return spec;
+}
+
+tune::SimTune
+tuneSim(bool quick)
+{
+    const std::vector<Axis> axes = simSpace(quick);
+    const runtime::JobSpec spec = simJob(quick);
+
+    auto score = [&](const Point &p) {
+        runtime::SystemConfig cfg;
+        cfg.org.ranks = static_cast<uint32_t>(axes[0].values[p[0]]);
+        cfg.enmc.int4_macs = axes[1].values[p[1]];
+        cfg.enmc.inst_fifo_depth = axes[2].values[p[2]];
+        cfg.enmc.prefetch_tiles = axes[3].values[p[3]];
+        const runtime::EnmcSystem sys(cfg);
+        const runtime::TimingResult r = sys.runTiming(spec);
+        return static_cast<double>(r.rank_cycles);
+    };
+
+    std::printf("sim space: %zu axes, %llu categories\n", axes.size(),
+                static_cast<unsigned long long>(spec.categories));
+    double best_cycles = 0.0;
+    const Point best =
+        coordinateDescent(axes, score, quick ? 2 : 4, &best_cycles);
+
+    tune::SimTune st;
+    st.ranks_per_channel = axes[0].values[best[0]];
+    st.int4_macs = axes[1].values[best[1]];
+    st.inst_fifo_depth = axes[2].values[best[2]];
+    st.prefetch_tiles = axes[3].values[best[3]];
+    st.ddr_cycles = static_cast<uint64_t>(best_cycles);
+    return st;
+}
+
+// ---------------------------------------------------------------------
+
+bool
+flagPresent(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+std::string
+stringFlag(int argc, char **argv, const char *prefix,
+           const std::string &dflt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(std::strlen(prefix));
+    }
+    return dflt;
+}
+
+/** Read `path` as an enmc.tune doc; fresh skeleton when absent. */
+obs::Json
+loadOrInitDocument(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        obs::Json doc = obs::Json::object();
+        doc.set("schema", "enmc.tune");
+        doc.set("schema_version", uint64_t{1});
+        doc.set("tool", "autotune");
+        doc.set("configs", obs::Json::object());
+        return doc;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    obs::Json doc;
+    std::string err;
+    if (!obs::Json::parse(text.str(), doc, &err))
+        ENMC_FATAL("autotune: existing '", path, "' is not valid JSON (",
+                   err, "); move it aside or pick another --out");
+    // Validate so we never silently clobber an unrelated file.
+    tune::findConfig(doc, "__probe__");
+    return doc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = flagPresent(argc, argv, "--quick");
+    const bool host_only = flagPresent(argc, argv, "--host-only");
+    const bool sim_only = flagPresent(argc, argv, "--sim-only");
+    const std::string out =
+        stringFlag(argc, argv, "--out=", "enmc_tune.json");
+    if (flagPresent(argc, argv, "--help")) {
+        std::printf("usage: autotune [--quick] [--host-only|--sim-only] "
+                    "[--out=FILE]\n");
+        return 0;
+    }
+
+    const std::string &key = kernels::microarchKey();
+    std::printf("autotune: microarch %s%s\n", key.c_str(),
+                quick ? " (quick)" : "");
+
+    tune::TunedConfig cfg;
+    double host_seconds = 0.0;
+    if (!sim_only)
+        cfg = tuneHost(quick, &host_seconds);
+    if (!host_only)
+        cfg.sim = tuneSim(quick);
+
+    obs::Json doc = loadOrInitDocument(out);
+    obs::Json entry = tune::configToJson(cfg);
+    if (!sim_only) {
+        obs::Json meas = obs::Json::object();
+        meas.set("host_seconds", host_seconds);
+        entry.set("measurements", std::move(meas));
+    }
+    // set() replaces an existing key, so other microarch entries in the
+    // document (and a stale entry for this one) are preserved/updated.
+    obs::Json configs = doc.at("configs");
+    configs.set(key, std::move(entry));
+    doc.set("configs", std::move(configs));
+
+    std::ofstream outf(out);
+    if (!outf)
+        ENMC_FATAL("autotune: cannot write '", out, "'");
+    outf << doc.dump(2) << "\n";
+    outf.close();
+
+    // Reload through the runtime path as a self-check: the file we just
+    // wrote must parse and contain this microarch's entry.
+    const auto back = tune::findConfig(obs::Json::parseOrDie(doc.dump(2)),
+                                       key);
+    if (!back.has_value() || !(back->host == cfg.host))
+        ENMC_FATAL("autotune: reload self-check failed");
+
+    std::printf("autotune: wrote %s (key %s", out.c_str(), key.c_str());
+    if (!cfg.kernels_target.empty())
+        std::printf(", kernels=%s", cfg.kernels_target.c_str());
+    if (cfg.sim.has_value())
+        std::printf(", sim ddr_cycles=%llu",
+                    static_cast<unsigned long long>(cfg.sim->ddr_cycles));
+    std::printf(")\n");
+    return 0;
+}

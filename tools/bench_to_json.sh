@@ -49,7 +49,18 @@ fi
 "$bench_bin" \
     --benchmark_format=json \
     --benchmark_min_time="$min_time" \
-    --benchmark_filter='BM_Gemv|BM_SparseProjection|BM_Quantize|BM_TopK|BM_ThresholdFilter' \
+    --benchmark_filter='BM_Gemv|BM_SparseProjection|BM_Quantize|BM_TopK|BM_MergeTopK|BM_ThresholdFilter' \
     > "$out_file"
+
+# Debug-build numbers are meaningless as an archive; refuse them. The
+# stock "library_build_type" field only describes the google-benchmark
+# library (distro packages report "debug"), so the kernels binary
+# records its own compile mode as "enmc_build_type".
+if ! grep -q '"enmc_build_type": "release"' "$out_file"; then
+    rm -f "$out_file"
+    echo "error: $bench_bin is not a release build; rebuild with" \
+         "-DCMAKE_BUILD_TYPE=Release before archiving" >&2
+    exit 1
+fi
 
 echo "wrote $out_file" >&2

@@ -1,7 +1,17 @@
 #!/usr/bin/env python3
-"""Validate an ENMC metrics JSON document (schema + counter invariants).
+"""Validate an ENMC metrics or tune JSON document.
 
 Usage: tools/check_metrics.py metrics.json [more.json ...]
+
+Files are dispatched on their "schema" field: "enmc.metrics" documents
+get the counter-invariant checks below; "enmc.tune" documents (written
+by tools/autotune, consumed via ENMC_TUNE_JSON=) are checked for
+  - schema_version == 1 and a non-empty "configs" map keyed by
+    microarch strings shaped like "<vendor>-f<family>m<model>-<target>";
+  - per entry: a "host" map holding only the known TuneParams fields
+    (non-negative integers, chunk/tile sizes positive), an optional
+    "kernels" pin naming a known dispatch target, an optional "sim"
+    design point with positive integer fields.
 
 Checks, per file:
   - schema == "enmc.metrics" and schema_version == 1;
@@ -27,6 +37,7 @@ Exits non-zero with a per-file report on the first violated file.
 """
 
 import json
+import re
 import sys
 
 
@@ -146,11 +157,92 @@ def check_trace(path, events):
     return errors
 
 
+TUNE_HOST_FIELDS = {
+    "gemv_row_chunk": True,        # True = must be positive
+    "gemv_parallel_min_work": False,
+    "batch_query_tile": True,
+    "batch_row_tile": True,
+    "topk_scan_cutoff": False,
+}
+TUNE_SIM_FIELDS = {
+    "ranks_per_channel": True,
+    "int4_macs": True,
+    "inst_fifo_depth": True,
+    "prefetch_tiles": True,
+    "ddr_cycles": False,
+}
+KERNEL_TARGETS = ("scalar", "sse2", "avx2", "avx512")
+MICROARCH_RE = re.compile(r"^[a-z0-9]+-f\d+m\d+-[a-z0-9]+$")
+
+
+def check_tune_fields(path, label, block, fields):
+    errors = 0
+    for fname, positive in fields.items():
+        if fname not in block:
+            continue
+        v = block[fname]
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or v != int(v) or v < 0:
+            errors += fail(
+                path, f"{label}.{fname}: not a non-negative integer: {v!r}")
+        elif positive and v == 0:
+            errors += fail(path, f"{label}.{fname}: must be positive")
+    for fname in block:
+        if fname not in fields:
+            errors += fail(path, f"{label}.{fname}: unknown field")
+    return errors
+
+
+def check_tune(path, doc):
+    errors = 0
+    if doc.get("schema_version") != 1:
+        errors += fail(path,
+                       f"schema_version is {doc.get('schema_version')!r}")
+    if not doc.get("tool"):
+        errors += fail(path, "missing tool field")
+    configs = doc.get("configs")
+    if not isinstance(configs, dict) or not configs:
+        return errors + fail(path, "no tune configs present")
+    for key, entry in configs.items():
+        if not MICROARCH_RE.match(key):
+            errors += fail(
+                path, f"config key {key!r} is not a microarch key "
+                      f"(<vendor>-f<family>m<model>-<target>)")
+        if not isinstance(entry, dict):
+            errors += fail(path, f"configs[{key!r}] is not an object")
+            continue
+        host = entry.get("host")
+        if not isinstance(host, dict):
+            errors += fail(path, f"configs[{key!r}] missing 'host' map")
+        else:
+            errors += check_tune_fields(path, f"{key}.host", host,
+                                        TUNE_HOST_FIELDS)
+        kernels = entry.get("kernels")
+        if kernels is not None and kernels not in KERNEL_TARGETS:
+            errors += fail(
+                path, f"{key}.kernels: unknown target {kernels!r}")
+        sim = entry.get("sim")
+        if sim is not None:
+            if not isinstance(sim, dict):
+                errors += fail(path, f"{key}.sim is not an object")
+            else:
+                errors += check_tune_fields(path, f"{key}.sim", sim,
+                                            TUNE_SIM_FIELDS)
+        for section in entry:
+            if section not in ("host", "kernels", "sim", "measurements"):
+                errors += fail(path, f"{key}.{section}: unknown section")
+    if not errors:
+        print(f"{path}: OK (enmc.tune, {len(configs)} microarch entries)")
+    return errors
+
+
 def check_file(path):
     with open(path) as f:
         doc = json.load(f)
 
     errors = 0
+    if doc.get("schema") == "enmc.tune":
+        return check_tune(path, doc)
     if doc.get("schema") != "enmc.metrics":
         errors += fail(path, f"schema is {doc.get('schema')!r}")
     if doc.get("schema_version") != 1:

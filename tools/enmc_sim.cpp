@@ -27,6 +27,7 @@
 #include "nmp/engine.h"
 #include "runtime/resilience.h"
 #include "runtime/system.h"
+#include "tensor/tune.h"
 #include "workloads/registry.h"
 
 using namespace enmc;
