@@ -6,6 +6,7 @@
 #include "enmc/rank.h"
 #include "runtime/compiler.h"
 #include "runtime/partition.h"
+#include "runtime/planner.h"
 #include "runtime/resilience.h"
 
 namespace enmc::runtime {
@@ -226,6 +227,9 @@ BackendRegistry::BackendRegistry()
     });
     add("cpu-full", [](const SystemConfig &cfg) {
         return std::make_unique<CpuBackend>(cfg, /*screening=*/false);
+    });
+    add("auto", [](const SystemConfig &cfg) {
+        return std::make_unique<AutoBackend>(cfg);
     });
 }
 

@@ -19,6 +19,7 @@ serveConfigFromEnv(ServeConfig base)
     base.compute_logits = envBool("ENMC_SERVE_LOGITS", base.compute_logits);
     base.topk = envU64("ENMC_SERVE_TOPK", base.topk);
     base.cluster = cluster::clusterConfigFromEnv(base.cluster);
+    base.planner = runtime::plannerConfigFromEnv(base.planner);
     validate(base);
     return base;
 }
@@ -39,6 +40,8 @@ validate(const ServeConfig &cfg)
         ENMC_FATAL("serve: backend name must be non-empty");
     if (cfg.backend == "cluster")
         cluster::validate(cfg.cluster);
+    if (cfg.backend == "auto")
+        runtime::validate(cfg.planner);
 }
 
 } // namespace enmc::serve

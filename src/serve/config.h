@@ -21,6 +21,7 @@
 #include <string>
 
 #include "cluster/config.h"
+#include "runtime/planner.h"
 
 namespace enmc::serve {
 
@@ -29,7 +30,9 @@ struct ServeConfig
     /**
      * Backend registry key batches are dispatched through; the special
      * name `"cluster"` dispatches through the sharded cluster fabric
-     * configured by `cluster` below instead of a single backend.
+     * configured by `cluster` below, and `"auto"` through the adaptive
+     * offload planner configured by `planner` below, instead of a single
+     * fixed backend.
      */
     std::string backend = "enmc";                 // ENMC_SERVE_BACKEND
 
@@ -64,6 +67,9 @@ struct ServeConfig
 
     /** Cluster fabric shape, used when `backend == "cluster"`. */
     cluster::ClusterConfig cluster;               // ENMC_CLUSTER_*
+
+    /** Offload-planner knobs, used when `backend == "auto"`. */
+    runtime::PlannerConfig planner;               // ENMC_PLAN_*
 };
 
 /**

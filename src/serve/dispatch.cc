@@ -39,6 +39,60 @@ BackendDispatcher::forward(const std::vector<tensor::Vector> &h_batch,
     return classifier_->forward(h_batch, k);
 }
 
+PlannedDispatcher::PlannedDispatcher(
+    std::unique_ptr<runtime::AutoBackend> backend,
+    const runtime::JobSpec &job)
+    : backend_(std::move(backend)), job_(job)
+{
+}
+
+std::string
+PlannedDispatcher::routeBatch(uint64_t batch, uint64_t candidates,
+                              double /*now_us*/)
+{
+    runtime::JobSpec spec = job_;
+    spec.batch = batch;
+    spec.candidates = candidates;
+    const runtime::AutoBackend::PlannedRun run = backend_->runPlanned(spec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    has_pending_ = true;
+    pending_batch_ = batch;
+    pending_cands_ = candidates;
+    pending_us_ = run.timing.seconds * 1e6;
+    return run.backend;
+}
+
+double
+PlannedDispatcher::serviceUs(uint64_t batch, uint64_t candidates)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (has_pending_ && pending_batch_ == batch &&
+            pending_cands_ == candidates) {
+            has_pending_ = false;
+            return pending_us_;
+        }
+    }
+    // Standalone timing query (no preceding routeBatch): run a planned
+    // dispatch of its own.
+    runtime::JobSpec spec = job_;
+    spec.batch = batch;
+    spec.candidates = candidates;
+    return backend_->runPlanned(spec).timing.seconds * 1e6;
+}
+
+std::vector<runtime::ClassifierOutput>
+PlannedDispatcher::forward(const std::vector<tensor::Vector> &h_batch,
+                           size_t k)
+{
+    ENMC_ASSERT(classifier_ != nullptr,
+                "dispatch: forward without an attached classifier");
+    // Functional outputs never depend on the planner's timing pick: the
+    // classifier computes them, so logits are bit-identical to every
+    // fixed-backend dispatcher by construction.
+    return classifier_->forward(h_batch, k);
+}
+
 ClusterDispatcher::ClusterDispatcher(const cluster::ClusterConfig &cfg,
                                      const runtime::JobSpec &job)
     : router_(cfg, job)
@@ -52,11 +106,12 @@ ClusterDispatcher::name() const
            router_.config().node_backend + ")";
 }
 
-void
+std::string
 ClusterDispatcher::routeBatch(uint64_t batch, uint64_t candidates,
                               double now_us)
 {
     router_.routeBatch(batch, candidates, now_us);
+    return name();
 }
 
 double
@@ -92,6 +147,9 @@ makeDispatcher(const ServeConfig &cfg, const runtime::JobSpec &job,
         cc.node = sys;
         return std::make_unique<ClusterDispatcher>(cc, job);
     }
+    if (cfg.backend == "auto")
+        return std::make_unique<PlannedDispatcher>(
+            std::make_unique<runtime::AutoBackend>(sys, cfg.planner), job);
     return std::make_unique<BackendDispatcher>(
         runtime::createBackend(cfg.backend, sys), job);
 }

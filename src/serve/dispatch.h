@@ -26,6 +26,7 @@
 #include "cluster/router.h"
 #include "runtime/api.h"
 #include "runtime/backend.h"
+#include "runtime/planner.h"
 #include "serve/config.h"
 
 namespace enmc::serve {
@@ -45,12 +46,16 @@ class Dispatcher
 
     /**
      * Per-dispatch routing hook, called exactly once per dispatched
-     * batch (replay and live). Single-backend dispatch has nothing to
-     * route; the cluster fans the batch out across shard replicas.
+     * batch (replay and live). Returns the route that will serve the
+     * batch — the fixed backend name for single-backend dispatch, the
+     * fabric name for a cluster fan-out, the planner's per-batch pick
+     * for `"auto"` — recorded on every response of the batch.
      */
-    virtual void routeBatch(uint64_t /*batch*/, uint64_t /*candidates*/,
-                            double /*now_us*/)
+    virtual std::string routeBatch(uint64_t /*batch*/,
+                                   uint64_t /*candidates*/,
+                                   double /*now_us*/)
     {
+        return name();
     }
 
     /** Simulated backend time (us) of one batch, excluding the serve
@@ -63,6 +68,9 @@ class Dispatcher
 
     /** The cluster fabric behind this dispatcher, if any. */
     virtual cluster::ClusterRouter *router() { return nullptr; }
+
+    /** The offload planner behind this dispatcher, if any. */
+    virtual runtime::OffloadPlanner *planner() { return nullptr; }
 
   protected:
     runtime::EnmcClassifier *classifier_ = nullptr;
@@ -89,6 +97,43 @@ class BackendDispatcher : public Dispatcher
     std::mutex memo_mutex_;
 };
 
+/**
+ * Adaptive dispatch: every batch is routed by the offload planner to the
+ * argmin-cost candidate backend. Unlike `BackendDispatcher` there is no
+ * (batch, candidates) service-time memo here — that would freeze the
+ * planner's first decision per shape forever; the `AutoBackend` memoizes
+ * per (backend, shape) underneath instead, so re-planning stays cheap.
+ */
+class PlannedDispatcher : public Dispatcher
+{
+  public:
+    PlannedDispatcher(std::unique_ptr<runtime::AutoBackend> backend,
+                      const runtime::JobSpec &job);
+
+    std::string name() const override { return "auto"; }
+    std::string routeBatch(uint64_t batch, uint64_t candidates,
+                           double now_us) override;
+    double serviceUs(uint64_t batch, uint64_t candidates) override;
+    std::vector<runtime::ClassifierOutput>
+    forward(const std::vector<tensor::Vector> &h_batch, size_t k) override;
+    runtime::OffloadPlanner *planner() override
+    {
+        return &backend_->planner();
+    }
+
+  private:
+    std::unique_ptr<runtime::AutoBackend> backend_;
+    runtime::JobSpec job_;
+    // routeBatch caches its planned service time; the serve loop's
+    // immediately following serviceUs call consumes it so one dispatched
+    // batch is exactly one planner decision.
+    std::mutex mutex_;
+    bool has_pending_ = false;
+    uint64_t pending_batch_ = 0;
+    uint64_t pending_cands_ = 0;
+    double pending_us_ = 0.0;
+};
+
 /** Cluster dispatch: batches scatter/gather across the shard fabric. */
 class ClusterDispatcher : public Dispatcher
 {
@@ -97,8 +142,8 @@ class ClusterDispatcher : public Dispatcher
                       const runtime::JobSpec &job);
 
     std::string name() const override;
-    void routeBatch(uint64_t batch, uint64_t candidates,
-                    double now_us) override;
+    std::string routeBatch(uint64_t batch, uint64_t candidates,
+                           double now_us) override;
     double serviceUs(uint64_t batch, uint64_t candidates) override;
     std::vector<runtime::ClassifierOutput>
     forward(const std::vector<tensor::Vector> &h_batch, size_t k) override;
@@ -111,7 +156,8 @@ class ClusterDispatcher : public Dispatcher
 /**
  * Build the dispatcher `cfg.backend` names: `"cluster"` builds the
  * routed fabric from `cfg.cluster` (with `sys` as every node's local
- * system); anything else resolves through the backend registry.
+ * system); `"auto"` builds the adaptive planner dispatch from
+ * `cfg.planner`; anything else resolves through the backend registry.
  */
 std::unique_ptr<Dispatcher> makeDispatcher(const ServeConfig &cfg,
                                            const runtime::JobSpec &job,

@@ -313,11 +313,13 @@ ServeLoop::runVirtual(
         inflight_cands = batchCandidates(reqs);
         // Route before timing: a health transition this dispatch causes
         // (scripted kill, failover) must re-time this very batch.
-        dispatcher_->routeBatch(batch, inflight_cands, now);
+        const std::string route =
+            dispatcher_->routeBatch(batch, inflight_cands, now);
         const double service = batchServiceUs(batch, inflight_cands);
         for (size_t idx : inflight) {
             rstore[idx].dispatch_us = now;
             rstore[idx].batch_size = static_cast<uint32_t>(batch);
+            rstore[idx].backend = route;
             rstore[idx].warmup = dispatched < cfg_.warmup_requests;
             ++dispatched;
         }
@@ -636,8 +638,10 @@ ServeLoop::executorLoop()
             obs::TraceSpan span("batch.execute", "serve");
             span.arg("size", static_cast<double>(batch));
             span.arg("candidates", static_cast<double>(prepared->candidates));
-            dispatcher_->routeBatch(batch, prepared->candidates,
-                                    dispatch_us);
+            const std::string route = dispatcher_->routeBatch(
+                batch, prepared->candidates, dispatch_us);
+            for (size_t i = 0; i < batch; ++i)
+                resps[i].backend = route;
             computeBatch(reqs, resp_ptrs);
         }
         const double complete_us = wallUs();

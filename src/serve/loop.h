@@ -127,6 +127,8 @@ class ServeLoop
     {
         return dispatcher_->router();
     }
+    /** The offload planner batches route through; nullptr off-auto. */
+    runtime::OffloadPlanner *planner() { return dispatcher_->planner(); }
 
   private:
     struct PreparedBatch

@@ -76,6 +76,10 @@ struct Response
     double dispatch_us = 0.0;   //!< handed to the backend (leaves queue)
     double complete_us = 0.0;   //!< batch finished; response ready
     uint32_t batch_size = 0;    //!< size of the batch that served it
+    /** Dispatch route that served the batch (the planner's pick under
+     *  `--backend=auto`; the fixed backend/cluster name otherwise).
+     *  Empty for rejected requests. */
+    std::string backend;
 
     double queueUs() const { return dispatch_us - admit_us; }
     double backendUs() const { return complete_us - dispatch_us; }

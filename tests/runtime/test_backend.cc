@@ -38,7 +38,7 @@ TEST(BackendRegistry, ListsAllBuiltins)
     const auto names = backendNames();
     for (const char *expected :
          {"enmc", "nda", "chameleon", "tensordimm", "tensordimm-large",
-          "cpu", "cpu-full"}) {
+          "cpu", "cpu-full", "auto"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing backend " << expected;
@@ -130,6 +130,10 @@ TEST(BackendDeterminism, EveryBackendRepeatsTimingExactly)
 {
     const JobSpec spec = smallJob();
     for (const auto &name : backendNames()) {
+        if (name == "auto")
+            continue; // adaptive by design: consecutive calls are warm-up
+                      // probes of different candidates (decision-sequence
+                      // determinism is covered in test_planner.cc)
         const auto backend = createBackend(name);
         const TimingResult a = backend->runJob(spec);
         const TimingResult b = backend->runJob(spec);
@@ -138,7 +142,11 @@ TEST(BackendDeterminism, EveryBackendRepeatsTimingExactly)
         EXPECT_EQ(a.rank.exec_bytes, b.rank.exec_bytes) << name;
         EXPECT_EQ(a.rank.dram_reads, b.rank.dram_reads) << name;
         EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << name;
-        EXPECT_GT(a.rank_cycles, 0u) << name;
+        if (name != "cluster") {
+            // The cluster aggregate times whole nodes; it has no
+            // single-rank cycle count by design.
+            EXPECT_GT(a.rank_cycles, 0u) << name;
+        }
     }
 }
 

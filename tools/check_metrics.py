@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate an ENMC metrics or tune JSON document.
 
-Usage: tools/check_metrics.py metrics.json [more.json ...]
+Usage: tools/check_metrics.py [--expect-switch] metrics.json [more.json ...]
 
 Files are dispatched on their "schema" field: "enmc.metrics" documents
 get the counter-invariant checks below; "enmc.tune" documents (written
@@ -30,6 +30,13 @@ Checks, per file:
     router's shardDispatches fan-out total, deadDispatches == 0 (a dead
     node must never receive traffic), and the fanOut histogram records
     exactly one sample per routed batch;
+  - planner accounting, whenever a plan group is present (--backend=auto):
+    plans == warmupPlans + explorePlans + steadyPlans, the per-backend
+    dispatch.* counters sum to plans, deadDispatches == 0 (an unavailable
+    backend must never be routed to), and plans == the batcher's
+    dispatched-batch count when a serve.batcher group rides along;
+    with --expect-switch the document must also record switchEvents >= 1
+    (used by CI's traffic-shift scenario);
   - traceEvents is a list whose entries carry name/ph/pid/ts (complete
     "X" events also carry dur >= 0).
 
@@ -144,6 +151,59 @@ def check_cluster(path, groups):
     return errors
 
 
+def check_planner(path, groups, expect_switch=False):
+    """Cross-group offload-planner invariants (plan vs serve tallies)."""
+    plan = groups.get("plan")
+    if plan is None:
+        if expect_switch:
+            return fail(path, "--expect-switch given but no 'plan' group")
+        return 0
+    errors = 0
+    counters = plan.get("counters", {})
+
+    def val(key):
+        return counters.get(key, {}).get("value", 0)
+
+    plans = val("plans")
+    kinds = val("warmupPlans") + val("explorePlans") + val("steadyPlans")
+    if plans != kinds:
+        errors += fail(
+            path,
+            f"plan accounting broken: plans {plans} != "
+            f"warmup+explore+steady {kinds}")
+
+    dispatch_total = sum(c.get("value", 0) for cname, c in counters.items()
+                         if cname.startswith("dispatch."))
+    if dispatch_total != plans:
+        errors += fail(
+            path,
+            f"plan accounting broken: per-backend dispatch sum "
+            f"{dispatch_total} != plans {plans}")
+
+    dead = val("deadDispatches")
+    if dead != 0:
+        errors += fail(
+            path,
+            f"plan: {dead} dispatches were routed to an unavailable backend")
+
+    batcher = groups.get("serve.batcher")
+    if batcher is not None:
+        batches = batcher.get("counters", {}).get("batches",
+                                                  {}).get("value")
+        if batches is not None and plans != batches:
+            errors += fail(
+                path,
+                f"plan/serve accounting broken: plans {plans} != "
+                f"dispatched batches {batches}")
+
+    if expect_switch and val("switchEvents") < 1:
+        errors += fail(
+            path,
+            "expected at least one planner switch event but "
+            "switchEvents == 0")
+    return errors
+
+
 def check_trace(path, events):
     errors = 0
     if not isinstance(events, list):
@@ -236,7 +296,7 @@ def check_tune(path, doc):
     return errors
 
 
-def check_file(path):
+def check_file(path, expect_switch=False):
     with open(path) as f:
         doc = json.load(f)
 
@@ -257,6 +317,7 @@ def check_file(path):
         for name, group in groups.items():
             errors += check_group(path, name, group)
         errors += check_cluster(path, groups)
+        errors += check_planner(path, groups, expect_switch)
 
     errors += check_trace(path, doc.get("traceEvents", []))
 
@@ -268,12 +329,14 @@ def check_file(path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    expect_switch = "--expect-switch" in argv[1:]
+    paths = [a for a in argv[1:] if a != "--expect-switch"]
+    if not paths:
         print(__doc__, file=sys.stderr)
         return 2
     errors = 0
-    for path in argv[1:]:
-        errors += check_file(path)
+    for path in paths:
+        errors += check_file(path, expect_switch)
     return 1 if errors else 0
 
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Self-test for check_metrics.py's planner invariants.
+
+Builds minimal metrics documents in a temp directory and asserts that
+the checker accepts the consistent one and rejects each broken variant
+non-zero with a diagnostic on stderr:
+  - plan kind counters that do not sum to plans;
+  - per-backend dispatch.* counters that do not sum to plans;
+  - deadDispatches > 0 (routed to an unavailable backend);
+  - plans disagreeing with the batcher's dispatched-batch count;
+  - --expect-switch against a document with switchEvents == 0, and
+    against a document with no plan group at all;
+  - a malformed group (missing its counters map) fails loudly rather
+    than being skipped.
+
+Run directly (python3 tools/test_check_metrics.py) or via ctest as
+tool_check_metrics_selftest.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_metrics.py")
+
+
+def counter(value):
+    return {"value": value, "description": ""}
+
+
+def good_doc():
+    """A consistent --backend=auto metrics document: 12 batches, one
+    plan per batch, kinds and per-backend dispatches closing exactly."""
+    return {
+        "schema": "enmc.metrics",
+        "schema_version": 1,
+        "tool": "test_check_metrics",
+        "groups": {
+            "plan": {
+                "counters": {
+                    "plans": counter(12),
+                    "warmupPlans": counter(6),
+                    "explorePlans": counter(1),
+                    "steadyPlans": counter(5),
+                    "switchEvents": counter(2),
+                    "deadDispatches": counter(0),
+                    "bins": counter(2),
+                    "killEvents": counter(1),
+                    "reviveEvents": counter(1),
+                    "dispatch.cpu": counter(5),
+                    "dispatch.enmc": counter(4),
+                    "dispatch.tensordimm": counter(3),
+                },
+                "scalars": {},
+                "histograms": {},
+            },
+            "serve.batcher": {
+                "counters": {
+                    "batches": counter(12),
+                    "flushSize": counter(10),
+                    "flushDeadline": counter(1),
+                    "flushDrain": counter(1),
+                },
+                "scalars": {},
+                "histograms": {},
+            },
+        },
+        "traceEvents": [],
+    }
+
+
+def run_checker(doc, *flags):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "metrics.json")
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return subprocess.run(
+            [sys.executable, CHECKER, *flags, path],
+            capture_output=True, text=True)
+
+
+def expect_pass(label, doc, *flags):
+    res = run_checker(doc, *flags)
+    assert res.returncode == 0, (
+        f"{label}: expected pass, got rc={res.returncode}\n{res.stderr}")
+    print(f"  ok: {label}")
+
+
+def expect_fail(label, doc, needle, *flags):
+    res = run_checker(doc, *flags)
+    assert res.returncode != 0, f"{label}: expected failure, got rc=0"
+    assert needle in res.stderr, (
+        f"{label}: diagnostic missing {needle!r}:\n{res.stderr}")
+    print(f"  ok: {label}")
+
+
+def main():
+    expect_pass("consistent planner document", good_doc())
+    expect_pass("consistent document with --expect-switch", good_doc(),
+                "--expect-switch")
+
+    doc = good_doc()
+    doc["groups"]["plan"]["counters"]["steadyPlans"] = counter(4)
+    expect_fail("plan kinds do not sum to plans", doc,
+                "warmup+explore+steady")
+
+    doc = good_doc()
+    doc["groups"]["plan"]["counters"]["dispatch.cpu"] = counter(6)
+    expect_fail("dispatch.* counters do not sum to plans", doc,
+                "per-backend dispatch sum")
+
+    doc = good_doc()
+    doc["groups"]["plan"]["counters"]["deadDispatches"] = counter(1)
+    expect_fail("dispatch to an unavailable backend", doc,
+                "unavailable backend")
+
+    doc = good_doc()
+    doc["groups"]["serve.batcher"]["counters"]["batches"] = counter(13)
+    doc["groups"]["serve.batcher"]["counters"]["flushSize"] = counter(11)
+    expect_fail("plans disagree with dispatched batches", doc,
+                "dispatched batches")
+
+    doc = good_doc()
+    doc["groups"]["plan"]["counters"]["switchEvents"] = counter(0)
+    expect_pass("no switch without --expect-switch", doc)
+    expect_fail("no switch with --expect-switch", doc,
+                "switchEvents == 0", "--expect-switch")
+
+    doc = good_doc()
+    del doc["groups"]["plan"]
+    expect_pass("plan group absent is fine by default", doc)
+    expect_fail("--expect-switch demands a plan group", doc,
+                "no 'plan' group", "--expect-switch")
+
+    doc = good_doc()
+    del doc["groups"]["plan"]["counters"]
+    expect_fail("malformed group fails loudly", doc,
+                "missing map 'counters'")
+
+    print("tools/test_check_metrics.py: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
