@@ -9,10 +9,25 @@
  * scenario sticks one rank at and shows the blacklisting path: the job
  * repartitions across the survivors and keeps answering.
  *
+ * The second half maps the reliability-vs-effective-bandwidth frontier:
+ * protection policy (per-word SECDED everywhere, block codes everywhere,
+ * differentiated weak=none, or ECC off) x raw BER, with the ECC overhead
+ * model charging redundancy reads and decode latency on the DDR clock.
+ * `--check` asserts the default operating point: at BER 1e-3 the
+ * differentiated policy holds P@1 within 0.5% of protect-everything
+ * while consuming measurably less redundancy-read bandwidth than
+ * per-word SECDED(72,64).
+ *
  * Flags:
- *   --json=<path>   additionally write the sweep as JSON (CI artifact)
- *   --seed=<n>      fault-injection seed (default 1)
- *   --batch=<n>     items per batch (default 8)
+ *   --json=<path>            additionally write the sweep as JSON
+ *   --frontier-json=<path>   write the frontier as JSON (CI artifact)
+ *   --check                  assert the frontier acceptance criteria
+ *   --seed=<n>               fault-injection seed (default 1)
+ *   --batch=<n>              items per batch (default 64; large enough
+ *                            that the batched features overflow the
+ *                            feature buffer and re-stream with every
+ *                            tile, so the weak path carries a realistic
+ *                            share of the DRAM traffic)
  */
 
 #include <cinttypes>
@@ -23,6 +38,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "fault/ecc.h"
 #include "obs/metrics.h"
 #include "obs/percentiles.h"
 #include "runtime/resilience.h"
@@ -126,6 +142,132 @@ runPoint(const Model &m, uint64_t seed, double ber, bool ecc)
     return p;
 }
 
+/** A protection policy: which ECC scheme guards each access class. */
+struct Policy
+{
+    const char *name;
+    bool ecc = true;                //!< master switch (off => no codec)
+    fault::EccScheme strong = fault::EccScheme::Word72;
+    fault::EccScheme weak = fault::EccScheme::Word72;
+    bool retry_weak = true;         //!< re-read weak-class erasures?
+};
+
+/** The frontier's policy axis, uniform-strongest to unprotected. */
+constexpr Policy kPolicies[] = {
+    {"secded72-all", true, fault::EccScheme::Word72,
+     fault::EccScheme::Word72, true},
+    {"block512-all", true, fault::EccScheme::Block512B,
+     fault::EccScheme::Block512B, true},
+    {"block1k-all", true, fault::EccScheme::Block1KB,
+     fault::EccScheme::Block1KB, true},
+    {"block4k-all", true, fault::EccScheme::Block4KB,
+     fault::EccScheme::Block4KB, true},
+    {"diff-weak-none", true, fault::EccScheme::Word72,
+     fault::EccScheme::None, false},
+    {"off", false, fault::EccScheme::Word72, fault::EccScheme::Word72,
+     true},
+};
+
+struct FrontierPoint
+{
+    const Policy *policy = nullptr;
+    double ber = 0.0;
+    double p_at_1 = 0.0;
+    double recall = 0.0;
+    Cycles rank_cycles = 0;
+    double bw_fraction = 1.0; //!< clean cycles / policy cycles (<= 1)
+    uint64_t redundancy_reads = 0;
+    uint64_t decode_cycles = 0;
+    uint64_t uncorrectable_weak = 0;
+    uint64_t uncorrectable_strong = 0;
+    bool balanced = false;
+};
+
+FrontierPoint
+runFrontierPoint(const Model &m, uint64_t seed, const Policy &pol,
+                 double ber, Cycles clean_cycles)
+{
+    runtime::SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = seed;
+    cfg.fault.data_ber = ber;
+    cfg.fault.ecc = pol.ecc;
+    cfg.fault.strong_scheme = pol.strong;
+    cfg.fault.weak_scheme = pol.weak;
+    cfg.fault.ecc_overhead = true; // charge redundancy + decode latency
+    cfg.resilient = true;
+    cfg.resilience.retry_weak = pol.retry_weak;
+    runtime::EnmcSystem sys(cfg);
+    const auto out = sys.runFunctional(m.synthetic->classifier(),
+                                       *m.screener, m.h_batch, kRanks);
+    FrontierPoint p;
+    p.policy = &pol;
+    p.ber = ber;
+    p.p_at_1 = screening::precisionAt1(m.exact, out.logits);
+    p.recall = screening::candidateRecallAtK(m.exact, out.candidates,
+                                             kRecallK);
+    p.rank_cycles = out.rank_cycles;
+    if (out.rank_cycles > 0)
+        p.bw_fraction = static_cast<double>(clean_cycles) /
+                        static_cast<double>(out.rank_cycles);
+    p.redundancy_reads = out.ecc_redundancy_reads;
+    p.decode_cycles = out.ecc_decode_cycles;
+    p.uncorrectable_weak = out.uncorrectable_weak_words;
+    p.uncorrectable_strong = out.uncorrectable_strong_words;
+    p.balanced = out.faults.classesBalanced();
+    return p;
+}
+
+void
+writeFrontierJson(const std::string &path, uint64_t seed, uint64_t batch,
+                  const std::vector<FrontierPoint> &frontier,
+                  const char *operating_point, double design_ber)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        ENMC_FATAL("cannot open ", path, " for writing");
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", seed);
+    std::fprintf(f, "  \"batch\": %" PRIu64 ",\n", batch);
+    std::fprintf(f, "  \"design_ber\": %.3e,\n", design_ber);
+    std::fprintf(f, "  \"operating_point\": \"%s\",\n", operating_point);
+    std::fprintf(f, "  \"frontier\": [\n");
+    for (size_t i = 0; i < frontier.size(); ++i) {
+        const FrontierPoint &p = frontier[i];
+        std::fprintf(
+            f,
+            "    {\"policy\": \"%s\", \"strong\": \"%s\", "
+            "\"weak\": \"%s\", \"ber\": %.3e, \"p_at_1\": %.6f, "
+            "\"recall_at_%zu\": %.6f, \"rank_cycles\": %" PRIu64 ", "
+            "\"bw_fraction\": %.6f, \"redundancy_reads\": %" PRIu64 ", "
+            "\"decode_cycles\": %" PRIu64 ", \"uncorrectable_weak\": "
+            "%" PRIu64 ", \"uncorrectable_strong\": %" PRIu64 "}%s\n",
+            p.policy->name,
+            fault::eccSchemeName(p.policy->ecc ? p.policy->strong
+                                               : fault::EccScheme::None),
+            fault::eccSchemeName(p.policy->ecc ? p.policy->weak
+                                               : fault::EccScheme::None),
+            p.ber, p.p_at_1, kRecallK, p.recall,
+            static_cast<uint64_t>(p.rank_cycles), p.bw_fraction,
+            p.redundancy_reads, p.decode_cycles, p.uncorrectable_weak,
+            p.uncorrectable_strong, i + 1 < frontier.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+bool
+parseBoolFlag(int argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc; ++i)
+        if (flag == argv[i])
+            return true;
+    return false;
+}
+
 uint64_t
 parseFlag(int argc, char **argv, const char *name, uint64_t fallback)
 {
@@ -137,9 +279,9 @@ parseFlag(int argc, char **argv, const char *name, uint64_t fallback)
 }
 
 std::string
-parseJsonPath(int argc, char **argv)
+parseJsonPath(int argc, char **argv, const char *name)
 {
-    const std::string prefix = "--json=";
+    const std::string prefix = std::string("--") + name + "=";
     for (int i = 1; i < argc; ++i)
         if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
             return argv[i] + prefix.size();
@@ -205,8 +347,11 @@ run(int argc, char **argv)
     const obs::MetricsOptions metrics =
         obs::initMetrics(argc, argv, "fault_sweep");
     const uint64_t seed = parseFlag(argc, argv, "seed", 1);
-    const uint64_t batch = parseFlag(argc, argv, "batch", 8);
-    const std::string json_path = parseJsonPath(argc, argv);
+    const uint64_t batch = parseFlag(argc, argv, "batch", 64);
+    const std::string json_path = parseJsonPath(argc, argv, "json");
+    const std::string frontier_path =
+        parseJsonPath(argc, argv, "frontier-json");
+    const bool check = parseBoolFlag(argc, argv, "check");
 
     const Model m = buildModel(batch);
 
@@ -287,12 +432,105 @@ run(int argc, char **argv)
                 t_all * 1e3, t_degraded * 1e3,
                 100.0 * (t_degraded / t_all - 1.0));
 
+    // ---- Reliability vs effective-bandwidth frontier -------------------
+    // Policy x BER grid with the overhead model on: every point pays its
+    // redundancy reads and decode latency, so rank_cycles is the
+    // effective-bandwidth axis and P@1 the reliability axis.
+    constexpr double kDesignBer = 1e-3;
+    const double frontier_bers[] = {1e-6, 1e-4, kDesignBer};
+
+    // Overhead-model baseline: faults enabled at BER 0 with ECC off keeps
+    // the data path identical to `clean` but through the same code path.
+    printHeader("Protection frontier: policy x BER (overhead model on)");
+    printRow({"policy", "BER", "P@1", "recall", "redund", "deccyc",
+              "unc.w", "unc.s", "cycles", "bw"},
+             9);
+    std::vector<FrontierPoint> frontier;
+    for (const Policy &pol : kPolicies) {
+        for (const double ber : frontier_bers) {
+            const FrontierPoint p = runFrontierPoint(
+                m, seed, pol, ber, clean_out.rank_cycles);
+            printRow({pol.name, fmt(p.ber, "%.0e"), fmt(p.p_at_1, "%.3f"),
+                      fmt(p.recall, "%.3f"),
+                      std::to_string(p.redundancy_reads),
+                      std::to_string(p.decode_cycles),
+                      std::to_string(p.uncorrectable_weak),
+                      std::to_string(p.uncorrectable_strong),
+                      std::to_string(p.rank_cycles),
+                      fmt(p.bw_fraction, "%.3f")},
+                     9);
+            frontier.push_back(p);
+        }
+    }
+
+    // Default operating point: cheapest policy that (a) keeps strong-class
+    // data under ECC and (b) holds P@1 within 0.5% of protect-everything
+    // at the design BER. Cost is redundancy-read bandwidth, then cycles.
+    const auto at = [&](const char *name, double ber) -> const FrontierPoint & {
+        for (const FrontierPoint &p : frontier)
+            if (std::strcmp(p.policy->name, name) == 0 && p.ber == ber)
+                return p;
+        ENMC_FATAL("frontier point missing: ", name);
+    };
+    const FrontierPoint &all_pt = at("secded72-all", kDesignBer);
+    const FrontierPoint *best = nullptr;
+    for (const FrontierPoint &p : frontier) {
+        if (p.ber != kDesignBer || !p.policy->ecc)
+            continue;
+        if (p.policy->strong == fault::EccScheme::None)
+            continue;
+        if (p.p_at_1 < all_pt.p_at_1 - 0.005 - 1e-12)
+            continue;
+        if (best == nullptr ||
+            p.redundancy_reads < best->redundancy_reads ||
+            (p.redundancy_reads == best->redundancy_reads &&
+             p.rank_cycles < best->rank_cycles))
+            best = &p;
+    }
+    if (best == nullptr)
+        ENMC_FATAL("no policy holds P@1 at the design BER");
+    std::printf("\noperating point @ BER %.0e: %s "
+                "(P@1=%.3f vs protect-all %.3f, redundancy %" PRIu64
+                " vs %" PRIu64 ")\n",
+                kDesignBer, best->policy->name, best->p_at_1,
+                all_pt.p_at_1, best->redundancy_reads,
+                all_pt.redundancy_reads);
+
+    int failures = 0;
+    if (check) {
+        const auto expect = [&failures](bool ok, const char *what) {
+            std::printf("check: %-58s %s\n", what, ok ? "ok" : "FAIL");
+            if (!ok)
+                ++failures;
+        };
+        const FrontierPoint &diff_pt = at("diff-weak-none", kDesignBer);
+        expect(diff_pt.p_at_1 >= all_pt.p_at_1 - 0.005 - 1e-12,
+               "differentiated P@1 within 0.5% of protect-everything");
+        expect(diff_pt.redundancy_reads < all_pt.redundancy_reads,
+               "differentiated redundancy reads < per-word SECDED");
+        expect(diff_pt.redundancy_reads > 0,
+               "strong class still pays for its protection");
+        expect(std::strcmp(best->policy->name, "diff-weak-none") == 0,
+               "default operating point is strong=word72 weak=none");
+        bool balanced = true;
+        for (const FrontierPoint &p : frontier)
+            balanced = balanced && p.balanced;
+        expect(balanced, "per-class fault accounting balances everywhere");
+        if (failures == 0)
+            std::printf("\nall frontier checks passed\n");
+        else
+            std::printf("\n%d frontier check(s) FAILED\n", failures);
+    }
+
     if (!json_path.empty())
         writeJson(json_path, seed, batch, clean_p1, clean_recall,
                   clean_out.rank_cycles, sweep, bp, healthy, t_all,
                   t_degraded);
+    if (!frontier_path.empty())
+        writeFrontierJson(frontier_path, seed, batch, frontier,
+                          best->policy->name, kDesignBer);
     obs::writeMetrics(metrics);
-    return 0;
+    return failures == 0 ? 0 : 1;
 }
 
 } // namespace

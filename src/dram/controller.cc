@@ -25,6 +25,24 @@ Controller::Controller(const Organization &org, const Timing &timing,
           "eccDetected", "read words detected uncorrectable")),
       ecc_escaped_(stats_.addCounter(
           "eccEscaped", "read words silently corrupted")),
+      ecc_weak_corrected_(stats_.addCounter(
+          "eccWeakCorrected", "weak-class read words repaired")),
+      ecc_weak_detected_(stats_.addCounter(
+          "eccWeakDetected", "weak-class words detected uncorrectable")),
+      ecc_weak_escaped_(stats_.addCounter(
+          "eccWeakEscaped", "weak-class words silently corrupted")),
+      ecc_strong_corrected_(stats_.addCounter(
+          "eccStrongCorrected", "strong-class read words repaired")),
+      ecc_strong_detected_(stats_.addCounter(
+          "eccStrongDetected", "strong-class words detected uncorrectable")),
+      ecc_strong_escaped_(stats_.addCounter(
+          "eccStrongEscaped", "strong-class words silently corrupted")),
+      ecc_protected_reads_(stats_.addCounter(
+          "eccProtectedReads", "read bursts covered by an ECC scheme")),
+      ecc_redundancy_reads_(stats_.addCounter(
+          "eccRedundancyReads", "extra bursts fetching ECC check bits")),
+      ecc_decode_cycles_(stats_.addCounter(
+          "eccDecodeCycles", "syndrome-decode cycles charged to reads")),
       stuck_reads_(stats_.addCounter("stuckReads",
                                      "reads served by a stuck rank")),
       read_latency_(stats_.addScalar("readLatency",
@@ -144,30 +162,96 @@ Controller::trySchedule()
 }
 
 void
+Controller::tallyClass(fault::Protection cls, uint64_t corrected,
+                       uint64_t detected, uint64_t escaped)
+{
+    switch (cls) {
+    case fault::Protection::Weak:
+        ecc_weak_corrected_ += corrected;
+        ecc_weak_detected_ += detected;
+        ecc_weak_escaped_ += escaped;
+        break;
+    case fault::Protection::Strong:
+        ecc_strong_corrected_ += corrected;
+        ecc_strong_detected_ += detected;
+        ecc_strong_escaped_ += escaped;
+        break;
+    case fault::Protection::None:
+        break; // unprotected accesses only show in the aggregates
+    }
+}
+
+Cycles
+Controller::chargeEccOverhead(fault::Protection cls,
+                              fault::EccScheme scheme)
+{
+    if (scheme == fault::EccScheme::None)
+        return 0;
+    ++ecc_protected_reads_;
+    const fault::EccGeometry g = fault::eccGeometry(scheme);
+    const uint64_t access = org_.accessBytes();
+    const auto c = static_cast<size_t>(cls);
+    Cycles extra = 0;
+
+    // Redundancy bandwidth: check bits ride on the same bus; once a full
+    // burst's worth of debt accumulates, charge one extra burst slot.
+    ecc_check_debt_bytes_[c] += static_cast<double>(access) * g.overhead();
+    while (ecc_check_debt_bytes_[c] >= static_cast<double>(access)) {
+        ecc_check_debt_bytes_[c] -= static_cast<double>(access);
+        ++ecc_redundancy_reads_;
+        extra += channel_.timing().tbl;
+    }
+
+    // Decode latency: word-granular codewords decode in parallel, one
+    // decode latency per burst; a block codeword spanning many bursts
+    // decodes once per completed codeword.
+    const uint32_t decode = channel_.timing().eccDecodeCycles(scheme);
+    if (g.dataBytes() <= access) {
+        ecc_decode_cycles_ += decode;
+        extra += decode;
+    } else {
+        ecc_decode_acc_bytes_[c] += access;
+        if (ecc_decode_acc_bytes_[c] >= g.dataBytes()) {
+            ecc_decode_acc_bytes_[c] -= g.dataBytes();
+            ecc_decode_cycles_ += decode;
+            extra += decode;
+        }
+    }
+    return extra;
+}
+
+void
 Controller::finishRequest(Entry &entry, Cycles data_end)
 {
-    entry.req.complete = data_end;
     if (entry.req.type == ReqType::Read) {
         ++reads_;
         if (fault_injector_ && fault_injector_->enabled()) {
             const uint64_t words = org_.accessBytes() / 8;
+            const fault::Protection cls = entry.req.prot;
+            const fault::EccScheme scheme =
+                fault_injector_->config().schemeFor(cls);
             if (fault_injector_->config().rankStuck(entry.vec.rank)) {
                 // A stuck rank returns garbage on every burst; ECC flags
                 // the whole line.
                 ++stuck_reads_;
                 ecc_detected_ += words;
+                tallyClass(cls, 0, words, 0);
             } else {
                 const auto out = fault_injector_->classifyBurst(
-                    words, fault_burst_seq_);
+                    words, fault_burst_seq_, cls);
                 ecc_corrected_ += out.corrected;
                 ecc_detected_ += out.detected;
                 ecc_escaped_ += out.escaped;
+                tallyClass(cls, out.corrected, out.detected, out.escaped);
             }
             fault_burst_seq_ += words;
+            if (fault_injector_->config().ecc_overhead)
+                data_end += chargeEccOverhead(cls, scheme);
         }
     } else {
         ++writes_;
     }
+    entry.req.complete = data_end;
     read_latency_.sample(static_cast<double>(data_end - entry.req.arrive));
     read_latency_hist_.sample(
         static_cast<double>(data_end - entry.req.arrive));
@@ -192,6 +276,18 @@ Controller::tick()
     // Refresh has priority; one C/A command per cycle.
     if (!serviceRefresh())
         trySchedule();
+}
+
+uint64_t
+Controller::eccRedundancyReads() const
+{
+    return ecc_redundancy_reads_.value();
+}
+
+uint64_t
+Controller::eccDecodeCyclesCharged() const
+{
+    return ecc_decode_cycles_.value();
 }
 
 uint64_t

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "dram/channel.h"
 #include "dram/request.h"
+#include "fault/ecc.h"
 #include "obs/registry.h"
 
 namespace enmc::fault {
@@ -67,20 +68,39 @@ class Controller
 
     /**
      * Attach a fault injector: every completed read burst is classified
-     * through the SECDED(72,64) model and tallied into this controller's
-     * stat group (eccCorrected / eccDetected / eccEscaped / stuckReads).
+     * through the ECC scheme of its request's protection class and
+     * tallied into this controller's stat group (eccCorrected /
+     * eccDetected / eccEscaped / stuckReads plus the per-class eccWeak* /
+     * eccStrong* splits). With the injector's `ecc_overhead` knob set,
+     * protected reads additionally charge redundancy-read bursts for the
+     * check bits and per-codeword decode latency on the DDR clock.
      * Pass nullptr to detach. Default: no injector, zero overhead.
+     *
+     * Attaching restarts the burst-classification sequence: a
+     * detached-then-reattached injector replays the same
+     * (seed, stream, index) outcomes a fresh controller would — the
+     * determinism contract a stale sequence number used to break.
      */
     void attachFaultInjector(fault::FaultInjector *injector)
     {
         fault_injector_ = injector;
+        fault_burst_seq_ = 0;
+        for (int c = 0; c < fault::kNumProtectionClasses; ++c) {
+            ecc_check_debt_bytes_[c] = 0.0;
+            ecc_decode_acc_bytes_[c] = 0;
+        }
     }
     const fault::FaultInjector *faultInjector() const
     {
         return fault_injector_;
     }
 
-    /** Total bytes moved (reads + writes). */
+    /** Extra read bursts issued for ECC check bits (overhead model). */
+    uint64_t eccRedundancyReads() const;
+    /** Syndrome-decode cycles charged on the DDR clock (overhead model). */
+    uint64_t eccDecodeCyclesCharged() const;
+
+    /** Total bytes moved (reads + writes), data only (no redundancy). */
     uint64_t bytesTransferred() const;
 
     /** Achieved bandwidth in bytes/sec over the elapsed cycles. */
@@ -117,8 +137,20 @@ class Controller
     Cycles now_ = 0;
     uint64_t seq_ = 0;
 
+    /** Per-class tally target for a classified burst. */
+    void tallyClass(fault::Protection cls, uint64_t corrected,
+                    uint64_t detected, uint64_t escaped);
+    /** @return extra cycles charged for ECC overhead on this burst. */
+    Cycles chargeEccOverhead(fault::Protection cls, fault::EccScheme scheme);
+
     fault::FaultInjector *fault_injector_ = nullptr;
     uint64_t fault_burst_seq_ = 0;  //!< unique index per classified burst
+    /** Check-bit bytes owed per class; a full burst's worth buys one
+     *  redundancy read. */
+    double ecc_check_debt_bytes_[fault::kNumProtectionClasses] = {};
+    /** Data bytes accumulated toward the next codeword boundary, for
+     *  block schemes whose codeword spans multiple bursts. */
+    uint64_t ecc_decode_acc_bytes_[fault::kNumProtectionClasses] = {};
 
     StatGroup stats_;
     Counter &reads_;
@@ -130,6 +162,15 @@ class Controller
     Counter &ecc_corrected_;
     Counter &ecc_detected_;
     Counter &ecc_escaped_;
+    Counter &ecc_weak_corrected_;
+    Counter &ecc_weak_detected_;
+    Counter &ecc_weak_escaped_;
+    Counter &ecc_strong_corrected_;
+    Counter &ecc_strong_detected_;
+    Counter &ecc_strong_escaped_;
+    Counter &ecc_protected_reads_;
+    Counter &ecc_redundancy_reads_;
+    Counter &ecc_decode_cycles_;
     Counter &stuck_reads_;
     ScalarStat &read_latency_;
     ScalarStat &queue_occupancy_;

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "common/units.h"
+#include "fault/ecc.h"
 
 namespace enmc::dram {
 
@@ -24,6 +25,12 @@ struct Request
     uint64_t id = 0;           //!< caller-assigned tag
     Cycles arrive = 0;         //!< set by the controller at enqueue
     Cycles complete = 0;       //!< set by the controller at completion
+    /**
+     * Protection class the requester asks for; the controller maps it to
+     * an ECC codeword scheme via the attached injector's FaultConfig.
+     * Irrelevant (and free) when no fault injector is attached.
+     */
+    fault::Protection prot = fault::Protection::Strong;
 
     /** Invoked (if set) when the request's data transfer completes. */
     std::function<void(const Request &)> on_complete;

@@ -7,12 +7,13 @@ namespace enmc::dram {
 
 void
 StreamTransfer::start(Addr base, uint64_t bytes, ReqType type,
-                      uint64_t line_bytes)
+                      uint64_t line_bytes, fault::Protection prot)
 {
     ENMC_ASSERT(!started_ || done(), "restarting an in-flight transfer");
     ENMC_ASSERT(line_bytes > 0, "line size must be positive");
     base_ = base;
     type_ = type;
+    prot_ = prot;
     issued_ = 0;
     completed_ = 0;
     started_ = true;
@@ -30,6 +31,7 @@ StreamTransfer::pump(Controller &ctrl)
         Request req;
         req.addr = base_ + issued_ * line_bytes_;
         req.type = type_;
+        req.prot = prot_;
         req.id = issued_;
         req.on_complete = [this](const Request &) { ++completed_; };
         if (!ctrl.enqueue(std::move(req)))

@@ -23,10 +23,12 @@ class StreamTransfer
 
     /**
      * Begin a transfer of `bytes` starting at `base`, split into
-     * `line_bytes`-sized requests (one DRAM burst each).
+     * `line_bytes`-sized requests (one DRAM burst each), each tagged
+     * with protection class `prot` for the controller's ECC model.
      */
     void start(Addr base, uint64_t bytes, ReqType type,
-               uint64_t line_bytes = 64);
+               uint64_t line_bytes = 64,
+               fault::Protection prot = fault::Protection::Strong);
 
     /** Issue as many pending line requests as the queue accepts. */
     void pump(Controller &ctrl);
@@ -46,6 +48,7 @@ class StreamTransfer
     uint64_t issued_ = 0;
     uint64_t completed_ = 0;
     ReqType type_ = ReqType::Read;
+    fault::Protection prot_ = fault::Protection::Strong;
     bool started_ = false;
 };
 

@@ -1,11 +1,25 @@
 #include "dram/timing.h"
 
+#include "common/units.h"
+
 namespace enmc::dram {
 
 Timing
 Timing::ddr4_2400()
 {
     return Timing{}; // defaults are the DDR4-2400 values
+}
+
+uint32_t
+Timing::eccDecodeCycles(fault::EccScheme scheme) const
+{
+    if (scheme == fault::EccScheme::None)
+        return 0;
+    const fault::EccGeometry g = fault::eccGeometry(scheme);
+    const uint64_t fold = ceilDiv(g.codewordBits(),
+                                  static_cast<uint64_t>(
+                                      ecc_xor_bits_per_cycle));
+    return static_cast<uint32_t>(fold + 1);
 }
 
 } // namespace enmc::dram

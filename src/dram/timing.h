@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/units.h"
+#include "fault/ecc.h"
 
 namespace enmc::dram {
 
@@ -49,6 +50,12 @@ struct Timing
     uint32_t trtrs = 2;    //!< rank-to-rank data-bus switch penalty
     uint32_t trefi = 9360; //!< average refresh interval (7.8 us @ 1200 MHz)
     uint32_t trfc = 420;   //!< refresh cycle time (350 ns, 8Gb device)
+    /**
+     * Width of the on-die ECC syndrome XOR tree: codeword bits folded
+     * per command-clock cycle. Sets how decode latency scales with
+     * codeword size (Ramulator2-ECC's decode-latency model).
+     */
+    uint32_t ecc_xor_bits_per_cycle = 512;
 
     /** DDR4-2400 preset used by every experiment (paper Table 3). */
     static Timing ddr4_2400();
@@ -57,6 +64,15 @@ struct Timing
     uint32_t readLatency() const { return cl + tbl; }
     /** Write occupancy from WR issue to end of data. */
     uint32_t writeLatency() const { return cwl + tbl; }
+
+    /**
+     * Decode latency of one codeword of `scheme` on the command clock:
+     * the syndrome folds ecc_xor_bits_per_cycle codeword bits per cycle,
+     * plus one correction/compare cycle. Zero for no ECC. Word72 costs 2
+     * cycles; a 4KB block costs 66 — larger codewords trade latency (and
+     * failure granularity) for redundancy bandwidth.
+     */
+    uint32_t eccDecodeCycles(fault::EccScheme scheme) const;
 };
 
 } // namespace enmc::dram

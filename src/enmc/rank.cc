@@ -114,6 +114,8 @@ EnmcRank::reset(const RankTask &task)
     dram_->attachFaultInjector(task.injector);
     fault_base_ = task.injector ? task.injector->counters()
                                 : fault::FaultCounters{};
+    ecc_redundancy_base_ = dram_->eccRedundancyReads();
+    ecc_decode_base_ = dram_->eccDecodeCyclesCharged();
     screen_weight_sram_.clear();
     screen_psum_sram_.clear();
     exec_stage_sram_.clear();
@@ -146,7 +148,7 @@ EnmcRank::faulty() const
 }
 
 uint64_t
-EnmcRank::faultReadBuffer(std::span<uint8_t> bytes)
+EnmcRank::faultReadBuffer(std::span<uint8_t> bytes, fault::Protection cls)
 {
     const RankTask &task = *task_;
     const uint64_t words = ceilDiv(bytes.size(), 8);
@@ -158,10 +160,14 @@ EnmcRank::faultReadBuffer(std::span<uint8_t> bytes)
         task.injector->counters().stuck_reads += words;
         unc = words;
     } else {
-        unc = task.injector->readBuffer(bytes, fault_word_seq_);
+        unc = task.injector->readBuffer(bytes, fault_word_seq_, cls);
     }
     fault_word_seq_ += words;
     result_.uncorrectable_words += unc;
+    if (cls == fault::Protection::Weak)
+        result_.uncorrectable_weak_words += unc;
+    else if (cls == fault::Protection::Strong)
+        result_.uncorrectable_strong_words += unc;
     return unc;
 }
 
@@ -228,9 +234,13 @@ EnmcRank::startTileOp(uint64_t tile, bool compute, bool filter)
         ceilDiv(task.batch * task.reduced * weightBits(task.quant), 8);
     if (feat_bytes > cfg_.screen_feature_buf)
         bytes += feat_bytes;
+    // Screener tiles are the weak-or-no-ECC path: an INT4 weight flip
+    // only perturbs approximate logits, and surviving candidates are
+    // recomputed exactly by the executor.
     op.load.start(task.screen_weight_base +
                       tile * tile_rows * task.screenRowBytes(),
-                  bytes, dram::ReqType::Read);
+                  bytes, dram::ReqType::Read, 64,
+                  fault::Protection::Weak);
     op.load_started = true;
     result_.screen_bytes += bytes;
     screen_ops_.push_back(std::move(op));
@@ -251,7 +261,8 @@ EnmcRank::dispatchOne(const Instruction &inst)
             const uint64_t bytes =
                 ceilDiv(task.batch * task.reduced * weightBits(task.quant),
                         8);
-            feature_load_.start(inst.payload, bytes, dram::ReqType::Read);
+            feature_load_.start(inst.payload, bytes, dram::ReqType::Read,
+                                64, fault::Protection::Weak);
             feature_loaded_ = false;
             result_.screen_bytes += bytes;
             return true;
@@ -386,7 +397,23 @@ EnmcRank::filterTileFunctional(const TileOp &op)
         const auto sfirst = task.screen_weights->scales.begin() + row0;
         scratch.scales.assign(sfirst, sfirst + op.rows);
         faultReadBuffer({reinterpret_cast<uint8_t *>(scratch.values.data()),
-                         scratch.values.size()});
+                         scratch.values.size()},
+                        fault::Protection::Weak);
+        // Sub-byte weights are stored packed in DRAM but sign-extended
+        // into int8 scratch lanes here, so a raw storage flip must fold
+        // back into the narrow two's-complement domain: a real packed
+        // nibble can be perturbed by at most its own width (e.g. +-8
+        // for INT4), never by a full int8 high bit. Folding is the
+        // identity for clean lanes and maps the byte-domain flip rate
+        // onto exactly the packed-domain rate (high-lane flips model
+        // bits the packed layout does not store).
+        const int width = tensor::quantBitCount(scratch.bits);
+        if (width > 0 && width < 8) {
+            const int mask = (1 << width) - 1;
+            const int sign = 1 << (width - 1);
+            for (int8_t &v : scratch.values)
+                v = static_cast<int8_t>(((v & mask) ^ sign) - sign);
+        }
         weights = &scratch;
     }
 
@@ -563,9 +590,12 @@ EnmcRank::executorTick()
             exec_stage_sram_.reserve(half);
             op.stage_reserved = half;
             const uint64_t bytes = 2 * task.classRowBytes();
+            // FP32 executor rows keep strong protection: a silent flip
+            // here corrupts the accurate logit with no recovery path.
             op.load.start(task.class_weight_base +
                               op.row * task.classRowBytes(),
-                          bytes, dram::ReqType::Read);
+                          bytes, dram::ReqType::Read, 64,
+                          fault::Protection::Strong);
             op.load_started = true;
             result_.exec_bytes += bytes;
             ++inflight;
@@ -583,23 +613,27 @@ EnmcRank::executorTick()
                 const auto row = task.class_weights->row(op.row);
                 if (faulty()) {
                     // The FP32 row streams through the fault + ECC model.
-                    // A detected-uncorrectable word means the accurate
-                    // logit cannot be trusted: keep the approximate
-                    // (screener) logit already in place — graceful
-                    // degradation the resilience layer can also retry.
+                    // Detected-uncorrectable words come back zeroed —
+                    // known-location erasures — so the dot product below
+                    // is the erasure-masked accurate logit: only the
+                    // erased lanes' contribution is lost. That bound
+                    // holds no matter how the weak (screener) path is
+                    // protected, unlike falling back to the stored
+                    // approximate logit, which may be silent garbage
+                    // when the screener runs unprotected. The resilience
+                    // layer can still retry the slice for a clean read.
                     exec_row_scratch_.assign(row.begin(), row.end());
                     const uint64_t unc = faultReadBuffer(
                         {reinterpret_cast<uint8_t *>(
                              exec_row_scratch_.data()),
-                         exec_row_scratch_.size() * sizeof(float)});
-                    if (unc > 0) {
+                         exec_row_scratch_.size() * sizeof(float)},
+                        fault::Protection::Strong);
+                    if (unc > 0)
                         ++result_.degraded_candidates;
-                    } else {
-                        result_.logits[op.item][op.row] =
-                            tensor::dot(exec_row_scratch_,
-                                        task.features[op.item]) +
-                            (*task.class_bias)[op.row];
-                    }
+                    result_.logits[op.item][op.row] =
+                        tensor::dot(exec_row_scratch_,
+                                    task.features[op.item]) +
+                        (*task.class_bias)[op.row];
                 } else {
                     const float logit =
                         tensor::dot(row, task.features[op.item]) +
@@ -747,6 +781,10 @@ EnmcRank::takeResult()
         result_.faults = task_->injector->counters();
         result_.faults -= fault_base_; // delta for shared streams
     }
+    result_.ecc_redundancy_reads =
+        dram_->eccRedundancyReads() - ecc_redundancy_base_;
+    result_.ecc_decode_cycles =
+        dram_->eccDecodeCyclesCharged() - ecc_decode_base_;
     regs_[static_cast<size_t>(StatusReg::InstCount)] = result_.instructions;
 
     stat_instructions_ += result_.instructions;

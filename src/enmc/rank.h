@@ -149,10 +149,12 @@ class EnmcRank
 
     /**
      * Pass a functional read buffer through the task's fault + ECC model
-     * (erasing detected-uncorrectable words). Requires task_->injector.
+     * (erasing detected-uncorrectable words) under the ECC scheme of
+     * protection class `cls`. Requires task_->injector.
      * @return number of detected-uncorrectable words.
      */
-    uint64_t faultReadBuffer(std::span<uint8_t> bytes);
+    uint64_t faultReadBuffer(std::span<uint8_t> bytes,
+                             fault::Protection cls);
     /** True when this task reads through an active fault injector. */
     bool faulty() const;
     /** One instruction-delivery attempt through the C/A fault model. */
@@ -205,6 +207,8 @@ class EnmcRank
     uint64_t fault_word_seq_ = 0;       //!< unique index per data word read
     uint64_t inst_attempts_ = 0;        //!< instruction delivery attempts
     fault::FaultCounters fault_base_;   //!< injector snapshot at reset()
+    uint64_t ecc_redundancy_base_ = 0;  //!< dram counter snapshot at reset()
+    uint64_t ecc_decode_base_ = 0;      //!< dram counter snapshot at reset()
 
     // SFU / output state
     Cycles sfu_busy_ = 0;

@@ -107,6 +107,14 @@ struct RankResult
     fault::FaultCounters faults;
     /** Detected-uncorrectable words that reached the compute units. */
     uint64_t uncorrectable_words = 0;
+    /** Uncorrectable words on the weak path (screener tiles/features). */
+    uint64_t uncorrectable_weak_words = 0;
+    /** Uncorrectable words on the strong path (FP32 executor rows). */
+    uint64_t uncorrectable_strong_words = 0;
+    /** Extra bursts the DRAM controller spent fetching ECC check bits. */
+    uint64_t ecc_redundancy_reads = 0;
+    /** Syndrome-decode cycles the DRAM controller charged to reads. */
+    uint64_t ecc_decode_cycles = 0;
     /** Candidates left with their approximate logit (degraded mode). */
     uint64_t degraded_candidates = 0;
     /** Slice re-executions the resilience policy performed. */

@@ -1,10 +1,88 @@
 #include "fault/ecc.h"
 
 #include <bit>
+#include <cstring>
 
 #include "common/logging.h"
 
 namespace enmc::fault {
+
+EccGeometry
+eccGeometry(EccScheme scheme)
+{
+    // r Hamming bits with 2^r >= data + r + 1, plus one overall parity.
+    switch (scheme) {
+      case EccScheme::None: return {0, 0};
+      case EccScheme::Word72: return {64, 8};
+      case EccScheme::Block512B: return {4096, 14};
+      case EccScheme::Block1KB: return {8192, 15};
+      case EccScheme::Block4KB: return {32768, 17};
+    }
+    ENMC_PANIC("unknown ECC scheme");
+}
+
+const char *
+eccSchemeName(EccScheme scheme)
+{
+    switch (scheme) {
+      case EccScheme::None: return "none";
+      case EccScheme::Word72: return "word72";
+      case EccScheme::Block512B: return "block512";
+      case EccScheme::Block1KB: return "block1k";
+      case EccScheme::Block4KB: return "block4k";
+    }
+    return "?";
+}
+
+bool
+eccSchemeFromName(const char *name, EccScheme *out)
+{
+    const EccScheme all[] = {EccScheme::None, EccScheme::Word72,
+                             EccScheme::Block512B, EccScheme::Block1KB,
+                             EccScheme::Block4KB};
+    for (const EccScheme s : all) {
+        if (std::strcmp(name, eccSchemeName(s)) == 0) {
+            *out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+protectionName(Protection cls)
+{
+    switch (cls) {
+      case Protection::None: return "none";
+      case Protection::Weak: return "weak";
+      case Protection::Strong: return "strong";
+    }
+    return "?";
+}
+
+BlockOutcome
+eccClassifyBlock(EccScheme scheme, uint64_t flips, double u)
+{
+    ENMC_ASSERT(scheme != EccScheme::None && scheme != EccScheme::Word72,
+                "eccClassifyBlock is for block schemes");
+    if (flips == 0)
+        return BlockOutcome::Clean;
+    if (flips == 1)
+        return BlockOutcome::Corrected;
+    if (flips == 2)
+        return BlockOutcome::Detected;
+    // Beyond the design point. An even flip count keeps the overall
+    // parity clean but leaves a (with overwhelming probability) invalid
+    // syndrome: detected. An odd count looks like a single-bit error
+    // whenever its syndrome lands on one of the codewordBits() valid
+    // positions out of the 2^(check_bits - 1) odd-parity syndromes.
+    const EccGeometry g = eccGeometry(scheme);
+    if ((flips & 1) == 0)
+        return BlockOutcome::Detected;
+    const double alias = static_cast<double>(g.codewordBits()) /
+                         static_cast<double>(1ull << (g.check_bits - 1));
+    return u < alias ? BlockOutcome::Miscorrected : BlockOutcome::Detected;
+}
 
 namespace {
 

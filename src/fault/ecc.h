@@ -20,6 +20,70 @@
 
 namespace enmc::fault {
 
+/**
+ * ECC codeword geometry (the Ramulator2-ECC insight): SEC-DED over N
+ * data bits needs r Hamming check bits with 2^r >= N + r + 1, plus one
+ * overall-parity bit — check bits grow ~logarithmically with codeword
+ * size, so larger codewords buy the same per-word guarantee (single-bit
+ * correct, double-bit detect, per *codeword*) at far lower redundancy
+ * bandwidth, in exchange for coarser failure granularity (an
+ * uncorrectable block erases kilobytes, not 8 bytes) and a longer
+ * syndrome computation.
+ */
+enum class EccScheme : uint8_t {
+    None = 0,      //!< no ECC: every flip reaches compute silently
+    Word72 = 1,    //!< SECDED(72,64): 8 check bits per 64 data bits
+    Block512B = 2, //!< SEC-DED over 4096 data bits (14 check bits)
+    Block1KB = 3,  //!< SEC-DED over 8192 data bits (15 check bits)
+    Block4KB = 4,  //!< SEC-DED over 32768 data bits (17 check bits)
+};
+
+inline constexpr int kNumEccSchemes = 5;
+
+/** Static shape of one codeword under a scheme (all zero for None). */
+struct EccGeometry
+{
+    uint64_t data_bits = 0;
+    uint64_t check_bits = 0;
+    uint64_t codewordBits() const { return data_bits + check_bits; }
+    uint64_t dataBytes() const { return data_bits / 8; }
+    /** Redundancy-read bandwidth overhead: check bits per data bit. */
+    double overhead() const
+    {
+        return data_bits == 0
+                   ? 0.0
+                   : static_cast<double>(check_bits) / data_bits;
+    }
+};
+
+EccGeometry eccGeometry(EccScheme scheme);
+
+const char *eccSchemeName(EccScheme scheme);
+
+/**
+ * Parse a scheme name ("none", "word72", "block512", "block1k",
+ * "block4k"). @return false when the name is unknown.
+ */
+bool eccSchemeFromName(const char *name, EccScheme *out);
+
+/**
+ * Which protection a memory access *asks for*. The class is intrinsic to
+ * the access (what the data is used for); which EccScheme a class maps
+ * to is policy (FaultConfig::schemeFor). ENMC routes INT4 screener tile
+ * fetches as Weak — screening is already approximate, so raw flips only
+ * perturb candidate-set membership — while FP32 executor rows and
+ * PRECHARGE-tunneled instruction words stay Strong.
+ */
+enum class Protection : uint8_t {
+    None = 0,   //!< correctness-irrelevant accesses
+    Weak = 1,   //!< approximate data: the INT4 screening path
+    Strong = 2, //!< exact data: FP32 rows, instructions, host traffic
+};
+
+inline constexpr int kNumProtectionClasses = 3;
+
+const char *protectionName(Protection cls);
+
 /** Number of bits in one SECDED(72,64) codeword. */
 inline constexpr int kEccCodewordBits = 72;
 /** Data bits per codeword. */
@@ -60,6 +124,26 @@ EccDecoded eccDecode(uint64_t data, uint8_t check);
  * Used by the fault injector to model raw DRAM bit errors.
  */
 void eccFlipBit(uint64_t &data, uint8_t &check, int bit);
+
+/** Outcome of decoding one large-block codeword. */
+enum class BlockOutcome : uint8_t {
+    Clean = 0,        //!< no raw flips in the codeword
+    Corrected = 1,    //!< one flip: repaired, data intact
+    Detected = 2,     //!< uncorrectable, flagged (erasure)
+    Miscorrected = 3, //!< >= 3 flips aliased to a valid syndrome
+};
+
+/**
+ * Classify a block codeword that took `flips` raw bit flips. Block
+ * codewords are too large to run through a real codec per access, so
+ * classification follows the SEC-DED contract analytically: 0 flips
+ * clean, 1 corrected, 2 detected; for >= 3 flips an odd count may alias
+ * to a valid single-error syndrome (silent miscorrection) with
+ * probability codeword_bits / 2^(check_bits - 1) — `u` in [0, 1) is the
+ * caller's deterministic alias draw — and is detected otherwise. Even
+ * counts >= 4 trip the syndrome without the parity and are detected.
+ */
+BlockOutcome eccClassifyBlock(EccScheme scheme, uint64_t flips, double u);
 
 } // namespace enmc::fault
 

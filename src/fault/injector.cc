@@ -1,6 +1,7 @@
 #include "fault/injector.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -20,6 +21,7 @@ constexpr uint64_t kSaltFlipBits = 0xbf58476d1ce4e5b9ull;
 constexpr uint64_t kSaltInstDrop = 0x94d049bb133111ebull;
 constexpr uint64_t kSaltInstCorrupt = 0x2545f4914f6cdd1dull;
 constexpr uint64_t kSaltBurst = 0xd6e8feb86659fd93ull;
+constexpr uint64_t kSaltBlockAlias = 0xd1b54a32d192ed03ull;
 
 /** splitmix64 finalizer: a high-quality 64 -> 64 bit mixer. */
 uint64_t
@@ -40,6 +42,31 @@ FaultConfig::rankStuck(uint32_t rank) const
            stuck_ranks.end();
 }
 
+namespace {
+
+/** A set-but-out-of-range probability is a broken experiment: abort. */
+void
+requireProbability(const char *var, double v)
+{
+    if (!(v >= 0.0 && v <= 1.0))
+        ENMC_FATAL(var, " must be a probability in [0, 1], got ", v);
+}
+
+EccScheme
+schemeFromEnv(const char *var, EccScheme fallback)
+{
+    const char *name = envString(var);
+    if (name == nullptr)
+        return fallback;
+    EccScheme s;
+    if (!eccSchemeFromName(name, &s))
+        ENMC_FATAL(var, " must be one of "
+                   "none|word72|block512|block1k|block4k, got '", name, "'");
+    return s;
+}
+
+} // namespace
+
 FaultConfig
 FaultConfig::fromEnv()
 {
@@ -47,21 +74,41 @@ FaultConfig::fromEnv()
     cfg.enabled = envBool("ENMC_FAULT", false);
     cfg.seed = envU64("ENMC_FAULT_SEED", cfg.seed);
     cfg.data_ber = envF64("ENMC_FAULT_BER", cfg.data_ber);
+    requireProbability("ENMC_FAULT_BER", cfg.data_ber);
     cfg.inst_drop_p = envF64("ENMC_FAULT_INST_DROP", cfg.inst_drop_p);
+    requireProbability("ENMC_FAULT_INST_DROP", cfg.inst_drop_p);
     cfg.inst_corrupt_p =
         envF64("ENMC_FAULT_INST_CORRUPT", cfg.inst_corrupt_p);
+    requireProbability("ENMC_FAULT_INST_CORRUPT", cfg.inst_corrupt_p);
     cfg.ecc = envBool("ENMC_FAULT_ECC", true);
+    cfg.strong_scheme =
+        schemeFromEnv("ENMC_FAULT_STRONG_ECC", cfg.strong_scheme);
+    cfg.weak_scheme = schemeFromEnv("ENMC_FAULT_WEAK_ECC", cfg.weak_scheme);
+    cfg.ecc_overhead = envBool("ENMC_FAULT_ECC_OVERHEAD", false);
     if (const char *list = envString("ENMC_FAULT_STUCK_RANKS")) {
-        // Comma-separated rank ids; the whole list must parse.
+        // Comma-separated rank ids; the whole list must parse, every id
+        // must fit a rank index, and no id may repeat (a duplicate would
+        // silently double-count blacklist probes).
         const char *p = list;
         while (true) {
+            if (*p == '-' || *p == '+')
+                ENMC_FATAL("ENMC_FAULT_STUCK_RANKS rank ids must be "
+                           "unsigned integers, got '", list, "'");
             char *end = nullptr;
-            const unsigned long r = std::strtoul(p, &end, 10);
+            errno = 0;
+            const unsigned long long r = std::strtoull(p, &end, 10);
             if (end == p)
                 ENMC_FATAL("ENMC_FAULT_STUCK_RANKS must be a "
                            "comma-separated list of rank ids, got '",
                            list, "'");
-            cfg.stuck_ranks.push_back(static_cast<uint32_t>(r));
+            if (errno == ERANGE || r > UINT32_MAX)
+                ENMC_FATAL("ENMC_FAULT_STUCK_RANKS rank id overflows "
+                           "32 bits in '", list, "'");
+            const uint32_t id = static_cast<uint32_t>(r);
+            if (cfg.rankStuck(id))
+                ENMC_FATAL("ENMC_FAULT_STUCK_RANKS lists rank ", id,
+                           " twice in '", list, "'");
+            cfg.stuck_ranks.push_back(id);
             if (*end == '\0')
                 break;
             if (*end != ',')
@@ -86,6 +133,12 @@ FaultCounters::operator+=(const FaultCounters &o)
     inst_dropped += o.inst_dropped;
     inst_corrupted += o.inst_corrupted;
     stuck_reads += o.stuck_reads;
+    for (int c = 0; c < kNumProtectionClasses; ++c) {
+        per_class[c].injected += o.per_class[c].injected;
+        per_class[c].corrected += o.per_class[c].corrected;
+        per_class[c].detected += o.per_class[c].detected;
+        per_class[c].escaped += o.per_class[c].escaped;
+    }
     return *this;
 }
 
@@ -101,6 +154,12 @@ FaultCounters::operator-=(const FaultCounters &o)
     inst_dropped -= o.inst_dropped;
     inst_corrupted -= o.inst_corrupted;
     stuck_reads -= o.stuck_reads;
+    for (int c = 0; c < kNumProtectionClasses; ++c) {
+        per_class[c].injected -= o.per_class[c].injected;
+        per_class[c].corrected -= o.per_class[c].corrected;
+        per_class[c].detected -= o.per_class[c].detected;
+        per_class[c].escaped -= o.per_class[c].escaped;
+    }
     return *this;
 }
 
@@ -163,13 +222,14 @@ FaultInjector::sampleFlipBits(uint64_t index, int nbits, int k,
 
 uint64_t
 FaultInjector::faultWord(uint64_t word, uint64_t index, int k,
-                         bool *uncorrectable, bool *silent) const
+                         EccScheme scheme, bool *uncorrectable,
+                         bool *silent) const
 {
     *uncorrectable = false;
     *silent = false;
     int bits[kEccCodewordBits];
 
-    if (!cfg_.ecc) {
+    if (scheme == EccScheme::None) {
         // No ECC: every flip lands in the data and nobody notices.
         sampleFlipBits(index, kEccDataBits, k, bits);
         for (int i = 0; i < k; ++i)
@@ -197,12 +257,18 @@ FaultInjector::faultWord(uint64_t word, uint64_t index, int k,
 }
 
 uint64_t
-FaultInjector::readWord(uint64_t word, uint64_t index, bool *uncorrectable)
+FaultInjector::readWord(uint64_t word, uint64_t index, bool *uncorrectable,
+                        Protection cls)
 {
     *uncorrectable = false;
     if (!cfg_.enabled || cfg_.data_ber <= 0.0)
         return word;
-    const int nbits = cfg_.ecc ? kEccCodewordBits : kEccDataBits;
+    const EccScheme scheme = cfg_.schemeFor(cls);
+    ENMC_ASSERT(scheme == EccScheme::None || scheme == EccScheme::Word72,
+                "readWord needs a word-granular scheme; block schemes "
+                "go through readBuffer");
+    const int nbits =
+        scheme == EccScheme::Word72 ? kEccCodewordBits : kEccDataBits;
     const int k = sampleFlipCount(index, nbits);
     if (k == 0)
         return word;
@@ -211,23 +277,34 @@ FaultInjector::readWord(uint64_t word, uint64_t index, bool *uncorrectable)
     counters_.injected_bits += static_cast<uint64_t>(k);
     if (k == 1)
         counters_.single_bit_words += 1;
+    FaultCounters::ClassCounters &cc = counters_.forClass(cls);
+    cc.injected += 1;
 
     bool silent = false;
-    const uint64_t out = faultWord(word, index, k, uncorrectable, &silent);
-    if (*uncorrectable)
+    const uint64_t out =
+        faultWord(word, index, k, scheme, uncorrectable, &silent);
+    if (*uncorrectable) {
         counters_.detected += 1;
-    else if (silent)
+        cc.detected += 1;
+    } else if (silent) {
         counters_.escaped += 1;
-    else
+        cc.escaped += 1;
+    } else {
         counters_.corrected += 1;
+        cc.corrected += 1;
+    }
     return out;
 }
 
 uint64_t
-FaultInjector::readBuffer(std::span<uint8_t> bytes, uint64_t index_base)
+FaultInjector::readBuffer(std::span<uint8_t> bytes, uint64_t index_base,
+                          Protection cls)
 {
     if (!cfg_.enabled || cfg_.data_ber <= 0.0)
         return 0;
+    const EccScheme scheme = cfg_.schemeFor(cls);
+    if (scheme != EccScheme::None && scheme != EccScheme::Word72)
+        return readBufferBlocks(bytes, index_base, cls, scheme);
     uint64_t uncorrectable_words = 0;
     size_t off = 0;
     uint64_t idx = index_base;
@@ -236,13 +313,81 @@ FaultInjector::readBuffer(std::span<uint8_t> bytes, uint64_t index_base)
         uint64_t word = 0;
         std::memcpy(&word, bytes.data() + off, n);
         bool unc = false;
-        word = readWord(word, idx++, &unc);
+        word = readWord(word, idx++, &unc, cls);
         if (unc) {
             word = 0; // erasure: known-bad data never reaches compute
             ++uncorrectable_words;
         }
         std::memcpy(bytes.data() + off, &word, n);
         off += n;
+    }
+    return uncorrectable_words;
+}
+
+uint64_t
+FaultInjector::readBufferBlocks(std::span<uint8_t> bytes,
+                                uint64_t index_base, Protection cls,
+                                EccScheme scheme)
+{
+    // One codeword spans dataBytes() of payload; the whole chunk shares
+    // one fate. A partial tail chunk still forms one (shorter) codeword.
+    // The call consumes the same ceil(bytes/8) word indices as the
+    // word-granular path, so callers' index bookkeeping is unchanged.
+    const EccGeometry g = eccGeometry(scheme);
+    const size_t block_bytes = g.dataBytes();
+    uint64_t uncorrectable_words = 0;
+    size_t off = 0;
+    uint64_t idx = index_base;
+    while (off < bytes.size()) {
+        const size_t n = std::min(block_bytes, bytes.size() - off);
+        const uint64_t words = ceilDiv(n, 8);
+        const int nbits = static_cast<int>(n * 8 + g.check_bits);
+        const int k = sampleFlipCount(idx, nbits);
+        if (k > 0) {
+            counters_.injected_words += 1;
+            counters_.injected_bits += static_cast<uint64_t>(k);
+            if (k == 1)
+                counters_.single_bit_words += 1;
+            FaultCounters::ClassCounters &cc = counters_.forClass(cls);
+            cc.injected += 1;
+            const BlockOutcome out = eccClassifyBlock(
+                scheme, static_cast<uint64_t>(k),
+                uniformAt(idx, kSaltBlockAlias));
+            switch (out) {
+              case BlockOutcome::Corrected:
+                counters_.corrected += 1;
+                cc.corrected += 1;
+                break;
+              case BlockOutcome::Detected:
+                counters_.detected += 1;
+                cc.detected += 1;
+                // Erase the whole block: coarse failure granularity is
+                // the price of the low-overhead code.
+                std::fill(bytes.begin() + off, bytes.begin() + off + n,
+                          uint8_t{0});
+                uncorrectable_words += words;
+                break;
+              case BlockOutcome::Miscorrected: {
+                counters_.escaped += 1;
+                cc.escaped += 1;
+                // Silent corruption: land the raw flips in the payload
+                // (the "repair" garbles data; exact positions are noise).
+                for (int i = 0; i < k; ++i) {
+                    const uint64_t h =
+                        mix64(cfg_.seed ^ mix64(stream_ ^ kSaltFlipBits) ^
+                              mix64(idx * 73 + static_cast<uint64_t>(i)));
+                    const size_t bitpos = h % (n * 8);
+                    bytes[off + bitpos / 8] ^=
+                        static_cast<uint8_t>(1u << (bitpos % 8));
+                }
+                break;
+              }
+              case BlockOutcome::Clean:
+                break; // unreachable: k > 0
+            }
+        }
+        off += n;
+        idx += words;
     }
     return uncorrectable_words;
 }
@@ -266,18 +411,56 @@ FaultInjector::instructionFate(uint64_t attempt)
 }
 
 FaultInjector::BurstOutcome
-FaultInjector::classifyBurst(uint64_t words, uint64_t index_base) const
+FaultInjector::classifyBurst(uint64_t words, uint64_t index_base,
+                             Protection cls) const
 {
     BurstOutcome out;
     if (!cfg_.enabled || cfg_.data_ber <= 0.0)
         return out;
-    const int nbits = cfg_.ecc ? kEccCodewordBits : kEccDataBits;
+    const EccScheme scheme = cfg_.schemeFor(cls);
+
+    if (scheme != EccScheme::None && scheme != EccScheme::Word72) {
+        // Block codes: classify codeword-sized chunks of the burst.
+        const EccGeometry g = eccGeometry(scheme);
+        const uint64_t bytes = words * 8;
+        uint64_t off = 0;
+        while (off < bytes) {
+            const uint64_t n = std::min<uint64_t>(g.dataBytes(),
+                                                  bytes - off);
+            const uint64_t idx = mix64(index_base + off / 8) ^ kSaltBurst;
+            const int nbits = static_cast<int>(n * 8 + g.check_bits);
+            const int k = sampleFlipCount(idx, nbits);
+            if (k > 0) {
+                switch (eccClassifyBlock(scheme,
+                                         static_cast<uint64_t>(k),
+                                         uniformAt(idx,
+                                                   kSaltBlockAlias))) {
+                  case BlockOutcome::Corrected:
+                    out.corrected += 1;
+                    break;
+                  case BlockOutcome::Detected:
+                    out.detected += 1;
+                    break;
+                  case BlockOutcome::Miscorrected:
+                    out.escaped += 1;
+                    break;
+                  case BlockOutcome::Clean:
+                    break;
+                }
+            }
+            off += n;
+        }
+        return out;
+    }
+
+    const int nbits = scheme == EccScheme::Word72 ? kEccCodewordBits
+                                                  : kEccDataBits;
     for (uint64_t w = 0; w < words; ++w) {
         const uint64_t idx = mix64(index_base + w) ^ kSaltBurst;
         const int k = sampleFlipCount(idx, nbits);
         if (k == 0)
             continue;
-        if (!cfg_.ecc) {
+        if (scheme == EccScheme::None) {
             out.escaped += 1;
             continue;
         }
@@ -290,7 +473,7 @@ FaultInjector::classifyBurst(uint64_t words, uint64_t index_base) const
         bool unc = false;
         bool silent = false;
         const uint64_t probe = mix64(idx ^ kSaltBurst);
-        (void)faultWord(probe, idx, k, &unc, &silent);
+        (void)faultWord(probe, idx, k, scheme, &unc, &silent);
         if (unc)
             out.detected += 1;
         else if (silent)

@@ -71,10 +71,20 @@ ResilientBackend::runWithRetry(const arch::RankTask &task,
     // the blacklisting path (runJob/runFunctionalJob) handles it.
     const bool stuck = injector->config().rankStuck(task.rank_index);
 
+    // With retry_weak off (differentiated-protection policy), erasures on
+    // the weak screener path never trigger a slice retry: they only
+    // perturb candidate membership, which the exact executor recompute
+    // already bounds. Only strong-path erasures are worth re-reading.
+    auto retryWorthy = [this](const arch::RankResult &r) {
+        return cfg_.resilience.retry_weak
+                   ? r.uncorrectable_words > 0
+                   : r.uncorrectable_strong_words > 0;
+    };
+
     Cycles backoff = cfg_.resilience.retry_backoff_cycles;
     Cycles penalty = 0;
     uint64_t retries = 0;
-    while (res.uncorrectable_words > 0 && !stuck &&
+    while (retryWorthy(res) && !stuck &&
            retries < cfg_.resilience.max_retries) {
         ++retries;
         penalty += backoff;
@@ -93,7 +103,7 @@ ResilientBackend::runWithRetry(const arch::RankTask &task,
     res.cycles += penalty;
     res.fault_retries = retries;
 
-    if (res.uncorrectable_words > 0 && !stuck && !cfg_.resilience.degrade)
+    if (retryWorthy(res) && !stuck && !cfg_.resilience.degrade)
         ENMC_PANIC("slice still uncorrectable after ", retries,
                    " retries and degradation is disabled");
 
@@ -102,7 +112,7 @@ ResilientBackend::runWithRetry(const arch::RankTask &task,
         ++stat_slices_;
         stat_retries_ += retries;
         stat_penalty_cycles_ += penalty;
-        if (res.uncorrectable_words > 0 && !stuck)
+        if (retryWorthy(res) && !stuck)
             ++stat_degraded_;
     }
     return res;

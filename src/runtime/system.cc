@@ -39,6 +39,16 @@ EnmcSystem::EnmcSystem(const SystemConfig &cfg)
           "faultEscaped", "faulty words silently corrupted")),
       stat_uncorrectable_(stats_.addCounter(
           "uncorrectableWords", "uncorrectable words after resilience")),
+      stat_uncorrectable_weak_(stats_.addCounter(
+          "uncorrectableWeakWords",
+          "uncorrectable words on the weak (screener) path")),
+      stat_uncorrectable_strong_(stats_.addCounter(
+          "uncorrectableStrongWords",
+          "uncorrectable words on the strong (executor) path")),
+      stat_redundancy_reads_(stats_.addCounter(
+          "faultRedundancyReads", "extra bursts fetching ECC check bits")),
+      stat_decode_cycles_(stats_.addCounter(
+          "faultDecodeCycles", "ECC syndrome-decode cycles charged")),
       stat_degraded_(stats_.addCounter(
           "degradedCandidates", "candidates answered approximately")),
       stat_slice_cycles_(stats_.addScalar("sliceCycles",
@@ -52,6 +62,24 @@ EnmcSystem::EnmcSystem(const SystemConfig &cfg)
     // (idempotent; performance-only, never changes results).
     tensor::tune::loadFromEnv();
     ENMC_ASSERT(cfg.totalRanks() >= 1, "system needs at least one rank");
+
+    // Per-protection-class mirrors: each class must satisfy the same
+    // accounting invariant as the aggregate (injected == corrected +
+    // detected + escaped), checkable from the exported JSON alone.
+    static const char *const kClassTitle[] = {"None", "Weak", "Strong"};
+    for (int c = 0; c < fault::kNumProtectionClasses; ++c) {
+        const std::string p = std::string("fault") + kClassTitle[c];
+        const std::string cls = fault::protectionName(
+            static_cast<fault::Protection>(c));
+        stat_class_[c][0] = &stats_.addCounter(
+            p + "Injected", cls + "-class words with injected faults");
+        stat_class_[c][1] = &stats_.addCounter(
+            p + "Corrected", cls + "-class faulty words repaired");
+        stat_class_[c][2] = &stats_.addCounter(
+            p + "Detected", cls + "-class words detected uncorrectable");
+        stat_class_[c][3] = &stats_.addCounter(
+            p + "Escaped", cls + "-class words silently corrupted");
+    }
 }
 
 void
@@ -63,7 +91,18 @@ EnmcSystem::recordSlice(const RankResult &res) const
     stat_fault_corrected_ += res.faults.corrected;
     stat_fault_detected_ += res.faults.detected;
     stat_fault_escaped_ += res.faults.escaped;
+    for (int c = 0; c < fault::kNumProtectionClasses; ++c) {
+        const fault::FaultCounters::ClassCounters &pc = res.faults.per_class[c];
+        *stat_class_[c][0] += pc.injected;
+        *stat_class_[c][1] += pc.corrected;
+        *stat_class_[c][2] += pc.detected;
+        *stat_class_[c][3] += pc.escaped;
+    }
     stat_uncorrectable_ += res.uncorrectable_words;
+    stat_uncorrectable_weak_ += res.uncorrectable_weak_words;
+    stat_uncorrectable_strong_ += res.uncorrectable_strong_words;
+    stat_redundancy_reads_ += res.ecc_redundancy_reads;
+    stat_decode_cycles_ += res.ecc_decode_cycles;
     stat_degraded_ += res.degraded_candidates;
     stat_slice_cycles_.sample(static_cast<double>(res.cycles));
 }
@@ -228,6 +267,53 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
     }
 
     const tensor::QuantizedMatrix &wq = screener.quantizedWeights();
+
+    // Fail-open screening guard: with the weak (screener) path running
+    // unprotected and a data BER armed, a silent flip in a packed
+    // weight perturbs one approximate logit by
+    // |delta_value| * row_scale * |feature| — and the only harm it can
+    // do is demote a true candidate (an inflated logit self-corrects
+    // by *becoming* a candidate the executor recomputes exactly). So
+    // the FILTER cut is lowered by `weak_guard` units of the expected
+    // perturbation, scaled by the per-row corruption probability: the
+    // margin vanishes at low BER and widens the candidate set just
+    // enough at high BER.
+    float weak_margin = 0.0f;
+    if (cfg_.fault.enabled && cfg_.fault.data_ber > 0.0 &&
+        cfg_.fault.schemeFor(fault::Protection::Weak) ==
+            fault::EccScheme::None &&
+        cfg_.resilience.weak_guard > 0.0) {
+        double feat_mag = 0.0;
+        for (const auto &q : yq) {
+            double sum = 0.0;
+            for (const int8_t v : q.values)
+                sum += std::abs(static_cast<double>(v));
+            feat_mag += q.scale * sum /
+                        static_cast<double>(std::max<size_t>(
+                            q.values.size(), 1));
+        }
+        feat_mag /= static_cast<double>(yq.size());
+        double mean_scale = 0.0;
+        for (const float s : wq.scales)
+            mean_scale += s;
+        mean_scale /= static_cast<double>(std::max<size_t>(
+            wq.scales.size(), 1));
+        // A flip lands in the packed two's-complement domain (the rank
+        // folds its scratch back to the storage width), so one flip in
+        // a w-bit weight perturbs it by 2^k, k < w: mean (2^w - 1) / w.
+        const int width = tensor::quantBitCount(wq.bits) > 0
+                              ? tensor::quantBitCount(wq.bits)
+                              : 8;
+        const double mean_flip =
+            (static_cast<double>(1 << width) - 1.0) / width;
+        const double corrupt_p = std::min(
+            1.0, cfg_.fault.data_ber * static_cast<double>(wq.cols) *
+                     width);
+        weak_margin = static_cast<float>(cfg_.resilience.weak_guard *
+                                         corrupt_p * mean_flip *
+                                         mean_scale * feat_mag);
+    }
+
     const std::vector<RowSlice> slices =
         RankPartitioner::partition(row_begin, row_count, ranks);
     const EnmcBackend plain_backend(cfg_);
@@ -287,7 +373,7 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
         task.batch = batch;
         task.sigmoid =
             classifier.normalization() == nn::Normalization::Sigmoid;
-        task.threshold = screener.config().threshold;
+        task.threshold = screener.config().threshold - weak_margin;
         task.screen_weights = &wq_slice;
         task.screen_bias = &sb_slice;
         task.class_weights = &cw_slice;
@@ -323,6 +409,10 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
             out.rank_cycles = std::max(out.rank_cycles, rr.cycles);
             out.faults += rr.faults;
             out.uncorrectable_words += rr.uncorrectable_words;
+            out.uncorrectable_weak_words += rr.uncorrectable_weak_words;
+            out.uncorrectable_strong_words += rr.uncorrectable_strong_words;
+            out.ecc_redundancy_reads += rr.ecc_redundancy_reads;
+            out.ecc_decode_cycles += rr.ecc_decode_cycles;
             out.degraded_candidates += rr.degraded_candidates;
             out.slice_cycles.push_back(rr.cycles);
             recordSlice(rr);

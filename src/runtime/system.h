@@ -135,6 +135,13 @@ class EnmcSystem
         /** Aggregated fault/ECC activity across slices (zero by default). */
         fault::FaultCounters faults;
         uint64_t uncorrectable_words = 0;
+        /** Uncorrectable split by protection class (weak = screener). */
+        uint64_t uncorrectable_weak_words = 0;
+        uint64_t uncorrectable_strong_words = 0;
+        /** Check-bit bursts charged by the ECC overhead model. */
+        uint64_t ecc_redundancy_reads = 0;
+        /** Syndrome-decode cycles charged by the ECC overhead model. */
+        uint64_t ecc_decode_cycles = 0;
         uint64_t degraded_candidates = 0;
         /**
          * Per-slice simulated cycle counts, in slice order (one entry per
@@ -188,9 +195,17 @@ class EnmcSystem
     Counter &stat_fault_detected_;
     Counter &stat_fault_escaped_;
     Counter &stat_uncorrectable_;
+    Counter &stat_uncorrectable_weak_;
+    Counter &stat_uncorrectable_strong_;
+    Counter &stat_redundancy_reads_;
+    Counter &stat_decode_cycles_;
     Counter &stat_degraded_;
     ScalarStat &stat_slice_cycles_;
     Histogram &stat_slice_skew_;
+    /** Per-protection-class injected/corrected/detected/escaped mirrors,
+     *  indexed [class][0..3]; filled in the constructor body (the group's
+     *  map storage keeps the references stable). */
+    Counter *stat_class_[fault::kNumProtectionClasses][4] = {};
     // Declared last so the group unregisters before any stat dies.
     obs::StatRegistration stats_registration_;
 };

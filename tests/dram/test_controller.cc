@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dram/controller.h"
+#include "fault/injector.h"
 
 namespace enmc::dram {
 namespace {
@@ -273,6 +274,161 @@ TEST_F(ControllerTest, RandomTrafficDrains)
     EXPECT_EQ(ctrl_.stats().counter("reads").value() +
                   ctrl_.stats().counter("writes").value(),
               issued);
+}
+
+// ---- fault-injector attachment + ECC overhead model ----
+
+/** Run `n` sequential reads through a fresh tick loop and return the ECC
+ *  classification counters (corrected, detected, escaped). */
+struct EccTally
+{
+    uint64_t corrected = 0;
+    uint64_t detected = 0;
+    uint64_t escaped = 0;
+    bool operator==(const EccTally &) const = default;
+};
+
+TEST_F(ControllerTest, ReattachResetsBurstSequence)
+{
+    // The determinism contract: classification outcomes are pure in
+    // (seed, stream, burst index). Re-attaching an injector must restart
+    // the burst index, so the same read sequence replays the same
+    // outcomes — a stale sequence number used to leak across re-attach.
+    fault::FaultConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.seed = 9;
+    fcfg.data_ber = 2e-3; // high enough that 64 bursts see faults
+    fault::FaultInjector injector(fcfg, /*stream=*/0);
+
+    auto pass = [&]() {
+        ctrl_.attachFaultInjector(&injector);
+        const uint64_t c0 = ctrl_.stats().counter("eccCorrected").value();
+        const uint64_t d0 = ctrl_.stats().counter("eccDetected").value();
+        const uint64_t e0 = ctrl_.stats().counter("eccEscaped").value();
+        std::vector<Cycles> done;
+        for (int i = 0; i < 64; ++i)
+            read(static_cast<Addr>(i) * 64, &done);
+        tickUntilIdle();
+        EccTally t;
+        t.corrected = ctrl_.stats().counter("eccCorrected").value() - c0;
+        t.detected = ctrl_.stats().counter("eccDetected").value() - d0;
+        t.escaped = ctrl_.stats().counter("eccEscaped").value() - e0;
+        return t;
+    };
+
+    const EccTally first = pass();
+    EXPECT_GT(first.corrected + first.detected + first.escaped, 0u)
+        << "operating point no longer exercises the fault path";
+    const EccTally second = pass();
+    EXPECT_EQ(first, second)
+        << "re-attach must replay identical burst classifications";
+}
+
+TEST_F(ControllerTest, EccOverheadOffChargesNothing)
+{
+    fault::FaultConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.seed = 9;
+    fcfg.data_ber = 0.0; // classification path active, overhead off
+    fault::FaultInjector injector(fcfg, 0);
+    ctrl_.attachFaultInjector(&injector);
+
+    std::vector<Cycles> done;
+    for (int i = 0; i < 32; ++i)
+        read(static_cast<Addr>(i) * 64, &done);
+    tickUntilIdle();
+    EXPECT_EQ(ctrl_.eccRedundancyReads(), 0u);
+    EXPECT_EQ(ctrl_.eccDecodeCyclesCharged(), 0u);
+    EXPECT_EQ(ctrl_.stats().counter("eccProtectedReads").value(), 0u);
+}
+
+TEST_F(ControllerTest, EccOverheadChargesRedundancyAndDecode)
+{
+    // One controller with the overhead model on, one with it off: the
+    // protected run must issue SECDED(72,64) check-bit bursts (1/8 of the
+    // data bursts) and charge decode latency on every read.
+    fault::FaultConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.seed = 9;
+    fcfg.data_ber = 0.0;
+    fcfg.ecc_overhead = true;
+    fault::FaultInjector injector(fcfg, 0);
+    ctrl_.attachFaultInjector(&injector);
+
+    constexpr int kReads = 64;
+    std::vector<Cycles> done;
+    for (int i = 0; i < kReads; ++i)
+        read(static_cast<Addr>(i) * 64, &done);
+    tickUntilIdle();
+
+    // 12.5% overhead => one redundancy burst per 8 data bursts.
+    EXPECT_EQ(ctrl_.eccRedundancyReads(), kReads / 8);
+    const Timing t = Timing::ddr4_2400();
+    EXPECT_EQ(ctrl_.eccDecodeCyclesCharged(),
+              static_cast<uint64_t>(kReads) *
+                  t.eccDecodeCycles(fault::EccScheme::Word72));
+    EXPECT_EQ(ctrl_.stats().counter("eccProtectedReads").value(),
+              static_cast<uint64_t>(kReads));
+
+    // The charges land on the request timeline, not just the counters.
+    Controller plain(org_, timing_, ControllerConfig{}, "test.plain");
+    std::vector<Cycles> plain_done;
+    for (int i = 0; i < kReads; ++i) {
+        Request req;
+        req.addr = static_cast<Addr>(i) * 64;
+        req.type = ReqType::Read;
+        req.on_complete = [&plain_done](const Request &r) {
+            plain_done.push_back(r.complete);
+        };
+        ASSERT_TRUE(plain.enqueue(std::move(req)));
+    }
+    while (!plain.idle())
+        plain.tick();
+    ASSERT_EQ(done.size(), plain_done.size());
+    EXPECT_GT(done.back(), plain_done.back())
+        << "ECC overhead must lengthen the read timeline";
+}
+
+TEST_F(ControllerTest, WeakNoneClassSkipsOverheadStrongPays)
+{
+    // Differentiated protection at the controller: Weak-class requests
+    // mapped to EccScheme::None ride free; Strong-class requests pay.
+    fault::FaultConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.data_ber = 0.0;
+    fcfg.ecc_overhead = true;
+    fcfg.weak_scheme = fault::EccScheme::None;
+    fault::FaultInjector injector(fcfg, 0);
+    ctrl_.attachFaultInjector(&injector);
+
+    std::vector<Cycles> done;
+    for (int i = 0; i < 16; ++i) {
+        Request req;
+        req.addr = static_cast<Addr>(i) * 64;
+        req.type = ReqType::Read;
+        req.prot = fault::Protection::Weak;
+        req.on_complete = [&done](const Request &r) {
+            done.push_back(r.complete);
+        };
+        ASSERT_TRUE(ctrl_.enqueue(std::move(req)));
+    }
+    tickUntilIdle();
+    EXPECT_EQ(ctrl_.eccRedundancyReads(), 0u);
+    EXPECT_EQ(ctrl_.eccDecodeCyclesCharged(), 0u);
+
+    for (int i = 0; i < 16; ++i) {
+        Request req;
+        req.addr = static_cast<Addr>(i) * 64;
+        req.type = ReqType::Read;
+        req.prot = fault::Protection::Strong;
+        req.on_complete = [&done](const Request &r) {
+            done.push_back(r.complete);
+        };
+        ASSERT_TRUE(ctrl_.enqueue(std::move(req)));
+    }
+    tickUntilIdle();
+    EXPECT_EQ(ctrl_.eccRedundancyReads(), 2u); // 16 bursts / 8
+    EXPECT_GT(ctrl_.eccDecodeCyclesCharged(), 0u);
 }
 
 } // namespace

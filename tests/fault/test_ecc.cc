@@ -3,6 +3,8 @@
  * SECDED(72,64) codec tests: clean roundtrip, the single-error-correct /
  * double-error-detect guarantees over every bit position, and the honest
  * behaviour beyond the design point (>= 3 flips never decode as clean).
+ * Plus the large-codeword scheme table (geometry, names, block
+ * classification) and the decode-latency model they feed.
  */
 
 #include <gtest/gtest.h>
@@ -11,7 +13,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "dram/timing.h"
 #include "fault/ecc.h"
+#include "fault/injector.h"
 
 namespace enmc::fault {
 namespace {
@@ -78,8 +82,11 @@ TEST(Ecc, CheckAndParityFlipsLeaveDataIntact)
 
 TEST(Ecc, EveryDoubleBitErrorDetected)
 {
-    for (const uint64_t w :
-         {0x0ull, 0xffffffffffffffffull, 0xdeadbeefcafef00dull}) {
+    // Exhaustive: all C(72,2) flip pairs over every sample word
+    // (randomized + adversarial patterns). A double error must come back
+    // Detected — never Ok (missed) and never Corrected (miscorrected,
+    // which would silently corrupt data the caller trusts).
+    for (const uint64_t w : sampleWords()) {
         const uint8_t clean_check = eccEncode(w);
         for (int i = 0; i < kEccCodewordBits; ++i) {
             for (int j = i + 1; j < kEccCodewordBits; ++j) {
@@ -88,8 +95,10 @@ TEST(Ecc, EveryDoubleBitErrorDetected)
                 eccFlipBit(data, check, i);
                 eccFlipBit(data, check, j);
                 const EccDecoded dec = eccDecode(data, check);
-                EXPECT_EQ(dec.status, EccStatus::DetectedUncorrectable)
-                    << "bits " << i << "," << j;
+                ASSERT_EQ(dec.status, EccStatus::DetectedUncorrectable)
+                    << "word " << std::hex << w << std::dec << " bits "
+                    << i << "," << j << " -> "
+                    << eccStatusName(dec.status);
             }
         }
     }
@@ -129,6 +138,108 @@ TEST(Ecc, StatusNamesAreStable)
                  "corrected-check");
     EXPECT_STREQ(eccStatusName(EccStatus::DetectedUncorrectable),
                  "detected-uncorrectable");
+}
+
+TEST(EccScheme, GeometryTableIsHammingFeasible)
+{
+    // Every SEC-DED geometry needs 2^(r-1) >= data + r (r includes the
+    // overall parity bit), and check-bit overhead must fall as codewords
+    // grow — that trade is the whole point of block codes.
+    const EccScheme schemes[] = {EccScheme::Word72, EccScheme::Block512B,
+                                 EccScheme::Block1KB, EccScheme::Block4KB};
+    double prev_overhead = 1.0;
+    for (const EccScheme s : schemes) {
+        const EccGeometry g = eccGeometry(s);
+        EXPECT_EQ(g.data_bits % 8, 0u) << eccSchemeName(s);
+        EXPECT_GE(1ull << (g.check_bits - 1),
+                  g.data_bits + g.check_bits) << eccSchemeName(s);
+        EXPECT_LT(g.overhead(), prev_overhead) << eccSchemeName(s);
+        prev_overhead = g.overhead();
+    }
+    EXPECT_EQ(eccGeometry(EccScheme::Word72).data_bits, 64u);
+    EXPECT_EQ(eccGeometry(EccScheme::Word72).check_bits, 8u);
+    EXPECT_EQ(eccGeometry(EccScheme::Block4KB).dataBytes(), 4096u);
+    EXPECT_EQ(eccGeometry(EccScheme::None).codewordBits(), 0u);
+}
+
+TEST(EccScheme, NamesRoundtrip)
+{
+    for (int i = 0; i < kNumEccSchemes; ++i) {
+        const EccScheme s = static_cast<EccScheme>(i);
+        EccScheme parsed;
+        ASSERT_TRUE(eccSchemeFromName(eccSchemeName(s), &parsed))
+            << eccSchemeName(s);
+        EXPECT_EQ(parsed, s);
+    }
+    EccScheme out;
+    EXPECT_FALSE(eccSchemeFromName("hamming128", &out));
+    EXPECT_FALSE(eccSchemeFromName("", &out));
+
+    EXPECT_STREQ(protectionName(Protection::None), "none");
+    EXPECT_STREQ(protectionName(Protection::Weak), "weak");
+    EXPECT_STREQ(protectionName(Protection::Strong), "strong");
+}
+
+TEST(EccScheme, BlockClassificationContract)
+{
+    for (const EccScheme s : {EccScheme::Block512B, EccScheme::Block1KB,
+                              EccScheme::Block4KB}) {
+        // SEC-DED guarantees hold regardless of the alias draw.
+        for (const double u : {0.0, 0.5, 0.999}) {
+            EXPECT_EQ(eccClassifyBlock(s, 0, u), BlockOutcome::Clean);
+            EXPECT_EQ(eccClassifyBlock(s, 1, u), BlockOutcome::Corrected);
+            EXPECT_EQ(eccClassifyBlock(s, 2, u), BlockOutcome::Detected);
+            // An even flip count >= 4 never aliases to a correctable
+            // syndrome (overall parity matches, syndrome nonzero).
+            EXPECT_EQ(eccClassifyBlock(s, 4, u), BlockOutcome::Detected);
+            EXPECT_EQ(eccClassifyBlock(s, 100, u), BlockOutcome::Detected);
+        }
+        // Odd >= 3: miscorrects exactly when the alias draw lands below
+        // codewordBits / 2^(r-1), detected otherwise.
+        const EccGeometry g = eccGeometry(s);
+        const double alias = static_cast<double>(g.codewordBits()) /
+                             static_cast<double>(1ull << (g.check_bits - 1));
+        ASSERT_GT(alias, 0.0);
+        ASSERT_LT(alias, 1.0);
+        EXPECT_EQ(eccClassifyBlock(s, 3, alias / 2),
+                  BlockOutcome::Miscorrected);
+        EXPECT_EQ(eccClassifyBlock(s, 3, alias),
+                  BlockOutcome::Detected);
+        EXPECT_EQ(eccClassifyBlock(s, 5, 0.9999),
+                  BlockOutcome::Detected);
+    }
+}
+
+TEST(EccScheme, DecodeLatencyScalesWithCodewordSize)
+{
+    const dram::Timing t = dram::Timing::ddr4_2400();
+    EXPECT_EQ(t.eccDecodeCycles(EccScheme::None), 0u);
+    EXPECT_EQ(t.eccDecodeCycles(EccScheme::Word72), 2u);
+    EXPECT_EQ(t.eccDecodeCycles(EccScheme::Block512B), 10u);
+    EXPECT_EQ(t.eccDecodeCycles(EccScheme::Block1KB), 18u);
+    EXPECT_EQ(t.eccDecodeCycles(EccScheme::Block4KB), 66u);
+
+    // Narrower XOR trees fold more cycles; the model must follow.
+    dram::Timing narrow = t;
+    narrow.ecc_xor_bits_per_cycle = 128;
+    EXPECT_GT(narrow.eccDecodeCycles(EccScheme::Block4KB),
+              t.eccDecodeCycles(EccScheme::Block4KB));
+}
+
+TEST(EccScheme, SchemeForRespectsProtectionClassAndMasterSwitch)
+{
+    FaultConfig cfg;
+    cfg.strong_scheme = EccScheme::Word72;
+    cfg.weak_scheme = EccScheme::None;
+    cfg.ecc = true;
+    EXPECT_EQ(cfg.schemeFor(Protection::Strong), EccScheme::Word72);
+    EXPECT_EQ(cfg.schemeFor(Protection::Weak), EccScheme::None);
+    EXPECT_EQ(cfg.schemeFor(Protection::None), EccScheme::None);
+    cfg.weak_scheme = EccScheme::Block1KB;
+    EXPECT_EQ(cfg.schemeFor(Protection::Weak), EccScheme::Block1KB);
+    cfg.ecc = false; // the master switch turns every class off
+    EXPECT_EQ(cfg.schemeFor(Protection::Strong), EccScheme::None);
+    EXPECT_EQ(cfg.schemeFor(Protection::Weak), EccScheme::None);
 }
 
 } // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * FaultConfig::fromEnv validation tests: a mistyped experiment knob must
+ * abort loudly instead of silently running a different experiment. Covers
+ * out-of-range probabilities, malformed / duplicate / overflowing stuck
+ * rank lists, and unknown ECC scheme names — plus the good-path parses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace enmc::fault {
+namespace {
+
+/** Scoped environment variable: set on construction, unset on scope exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(std::string name, const std::string &value)
+        : name_(std::move(name))
+    {
+        ::setenv(name_.c_str(), value.c_str(), 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_.c_str()); }
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    std::string name_;
+};
+
+TEST(FaultConfigDeathTest, BerAboveOneIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_BER", "1.5");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "probability");
+}
+
+TEST(FaultConfigDeathTest, NegativeBerIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_BER", "-1e-6");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "probability");
+}
+
+TEST(FaultConfigDeathTest, NegativeInstDropIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_INST_DROP", "-0.1");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "probability");
+}
+
+TEST(FaultConfigDeathTest, InstCorruptAboveOneIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_INST_CORRUPT", "2");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "probability");
+}
+
+TEST(FaultConfigDeathTest, NegativeStuckRankIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "-3");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "unsigned");
+}
+
+TEST(FaultConfigDeathTest, NegativeStuckRankInTailIsFatal)
+{
+    // strtoull would happily wrap "2,-3"'s second id to 2^64-3; the
+    // parser must reject the sign explicitly.
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "2,-3");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "unsigned");
+}
+
+TEST(FaultConfigDeathTest, NonNumericStuckRankIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "2,x");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "comma-separated");
+}
+
+TEST(FaultConfigDeathTest, BadSeparatorInStuckRanksIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "2;3");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "comma-separated");
+}
+
+TEST(FaultConfigDeathTest, DuplicateStuckRankIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "1,4,1");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "twice");
+}
+
+TEST(FaultConfigDeathTest, OverflowingStuckRankIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "4294967296"); // 2^32
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "overflows");
+}
+
+TEST(FaultConfigDeathTest, HugeStuckRankIsFatal)
+{
+    // Larger than 2^64: strtoull saturates and sets ERANGE.
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "99999999999999999999999");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "overflows");
+}
+
+TEST(FaultConfigDeathTest, UnknownStrongSchemeIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_STRONG_ECC", "reed-solomon");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "word72");
+}
+
+TEST(FaultConfigDeathTest, UnknownWeakSchemeIsFatal)
+{
+    ScopedEnv e("ENMC_FAULT_WEAK_ECC", "block2k");
+    EXPECT_DEATH((void)FaultConfig::fromEnv(), "word72");
+}
+
+TEST(FaultConfig, BoundaryProbabilitiesAreAccepted)
+{
+    ScopedEnv a("ENMC_FAULT_BER", "1");
+    ScopedEnv b("ENMC_FAULT_INST_DROP", "0");
+    const FaultConfig cfg = FaultConfig::fromEnv();
+    EXPECT_DOUBLE_EQ(cfg.data_ber, 1.0);
+    EXPECT_DOUBLE_EQ(cfg.inst_drop_p, 0.0);
+}
+
+TEST(FaultConfig, SchemeAndOverheadKnobsParse)
+{
+    ScopedEnv a("ENMC_FAULT_STRONG_ECC", "block512");
+    ScopedEnv b("ENMC_FAULT_WEAK_ECC", "none");
+    ScopedEnv c("ENMC_FAULT_ECC_OVERHEAD", "1");
+    const FaultConfig cfg = FaultConfig::fromEnv();
+    EXPECT_EQ(cfg.strong_scheme, EccScheme::Block512B);
+    EXPECT_EQ(cfg.weak_scheme, EccScheme::None);
+    EXPECT_TRUE(cfg.ecc_overhead);
+}
+
+TEST(FaultConfig, DefaultsKeepEveryKnobOff)
+{
+    const FaultConfig cfg = FaultConfig::fromEnv();
+    EXPECT_FALSE(cfg.enabled);
+    EXPECT_FALSE(cfg.ecc_overhead);
+    EXPECT_EQ(cfg.strong_scheme, EccScheme::Word72);
+    EXPECT_EQ(cfg.weak_scheme, EccScheme::Word72);
+    EXPECT_TRUE(cfg.stuck_ranks.empty());
+}
+
+TEST(FaultConfig, MaxStuckRankIdParses)
+{
+    ScopedEnv e("ENMC_FAULT_STUCK_RANKS", "4294967295"); // 2^32 - 1
+    const FaultConfig cfg = FaultConfig::fromEnv();
+    ASSERT_EQ(cfg.stuck_ranks.size(), 1u);
+    EXPECT_EQ(cfg.stuck_ranks[0], 4294967295u);
+}
+
+} // namespace
+} // namespace enmc::fault

@@ -163,6 +163,124 @@ TEST(ResilientBackend, DegradationDisabledPanicsOnPersistentErrors)
                  "uncorrectable");
 }
 
+TEST(ResilientBackend, RetryWeakOffSkipsWeakOnlyErasures)
+{
+    const SmallModel m = makeSmallModel(/*categories=*/512, /*hidden=*/32,
+                                        /*batch=*/1);
+
+    // Route the strong (executor) path around detection entirely so every
+    // detected-uncorrectable word is weak-class (screener tiles). With
+    // retry_weak off those erasures must neither retry nor panic — the
+    // exact recompute of surviving candidates already bounds their damage.
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 1;
+    cfg.fault.data_ber = 5e-3;
+    cfg.fault.strong_scheme = fault::EccScheme::None;
+    cfg.fault.weak_scheme = fault::EccScheme::Word72;
+    cfg.resilient = true;
+    cfg.resilience.retry_weak = false;
+    cfg.resilience.degrade = false; // would panic if a retry were owed
+    const auto out = EnmcSystem(cfg).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 1);
+
+    EXPECT_GT(out.uncorrectable_weak_words, 0u)
+        << "operating point no longer produces weak-path erasures";
+    EXPECT_EQ(out.uncorrectable_strong_words, 0u);
+
+    // Same scenario with retry_weak on: the erasures now drive retries
+    // (visible as added latency), which is exactly the bandwidth the
+    // differentiated policy saves.
+    SystemConfig eager = cfg;
+    eager.resilience.retry_weak = true;
+    eager.resilience.degrade = true;
+    const auto retried = EnmcSystem(eager).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 1);
+    EXPECT_GT(retried.rank_cycles, out.rank_cycles)
+        << "retry_weak=true must pay backoff for weak erasures";
+}
+
+TEST(ResilientBackend, DifferentiatedProtectionKeepsAccuracy)
+{
+    const SmallModel m = makeSmallModel();
+
+    // Protect-everything (per-word SECDED on both classes) vs. the
+    // differentiated policy (strong Word72, weak unprotected): at BER
+    // 1e-3 the weak path's silent INT4 flips only perturb candidate
+    // membership, so P@1 holds while the weak class stops consuming
+    // redundancy and retries.
+    SystemConfig all;
+    all.fault.enabled = true;
+    all.fault.seed = 3;
+    all.fault.data_ber = 1e-3;
+    all.resilient = true;
+    const auto protect_all = EnmcSystem(all).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+
+    SystemConfig diff = all;
+    diff.fault.weak_scheme = fault::EccScheme::None;
+    diff.resilience.retry_weak = false;
+    const auto differentiated = EnmcSystem(diff).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+
+    const double all_p1 =
+        screening::precisionAt1(m.exact, protect_all.logits);
+    const double diff_p1 =
+        screening::precisionAt1(m.exact, differentiated.logits);
+    EXPECT_GE(diff_p1, all_p1 - 0.005 - 1e-12)
+        << "differentiated protection must hold P@1 within 0.5%";
+    EXPECT_TRUE(differentiated.faults.classesBalanced());
+    EXPECT_EQ(differentiated.faults.per_class[static_cast<size_t>(
+                                                  fault::Protection::Weak)]
+                  .detected,
+              0u)
+        << "an unprotected weak path cannot detect anything";
+}
+
+TEST(ResilientBackend, WeakGuardWidensFilterOnlyWhenUnprotected)
+{
+    const SmallModel m = makeSmallModel();
+
+    const auto countCandidates = [](const auto &out) {
+        size_t n = 0;
+        for (const auto &c : out.candidates)
+            n += c.size();
+        return n;
+    };
+
+    // Unprotected weak path + BER: the fail-open guard lowers the FILTER
+    // cut, so the candidate set can only grow vs. the guard disabled.
+    SystemConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 1;
+    cfg.fault.data_ber = 1e-3;
+    cfg.fault.weak_scheme = fault::EccScheme::None;
+    cfg.resilient = true;
+    cfg.resilience.retry_weak = false;
+    const auto guarded = EnmcSystem(cfg).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+
+    SystemConfig no_guard = cfg;
+    no_guard.resilience.weak_guard = 0.0;
+    const auto bare = EnmcSystem(no_guard).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+    EXPECT_GT(countCandidates(guarded), countCandidates(bare))
+        << "the guard must widen the filter when the screener is "
+           "unprotected under a nonzero BER";
+
+    // With the weak path under SECDED the guard must be inert: same
+    // fault stream, same candidate count whether the knob is 0 or not.
+    SystemConfig protected_cfg = cfg;
+    protected_cfg.fault.weak_scheme = fault::EccScheme::Word72;
+    const auto prot = EnmcSystem(protected_cfg).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+    SystemConfig protected_bare = protected_cfg;
+    protected_bare.resilience.weak_guard = 0.0;
+    const auto prot_bare = EnmcSystem(protected_bare).runFunctional(
+        m.classifier(), *m.screener, m.h_batch, 4);
+    EXPECT_EQ(countCandidates(prot), countCandidates(prot_bare));
+}
+
 TEST(ResilientBackend, AllRanksBlacklistedIsFatal)
 {
     SystemConfig cfg;

@@ -22,6 +22,13 @@ Checks, per file:
     min <= mean <= max;
   - ECC accounting, wherever a group carries the fault mirror counters:
     faultInjectedWords == faultCorrected + faultDetected + faultEscaped;
+  - per-class ECC accounting, for each protection class mirrored into a
+    group (faultNone*/faultWeak*/faultStrong*): {class}Injected ==
+    {class}Corrected + {class}Detected + {class}Escaped;
+  - ECC overhead accounting, wherever a group carries the controller's
+    overhead counters: eccRedundancyReads > 0 or eccDecodeCycles > 0
+    requires eccProtectedReads > 0 (with the overhead model off or no
+    ECC-protected traffic, no redundancy bandwidth may be charged);
   - batcher accounting, wherever a group carries the dynamic-batching
     counters: batches == flushSize + flushDeadline + flushDrain, and the
     batchSize histogram records exactly one sample per dispatched batch;
@@ -96,6 +103,29 @@ def check_group(path, name, group):
                 path,
                 f"{name}: ECC accounting broken: injected {injected} != "
                 f"corrected+detected+escaped {parts}")
+
+    for cls in ("faultNone", "faultWeak", "faultStrong"):
+        if f"{cls}Injected" not in counters:
+            continue
+        injected = counters[f"{cls}Injected"]["value"]
+        parts = sum(counters[f"{cls}{k}"]["value"]
+                    for k in ("Corrected", "Detected", "Escaped"))
+        if injected != parts:
+            errors += fail(
+                path,
+                f"{name}: per-class ECC accounting broken: {cls}Injected "
+                f"{injected} != corrected+detected+escaped {parts}")
+
+    if "eccRedundancyReads" in counters or "eccDecodeCycles" in counters:
+        protected = counters.get("eccProtectedReads", {}).get("value", 0)
+        redundancy = counters.get("eccRedundancyReads", {}).get("value", 0)
+        decode = counters.get("eccDecodeCycles", {}).get("value", 0)
+        if (redundancy > 0 or decode > 0) and protected == 0:
+            errors += fail(
+                path,
+                f"{name}: ECC overhead accounting broken: charged "
+                f"{redundancy} redundancy reads / {decode} decode cycles "
+                f"with no ECC-protected reads")
 
     if "batches" in counters and "flushSize" in counters:
         batches = counters["batches"]["value"]

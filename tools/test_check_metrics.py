@@ -11,7 +11,11 @@ non-zero with a diagnostic on stderr:
   - --expect-switch against a document with switchEvents == 0, and
     against a document with no plan group at all;
   - a malformed group (missing its counters map) fails loudly rather
-    than being skipped.
+    than being skipped;
+  - per-class ECC accounting: a {faultWeak,faultStrong}* class whose
+    injected count does not close against corrected+detected+escaped;
+  - ECC overhead accounting: redundancy reads or decode cycles charged
+    while eccProtectedReads == 0.
 
 Run directly (python3 tools/test_check_metrics.py) or via ctest as
 tool_check_metrics_selftest.
@@ -64,6 +68,37 @@ def good_doc():
                     "flushSize": counter(10),
                     "flushDeadline": counter(1),
                     "flushDrain": counter(1),
+                },
+                "scalars": {},
+                "histograms": {},
+            },
+            "runtime.system": {
+                "counters": {
+                    "faultInjectedWords": counter(30),
+                    "faultCorrected": counter(20),
+                    "faultDetected": counter(6),
+                    "faultEscaped": counter(4),
+                    "faultNoneInjected": counter(0),
+                    "faultNoneCorrected": counter(0),
+                    "faultNoneDetected": counter(0),
+                    "faultNoneEscaped": counter(0),
+                    "faultWeakInjected": counter(10),
+                    "faultWeakCorrected": counter(7),
+                    "faultWeakDetected": counter(2),
+                    "faultWeakEscaped": counter(1),
+                    "faultStrongInjected": counter(20),
+                    "faultStrongCorrected": counter(13),
+                    "faultStrongDetected": counter(4),
+                    "faultStrongEscaped": counter(3),
+                },
+                "scalars": {},
+                "histograms": {},
+            },
+            "enmc.rank.dram": {
+                "counters": {
+                    "eccProtectedReads": counter(640),
+                    "eccRedundancyReads": counter(80),
+                    "eccDecodeCycles": counter(1280),
                 },
                 "scalars": {},
                 "histograms": {},
@@ -140,6 +175,33 @@ def main():
     del doc["groups"]["plan"]["counters"]
     expect_fail("malformed group fails loudly", doc,
                 "missing map 'counters'")
+
+    doc = good_doc()
+    doc["groups"]["runtime.system"]["counters"]["faultWeakEscaped"] = \
+        counter(2)
+    expect_fail("weak-class ECC accounting does not close", doc,
+                "faultWeakInjected")
+
+    doc = good_doc()
+    doc["groups"]["runtime.system"]["counters"]["faultStrongInjected"] = \
+        counter(21)
+    expect_fail("strong-class ECC accounting does not close", doc,
+                "faultStrongInjected")
+
+    doc = good_doc()
+    doc["groups"]["enmc.rank.dram"]["counters"]["eccProtectedReads"] = \
+        counter(0)
+    expect_fail("redundancy charged with no protected reads", doc,
+                "no ECC-protected reads")
+
+    doc = good_doc()
+    doc["groups"]["enmc.rank.dram"]["counters"]["eccRedundancyReads"] = \
+        counter(0)
+    doc["groups"]["enmc.rank.dram"]["counters"]["eccDecodeCycles"] = \
+        counter(0)
+    doc["groups"]["enmc.rank.dram"]["counters"]["eccProtectedReads"] = \
+        counter(0)
+    expect_pass("ECC off charges nothing and passes", doc)
 
     print("tools/test_check_metrics.py: all checks passed")
     return 0
