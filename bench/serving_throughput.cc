@@ -18,6 +18,18 @@
  * least 2x batch-1 throughput at no-worse p99 latency — and exits
  * non-zero when it does not hold.
  *
+ * `--check-cache` is the candidate-cache + hot-swap gate: it replays a
+ * Zipfian(1.1) trace over a small hidden-vector pool — the skewed
+ * traffic the hot-label cache is built for — twice through the
+ * functional serve path (cache on vs cache off) and asserts served
+ * outputs are memcmp-identical while the cache-on p50 lands strictly
+ * below cache-off (hits skip the screener, and the dispatcher deducts
+ * that share from the modeled batch time). It then runs a live threaded
+ * load with a screener refresh scheduled mid-run and asserts zero
+ * dropped and zero wrong responses: every response must match a
+ * reference classifier frozen at the epoch the response records.
+ * check_metrics.py validates the exported cache/snapshot accounting.
+ *
  * `--check-auto` is the adaptive-offload-planner gate instead: it sweeps
  * max_batch over {1, 2, 4, 8, 16, 32}, runs every planner candidate as a
  * fixed backend plus `--backend=auto` at each point, and asserts that
@@ -33,14 +45,18 @@
  *                      [--clients=16] [--requests=8] [--max-batch=16]
  *                      [--max-delay-us=200] [--handoff-us=25]
  *                      [--poisson-qps=R] [--check]
- *                      [--check-auto] [--json=FILE]
+ *                      [--check-auto] [--check-cache] [--json=FILE]
  *                      [--metrics-json=FILE] [--trace-json=FILE]
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -49,10 +65,12 @@
 #include "obs/metrics.h"
 #include "obs/percentiles.h"
 #include "obs/registry.h"
+#include "runtime/api.h"
 #include "runtime/backend.h"
 #include "runtime/planner.h"
 #include "serve/loop.h"
 #include "workloads/registry.h"
+#include "workloads/synthetic.h"
 
 using namespace enmc;
 
@@ -392,6 +410,230 @@ runCheckAuto(int argc, char **argv, const obs::MetricsOptions &metrics)
     return all_ok && shift_ok ? 0 : 1;
 }
 
+// ------------------------------------------------ --check-cache mode
+
+/**
+ * The candidate-cache + hot-swap gate. Three sub-checks, all on the
+ * functional serve path (compute_logits on, synthetic model):
+ *
+ *  1. a Zipfian(1.1) replay over a small pool of hidden vectors served
+ *     with the cache on is memcmp-identical, response for response, to
+ *     the same trace served with the cache off;
+ *  2. the cache-on p50 is strictly below the cache-off p50 (validated
+ *     hits skip the screener, and the dispatcher deducts the skipped
+ *     screener share from the modeled batch service time);
+ *  3. a live threaded load with a screener refresh scheduled mid-run
+ *     drops nothing and corrupts nothing: every response matches a
+ *     reference classifier frozen at the epoch the response records.
+ */
+int
+runCheckCache(int argc, char **argv, const obs::MetricsOptions &metrics)
+{
+    const size_t requests =
+        static_cast<size_t>(flagDouble(argc, argv, "requests", 160));
+    const size_t cache_capacity = 64;
+
+    // Functional-scale fixture; the job spec below carries the
+    // full-scale dimensions timing is modeled at.
+    workloads::SyntheticConfig mcfg;
+    mcfg.categories = 1024;
+    mcfg.hidden = 64;
+    workloads::SyntheticModel model(mcfg);
+    Rng rng = model.makeRng(1);
+    const auto train = model.sampleHiddenBatch(rng, 160);
+    const auto val = model.sampleHiddenBatch(rng, 48);
+    const auto pool = model.sampleHiddenBatch(rng, 12);
+
+    runtime::JobSpec job;
+    job.categories = 32768;
+    job.hidden = 128;
+    job.reduced = 32;
+    job.candidates = 512;
+
+    serve::ServeConfig cfg;
+    cfg.backend = "enmc";
+    cfg.queue_capacity = 256;
+    cfg.max_batch = 8;
+    cfg.max_delay_us = 50.0;
+    cfg.warmup_requests = 0;
+    cfg.topk = 5;
+
+    auto make_clf = [&](size_t capacity) {
+        runtime::ClassifierOptions opt;
+        opt.candidates = 48;
+        opt.cache.capacity = capacity;
+        auto clf = std::make_unique<runtime::EnmcClassifier>(
+            model.classifier(), opt);
+        clf->calibrate(train, val);
+        return clf;
+    };
+
+    // Zipfian(1.1) repeats over the pool: the skewed traffic the
+    // hot-label cache is designed for. Fixed seed, fixed arrival comb.
+    serve::ArrivalTrace trace;
+    std::vector<size_t> pool_idx(requests);
+    Rng zipf_rng(7);
+    ZipfSampler zipf(pool.size(), 1.1);
+    for (size_t i = 0; i < requests; ++i) {
+        pool_idx[i] = static_cast<size_t>(zipf(zipf_rng));
+        serve::Request r;
+        r.id = i;
+        r.hidden = pool[pool_idx[i]];
+        r.arrival_us = static_cast<double>(i / cfg.max_batch) * 120.0 +
+                       static_cast<double>(i % 2) * 10.0;
+        trace.requests.push_back(r);
+    }
+    trace.normalize();
+
+    std::printf("candidate-cache gate: Zipfian(1.1) over %zu hidden "
+                "vectors, %zu requests, cache capacity %zu\n\n",
+                pool.size(), requests, cache_capacity);
+
+    auto clf_off = make_clf(0);
+    serve::ServeLoop loop_off(cfg, job);
+    loop_off.attachClassifier(*clf_off);
+    const serve::ServeReport off = loop_off.replay(trace);
+
+    auto clf_on = make_clf(cache_capacity);
+    serve::ServeLoop loop_on(cfg, job);
+    loop_on.attachClassifier(*clf_on);
+    const serve::ServeReport on = loop_on.replay(trace);
+
+    // Sub-check 1: bit-identical served outputs, cache on vs off.
+    size_t mismatches = 0;
+    for (size_t i = 0; i < off.responses.size(); ++i) {
+        const serve::Response &a = off.responses[i];
+        const serve::Response &b = on.responses[i];
+        if (a.probabilities.size() != b.probabilities.size() ||
+            std::memcmp(a.probabilities.data(), b.probabilities.data(),
+                        a.probabilities.size() * sizeof(float)) != 0 ||
+            a.topk != b.topk)
+            ++mismatches;
+    }
+
+    const StatGroup &cstats = clf_on->cache().stats();
+    const uint64_t hits = cstats.counter("hits").value();
+    const uint64_t lookups = cstats.counter("lookups").value();
+
+    // Sub-check 2: hits shorten the modeled batch, so the cache-on p50
+    // must land strictly below cache-off.
+    const double p50_off = off.measuredLatency().at(0.50);
+    const double p50_on = on.measuredLatency().at(0.50);
+    const obs::Percentiles hit_lat = on.hitLatency();
+    const obs::Percentiles miss_lat = on.missLatency();
+    std::printf("  %-12s %9s %9s %9s %9s\n", "population", "p50us",
+                "p95us", "p99us", "served");
+    std::printf("  %-12s %9.1f %9.1f %9.1f %8zu\n", "cache-off",
+                p50_off, off.measuredLatency().at(0.95),
+                off.measuredLatency().at(0.99), off.measuredCount());
+    std::printf("  %-12s %9.1f %9.1f %9.1f %8zu\n", "cache-on", p50_on,
+                on.measuredLatency().at(0.95),
+                on.measuredLatency().at(0.99), on.measuredCount());
+    std::printf("  %-12s %9.1f %9.1f %9.1f %8zu\n", "  hits",
+                hit_lat.at(0.50), hit_lat.at(0.95), hit_lat.at(0.99),
+                on.hitCount());
+    std::printf("  %-12s %9.1f %9.1f %9.1f %8zu\n", "  misses",
+                miss_lat.at(0.50), miss_lat.at(0.95), miss_lat.at(0.99),
+                on.missCount());
+    std::printf("\n  cache: %llu/%llu lookups hit, %zu/%zu responses "
+                "mismatched\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(lookups), mismatches,
+                off.responses.size());
+
+    // Sub-check 3: live threaded load with a mid-run screener refresh.
+    // References: a twin frozen at epoch 1 and a twin refreshed once to
+    // epoch 2 (the refresh seed depends only on (seed, epoch), so the
+    // epoch-2 twin is bit-identical to the serving post-swap screener).
+    auto clf_live = make_clf(cache_capacity);
+    auto ref1 = make_clf(0);
+    auto ref2 = make_clf(0);
+    const uint64_t new_epoch = ref2->refresh(train, val);
+
+    serve::ServeLoop live(cfg, job);
+    live.attachClassifier(*clf_live);
+    live.scheduleSwap(3, [&] { clf_live->refresh(train, val); });
+    live.start();
+
+    constexpr size_t kProducers = 4;
+    const size_t live_requests = requests / 2;
+    std::vector<std::future<serve::Response>> futures(live_requests);
+    std::vector<std::thread> producers;
+    for (size_t t = 0; t < kProducers; ++t)
+        producers.emplace_back([&, t] {
+            for (size_t i = t; i < live_requests; i += kProducers) {
+                serve::Request r;
+                r.id = i;
+                r.hidden = pool[pool_idx[i]];
+                futures[i] = live.submitOrdered(std::move(r));
+            }
+        });
+    for (auto &p : producers)
+        p.join();
+
+    size_t wrong = 0;
+    for (size_t i = 0; i < live_requests; ++i) {
+        const serve::Response r = futures[i].get();
+        if (r.admission != serve::Admission::Admitted ||
+            (r.snapshot_epoch != 1 && r.snapshot_epoch != new_epoch)) {
+            ++wrong;
+            continue;
+        }
+        runtime::EnmcClassifier &ref =
+            r.snapshot_epoch == 1 ? *ref1 : *ref2;
+        const auto expect = ref.forward({pool[pool_idx[i]]}, cfg.topk);
+        if (r.probabilities.size() != expect[0].probabilities.size() ||
+            std::memcmp(r.probabilities.data(),
+                        expect[0].probabilities.data(),
+                        expect[0].probabilities.size() * sizeof(float)) !=
+                0 ||
+            r.topk != expect[0].topk)
+            ++wrong;
+    }
+    const serve::ServeReport live_report = live.stop();
+    const size_t dropped = live_requests - live_report.admittedCount();
+    std::printf("  live swap: %zu requests, %zu dropped, %zu wrong, "
+                "final epoch %llu\n",
+                live_requests, dropped, wrong,
+                static_cast<unsigned long long>(
+                    clf_live->snapshotEpoch()));
+
+    // Export the cache/snapshot/serve groups (all still registered) plus
+    // the gate's headline numbers for check_metrics.py.
+    StatGroup bench_stats("bench.serving.cache");
+    obs::StatRegistration bench_reg(bench_stats);
+    bench_stats.addScalar("cacheOffP50Us", "cache-off replay p50 latency")
+        .sample(p50_off);
+    bench_stats.addScalar("cacheOnP50Us", "cache-on replay p50 latency")
+        .sample(p50_on);
+    bench_stats
+        .addScalar("hitP50Us", "p50 latency of the cache-hit population")
+        .sample(hit_lat.at(0.50));
+    bench_stats
+        .addScalar("missP50Us", "p50 latency of the full-screen population")
+        .sample(miss_lat.at(0.50));
+    bench_stats
+        .addScalar("hitRate", "validated-hit fraction of cache lookups")
+        .sample(lookups ? static_cast<double>(hits) /
+                              static_cast<double>(lookups)
+                        : 0.0);
+    obs::writeMetrics(metrics);
+
+    const bool identical_ok = mismatches == 0;
+    const bool hits_ok = hits > 0;
+    const bool p50_ok = p50_on < p50_off;
+    const bool live_ok = dropped == 0 && wrong == 0 &&
+                         clf_live->snapshotEpoch() == new_epoch;
+    std::printf("\ncheck-cache: served outputs identical: %s; hits "
+                "observed: %s; cache-on p50 < cache-off p50: %s; live "
+                "swap clean: %s\n",
+                identical_ok ? "yes" : "NO", hits_ok ? "yes" : "NO",
+                p50_ok ? "yes" : "NO", live_ok ? "yes" : "NO");
+    const bool ok = identical_ok && hits_ok && p50_ok && live_ok;
+    std::printf("check-cache: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -402,6 +644,8 @@ main(int argc, char **argv)
 
     if (flagPresent(argc, argv, "check-auto"))
         return runCheckAuto(argc, argv, metrics);
+    if (flagPresent(argc, argv, "check-cache"))
+        return runCheckCache(argc, argv, metrics);
 
     const std::string backend = flagValue(argc, argv, "backend", "enmc");
     const std::string wl_name =

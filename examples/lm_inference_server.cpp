@@ -74,7 +74,8 @@ main(int argc, char **argv)
     Rng rng = model.makeRng(5);
     runtime::ClassifierOptions options;
     options.candidates = 128;
-    runtime::EnmcClassifier clf(model.classifier(), options);
+    runtime::EnmcClassifier clf(model.classifier(),
+                                runtime::classifierOptionsFromEnv(options));
     clf.calibrate(model.sampleHiddenBatch(rng, 256),
                   model.sampleHiddenBatch(rng, 64));
 

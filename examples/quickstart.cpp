@@ -32,7 +32,8 @@ main()
     // 2. Offload options: 0.25 reduction scale, INT4, ~128 candidates.
     runtime::ClassifierOptions options;
     options.candidates = 128;
-    runtime::EnmcClassifier clf(model.classifier(), options);
+    runtime::EnmcClassifier clf(model.classifier(),
+                                runtime::classifierOptionsFromEnv(options));
 
     // 3. Calibrate on sampled hidden vectors (stand-ins for the
     //    activations your front-end model produces on training data).

@@ -31,7 +31,8 @@ main()
 
     runtime::ClassifierOptions options;
     options.candidates = 256; // ~6% of the functional label space
-    runtime::EnmcClassifier clf(model.classifier(), options);
+    runtime::EnmcClassifier clf(model.classifier(),
+                                runtime::classifierOptionsFromEnv(options));
     clf.calibrate(model.sampleHiddenBatch(rng, 256),
                   model.sampleHiddenBatch(rng, 64));
 

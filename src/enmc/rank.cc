@@ -396,6 +396,12 @@ EnmcRank::filterTileFunctional(const TileOp &op)
         scratch.values.assign(first, first + op.rows * cols);
         const auto sfirst = task.screen_weights->scales.begin() + row0;
         scratch.scales.assign(sfirst, sfirst + op.rows);
+        scratch.scheme = task.screen_weights->scheme;
+        if (scratch.scheme == tensor::QuantScheme::Asymmetric) {
+            const auto zfirst =
+                task.screen_weights->zero_points.begin() + row0;
+            scratch.zero_points.assign(zfirst, zfirst + op.rows);
+        }
         faultReadBuffer({reinterpret_cast<uint8_t *>(scratch.values.data()),
                          scratch.values.size()},
                         fault::Protection::Weak);
@@ -410,9 +416,16 @@ EnmcRank::filterTileFunctional(const TileOp &op)
         const int width = tensor::quantBitCount(scratch.bits);
         if (width > 0 && width < 8) {
             const int mask = (1 << width) - 1;
-            const int sign = 1 << (width - 1);
-            for (int8_t &v : scratch.values)
-                v = static_cast<int8_t>(((v & mask) ^ sign) - sign);
+            if (scratch.scheme == tensor::QuantScheme::Asymmetric) {
+                // Asymmetric codes are unsigned levels in [0, 2^w - 1];
+                // fold flips back into that domain without sign-extending.
+                for (int8_t &v : scratch.values)
+                    v = static_cast<int8_t>(v & mask);
+            } else {
+                const int sign = 1 << (width - 1);
+                for (int8_t &v : scratch.values)
+                    v = static_cast<int8_t>(((v & mask) ^ sign) - sign);
+            }
         }
         weights = &scratch;
     }

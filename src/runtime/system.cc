@@ -354,6 +354,10 @@ EnmcSystem::runFunctionalRange(const nn::Classifier &classifier,
             wq.values.begin() + (row0 + rows) * wq.cols);
         wq_slice.scales.assign(wq.scales.begin() + row0,
                                wq.scales.begin() + row0 + rows);
+        wq_slice.scheme = wq.scheme;
+        if (wq.scheme == tensor::QuantScheme::Asymmetric)
+            wq_slice.zero_points.assign(wq.zero_points.begin() + row0,
+                                        wq.zero_points.begin() + row0 + rows);
 
         tensor::Vector sb_slice(screener.bias().begin() + row0,
                                 screener.bias().begin() + row0 + rows);

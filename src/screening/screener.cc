@@ -65,7 +65,7 @@ Screener::freezeQuantized()
     if (cfg_.quant == tensor::QuantBits::Fp32)
         return;
     wq_ = std::make_unique<tensor::QuantizedMatrix>(
-        tensor::quantize(w_, cfg_.quant));
+        tensor::quantize(w_, cfg_.quant, cfg_.scheme));
 }
 
 const tensor::QuantizedMatrix &

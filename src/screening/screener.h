@@ -38,6 +38,13 @@ struct ScreenerConfig
     double reduction_scale = 0.25;
     /** Quantization of screener weights + projected features (Fig. 12b). */
     tensor::QuantBits quant = tensor::QuantBits::Int4;
+    /**
+     * Weight-quantization scheme. Symmetric is the bit-identical default;
+     * Asymmetric recovers accuracy on skewed weight rows via per-row
+     * rmin/rmax calibration + zero-points. Projected features stay
+     * symmetric under both schemes.
+     */
+    tensor::QuantScheme scheme = tensor::QuantScheme::Symmetric;
     SelectionMode selection = SelectionMode::TopM;
     size_t top_m = 16;         //!< candidates when selection == TopM
     float threshold = 0.0f;    //!< cut when selection == Threshold

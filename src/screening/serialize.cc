@@ -24,7 +24,12 @@ struct Header
     uint32_t selection;       //!< SelectionMode numeric value
     uint64_t top_m;
     float threshold;
-    uint32_t pad = 0;
+    /**
+     * Weight-quantization scheme (tensor::QuantScheme numeric value).
+     * This slot was a zero pad before schemes existed, so legacy files
+     * read back as 0 == Symmetric — exactly what they were.
+     */
+    uint32_t quant_scheme = 0;
     uint64_t projection_seed;
 };
 
@@ -59,6 +64,7 @@ saveScreener(const Screener &screener, uint64_t projection_seed,
     h.selection = static_cast<uint32_t>(cfg.selection);
     h.top_m = cfg.top_m;
     h.threshold = cfg.threshold;
+    h.quant_scheme = static_cast<uint32_t>(cfg.scheme);
     h.projection_seed = projection_seed;
     writeRaw(os, h);
 
@@ -82,7 +88,7 @@ saveScreenerFile(const Screener &screener, uint64_t projection_seed,
 }
 
 std::unique_ptr<Screener>
-loadScreener(std::istream &is)
+loadScreener(std::istream &is, uint64_t *projection_seed)
 {
     Header h{};
     readRaw(is, h);
@@ -99,6 +105,8 @@ loadScreener(std::istream &is)
     cfg.selection = static_cast<SelectionMode>(h.selection);
     cfg.top_m = h.top_m;
     cfg.threshold = h.threshold;
+    ENMC_ASSERT(h.quant_scheme <= 1, "corrupt screener header (scheme)");
+    cfg.scheme = static_cast<tensor::QuantScheme>(h.quant_scheme);
 
     // The projection is a pure function of the seed; rebuild it by
     // re-running the constructor with the same RNG stream, then restore
@@ -116,16 +124,18 @@ loadScreener(std::istream &is)
     ENMC_ASSERT(is.good(), "truncated screener bias");
 
     screener->freezeQuantized();
+    if (projection_seed != nullptr)
+        *projection_seed = h.projection_seed;
     return screener;
 }
 
 std::unique_ptr<Screener>
-loadScreenerFile(const std::string &path)
+loadScreenerFile(const std::string &path, uint64_t *projection_seed)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
         ENMC_FATAL("cannot open '", path, "' for reading");
-    return loadScreener(is);
+    return loadScreener(is, projection_seed);
 }
 
 } // namespace enmc::screening

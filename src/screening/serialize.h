@@ -33,13 +33,17 @@ void saveScreenerFile(const Screener &screener, uint64_t projection_seed,
 /**
  * Reconstruct a screener from a stream. The projection is rebuilt from
  * the stored seed (it is a pure function of the RNG), then the trained
- * weights/bias are restored and re-frozen.
+ * weights/bias are restored and re-frozen. When `projection_seed` is
+ * non-null it receives the stored seed (needed to re-save the artifact).
  * Panics on malformed input.
  */
-std::unique_ptr<Screener> loadScreener(std::istream &is);
+std::unique_ptr<Screener> loadScreener(std::istream &is,
+                                       uint64_t *projection_seed = nullptr);
 
 /** Convenience: load from a file path. Fatal if unreadable. */
-std::unique_ptr<Screener> loadScreenerFile(const std::string &path);
+std::unique_ptr<Screener>
+loadScreenerFile(const std::string &path,
+                 uint64_t *projection_seed = nullptr);
 
 } // namespace enmc::screening
 

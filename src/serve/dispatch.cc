@@ -5,29 +5,66 @@
 
 namespace enmc::serve {
 
+namespace {
+
+/**
+ * Screening-bypass deduction shared by the dispatchers: `screened` of
+ * `batch` items ran the screener; the rest were cache hits whose
+ * screening share comes off the batch's service time. The exact-row and
+ * transfer phases are untouched (hits still read executor rows), and
+ * s == batch returns `full_us` bitwise (no arithmetic at all).
+ */
+double
+deductBypasses(double full_us, double screen_us, uint64_t batch,
+               uint64_t screened)
+{
+    if (screened >= batch || batch == 0)
+        return full_us;
+    const double skipped = static_cast<double>(batch - screened) /
+                           static_cast<double>(batch);
+    const double us = full_us - screen_us * skipped;
+    return us > 0.0 ? us : 0.0;
+}
+
+/** Screener-busy share of a timing result, in microseconds. */
+double
+screenerBusyUs(const runtime::TimingResult &t, double freq_hz)
+{
+    if (freq_hz <= 0.0)
+        return 0.0;
+    return static_cast<double>(t.rank.screener_busy) / freq_hz * 1e6;
+}
+
+} // namespace
+
 BackendDispatcher::BackendDispatcher(
-    std::unique_ptr<runtime::Backend> backend, const runtime::JobSpec &job)
-    : backend_(std::move(backend)), job_(job)
+    std::unique_ptr<runtime::Backend> backend, const runtime::JobSpec &job,
+    double freq_hz)
+    : backend_(std::move(backend)), job_(job), freq_hz_(freq_hz)
 {
 }
 
 double
-BackendDispatcher::serviceUs(uint64_t batch, uint64_t candidates)
+BackendDispatcher::serviceUs(uint64_t batch, uint64_t candidates,
+                             uint64_t screened)
 {
     const auto key = std::make_pair(batch, candidates);
     {
         std::lock_guard<std::mutex> lock(memo_mutex_);
         auto it = memo_.find(key);
         if (it != memo_.end())
-            return it->second;
+            return deductBypasses(it->second.full_us, it->second.screen_us,
+                                  batch, screened);
     }
     runtime::JobSpec spec = job_;
     spec.batch = batch;
     spec.candidates = candidates;
-    const double us = backend_->runJob(spec).seconds * 1e6;
+    const runtime::TimingResult t = backend_->runJob(spec);
+    const Timing timing{t.seconds * 1e6, screenerBusyUs(t, freq_hz_)};
     std::lock_guard<std::mutex> lock(memo_mutex_);
-    memo_.emplace(key, us);
-    return us;
+    memo_.emplace(key, timing);
+    return deductBypasses(timing.full_us, timing.screen_us, batch,
+                          screened);
 }
 
 std::vector<runtime::ClassifierOutput>
@@ -41,8 +78,8 @@ BackendDispatcher::forward(const std::vector<tensor::Vector> &h_batch,
 
 PlannedDispatcher::PlannedDispatcher(
     std::unique_ptr<runtime::AutoBackend> backend,
-    const runtime::JobSpec &job)
-    : backend_(std::move(backend)), job_(job)
+    const runtime::JobSpec &job, double freq_hz)
+    : backend_(std::move(backend)), job_(job), freq_hz_(freq_hz)
 {
 }
 
@@ -59,18 +96,23 @@ PlannedDispatcher::routeBatch(uint64_t batch, uint64_t candidates,
     pending_batch_ = batch;
     pending_cands_ = candidates;
     pending_us_ = run.timing.seconds * 1e6;
+    // Zero when the planner picked a backend without a screener stage
+    // (CPU roofline): bypasses then deduct nothing, conservatively.
+    pending_screen_us_ = screenerBusyUs(run.timing, freq_hz_);
     return run.backend;
 }
 
 double
-PlannedDispatcher::serviceUs(uint64_t batch, uint64_t candidates)
+PlannedDispatcher::serviceUs(uint64_t batch, uint64_t candidates,
+                             uint64_t screened)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (has_pending_ && pending_batch_ == batch &&
             pending_cands_ == candidates) {
             has_pending_ = false;
-            return pending_us_;
+            return deductBypasses(pending_us_, pending_screen_us_, batch,
+                                  screened);
         }
     }
     // Standalone timing query (no preceding routeBatch): run a planned
@@ -78,7 +120,10 @@ PlannedDispatcher::serviceUs(uint64_t batch, uint64_t candidates)
     runtime::JobSpec spec = job_;
     spec.batch = batch;
     spec.candidates = candidates;
-    return backend_->runPlanned(spec).timing.seconds * 1e6;
+    const runtime::AutoBackend::PlannedRun run = backend_->runPlanned(spec);
+    return deductBypasses(run.timing.seconds * 1e6,
+                          screenerBusyUs(run.timing, freq_hz_), batch,
+                          screened);
 }
 
 std::vector<runtime::ClassifierOutput>
@@ -115,10 +160,14 @@ ClusterDispatcher::routeBatch(uint64_t batch, uint64_t candidates,
 }
 
 double
-ClusterDispatcher::serviceUs(uint64_t batch, uint64_t candidates)
+ClusterDispatcher::serviceUs(uint64_t batch, uint64_t candidates,
+                             uint64_t /*screened*/)
 {
     // No memo here: the router memoizes per health epoch, so a node kill
     // re-times subsequent batches instead of serving frozen numbers.
+    // `screened` is ignored: the fabric does not support the candidate
+    // cache (its forward path screens inside each node), so timing stays
+    // conservative and exact.
     return router_.serviceUs(batch, candidates);
 }
 
@@ -149,9 +198,10 @@ makeDispatcher(const ServeConfig &cfg, const runtime::JobSpec &job,
     }
     if (cfg.backend == "auto")
         return std::make_unique<PlannedDispatcher>(
-            std::make_unique<runtime::AutoBackend>(sys, cfg.planner), job);
+            std::make_unique<runtime::AutoBackend>(sys, cfg.planner), job,
+            sys.timing.freq_hz);
     return std::make_unique<BackendDispatcher>(
-        runtime::createBackend(cfg.backend, sys), job);
+        runtime::createBackend(cfg.backend, sys), job, sys.timing.freq_hz);
 }
 
 } // namespace enmc::serve

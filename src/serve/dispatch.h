@@ -58,9 +58,26 @@ class Dispatcher
         return name();
     }
 
-    /** Simulated backend time (us) of one batch, excluding the serve
-     *  loop's own handoff. Deterministic given the dispatch history. */
-    virtual double serviceUs(uint64_t batch, uint64_t candidates) = 0;
+    /**
+     * Simulated backend time (us) of one batch, excluding the serve
+     * loop's own handoff. Deterministic given the dispatch history.
+     *
+     * `screened` is how many of the batch's items actually ran full
+     * screening (the rest were candidate-cache bypasses that skip the
+     * screener entirely and only touch exact executor rows host-side).
+     * `screened == batch` — the only value possible with the cache off —
+     * must return the exact pre-cache timing; implementations model a
+     * bypass as deducting the screener-busy share of the skipped items
+     * and may conservatively ignore `screened` (the cluster does).
+     */
+    virtual double serviceUs(uint64_t batch, uint64_t candidates,
+                             uint64_t screened) = 0;
+
+    /** Cache-off convenience: every item screens. */
+    double serviceUs(uint64_t batch, uint64_t candidates)
+    {
+        return serviceUs(batch, candidates, batch);
+    }
 
     /** Functional forward of a batch (requires an attached classifier). */
     virtual std::vector<runtime::ClassifierOutput>
@@ -81,19 +98,32 @@ class BackendDispatcher : public Dispatcher
 {
   public:
     BackendDispatcher(std::unique_ptr<runtime::Backend> backend,
-                      const runtime::JobSpec &job);
+                      const runtime::JobSpec &job, double freq_hz);
 
     std::string name() const override { return backend_->name(); }
-    double serviceUs(uint64_t batch, uint64_t candidates) override;
+    using Dispatcher::serviceUs;
+    double serviceUs(uint64_t batch, uint64_t candidates,
+                     uint64_t screened) override;
     std::vector<runtime::ClassifierOutput>
     forward(const std::vector<tensor::Vector> &h_batch, size_t k) override;
 
   private:
     std::unique_ptr<runtime::Backend> backend_;
     runtime::JobSpec job_;
-    // The timing model is deterministic in (batch, candidates); the memo
-    // makes replay O(distinct shapes) backend runs.
-    std::map<std::pair<uint64_t, uint64_t>, double> memo_;
+    double freq_hz_;
+    /**
+     * The timing model is deterministic in (batch, candidates); the memo
+     * makes replay O(distinct shapes) backend runs. Each entry keeps the
+     * full-batch time plus the screener-busy share so bypassed items
+     * deduct their screening time linearly: us(B, C, s) =
+     * full − screen · (B − s) / B, exactly `full` at s == B.
+     */
+    struct Timing
+    {
+        double full_us = 0.0;
+        double screen_us = 0.0;
+    };
+    std::map<std::pair<uint64_t, uint64_t>, Timing> memo_;
     std::mutex memo_mutex_;
 };
 
@@ -108,12 +138,14 @@ class PlannedDispatcher : public Dispatcher
 {
   public:
     PlannedDispatcher(std::unique_ptr<runtime::AutoBackend> backend,
-                      const runtime::JobSpec &job);
+                      const runtime::JobSpec &job, double freq_hz);
 
     std::string name() const override { return "auto"; }
     std::string routeBatch(uint64_t batch, uint64_t candidates,
                            double now_us) override;
-    double serviceUs(uint64_t batch, uint64_t candidates) override;
+    using Dispatcher::serviceUs;
+    double serviceUs(uint64_t batch, uint64_t candidates,
+                     uint64_t screened) override;
     std::vector<runtime::ClassifierOutput>
     forward(const std::vector<tensor::Vector> &h_batch, size_t k) override;
     runtime::OffloadPlanner *planner() override
@@ -124,6 +156,7 @@ class PlannedDispatcher : public Dispatcher
   private:
     std::unique_ptr<runtime::AutoBackend> backend_;
     runtime::JobSpec job_;
+    double freq_hz_;
     // routeBatch caches its planned service time; the serve loop's
     // immediately following serviceUs call consumes it so one dispatched
     // batch is exactly one planner decision.
@@ -132,6 +165,7 @@ class PlannedDispatcher : public Dispatcher
     uint64_t pending_batch_ = 0;
     uint64_t pending_cands_ = 0;
     double pending_us_ = 0.0;
+    double pending_screen_us_ = 0.0;
 };
 
 /** Cluster dispatch: batches scatter/gather across the shard fabric. */
@@ -144,7 +178,9 @@ class ClusterDispatcher : public Dispatcher
     std::string name() const override;
     std::string routeBatch(uint64_t batch, uint64_t candidates,
                            double now_us) override;
-    double serviceUs(uint64_t batch, uint64_t candidates) override;
+    using Dispatcher::serviceUs;
+    double serviceUs(uint64_t batch, uint64_t candidates,
+                     uint64_t screened) override;
     std::vector<runtime::ClassifierOutput>
     forward(const std::vector<tensor::Vector> &h_batch, size_t k) override;
     cluster::ClusterRouter *router() override { return &router_; }

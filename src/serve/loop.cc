@@ -74,6 +74,20 @@ ServeLoop::ServeLoop(const ServeConfig &cfg, const runtime::JobSpec &job,
       stat_latency_hist_(stats_.addHistogram(
           "latencyUs", "end-to-end latency of admitted requests", 0.0, 1e6,
           40)),
+      stat_cache_hits_(stats_.addCounter(
+          "cacheHits",
+          "measured requests served from the candidate cache")),
+      stat_cache_misses_(stats_.addCounter(
+          "cacheMisses", "measured requests that ran full screening")),
+      stat_latency_hit_(stats_.addHistogram(
+          "latencyHitUs", "end-to-end latency of measured cache hits", 0.0,
+          1e6, 40)),
+      stat_latency_miss_(stats_.addHistogram(
+          "latencyMissUs", "end-to-end latency of measured cache misses",
+          0.0, 1e6, 40)),
+      stat_served_epoch_(stats_.addScalar(
+          "servedEpoch",
+          "screener snapshot epoch of each classified response")),
       stats_registration_(stats_)
 {
     // Honour ENMC_TUNE_JSON for serve deployments that construct a loop
@@ -103,6 +117,41 @@ ServeLoop::batchServiceUs(uint64_t batch, uint64_t candidates)
     return cfg_.handoff_us + dispatcher_->serviceUs(batch, candidates);
 }
 
+double
+ServeLoop::batchServiceUs(uint64_t batch, uint64_t candidates,
+                          uint64_t screened)
+{
+    return cfg_.handoff_us +
+           dispatcher_->serviceUs(batch, candidates, screened);
+}
+
+void
+ServeLoop::scheduleSwap(uint64_t after_batches, std::function<void()> fn)
+{
+    ENMC_ASSERT(fn != nullptr, "scheduleSwap: null swap function");
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    swap_after_ = after_batches;
+    swap_fn_ = std::move(fn);
+    swap_pending_ = true;
+}
+
+void
+ServeLoop::fireScheduledSwap()
+{
+    std::function<void()> fn;
+    {
+        std::lock_guard<std::mutex> lock(swap_mutex_);
+        if (swap_pending_ && batches_dispatched_ >= swap_after_) {
+            fn = std::move(swap_fn_);
+            swap_pending_ = false;
+        }
+        ++batches_dispatched_;
+    }
+    // Outside the lock: the swap function may train a screener.
+    if (fn)
+        fn();
+}
+
 uint64_t
 ServeLoop::batchCandidates(const std::vector<const Request *> &reqs) const
 {
@@ -116,12 +165,12 @@ ServeLoop::batchCandidates(const std::vector<const Request *> &reqs) const
         std::ceil(sum / static_cast<double>(reqs.size())));
 }
 
-void
+size_t
 ServeLoop::computeBatch(const std::vector<const Request *> &reqs,
                         std::vector<Response *> &resps)
 {
     if (classifier_ == nullptr || !cfg_.compute_logits)
-        return;
+        return 0;
     // Timing-only requests (no hidden vector) ride along without logits.
     std::vector<size_t> with_hidden;
     std::vector<tensor::Vector> h_batch;
@@ -132,17 +181,23 @@ ServeLoop::computeBatch(const std::vector<const Request *> &reqs,
         }
     }
     if (h_batch.empty())
-        return;
+        return 0;
     std::vector<runtime::ClassifierOutput> outs =
         dispatcher_->forward(h_batch, cfg_.topk);
     ENMC_ASSERT(outs.size() == with_hidden.size(),
                 "serve: classifier returned a short batch");
+    size_t hits = 0;
     for (size_t j = 0; j < with_hidden.size(); ++j) {
         Response *r = resps[with_hidden[j]];
         r->probabilities = std::move(outs[j].probabilities);
         r->topk = std::move(outs[j].topk);
         r->candidates = std::move(outs[j].candidates);
+        r->cache_hit = outs[j].cache_hit;
+        r->snapshot_epoch = outs[j].snapshot_epoch;
+        if (outs[j].cache_hit)
+            ++hits;
     }
+    return hits;
 }
 
 StatGroup &
@@ -187,6 +242,19 @@ ServeLoop::account(const Response &r)
     }
     ++stat_measured_;
     tenant->latency.sample(r.latencyUs());
+    // Epoch 0 marks a timing-only response (no classified output); only
+    // classified responses enter the hit/miss split so the two histogram
+    // populations partition exactly the classified measured requests.
+    if (r.snapshot_epoch > 0) {
+        stat_served_epoch_.sample(static_cast<double>(r.snapshot_epoch));
+        if (r.cache_hit) {
+            ++stat_cache_hits_;
+            stat_latency_hit_.sample(r.latencyUs());
+        } else {
+            ++stat_cache_misses_;
+            stat_latency_miss_.sample(r.latencyUs());
+        }
+    }
     if (r.latencyUs() > cfg_.slo_us) {
         ++stat_slo_violations_;
         ++tenant->violations;
@@ -307,15 +375,32 @@ ServeLoop::runVirtual(
         queue_.recordReplayPop(batch);
 
         std::vector<const Request *> reqs;
+        std::vector<Response *> resps;
         reqs.reserve(batch);
-        for (size_t idx : inflight)
+        resps.reserve(batch);
+        for (size_t idx : inflight) {
             reqs.push_back(&store[idx]);
+            resps.push_back(&rstore[idx]);
+        }
         inflight_cands = batchCandidates(reqs);
         // Route before timing: a health transition this dispatch causes
         // (scripted kill, failover) must re-time this very batch.
         const std::string route =
             dispatcher_->routeBatch(batch, inflight_cands, now);
-        const double service = batchServiceUs(batch, inflight_cands);
+        // A scheduled hot-swap fires here, between batches: the swap
+        // point is a deterministic function of the dispatch sequence.
+        fireScheduledSwap();
+        // Functional compute happens at dispatch (its outputs depend
+        // only on the request contents, not on virtual time, so this is
+        // observationally equivalent to computing at completion) — the
+        // cache hit count then shapes this batch's service time. Flush
+        // order is deterministic, so logits stay bit-identical run to
+        // run; the slice simulation inside parallelizes (and merges in
+        // slice order).
+        const size_t hits = computeBatch(reqs, resps);
+        const double service =
+            batchServiceUs(batch, inflight_cands,
+                           batch - std::min<size_t>(hits, batch));
         for (size_t idx : inflight) {
             rstore[idx].dispatch_us = now;
             rstore[idx].batch_size = static_cast<uint32_t>(batch);
@@ -355,18 +440,8 @@ ServeLoop::runVirtual(
 
     auto completeBatch = [&] {
         busy = false;
-        std::vector<const Request *> reqs;
-        std::vector<Response *> resps;
-        reqs.reserve(inflight.size());
-        resps.reserve(inflight.size());
-        for (size_t idx : inflight) {
-            reqs.push_back(&store[idx]);
-            resps.push_back(&rstore[idx]);
-        }
-        // Flush order is deterministic, so computing logits serially per
-        // batch here keeps them bit-identical run to run; the slice
-        // simulation inside parallelizes (and merges in slice order).
-        computeBatch(reqs, resps);
+        // Logits were computed at dispatch (see tryDispatch); completion
+        // only stamps times and finalizes.
         if (tracer.enabled())
             tracer.complete(
                 "batch", "serve", obs::kServePid, 1, inflight_dispatch,
@@ -642,6 +717,10 @@ ServeLoop::executorLoop()
                 batch, prepared->candidates, dispatch_us);
             for (size_t i = 0; i < batch; ++i)
                 resps[i].backend = route;
+            // Scheduled hot-swaps fire between batches on this thread,
+            // never mid-batch; cache hits skip screening work for real
+            // here, so the speedup is wall-clock, not modeled.
+            fireScheduledSwap();
             computeBatch(reqs, resp_ptrs);
         }
         const double complete_us = wallUs();

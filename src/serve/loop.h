@@ -114,6 +114,27 @@ class ServeLoop
      */
     double batchServiceUs(uint64_t batch, uint64_t candidates);
 
+    /**
+     * Cache-aware variant: `screened` of the batch's items ran full
+     * screening; the rest were candidate-cache bypasses whose screener
+     * share the dispatcher deducts. `screened == batch` is bit-identical
+     * to the two-argument form.
+     */
+    double batchServiceUs(uint64_t batch, uint64_t candidates,
+                          uint64_t screened);
+
+    /**
+     * Run `fn` once, immediately before the functional compute of the
+     * first batch whose dispatch index is >= `after_batches` (0 = before
+     * the very first batch). This is the online hot-swap hook: `fn`
+     * typically calls `EnmcClassifier::swapScreener`/`refresh`, so in
+     * replay mode the swap point is a deterministic function of (trace,
+     * after_batches), and in live mode it fires on the executor thread
+     * between batches — never mid-batch. One pending swap at a time; a
+     * second call overwrites an unfired one.
+     */
+    void scheduleSwap(uint64_t after_batches, std::function<void()> fn);
+
     /** Mean per-request candidate budget of a batch (job default for
      *  requests that left `candidates` at 0), rounded up. */
     uint64_t batchCandidates(const std::vector<const Request *> &reqs) const;
@@ -150,9 +171,17 @@ class ServeLoop
         const std::function<void(const Response &, double,
                                  std::vector<Request> &)> &on_done);
 
-    /** Functional forward of one batch; fills probabilities/topk. */
-    void computeBatch(const std::vector<const Request *> &reqs,
-                      std::vector<Response *> &resps);
+    /**
+     * Functional forward of one batch; fills probabilities/topk plus the
+     * per-response `cache_hit`/`snapshot_epoch` stamps. Returns how many
+     * of the computed responses were candidate-cache hits (0 for
+     * timing-only batches), which feeds the screened-aware timing.
+     */
+    size_t computeBatch(const std::vector<const Request *> &reqs,
+                        std::vector<Response *> &resps);
+
+    /** Fire a due scheduled swap, then count this batch as dispatched. */
+    void fireScheduledSwap();
 
     /** Tally one finished response into loop + tenant stats. */
     void account(const Response &r);
@@ -181,6 +210,13 @@ class ServeLoop
     std::mutex live_mutex_;                    //!< guards live_responses_
     std::vector<Response> live_responses_;
 
+    // Scheduled online hot-swap (see scheduleSwap()).
+    std::mutex swap_mutex_;
+    std::function<void()> swap_fn_;
+    uint64_t swap_after_ = 0;
+    bool swap_pending_ = false;
+    uint64_t batches_dispatched_ = 0;
+
     // Loop-level stats ("serve.loop").
     StatGroup stats_;
     Counter &stat_requests_;
@@ -191,6 +227,11 @@ class ServeLoop
     ScalarStat &stat_queue_us_;
     ScalarStat &stat_backend_us_;
     Histogram &stat_latency_hist_;
+    Counter &stat_cache_hits_;
+    Counter &stat_cache_misses_;
+    Histogram &stat_latency_hit_;
+    Histogram &stat_latency_miss_;
+    ScalarStat &stat_served_epoch_;
     struct TenantStats;
     std::map<std::string, std::unique_ptr<TenantStats>> tenants_;
     std::mutex tenants_mutex_;

@@ -57,6 +57,52 @@ ServeReport::measuredLatencies() const
     return out;
 }
 
+size_t
+ServeReport::hitCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(responses.begin(), responses.end(),
+                      [](const Response &r) {
+                          return r.admission == Admission::Admitted &&
+                                 !r.warmup && r.snapshot_epoch > 0 &&
+                                 r.cache_hit;
+                      }));
+}
+
+size_t
+ServeReport::missCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(responses.begin(), responses.end(),
+                      [](const Response &r) {
+                          return r.admission == Admission::Admitted &&
+                                 !r.warmup && r.snapshot_epoch > 0 &&
+                                 !r.cache_hit;
+                      }));
+}
+
+std::vector<double>
+ServeReport::hitLatencies() const
+{
+    std::vector<double> out;
+    for (const Response &r : responses)
+        if (r.admission == Admission::Admitted && !r.warmup &&
+            r.snapshot_epoch > 0 && r.cache_hit)
+            out.push_back(r.latencyUs());
+    return out;
+}
+
+std::vector<double>
+ServeReport::missLatencies() const
+{
+    std::vector<double> out;
+    for (const Response &r : responses)
+        if (r.admission == Admission::Admitted && !r.warmup &&
+            r.snapshot_epoch > 0 && !r.cache_hit)
+            out.push_back(r.latencyUs());
+    return out;
+}
+
 std::vector<double>
 ServeReport::warmupLatencies() const
 {

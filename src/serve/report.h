@@ -46,6 +46,30 @@ struct ServeReport
         return obs::Percentiles(measuredLatencies());
     }
 
+    // --- candidate-cache split ----------------------------------------
+    // The hit/miss populations partition the *classified* measured
+    // responses (snapshot_epoch > 0); timing-only responses belong to
+    // neither, so hitCount + missCount <= measuredCount.
+
+    /** Measured responses served from the candidate cache. */
+    size_t hitCount() const;
+    /** Measured classified responses that ran full screening. */
+    size_t missCount() const;
+    /** Latencies (us) of the measured cache-hit population. */
+    std::vector<double> hitLatencies() const;
+    /** Latencies (us) of the measured full-screening population. */
+    std::vector<double> missLatencies() const;
+    /** Nearest-rank percentiles over the measured cache hits. */
+    obs::Percentiles hitLatency() const
+    {
+        return obs::Percentiles(hitLatencies());
+    }
+    /** Nearest-rank percentiles over the measured cache misses. */
+    obs::Percentiles missLatency() const
+    {
+        return obs::Percentiles(missLatencies());
+    }
+
     /**
      * Measured throughput in queries/sec: measured completions over the
      * [first measured admission, last measured completion) window.

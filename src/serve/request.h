@@ -89,6 +89,12 @@ struct Response
     tensor::Vector probabilities;
     std::vector<uint32_t> topk;
     std::vector<uint32_t> candidates;
+
+    /** True when the candidate cache served this request's screening. */
+    bool cache_hit = false;
+    /** Screener snapshot epoch this response was computed under (0 for
+     *  timing-only or rejected requests). */
+    uint64_t snapshot_epoch = 0;
 };
 
 /** A fixed arrival schedule: requests sorted by (arrival_us, id). */

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Property battery for the hot-label candidate cache.
+ *
+ * The contracts under test, matching the doc header of cache.h:
+ *  - counter accounting invariants hold after any lookup/insert sequence
+ *    (lookups == hits + misses, hits == validated + rejected,
+ *    screenerBypass == validated, fullScreens == misses + rejected);
+ *  - eviction is strict LRU (a validated hit refreshes recency);
+ *  - capacity 0 disables the cache cleanly (no counters, no entries);
+ *  - under a Zipfian query trace the *served* output (probabilities,
+ *    top-k, candidates) is bitwise identical cache-on vs cache-off for
+ *    every functional-simulation thread count, while the cache actually
+ *    hits;
+ *  - a hot-swap epoch bump invalidates stale entries (miss, re-insert);
+ *  - an absurd validation margin rejects every hit but never corrupts
+ *    the served output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "runtime/api.h"
+#include "screening/cache.h"
+#include "screening/screener.h"
+#include "workloads/synthetic.h"
+
+namespace enmc::screening {
+namespace {
+
+class CandidateCacheTest : public ::testing::Test
+{
+  protected:
+    CandidateCacheTest()
+        : model_(makeConfig()), rng_(model_.makeRng(1)),
+          train_(model_.sampleHiddenBatch(rng_, 160)),
+          val_(model_.sampleHiddenBatch(rng_, 48)),
+          pool_(model_.sampleHiddenBatch(rng_, 12))
+    {
+    }
+
+    static workloads::SyntheticConfig
+    makeConfig()
+    {
+        workloads::SyntheticConfig cfg;
+        cfg.categories = 1024;
+        cfg.hidden = 64;
+        return cfg;
+    }
+
+    std::unique_ptr<runtime::EnmcClassifier>
+    makeClassifier(size_t cache_capacity, float margin = 0.0f,
+                   uint64_t sim_threads = 1)
+    {
+        runtime::ClassifierOptions opt;
+        opt.candidates = 48;
+        opt.cache.capacity = cache_capacity;
+        opt.cache.margin = margin;
+        runtime::SystemConfig sys;
+        sys.sim_threads = sim_threads;
+        auto clf = std::make_unique<runtime::EnmcClassifier>(
+            model_.classifier(), opt, sys);
+        clf->calibrate(train_, val_);
+        return clf;
+    }
+
+    /** Deterministic Zipfian index sequence over the query pool. */
+    std::vector<size_t>
+    zipfTrace(size_t n) const
+    {
+        Rng rng(7);
+        ZipfSampler zipf(pool_.size(), 1.1);
+        std::vector<size_t> idx(n);
+        for (size_t i = 0; i < n; ++i)
+            idx[i] = static_cast<size_t>(zipf(rng));
+        return idx;
+    }
+
+    /** The cache key sketch for `h` under this classifier's screener. */
+    static tensor::QuantizedVector
+    sketch(const runtime::EnmcClassifier &clf, const tensor::Vector &h)
+    {
+        const Screener &scr = clf.screener();
+        return tensor::quantize(scr.project(h), scr.config().quant);
+    }
+
+    static void
+    checkAccounting(CandidateCache &cache)
+    {
+        const StatGroup &s = cache.stats();
+        const uint64_t lookups = s.counter("lookups").value();
+        const uint64_t hits = s.counter("hits").value();
+        const uint64_t misses = s.counter("misses").value();
+        const uint64_t validated = s.counter("validated").value();
+        const uint64_t rejected = s.counter("rejected").value();
+        const uint64_t bypass = s.counter("screenerBypass").value();
+        const uint64_t full = s.counter("fullScreens").value();
+        EXPECT_EQ(lookups, hits + misses);
+        EXPECT_EQ(hits, validated + rejected);
+        EXPECT_EQ(bypass, validated);
+        EXPECT_EQ(full, misses + rejected);
+        EXPECT_EQ(lookups, bypass + full)
+            << "every lookup either bypasses screening or screens fully";
+    }
+
+    workloads::SyntheticModel model_;
+    Rng rng_;
+    std::vector<tensor::Vector> train_;
+    std::vector<tensor::Vector> val_;
+    std::vector<tensor::Vector> pool_;
+};
+
+TEST_F(CandidateCacheTest, AccountingInvariantsAfterZipfianTraffic)
+{
+    auto clf = makeClassifier(8);
+    for (const size_t q : zipfTrace(96))
+        clf->forward({pool_[q]}, 5);
+
+    CandidateCache &cache = clf->cache();
+    checkAccounting(cache);
+    const StatGroup &s = cache.stats();
+    EXPECT_GT(s.counter("lookups").value(), 0u);
+    EXPECT_GT(s.counter("hits").value(), 0u)
+        << "a Zipfian trace over 12 queries must repeat sketches";
+    EXPECT_GT(s.counter("misses").value(), 0u);
+    // Margin 0: every bitwise hit validates.
+    EXPECT_EQ(s.counter("rejected").value(), 0u);
+    // Every miss that ran full screening was inserted (capacity > 0).
+    EXPECT_EQ(s.counter("insertions").value(),
+              s.counter("misses").value());
+    EXPECT_LE(cache.size(), cache.config().capacity);
+}
+
+TEST_F(CandidateCacheTest, LruEvictionOrderWithHitRefresh)
+{
+    auto clf = makeClassifier(1); // classifier only used for its screener
+    const Screener &scr = clf->screener();
+
+    CacheConfig cfg;
+    cfg.capacity = 2;
+    CandidateCache cache(cfg);
+
+    auto entry_for = [&](const tensor::Vector &h) {
+        const tensor::Vector z = scr.approximateQuantized(h);
+        return std::make_pair(scr.select(z), z);
+    };
+    auto insert = [&](size_t q) {
+        auto [cands, z] = entry_for(pool_[q]);
+        cache.insert(sketch(*clf, pool_[q]), 1, std::move(cands),
+                     std::move(z));
+    };
+    auto hit = [&](size_t q) {
+        return cache.lookup(sketch(*clf, pool_[q]), 1, scr) != nullptr;
+    };
+
+    insert(0);
+    insert(1);
+    EXPECT_EQ(cache.size(), 2u);
+    // Touch 0: it becomes MRU, so inserting 2 must evict 1, not 0.
+    EXPECT_TRUE(hit(0));
+    insert(2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().counter("evictions").value(), 1u);
+    EXPECT_TRUE(hit(0)) << "recently used entry must survive eviction";
+    EXPECT_TRUE(hit(2));
+    EXPECT_FALSE(hit(1)) << "LRU entry must have been evicted";
+
+    // Recency is now [2, 0] (hits in that order above), so the next
+    // insert evicts 0.
+    insert(3);
+    EXPECT_TRUE(hit(2));
+    EXPECT_TRUE(hit(3));
+    EXPECT_FALSE(hit(0)) << "0 was LRU after the final hit on 2";
+    checkAccounting(cache);
+}
+
+TEST_F(CandidateCacheTest, CapacityZeroDisablesCleanly)
+{
+    auto clf = makeClassifier(1);
+    const Screener &scr = clf->screener();
+
+    CacheConfig cfg;
+    cfg.capacity = 0;
+    CandidateCache cache(cfg);
+    EXPECT_FALSE(cache.enabled());
+
+    EXPECT_EQ(cache.lookup(sketch(*clf, pool_[0]), 1, scr), nullptr);
+    const tensor::Vector z = scr.approximateQuantized(pool_[0]);
+    cache.insert(sketch(*clf, pool_[0]), 1, scr.select(z), z);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.lookup(sketch(*clf, pool_[0]), 1, scr), nullptr);
+
+    // A disabled cache records nothing: it is not part of the run.
+    const StatGroup &s = cache.stats();
+    EXPECT_EQ(s.counter("lookups").value(), 0u);
+    EXPECT_EQ(s.counter("insertions").value(), 0u);
+
+    // And a classifier built with capacity 0 serves with zero traffic.
+    auto off = makeClassifier(0);
+    off->forward({pool_[0], pool_[0]}, 5);
+    EXPECT_EQ(off->cache().stats().counter("lookups").value(), 0u);
+}
+
+TEST_F(CandidateCacheTest, ZipfianServedOutputIdenticalCacheOnVsOff)
+{
+    const std::vector<size_t> trace = zipfTrace(96);
+    // The ENMC_THREADS axis, exercised in-process: the served bits must
+    // not depend on the functional simulation's worker count either way.
+    for (const uint64_t threads : {uint64_t{1}, uint64_t{4}, uint64_t{8}}) {
+        auto on = makeClassifier(64, 0.0f, threads);
+        auto off = makeClassifier(0, 0.0f, threads);
+
+        for (size_t base = 0; base < trace.size(); base += 8) {
+            std::vector<tensor::Vector> batch;
+            for (size_t i = base; i < base + 8 && i < trace.size(); ++i)
+                batch.push_back(pool_[trace[i]]);
+            const auto a = on->forward(batch, 5);
+            const auto b = off->forward(batch, 5);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i) {
+                ASSERT_EQ(a[i].probabilities.size(),
+                          b[i].probabilities.size());
+                ASSERT_EQ(std::memcmp(a[i].probabilities.data(),
+                                      b[i].probabilities.data(),
+                                      a[i].probabilities.size() *
+                                          sizeof(float)),
+                          0)
+                    << "served probabilities differ at threads=" << threads
+                    << " batch base " << base << " item " << i;
+                ASSERT_EQ(a[i].topk, b[i].topk);
+                ASSERT_EQ(a[i].candidates, b[i].candidates);
+                ASSERT_FALSE(b[i].cache_hit);
+            }
+        }
+        EXPECT_GT(on->cache().stats().counter("hits").value(), 0u)
+            << "cache-on run never hit at threads=" << threads;
+        checkAccounting(on->cache());
+    }
+}
+
+TEST_F(CandidateCacheTest, EpochBumpInvalidatesStaleEntries)
+{
+    auto clf = makeClassifier(16);
+    // Warm the cache (insert happens at the end of a miss batch, so the
+    // hit needs a second forward), then hot-swap: entries tagged epoch 1
+    // must miss under epoch 2 and be replaced, never served.
+    clf->forward({pool_[0]}, 5);
+    clf->forward({pool_[0]}, 5);
+    EXPECT_GT(clf->cache().stats().counter("hits").value(), 0u);
+    const uint64_t hits_before =
+        clf->cache().stats().counter("hits").value();
+
+    const uint64_t epoch = clf->refresh(train_, val_);
+    EXPECT_EQ(epoch, 2u);
+
+    const auto out = clf->forward({pool_[0]}, 5);
+    EXPECT_EQ(out[0].snapshot_epoch, 2u);
+    EXPECT_FALSE(out[0].cache_hit) << "stale epoch-1 entry served";
+    EXPECT_EQ(clf->cache().stats().counter("hits").value(), hits_before);
+
+    // The re-inserted entry hits under the new epoch and serves the same
+    // bits as a cache-off twin of the refreshed screener.
+    const auto again = clf->forward({pool_[0]}, 5);
+    EXPECT_TRUE(again[0].cache_hit);
+    auto off = makeClassifier(0);
+    off->refresh(train_, val_);
+    const auto ref = off->forward({pool_[0]}, 5);
+    ASSERT_EQ(again[0].probabilities.size(), ref[0].probabilities.size());
+    EXPECT_EQ(std::memcmp(again[0].probabilities.data(),
+                          ref[0].probabilities.data(),
+                          ref[0].probabilities.size() * sizeof(float)),
+              0);
+    checkAccounting(clf->cache());
+}
+
+TEST_F(CandidateCacheTest, HugeMarginRejectsHitsButServesCorrectly)
+{
+    auto strict = makeClassifier(16, 1e9f);
+    auto off = makeClassifier(0);
+
+    for (const size_t q : zipfTrace(32)) {
+        const auto a = strict->forward({pool_[q]}, 5);
+        const auto b = off->forward({pool_[q]}, 5);
+        EXPECT_FALSE(a[0].cache_hit)
+            << "no candidate can clear a 1e9 margin";
+        ASSERT_EQ(std::memcmp(a[0].probabilities.data(),
+                              b[0].probabilities.data(),
+                              b[0].probabilities.size() * sizeof(float)),
+                  0);
+    }
+    const StatGroup &s = strict->cache().stats();
+    EXPECT_GT(s.counter("rejected").value(), 0u);
+    EXPECT_EQ(s.counter("validated").value(), 0u);
+    EXPECT_EQ(s.counter("screenerBypass").value(), 0u);
+    checkAccounting(strict->cache());
+}
+
+TEST(CacheConfigTest, EnvParsingAppliesOverrides)
+{
+    setenv("ENMC_CACHE_CAPACITY", "128", 1);
+    setenv("ENMC_CACHE_MARGIN", "0.5", 1);
+    const CacheConfig cfg = cacheConfigFromEnv();
+    unsetenv("ENMC_CACHE_CAPACITY");
+    unsetenv("ENMC_CACHE_MARGIN");
+    EXPECT_EQ(cfg.capacity, 128u);
+    EXPECT_FLOAT_EQ(cfg.margin, 0.5f);
+
+    const CacheConfig defaults = cacheConfigFromEnv();
+    EXPECT_EQ(defaults.capacity, 0u) << "cache must default off";
+    EXPECT_FLOAT_EQ(defaults.margin, 0.0f);
+}
+
+} // namespace
+} // namespace enmc::screening

@@ -37,6 +37,19 @@ Checks, per file:
     router's shardDispatches fan-out total, deadDispatches == 0 (a dead
     node must never receive traffic), and the fanOut histogram records
     exactly one sample per routed batch;
+  - candidate-cache accounting, whenever a screening.cache group is
+    present: lookups == hits + misses, hits == validated + rejected,
+    fullScreens == misses + rejected, lookups == screenerBypass +
+    fullScreens, and evictions <= insertions; when serve.loop rides
+    along, its cacheHits/cacheMisses must match the hit/miss latency
+    histogram totals, stay within measuredRequests, agree with the
+    servedEpoch sample count, and never exceed the cache's validated
+    hits; when the --check-cache bench group rides along, its hit p50
+    must not exceed its miss p50 (hits skip the screener, so the
+    latency win must be visible); whenever a runtime.snapshot group is
+    present, publishes >=
+    swaps, collected <= retired, and the loop's maximum served epoch
+    cannot exceed the published-epoch count;
   - planner accounting, whenever a plan group is present (--backend=auto):
     plans == warmupPlans + explorePlans + steadyPlans, the per-backend
     dispatch.* counters sum to plans, deadDispatches == 0 (an unavailable
@@ -178,6 +191,117 @@ def check_cluster(path, groups):
             path,
             f"cluster.router: fanOut histogram total {fanout_hist['total']}"
             f" != routedBatches counter {routed}")
+    return errors
+
+
+def check_cache(path, groups):
+    """Cross-group candidate-cache / snapshot-slot invariants."""
+    errors = 0
+    cache = groups.get("screening.cache")
+    if cache is not None:
+        c = cache.get("counters", {})
+
+        def cval(key):
+            return c.get(key, {}).get("value", 0)
+
+        if cval("lookups") != cval("hits") + cval("misses"):
+            errors += fail(
+                path,
+                f"screening.cache: lookups {cval('lookups')} != "
+                f"hits+misses {cval('hits') + cval('misses')}")
+        if cval("hits") != cval("validated") + cval("rejected"):
+            errors += fail(
+                path,
+                f"screening.cache: hits {cval('hits')} != "
+                f"validated+rejected {cval('validated') + cval('rejected')}")
+        if cval("fullScreens") != cval("misses") + cval("rejected"):
+            errors += fail(
+                path,
+                f"screening.cache: fullScreens {cval('fullScreens')} != "
+                f"misses+rejected {cval('misses') + cval('rejected')}")
+        if cval("lookups") != cval("screenerBypass") + cval("fullScreens"):
+            errors += fail(
+                path,
+                f"screening.cache: lookups {cval('lookups')} != "
+                f"bypass+fullScreens "
+                f"{cval('screenerBypass') + cval('fullScreens')}")
+        if cval("evictions") > cval("insertions"):
+            errors += fail(
+                path,
+                f"screening.cache: {cval('evictions')} evictions exceed "
+                f"{cval('insertions')} insertions")
+
+    loop = groups.get("serve.loop")
+    if loop is not None and "cacheHits" in loop.get("counters", {}):
+        lc = loop["counters"]
+        hits = lc["cacheHits"]["value"]
+        misses = lc.get("cacheMisses", {}).get("value", 0)
+        for hname, count in (("latencyHitUs", hits),
+                             ("latencyMissUs", misses)):
+            hist = loop.get("histograms", {}).get(hname)
+            if hist is not None and hist["total"] != count:
+                errors += fail(
+                    path,
+                    f"serve.loop: {hname} histogram total {hist['total']} "
+                    f"!= counter {count}")
+        measured = lc.get("measuredRequests", {}).get("value", 0)
+        if hits + misses > measured:
+            errors += fail(
+                path,
+                f"serve.loop: classified responses {hits + misses} exceed "
+                f"measuredRequests {measured}")
+        epoch = loop.get("scalars", {}).get("servedEpoch")
+        if epoch is not None and epoch["count"] != hits + misses:
+            errors += fail(
+                path,
+                f"serve.loop: servedEpoch sampled {epoch['count']} times "
+                f"but hits+misses == {hits + misses}")
+        if cache is not None:
+            validated = cache.get("counters", {}).get("validated",
+                                                      {}).get("value", 0)
+            if hits > validated:
+                errors += fail(
+                    path,
+                    f"cache accounting broken: serve.loop served {hits} "
+                    f"cache hits but the cache validated only {validated}")
+
+    bench = groups.get("bench.serving.cache")
+    if bench is not None:
+        scalars = bench.get("scalars", {})
+        hit = scalars.get("hitP50Us")
+        miss = scalars.get("missP50Us")
+        if hit is not None and miss is not None and hit["count"] > 0 \
+                and miss["count"] > 0 and hit["mean"] > miss["mean"]:
+            errors += fail(
+                path,
+                f"cache latency win missing: hit p50 {hit['mean']} us "
+                f"exceeds miss p50 {miss['mean']} us")
+
+    snap = groups.get("runtime.snapshot")
+    if snap is not None:
+        sc = snap.get("counters", {})
+        publishes = sc.get("publishes", {}).get("value", 0)
+        swaps = sc.get("swaps", {}).get("value", 0)
+        if publishes < swaps:
+            errors += fail(
+                path,
+                f"runtime.snapshot: {swaps} swaps exceed {publishes} "
+                f"publishes")
+        retired = sc.get("retired", {}).get("value", 0)
+        collected = sc.get("collected", {}).get("value", 0)
+        if collected > retired:
+            errors += fail(
+                path,
+                f"runtime.snapshot: {collected} collected exceed "
+                f"{retired} retired")
+        if loop is not None:
+            epoch = loop.get("scalars", {}).get("servedEpoch")
+            if epoch is not None and epoch["count"] > 0 \
+                    and epoch["max"] > publishes:
+                errors += fail(
+                    path,
+                    f"snapshot accounting broken: served epoch "
+                    f"{epoch['max']} exceeds {publishes} published epochs")
     return errors
 
 
@@ -347,6 +471,7 @@ def check_file(path, expect_switch=False):
         for name, group in groups.items():
             errors += check_group(path, name, group)
         errors += check_cluster(path, groups)
+        errors += check_cache(path, groups)
         errors += check_planner(path, groups, expect_switch)
 
     errors += check_trace(path, doc.get("traceEvents", []))

@@ -15,7 +15,11 @@ non-zero with a diagnostic on stderr:
   - per-class ECC accounting: a {faultWeak,faultStrong}* class whose
     injected count does not close against corrected+detected+escaped;
   - ECC overhead accounting: redundancy reads or decode cycles charged
-    while eccProtectedReads == 0.
+    while eccProtectedReads == 0;
+  - candidate-cache accounting: lookup/hit/miss/validated/rejected/
+    bypass tallies that do not close, a serve.loop hit/miss split that
+    disagrees with its latency histograms or exceeds the cache's
+    validated hits, and snapshot-slot publish/swap/epoch bookkeeping.
 
 Run directly (python3 tools/test_check_metrics.py) or via ctest as
 tool_check_metrics_selftest.
@@ -101,6 +105,75 @@ def good_doc():
                     "eccDecodeCycles": counter(1280),
                 },
                 "scalars": {},
+                "histograms": {},
+            },
+        },
+        "traceEvents": [],
+    }
+
+
+def hist(total, bins):
+    return {"lo": 0.0, "hi": 1e6, "bins": bins, "total": total,
+            "underflow": 0, "overflow": 0, "description": ""}
+
+
+def scalar(count, lo, hi):
+    mean = (lo + hi) / 2 if count else 0
+    return {"count": count, "sum": mean * count, "min": lo, "max": hi,
+            "mean": mean, "description": ""}
+
+
+def good_cache_doc():
+    """A consistent candidate-cache + hot-swap metrics document: 40
+    classified responses (30 hits, 10 misses), every tally closing."""
+    return {
+        "schema": "enmc.metrics",
+        "schema_version": 1,
+        "tool": "test_check_metrics",
+        "groups": {
+            "screening.cache": {
+                "counters": {
+                    "lookups": counter(40),
+                    "hits": counter(30),
+                    "misses": counter(10),
+                    "validated": counter(28),
+                    "rejected": counter(2),
+                    "screenerBypass": counter(28),
+                    "fullScreens": counter(12),
+                    "insertions": counter(10),
+                    "evictions": counter(3),
+                },
+                "scalars": {},
+                "histograms": {},
+            },
+            "serve.loop": {
+                "counters": {
+                    "cacheHits": counter(28),
+                    "cacheMisses": counter(12),
+                    "measuredRequests": counter(44),
+                },
+                "scalars": {"servedEpoch": scalar(40, 1, 2)},
+                "histograms": {
+                    "latencyHitUs": hist(28, [28]),
+                    "latencyMissUs": hist(12, [12]),
+                },
+            },
+            "runtime.snapshot": {
+                "counters": {
+                    "publishes": counter(2),
+                    "swaps": counter(1),
+                    "retired": counter(1),
+                    "collected": counter(1),
+                },
+                "scalars": {},
+                "histograms": {},
+            },
+            "bench.serving.cache": {
+                "counters": {},
+                "scalars": {
+                    "hitP50Us": scalar(1, 28, 28),
+                    "missP50Us": scalar(1, 37, 37),
+                },
                 "histograms": {},
             },
         },
@@ -202,6 +275,85 @@ def main():
     doc["groups"]["enmc.rank.dram"]["counters"]["eccProtectedReads"] = \
         counter(0)
     expect_pass("ECC off charges nothing and passes", doc)
+
+    expect_pass("consistent cache + snapshot document", good_cache_doc())
+
+    doc = good_cache_doc()
+    doc["groups"]["screening.cache"]["counters"]["hits"] = counter(29)
+    expect_fail("cache lookups do not close against hits+misses", doc,
+                "hits+misses")
+
+    doc = good_cache_doc()
+    doc["groups"]["screening.cache"]["counters"]["rejected"] = counter(1)
+    expect_fail("cache hits do not close against validated+rejected", doc,
+                "validated+rejected")
+
+    doc = good_cache_doc()
+    doc["groups"]["screening.cache"]["counters"]["screenerBypass"] = \
+        counter(27)
+    expect_fail("cache lookups do not close against bypass+fullScreens",
+                doc, "bypass+fullScreens")
+
+    doc = good_cache_doc()
+    doc["groups"]["screening.cache"]["counters"]["evictions"] = counter(11)
+    expect_fail("cache evictions exceed insertions", doc,
+                "evictions exceed")
+
+    doc = good_cache_doc()
+    doc["groups"]["serve.loop"]["histograms"]["latencyHitUs"] = \
+        hist(27, [27])
+    expect_fail("hit-latency histogram disagrees with cacheHits", doc,
+                "latencyHitUs")
+
+    doc = good_cache_doc()
+    doc["groups"]["serve.loop"]["counters"]["measuredRequests"] = \
+        counter(39)
+    expect_fail("classified responses exceed measuredRequests", doc,
+                "measuredRequests")
+
+    doc = good_cache_doc()
+    doc["groups"]["serve.loop"]["scalars"]["servedEpoch"] = scalar(39, 1, 2)
+    expect_fail("servedEpoch sample count disagrees with hit/miss split",
+                doc, "servedEpoch sampled")
+
+    doc = good_cache_doc()
+    doc["groups"]["serve.loop"]["counters"]["cacheHits"] = counter(29)
+    doc["groups"]["serve.loop"]["histograms"]["latencyHitUs"] = \
+        hist(29, [29])
+    doc["groups"]["serve.loop"]["scalars"]["servedEpoch"] = scalar(41, 1, 2)
+    expect_fail("served more cache hits than the cache validated", doc,
+                "validated only")
+
+    doc = good_cache_doc()
+    doc["groups"]["bench.serving.cache"]["scalars"]["hitP50Us"] = \
+        scalar(1, 40, 40)
+    expect_fail("cache-hit p50 exceeds miss p50", doc,
+                "cache latency win missing")
+
+    doc = good_cache_doc()
+    doc["groups"]["runtime.snapshot"]["counters"]["swaps"] = counter(3)
+    expect_fail("snapshot swaps exceed publishes", doc, "swaps exceed")
+
+    doc = good_cache_doc()
+    doc["groups"]["runtime.snapshot"]["counters"]["collected"] = counter(2)
+    expect_fail("snapshot collections exceed retirements", doc,
+                "collected exceed")
+
+    doc = good_cache_doc()
+    doc["groups"]["serve.loop"]["scalars"]["servedEpoch"] = scalar(40, 1, 3)
+    expect_fail("served epoch beyond the published-epoch count", doc,
+                "published epochs")
+
+    doc = good_cache_doc()
+    del doc["groups"]["screening.cache"]
+    del doc["groups"]["runtime.snapshot"]
+    doc["groups"]["serve.loop"]["counters"]["cacheHits"] = counter(0)
+    doc["groups"]["serve.loop"]["counters"]["cacheMisses"] = counter(0)
+    doc["groups"]["serve.loop"]["histograms"]["latencyHitUs"] = hist(0, [0])
+    doc["groups"]["serve.loop"]["histograms"]["latencyMissUs"] = \
+        hist(0, [0])
+    doc["groups"]["serve.loop"]["scalars"]["servedEpoch"] = scalar(0, 0, 0)
+    expect_pass("cache off (timing-only serving) passes", doc)
 
     print("tools/test_check_metrics.py: all checks passed")
     return 0
